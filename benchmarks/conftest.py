@@ -1,0 +1,34 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one evaluation artefact of the paper (a
+figure, or a quantitative claim made in prose).  Besides the
+pytest-benchmark timing table, each experiment writes its data table to
+``benchmarks/results/<experiment>.txt`` so the numbers survive the run;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Write (and echo) a result table for one experiment."""
+
+    def write(experiment: str, lines: list[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        (results_dir / f"{experiment}.txt").write_text(text)
+        print(f"\n=== {experiment} ===\n{text}")
+
+    return write

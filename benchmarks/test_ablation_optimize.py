@@ -1,0 +1,86 @@
+"""Experiment ABL-OPT — effect of the optional clean-up passes.
+
+Section 5 sketches two improvements beyond the core algorithm:
+eliminating redundant VS_toss sequences ("sequences of VS_toss that
+result in the same sequences of marked nodes are redundant") and, via
+its precision discussion, the value of removing erasure residue.  This
+ablation measures ``ClosedProgram.optimize()`` (dead-store elimination +
+bisimulation-based toss minimization) on the case-study core:
+
+* closed program size before/after;
+* exhaustive exploration cost (paths, transitions, distinct states) of a
+  bounded configuration before/after;
+* findings (the seeded billing violation) must be identical.
+"""
+
+import pytest
+
+from repro import explore
+from repro.fiveess import build_app
+
+
+def _nodes(cfgs):
+    return sum(cfg.node_count() for cfg in cfgs.values())
+
+
+def _explore(app, closed):
+    system = app.make_system(closed, with_mobility=False, with_maintenance=False)
+    return explore(
+        system,
+        max_depth=45,
+        por=True,
+        max_paths=4000,
+        count_states=True,
+        max_seconds=60,
+    )
+
+
+def test_ablation_optimize(benchmark, record_table):
+    app = build_app(n_lines=2, calls_per_line=1)
+    closed = app.close()
+    optimized = benchmark.pedantic(closed.optimize, rounds=3, iterations=1)
+
+    removed = {
+        proc: stats
+        for proc, stats in optimized.optimize_stats.items()
+        if any(stats)
+    }
+    plain_report = _explore(app, closed)
+    optimized_report = _explore(app, optimized)
+
+    lines = [
+        "Ablation: optional clean-up passes (dce + toss minimization)",
+        f"  closed nodes   : {_nodes(closed.cfgs)} -> {_nodes(optimized.cfgs)}",
+        f"  procs touched  : {len(removed)}"
+        + (
+            " ("
+            + ", ".join(
+                f"{proc}: -{stats[0]} stores, -{stats[1]} toss"
+                for proc, stats in sorted(removed.items())
+            )
+            + ")"
+            if removed
+            else ""
+        ),
+        "",
+        "bounded exploration of the core call flow (2 lines):",
+        f"  {'variant':<10} {'paths':>7} {'transitions':>12} {'distinct states':>16} "
+        f"{'violations':>11}",
+        f"  {'plain':<10} {plain_report.paths_explored:>7} "
+        f"{plain_report.transitions_executed:>12} {plain_report.distinct_states:>16} "
+        f"{len(plain_report.violations):>11}",
+        f"  {'optimized':<10} {optimized_report.paths_explored:>7} "
+        f"{optimized_report.transitions_executed:>12} "
+        f"{optimized_report.distinct_states:>16} "
+        f"{len(optimized_report.violations):>11}",
+    ]
+    if plain_report.truncated or optimized_report.truncated:
+        lines.append(
+            "  (both runs hit the path budget; distinct-state counts cover "
+            "different frontiers and are informational only)"
+        )
+    record_table("ABL-OPT", lines)
+
+    assert _nodes(optimized.cfgs) < _nodes(closed.cfgs)
+    # Findings must agree within the same budget.
+    assert bool(plain_report.violations) == bool(optimized_report.violations)

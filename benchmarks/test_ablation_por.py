@@ -1,0 +1,89 @@
+"""Experiment ABL-POR — the VeriSoft substrate claim.
+
+[God97], which this paper builds on, states that partial-order methods
+are "the key to make this approach tractable".  This ablation measures
+the explorer with and without persistent-set + sleep-set reduction on
+three workloads: independent workers (best case), dining philosophers
+(a deadlock must survive the reduction), and the call-processing core.
+"""
+
+import pytest
+
+from repro import System, explore
+from repro.fiveess import build_app
+
+
+def independent_workers(n_workers=4, items=3):
+    source = """
+    proc worker(ch, n) {
+        var i = 0;
+        while (i < n) { send(ch, i); i = i + 1; }
+    }
+    """
+    system = System(source)
+    for i in range(n_workers):
+        ref = system.add_channel(f"c{i}", capacity=items)
+        system.add_process(f"w{i}", "worker", [ref, items])
+    return system
+
+
+def philosophers(n=3):
+    source = """
+    proc philosopher(first, second) {
+        sem_p(first);
+        sem_p(second);
+        send(out, 'eat');
+        sem_v(second);
+        sem_v(first);
+    }
+    """
+    system = System(source)
+    system.add_env_sink("out")
+    forks = [system.add_semaphore(f"fork_{i}", 1) for i in range(n)]
+    for i in range(n):
+        system.add_process(f"phil_{i}", "philosopher", [forks[i], forks[(i + 1) % n]])
+    return system
+
+
+def fiveess_core():
+    app = build_app(n_lines=2, calls_per_line=1)
+    closed = app.close()
+    return app.make_system(closed, with_mobility=False, with_maintenance=False)
+
+
+def test_ablation_por(benchmark, record_table):
+    workloads = [
+        ("independent workers (4x3 sends)", independent_workers, 30, None),
+        ("dining philosophers (n=3)", philosophers, 40, None),
+        ("5ESS core call flow (2 lines)", fiveess_core, 45, 3000),
+    ]
+    lines = [
+        "Ablation: persistent sets + sleep sets on vs off",
+        f"{'workload':<34} {'mode':>7} {'paths':>8} {'transitions':>12} "
+        f"{'deadlocks':>10} {'violations':>11}",
+    ]
+    for name, factory, depth, cap in workloads:
+        results = {}
+        for por in (False, True):
+            report = explore(
+                factory(), max_depth=depth, por=por, max_paths=cap, max_seconds=60
+            )
+            results[por] = report
+            note = " (path budget hit)" if report.truncated else ""
+            lines.append(
+                f"{name:<34} {'POR' if por else 'full':>7} "
+                f"{report.paths_explored:>8} {report.transitions_executed:>12} "
+                f"{len(report.deadlocks):>10} {len(report.violations):>11}{note}"
+            )
+        # Reduction must not lose findings (same truncation budget aside).
+        if not results[False].truncated and not results[True].truncated:
+            assert bool(results[False].deadlocks) == bool(results[True].deadlocks)
+            assert results[True].transitions_executed <= results[False].transitions_executed
+
+    record_table("ABL-POR", lines)
+
+    benchmark.pedantic(
+        lambda: explore(philosophers(), max_depth=40, por=True),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,123 @@
+"""Experiment ABL-PRECISION — Section 5's precision discussion.
+
+The paper names four sources of conservative approximation.  Three are
+directly measurable on its own examples:
+
+* **Dataflow composition** ("a=x+1; b=a-x will report incorrectly that b
+  is dependent upon x"): count the spuriously eliminated statements.
+* **Control vs data dependence** (the second Section 5 example): the
+  analysis must *not* taint data that only control depends on the
+  environment — zero spurious eliminations expected.
+* **Temporal independence** (Figure 2): the closed p performs 10 tosses
+  per run where one would do, so exhaustive exploration costs 2^10 paths
+  instead of 2; hoisting the conditional out of the loop in the *source*
+  removes the imprecision.  We measure both path counts.
+"""
+
+import pytest
+
+from repro import System, close_program, explore
+
+COMPOSED = "proc p(x) { var a = x + 1; var b = a - x; var c = b; send(out, c); }"
+
+CONTROL_ONLY = """
+proc p(x) {
+    var a = 0;
+    var b;
+    if (x > 0) { b = a - 1; } else { b = a + 1; }
+    var c = b;
+    send(out, c);
+}
+"""
+
+FIG2 = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 10) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+FIG2_HOISTED = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    if (y == 0) {
+        while (cnt < 10) { send(out, 'even'); cnt = cnt + 1; }
+    } else {
+        while (cnt < 10) { send(out, 'odd'); cnt = cnt + 1; }
+    }
+}
+"""
+
+
+def paths_of(closed):
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", "p", [])
+    return explore(system, max_depth=40, por=False).paths_explored
+
+
+def test_ablation_precision(benchmark, record_table):
+    spec = {"p": ["x"]}
+
+    composed = close_program(COMPOSED, env_params=spec)
+    # b and c are semantically independent of x, but the monovariant
+    # define-use closure eliminates both: 3 eliminated where the ideal
+    # analysis would eliminate only `a = x + 1`.
+    composed_eliminated = composed.proc_stats["p"].eliminated
+
+    control = close_program(CONTROL_ONLY, env_params=spec)
+    control_eliminated = control.proc_stats["p"].eliminated
+
+    fig2 = close_program(FIG2, env_params=spec)
+    hoisted = close_program(FIG2_HOISTED, env_params=spec)
+    fig2_paths = paths_of(fig2)
+    hoisted_paths = paths_of(hoisted)
+
+    # The automated unswitching pass (repro.closing.hoist) achieves the
+    # same fix without touching the source by hand.
+    from repro.closing.hoist import unswitch_program
+    from repro.lang.normalize import normalize_program
+    from repro.lang.parser import parse_program
+
+    auto_hoisted_prog, hoist_stats = unswitch_program(
+        normalize_program(parse_program(FIG2))
+    )
+    auto_hoisted = close_program(auto_hoisted_prog, env_params=spec)
+    auto_hoisted_paths = paths_of(auto_hoisted)
+
+    assert composed_eliminated == 3  # a, b, c (2 spurious)
+    assert control_eliminated == 1  # only the conditional itself
+    assert fig2_paths == 1024
+    assert hoisted_paths == 2
+    assert auto_hoisted_paths == 2
+    assert hoist_stats["p"].unswitched == 1
+
+    record_table(
+        "ABL-PRECISION",
+        [
+            "Section 5 precision ablation",
+            "",
+            "dataflow composition (a=x+1; b=a-x; c=b):",
+            f"  eliminated statements : {composed_eliminated} "
+            "(ideal 1; 2 spurious — Lemma 1 covers this)",
+            "",
+            "control-only dependence (if (x>0) b=a-1 else b=a+1):",
+            f"  eliminated statements : {control_eliminated} "
+            "(only the conditional; data untouched — matches the paper)",
+            "",
+            "temporal independence (Figure 2 vs hoisted sources):",
+            f"  closed p          exhaustive paths : {fig2_paths} (10 tosses/run)",
+            f"  hand-hoisted p    exhaustive paths : {hoisted_paths} (1 toss/run)",
+            f"  auto-unswitched p exhaustive paths : {auto_hoisted_paths} "
+            "(repro.closing.hoist)",
+            "  'hoisting the conditional test y=0 outside the loop ... would",
+            "   have eliminated this imprecision' — confirmed, and automated.",
+        ],
+    )
+
+    benchmark.pedantic(lambda: paths_of(fig2), rounds=1, iterations=1)

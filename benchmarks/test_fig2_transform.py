@@ -1,0 +1,78 @@
+"""Experiment FIG2 — Figure 2 of the paper.
+
+Paper artefact: the transformation of procedure ``p`` (the even/odd
+sender whose branch direction is fixed by one environment input) and the
+accompanying claim that "the resulting closed program is a strict upper
+approximation of p combined with its most general environment E_S: for
+no value of x can G_p send a mixture of even and odd values, but for
+certain combinations of VS_toss results, G'_p can."
+
+Regenerated rows:
+
+* transformation statistics (nodes before/after, toss nodes, removed
+  parameters) — the content of the figure;
+* |behaviours(p × E_S)| vs |behaviours(p')| and the strictness check.
+"""
+
+import pytest
+
+from repro import System, close_program, collect_output_traces
+from repro.cfg import NodeKind
+
+P_SRC = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 10) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+
+def open_behaviors():
+    traces = set()
+    for value in range(1024):
+        system = System(P_SRC)
+        system.add_env_sink("out")
+        system.add_process("P", "p", [value])
+        traces |= collect_output_traces(system, "out", max_depth=40)
+    return traces
+
+
+def closed_behaviors(closed):
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", "p", [])
+    return collect_output_traces(system, "out", max_depth=40)
+
+
+def test_fig2_transformation(benchmark, record_table):
+    closed = benchmark(close_program, P_SRC, env_params={"p": ["x"]})
+
+    stats = closed.proc_stats["p"]
+    cfg = closed.cfgs["p"]
+    open_set = open_behaviors()
+    closed_set = closed_behaviors(closed)
+
+    assert stats.removed_params == ("x",)
+    assert len(cfg.nodes_of_kind(NodeKind.TOSS)) == 1
+    assert open_set < closed_set  # strict upper approximation
+    assert len(open_set) == 2
+    assert len(closed_set) == 1024
+
+    record_table(
+        "FIG2",
+        [
+            "Figure 2: closing procedure p (strict upper approximation)",
+            f"  nodes before -> after : {stats.nodes_before} -> {stats.nodes_after}",
+            f"  eliminated nodes      : {stats.eliminated}",
+            f"  VS_toss inserted      : {stats.toss_nodes} (bound 1)",
+            f"  parameters removed    : {', '.join(stats.removed_params)}",
+            f"  transform time        : {closed.elapsed_seconds * 1e3:.3f} ms",
+            f"  |behaviours(p x Es)|  : {len(open_set)}",
+            f"  |behaviours(p')|      : {len(closed_set)}",
+            f"  strict inclusion      : {open_set < closed_set}",
+        ],
+    )

@@ -1,0 +1,94 @@
+"""Experiment FIG3 — Figure 3 of the paper.
+
+Paper artefact: the transformation of procedure ``q`` (which sends the
+ten least-significant bits of its input) and the claims that (a) the
+algorithm transforms the functionally distinct p (Figure 2) and q to the
+*same* closed program, and (b) for q "the resulting closed program is
+equivalent to q combined with its most general environment E_S" — an
+optimal translation.
+"""
+
+import pytest
+
+from repro import System, close_program, collect_output_traces
+
+Q_SRC = """
+proc q(x) {
+    var cnt = 0;
+    while (cnt < 10) {
+        var y = x % 2;
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        x = x / 2;
+        cnt = cnt + 1;
+    }
+}
+"""
+
+P_SRC = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 10) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+
+def open_behaviors():
+    traces = set()
+    for value in range(1024):
+        system = System(Q_SRC)
+        system.add_env_sink("out")
+        system.add_process("P", "q", [value])
+        traces |= collect_output_traces(system, "out", max_depth=40)
+    return traces
+
+
+def behaviors_of(cfgs, proc):
+    system = System(cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", proc, [])
+    return collect_output_traces(system, "out", max_depth=40)
+
+
+def _shape(cfg):
+    index = {nid: i for i, nid in enumerate(sorted(cfg.nodes))}
+    nodes = tuple(
+        (index[nid], cfg.nodes[nid].kind.name, cfg.nodes[nid].describe())
+        for nid in sorted(cfg.nodes)
+    )
+    arcs = tuple(
+        sorted((index[a.src], index[a.dst], a.guard.describe()) for a in cfg.arcs)
+    )
+    return nodes, arcs
+
+
+def test_fig3_transformation(benchmark, record_table):
+    closed_q = benchmark(close_program, Q_SRC, env_params={"q": ["x"]})
+    closed_p = close_program(P_SRC, env_params={"p": ["x"]})
+
+    open_set = open_behaviors()
+    closed_set = behaviors_of(closed_q.cfgs, "q")
+    same_graph = _shape(closed_p.cfgs["p"]) == _shape(closed_q.cfgs["q"])
+
+    assert open_set == closed_set  # optimal translation
+    assert same_graph  # p and q close to the same program
+
+    stats = closed_q.proc_stats["q"]
+    record_table(
+        "FIG3",
+        [
+            "Figure 3: closing procedure q (optimal translation)",
+            f"  nodes before -> after   : {stats.nodes_before} -> {stats.nodes_after}",
+            f"  eliminated nodes        : {stats.eliminated}",
+            f"  VS_toss inserted        : {stats.toss_nodes} (bound 1)",
+            f"  parameters removed      : {', '.join(stats.removed_params)}",
+            f"  transform time          : {closed_q.elapsed_seconds * 1e3:.3f} ms",
+            f"  |behaviours(q x Es)|    : {len(open_set)}",
+            f"  |behaviours(q')|        : {len(closed_set)}",
+            f"  behaviour sets equal    : {open_set == closed_set}",
+            f"  G'_p identical to G'_q  : {same_graph}",
+        ],
+    )

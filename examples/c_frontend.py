@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Closing a real C program, like the paper's prototype tool.
+
+The paper implemented its transformation "in a prototype tool for
+automatically closing open programs written in the C programming
+language."  This example feeds (preprocessed) C through the
+pycparser-based front end, closes it, and explores the result.
+
+Run:  python examples/c_frontend.py
+"""
+
+from repro import System, close_program, explore
+from repro.lang.cfront import c_to_program
+from repro.lang.pretty import pretty
+
+C_SOURCE = """
+int read_packet();
+int link_status();
+
+void router(int budget) {
+    int forwarded = 0;
+    int dropped = 0;
+    int i;
+    for (i = 0; i < budget; i++) {
+        int pkt = read_packet();
+        int up = link_status();
+        if (up % 2 == 1) {
+            if (pkt % 4 == 0) {
+                send(egress, "control");
+            } else {
+                send(egress, "data");
+            }
+            forwarded++;
+        } else {
+            dropped++;
+        }
+    }
+    VS_assert(forwarded + dropped == budget);
+    send(egress, "stats");
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. Translate C to RC ===")
+    program = c_to_program(C_SOURCE)
+    print(pretty(program))
+
+    print("=== 2. Close (read_packet / link_status are the open interface) ===")
+    closed = close_program(program)
+    print(closed.summary())
+    print()
+
+    print("=== 3. Explore the closed router ===")
+    system = System(closed.cfgs)
+    system.add_env_sink("egress")
+    system.add_process("router", "router", [3])
+    report = explore(system, max_depth=40)
+    print(report.summary())
+    print()
+    print(
+        "The bookkeeping assertion (forwarded + dropped == budget) uses\n"
+        "only system data, so the transformation preserved it — and it\n"
+        "held on every path."
+    )
+
+
+if __name__ == "__main__":
+    main()

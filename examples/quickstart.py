@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: close an open reactive program and explore it.
+
+The program below is *open*: `poll_sensor` is implemented by the
+environment (the rest of the plant), so the program cannot run by
+itself.  `close_program` applies the paper's transformation — every
+statement whose behaviour depends on sensor values is removed, and the
+control-flow decisions they fed become bounded nondeterministic choices
+(`VS_toss`).  The result is self-executable and can be explored
+exhaustively with the VeriSoft-style explorer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import System, close_program, explore
+
+OPEN_PROGRAM = """
+extern proc poll_sensor();
+
+proc controller(cycles) {
+    var overheats = 0;
+    var i = 0;
+    while (i < cycles) {
+        var reading;
+        reading = poll_sensor();
+        if (reading > 95) {
+            send(actuator, 'cool');
+            overheats = overheats + 1;
+        } else {
+            send(actuator, 'steady');
+        }
+        i = i + 1;
+    }
+    VS_assert(overheats <= cycles);
+    send(actuator, 'done');
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. Close the program with its most general environment ===")
+    closed = close_program(OPEN_PROGRAM)
+    print(closed.summary())
+    print()
+    print("Closed source (dispatch-loop export):")
+    print(closed.to_source())
+
+    print("=== 2. Build a runnable system ===")
+    system = System(closed.cfgs)
+    system.add_env_sink("actuator")
+    system.add_process("ctl", "controller", [3])
+
+    print("=== 3. Explore every behaviour ===")
+    report = explore(system, max_depth=30)
+    print(report.summary())
+    print()
+    print(
+        "The environment can no longer feed the program values, yet every\n"
+        "reactive behaviour it could have caused is still here: the\n"
+        f"explorer covered {report.paths_explored} paths (= 2^3 sensor\n"
+        "outcomes), and the preserved assertion held in all of them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Closing a protocol implementation against an unreliable network.
+
+A stop-and-wait (alternating-bit-style) sender/receiver pair runs over a
+lossy link.  The *link* is the environment: whether each frame or
+acknowledgement survives is decided by `link_quality()`, an extern call
+into the open interface.  Manually modelling a faithful lossy network is
+exactly the kind of environment-writing drudgery the paper automates —
+after closing, every loss pattern is a sequence of `VS_toss` outcomes
+and the explorer checks the protocol against all of them (up to the
+retry bound).
+
+The protocol carries a deliberate guarantee to check: with at most
+`MAX_RETRIES` retransmissions per frame, either the payload sequence is
+delivered intact and in order, or the sender reports failure — never a
+duplicated or reordered delivery.
+
+Run:  python examples/stop_and_wait.py
+"""
+
+from repro import System, close_program, collect_output_traces, explore
+
+PROTOCOL = """
+extern proc link_quality();
+
+proc deliver_or_drop(ch, frame) {
+    // The environment decides whether the link delivers this frame.
+    var q;
+    q = link_quality();
+    if (q % 4 != 0) {
+        send(ch, frame);
+    } else {
+        send(ch, 'lost');
+    }
+}
+
+proc sender(n_frames, max_retries) {
+    var down = channel('to_recv');
+    var up = channel('to_send');
+    var seq = 0;
+    var frame = 0;
+    while (frame < n_frames) {
+        var tries = 0;
+        var acked = 0;
+        while (acked == 0) {
+            if (tries > max_retries) {
+                send(out, 'give-up');
+                exit;
+            }
+            deliver_or_drop(down, frame * 2 + seq);
+            var ack;
+            ack = recv(up);
+            if (ack != 'lost') {
+                if (ack == seq) { acked = 1; }
+            }
+            tries = tries + 1;
+        }
+        seq = 1 - seq;
+        frame = frame + 1;
+    }
+    send(out, 'sender-done');
+}
+
+proc receiver(n_frames) {
+    var down = channel('to_recv');
+    var up = channel('to_send');
+    var expected = 0;
+    var delivered = 0;
+    while (true) {
+        var m;
+        m = recv(down);
+        if (m != 'lost') {
+            var seq = m % 2;
+            var payload = m / 2;
+            if (seq == expected) {
+                send(out, payload);
+                delivered = delivered + 1;
+                VS_assert(payload == delivered - 1);  // in order, no dups
+                expected = 1 - expected;
+            }
+            deliver_or_drop(up, seq);
+        } else {
+            skip;
+        }
+    }
+}
+"""
+
+
+def build(n_frames=2, max_retries=2):
+    closed = close_program(PROTOCOL)
+    system = System(closed.cfgs)
+    system.add_channel("to_recv", capacity=1)
+    system.add_channel("to_send", capacity=1)
+    system.add_env_sink("out")
+    system.add_process("S", "sender", [n_frames, max_retries])
+    system.add_process("R", "receiver", [n_frames])
+    return closed, system
+
+
+def main() -> None:
+    closed, system = build()
+    print("=== Closing the protocol against the most general link ===")
+    print(closed.summary())
+    print()
+
+    print("=== Exhaustive check over all loss patterns ===")
+    report = explore(system, max_depth=80, por=True)
+    print(report.summary())
+    assert not report.violations, "ordering/duplication property violated!"
+    print(
+        "ordering/no-duplication assertion held on every loss pattern\n"
+        "(the reported deadlocks are quiescence: the receiver waiting for\n"
+        "frames after the sender finished — expected for a reactive server)"
+    )
+    print()
+
+    print("=== Observable outcomes ===")
+    _, system = build()
+    traces = collect_output_traces(system, "out", max_depth=80)
+    outcomes = sorted(traces, key=lambda t: tuple(str(x) for x in t))
+    for outcome in outcomes[:10]:
+        print(f"  {outcome}")
+    success = [t for t in traces if t and t[-1] == "sender-done"]
+    failure = [t for t in traces if "give-up" in t]
+    print(
+        f"\n{len(traces)} distinct outcomes: {len(success)} full deliveries, "
+        f"{len(failure)} honest give-ups under heavy loss — and no trace "
+        "delivers out of order."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The Section 6 case study: closing a telephone call-processing app.
+
+Builds the synthetic 5ESS-style application (line handling, call
+control, billing, mobility, maintenance — see repro.fiveess), closes it
+automatically (with one manual stub for digit collection, following the
+paper's methodology), and lets the VeriSoft-style explorer hunt the two
+seeded concurrency defects.
+
+Run:  python examples/telephone_switch.py
+"""
+
+from repro import explore
+from repro.fiveess import build_app
+
+
+def main() -> None:
+    app = build_app(n_lines=2, calls_per_line=1)
+
+    print("=== 1. The open application ===")
+    print(f"RC source: {len(app.source.splitlines())} lines")
+    print("Open interface (provided by the rest of the switch):")
+    for name in (
+        "next_subscriber_event",
+        "answer_decision",
+        "radio_measurement",
+        "maintenance_code",
+    ):
+        print(f"  extern proc {name}()")
+    print("Manual stub: collect_digits() — a bounded VS_toss over the dial plan")
+    print()
+
+    print("=== 2. Automatic closing ===")
+    closed = app.close()
+    print(closed.summary())
+    print()
+
+    print("=== 3. Hunting the seeded lock-order deadlock ===")
+    system = app.make_system(closed, with_maintenance=False)
+    report = explore(
+        system,
+        max_depth=40,
+        por=True,
+        max_paths=6000,
+        stop_when=lambda r: any(
+            app.classify_deadlock(d.blocked) == "seeded-lock-order"
+            for d in r.deadlocks
+        ),
+    )
+    for event in report.deadlocks:
+        if app.classify_deadlock(event.blocked) == "seeded-lock-order":
+            print(
+                f"deadlock found after {report.paths_explored} paths; "
+                f"blocked: {', '.join(event.blocked)}"
+            )
+            print("scenario (last steps):")
+            for step in event.trace.steps[-8:]:
+                print(f"  {step.describe()}")
+            break
+    print()
+
+    print("=== 4. Hunting the billing-invariant violation ===")
+    system = app.make_system(closed, with_mobility=False, with_maintenance=False)
+    report = explore(
+        system,
+        max_depth=60,
+        por=True,
+        max_paths=50_000,
+        max_seconds=90,
+        stop_when=lambda r: bool(r.violations),
+    )
+    if report.violations:
+        violation = report.violations[0]
+        print(
+            f"assertion violated in process {violation.process!r} "
+            f"after {report.paths_explored} paths"
+        )
+        print("scenario (two calls answered concurrently):")
+        for step in violation.trace.steps:
+            print(f"  {step.describe()}")
+    print()
+    print(
+        "Closing the same application by hand would mean simulating the\n"
+        "rest of the switch; the transformation did it automatically, and\n"
+        "the explorer found both seeded defects."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of *Automatically Closing Open Reactive
+Programs* (Colby, Godefroid, Jategaonkar Jagadeesan, PLDI 1998).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.lang` — the RC mini-language (a C-like imperative core)
+  with parser, normalizer and pretty-printer, plus an optional
+  pycparser-based front end for a subset of real C;
+* :mod:`repro.cfg` — control-flow graphs, the representation over which
+  the paper's algorithm is defined;
+* :mod:`repro.dataflow` — may-alias (Andersen) and define-use analyses;
+* :mod:`repro.closing` — **the paper's contribution**: the algorithm of
+  Figure 1 that closes an open program with its most general
+  environment, plus the naive explicit-environment baseline;
+* :mod:`repro.runtime` — the concurrent execution substrate (processes,
+  channels, semaphores, shared variables, ``VS_toss``/``VS_assert``);
+* :mod:`repro.verisoft` — a VeriSoft-style stateless state-space
+  explorer with partial-order reduction;
+* :mod:`repro.fiveess` — a synthetic multi-process telephone
+  call-processing application standing in for the paper's 5ESS case
+  study.
+
+Quick start::
+
+    from repro import close_program, System, explore
+
+    closed = close_program(OPEN_SOURCE)          # Figure 1, end to end
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("main", "main")           # env params are gone
+    report = explore(system, max_depth=50)
+    print(report.summary())
+"""
+
+from .cfg import ControlFlowGraph, build_cfg, build_cfgs, to_dot
+from .closing import (
+    ClosedProgram,
+    ClosingError,
+    ClosingSpec,
+    NaiveDomains,
+    close_naively,
+    close_program,
+)
+from .lang import normalize_program, parse_program, pretty
+from .runtime import System, SystemConfig
+from .verisoft import (
+    ExplorationReport,
+    Explorer,
+    Trace,
+    collect_output_traces,
+    explore,
+    replay,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClosedProgram",
+    "ClosingError",
+    "ClosingSpec",
+    "ControlFlowGraph",
+    "ExplorationReport",
+    "Explorer",
+    "NaiveDomains",
+    "System",
+    "SystemConfig",
+    "Trace",
+    "build_cfg",
+    "build_cfgs",
+    "close_naively",
+    "close_program",
+    "collect_output_traces",
+    "explore",
+    "normalize_program",
+    "parse_program",
+    "pretty",
+    "replay",
+    "to_dot",
+]

@@ -1,0 +1,37 @@
+"""Control-flow graphs: the ``G_j = (N_j, A_j)`` representation of
+Section 4, plus construction from RC ASTs and DOT export."""
+
+from .builder import build_cfg, build_cfgs
+from .dot import to_dot
+from .graph import CfgError, ControlFlowGraph, copy_cfg
+from .nodes import (
+    ALWAYS,
+    AlwaysGuard,
+    Arc,
+    BoolGuard,
+    CaseGuard,
+    CfgNode,
+    DefaultGuard,
+    Guard,
+    NodeKind,
+    TossGuard,
+)
+
+__all__ = [
+    "ALWAYS",
+    "AlwaysGuard",
+    "Arc",
+    "BoolGuard",
+    "CaseGuard",
+    "CfgError",
+    "CfgNode",
+    "ControlFlowGraph",
+    "DefaultGuard",
+    "Guard",
+    "NodeKind",
+    "TossGuard",
+    "build_cfg",
+    "build_cfgs",
+    "copy_cfg",
+    "to_dot",
+]

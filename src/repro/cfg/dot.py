@@ -1,0 +1,46 @@
+"""Graphviz (DOT) export of control-flow graphs.
+
+Handy for eyeballing transformations — the figures_2_and_3 example dumps
+the before/after graphs from the paper in this format.
+"""
+
+from __future__ import annotations
+
+from .graph import ControlFlowGraph
+from .nodes import NodeKind
+
+_SHAPES = {
+    NodeKind.START: "circle",
+    NodeKind.ASSIGN: "box",
+    NodeKind.COND: "diamond",
+    NodeKind.CALL: "box",
+    NodeKind.RETURN: "doublecircle",
+    NodeKind.EXIT: "doublecircle",
+    NodeKind.TOSS: "diamond",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(cfg: ControlFlowGraph, highlight: set[int] | None = None) -> str:
+    """Render ``cfg`` as a DOT digraph.
+
+    ``highlight`` node ids are drawn filled (the examples use it to show
+    which nodes the closing algorithm marked).
+    """
+    highlight = highlight or set()
+    lines = [f'digraph "{_escape(cfg.proc_name)}" {{']
+    lines.append("    node [fontname=monospace];")
+    for node in cfg.nodes.values():
+        shape = _SHAPES[node.kind]
+        style = ' style=filled fillcolor="lightblue"' if node.id in highlight else ""
+        label = _escape(f"{node.id}: {node.describe()}")
+        lines.append(f'    n{node.id} [shape={shape} label="{label}"{style}];')
+    for arc in cfg.arcs:
+        label = arc.guard.describe()
+        attr = "" if label == "always" else f' [label="{_escape(label)}"]'
+        lines.append(f"    n{arc.src} -> n{arc.dst}{attr};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,181 @@
+"""Control-flow graph node and arc definitions.
+
+A procedure ``p_j`` is represented by ``G_j = (N_j, A_j)`` exactly as in
+Section 4 of the paper: nodes are the program statements; each arc is
+labelled with a boolean guard; for every node the guards on its out-arcs
+are mutually exclusive and their disjunction is a tautology.
+
+Node kinds map onto the paper's four statement types:
+
+* ``ASSIGN``   — assignment statements (including variable declarations,
+  which initialise their variable);
+* ``COND``     — conditional statements (``if``/``while``/``switch``
+  heads, all lowered to a guard expression with labelled out-arcs);
+* ``CALL``     — procedure-call statements (including the built-in
+  visible operations: ``send``, ``recv``, ``sem_p``, ..., ``VS_assert``);
+* ``RETURN`` / ``EXIT`` — termination statements;
+* ``START``    — the unique start node (uses and defines nothing);
+* ``TOSS``     — a conditional testing ``VS_toss(k)``, the node kind
+  introduced by Step 4 of the closing algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..lang.errors import SYNTHETIC, SourceLocation
+
+
+class NodeKind(enum.Enum):
+    """The statement kind a CFG node represents."""
+    START = "start"
+    ASSIGN = "assign"
+    COND = "cond"
+    CALL = "call"
+    RETURN = "return"
+    EXIT = "exit"
+    TOSS = "toss"
+
+
+# ---------------------------------------------------------------------------
+# Arc guards
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Guard:
+    """Base class for arc labels."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class AlwaysGuard(Guard):
+    """The trivially-true label on the single out-arc of non-branching nodes."""
+
+    def describe(self) -> str:
+        return "always"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolGuard(Guard):
+    """Branch of a two-way conditional: taken when the node's expression
+    evaluates to ``expected``."""
+
+    expected: bool
+
+    def describe(self) -> str:
+        return "true" if self.expected else "false"
+
+
+@dataclass(frozen=True, slots=True)
+class CaseGuard(Guard):
+    """Branch of a switch: taken when the subject equals ``value``."""
+
+    value: int | str
+
+    def describe(self) -> str:
+        return f"case {self.value!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class DefaultGuard(Guard):
+    """The default branch of a switch (no case label matched)."""
+
+    def describe(self) -> str:
+        return "default"
+
+
+@dataclass(frozen=True, slots=True)
+class TossGuard(Guard):
+    """Branch of a TOSS node: taken when ``VS_toss`` returned ``value``."""
+
+    value: int
+
+    def describe(self) -> str:
+        return f"toss == {self.value}"
+
+
+ALWAYS = AlwaysGuard()
+
+
+# ---------------------------------------------------------------------------
+# Nodes and arcs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CfgNode:
+    """One statement of a procedure, as a CFG node.
+
+    The payload fields used depend on ``kind``:
+
+    ========  =====================================================
+    kind      payload
+    ========  =====================================================
+    START     —
+    ASSIGN    ``target`` (lvalue expr), ``value`` (expr) or
+              ``array_size`` for array declarations
+    COND      ``expr`` (the guard subject)
+    CALL      ``callee``, ``args`` (atom exprs), ``result`` (lvalue
+              or None)
+    RETURN    ``value`` (expr or None)
+    EXIT      —
+    TOSS      ``bound`` (the ``n`` of ``VS_toss(n)``)
+    ========  =====================================================
+    """
+
+    id: int
+    kind: NodeKind
+    location: SourceLocation = SYNTHETIC
+    target: ast.Expr | None = None
+    value: ast.Expr | None = None
+    array_size: int | None = None
+    expr: ast.Expr | None = None
+    callee: str | None = None
+    args: tuple[ast.Expr, ...] = ()
+    result: ast.Expr | None = None
+    bound: int | None = None
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering (used by dot export/tests)."""
+        from ..lang.pretty import pretty_expr
+
+        if self.kind is NodeKind.START:
+            return "start"
+        if self.kind is NodeKind.ASSIGN:
+            if self.array_size is not None:
+                return f"{pretty_expr(self.target)} = new_array({self.array_size})"
+            return f"{pretty_expr(self.target)} = {pretty_expr(self.value)}"
+        if self.kind is NodeKind.COND:
+            return f"cond {pretty_expr(self.expr)}"
+        if self.kind is NodeKind.CALL:
+            args = ", ".join(pretty_expr(arg) for arg in self.args)
+            call = f"{self.callee}({args})"
+            if self.result is not None:
+                return f"{pretty_expr(self.result)} = {call}"
+            return call
+        if self.kind is NodeKind.RETURN:
+            if self.value is not None:
+                return f"return {pretty_expr(self.value)}"
+            return "return"
+        if self.kind is NodeKind.EXIT:
+            return "exit"
+        if self.kind is NodeKind.TOSS:
+            return f"cond VS_toss({self.bound})"
+        raise AssertionError(f"unknown node kind {self.kind}")
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A control-flow arc ``src -> dst`` labelled with ``guard``."""
+
+    src: int
+    dst: int
+    guard: Guard
+
+    def describe(self) -> str:
+        return f"{self.src} -[{self.guard.describe()}]-> {self.dst}"

@@ -1,0 +1,348 @@
+"""Command-line interface: the paper's prototype tool, as a CLI.
+
+Subcommands
+-----------
+
+``close``
+    Close an open RC (or C) program with its most general environment
+    and write the closed program as runnable RC source::
+
+        repro close open.rc --env-param main:x -o closed.rc --stats
+
+``analyze``
+    Print the Steps 2–3 analysis (environment-defined inputs, tainted
+    objects, marked/eliminated nodes) without transforming.
+
+``graph``
+    Dump control-flow graphs in Graphviz DOT (before and, with
+    ``--closed``, after the transformation).
+
+``explore``
+    Run the VeriSoft-style explorer over a *system description*: a JSON
+    file naming the program, the communication objects and the
+    processes (see ``--help`` for the schema), optionally closing the
+    program first.
+
+``walk``
+    Random-walk testing of the same system description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from . import __version__
+from .cfg import build_cfgs, to_dot
+from .closing import ClosingSpec, close_program
+from .lang import parse_program
+from .lang.errors import LangError
+from .runtime import System
+from .verisoft import explore, random_walks
+
+_SYSTEM_SCHEMA = """\
+System description JSON schema:
+{
+  "program": "path/to/program.rc",
+  "close": {                         // optional: close before running
+    "env_params": {"main": ["x"]},
+    "env_channels": ["inbox"],
+    "env_shared": [],
+    "optimize": true
+  },
+  "objects": [
+    {"kind": "channel",   "name": "c",   "capacity": 2},
+    {"kind": "semaphore", "name": "s",   "initial": 1},
+    {"kind": "shared",    "name": "v",   "initial": 0},
+    {"kind": "sink",      "name": "out"}
+  ],
+  "processes": [
+    {"name": "p1", "proc": "main", "args": [3, {"object": "c"}]}
+  ]
+}
+"""
+
+
+def _load_program(path: pathlib.Path):
+    text = path.read_text()
+    if path.suffix == ".c":
+        from .lang.cfront import c_to_program
+
+        return c_to_program(text)
+    return parse_program(text)
+
+
+def _parse_env_params(pairs: list[str]) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {}
+    for pair in pairs:
+        if ":" not in pair:
+            raise SystemExit(f"--env-param expects PROC:PARAM, got {pair!r}")
+        proc, param = pair.split(":", 1)
+        out.setdefault(proc, []).append(param)
+    return out
+
+
+def _spec_from_args(args) -> ClosingSpec:
+    return ClosingSpec.make(
+        env_params=_parse_env_params(args.env_param),
+        env_channels=args.env_channel,
+        env_shared=args.env_shared,
+    )
+
+
+def cmd_close(args) -> int:
+    """The ``close`` subcommand."""
+    program = _load_program(args.file)
+    closed = close_program(program, _spec_from_args(args), optimize=args.optimize)
+    source = closed.to_source()
+    if args.output:
+        args.output.write_text(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    if args.stats:
+        print(closed.summary(), file=sys.stderr)
+        for proc, params in closed.removed_params.items():
+            print(f"  {proc}: interface removed: {', '.join(params)}", file=sys.stderr)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """The ``analyze`` subcommand."""
+    from .closing import analyze_for_closing
+
+    program = _load_program(args.file)
+    cfgs = build_cfgs(program)
+    analysis = analyze_for_closing(cfgs, _spec_from_args(args))
+    print(f"fixpoint rounds: {analysis.rounds}")
+    if analysis.tainted_objects:
+        print(f"tainted objects: {', '.join(sorted(analysis.tainted_objects))}")
+    if analysis.all_objects_tainted:
+        print("WARNING: an unresolvable tainted transmission taints every object")
+    for proc, pa in sorted(analysis.procs.items()):
+        env_params = analysis.env_params.get(proc, frozenset())
+        print(f"\nproc {proc}:")
+        if env_params:
+            print(f"  environment parameters: {', '.join(sorted(env_params))}")
+        if proc in analysis.env_returns:
+            print("  return value: environment-defined")
+        eliminated = [n for n in pa.cfg.nodes if n not in pa.marked]
+        print(f"  nodes: {pa.cfg.node_count()}, eliminated: {len(eliminated)}")
+        for node_id in sorted(pa.n_i):
+            node = pa.cfg.nodes[node_id]
+            vi = ", ".join(sorted(pa.vi_of(node_id)))
+            print(f"    N_I {node_id:>3}: {node.describe():<30} V_I = {{{vi}}}")
+    return 0
+
+
+def cmd_graph(args) -> int:
+    """The ``graph`` subcommand."""
+    program = _load_program(args.file)
+    cfgs = build_cfgs(program)
+    if args.closed:
+        closed = close_program(program, _spec_from_args(args))
+        cfgs = closed.cfgs
+    procs = [args.proc] if args.proc else list(cfgs)
+    for proc in procs:
+        if proc not in cfgs:
+            raise SystemExit(f"unknown procedure {proc!r}")
+        dot = to_dot(cfgs[proc])
+        if args.out_dir:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            path = args.out_dir / f"{proc}.dot"
+            path.write_text(dot)
+            print(f"wrote {path}")
+        else:
+            print(dot)
+    return 0
+
+
+def _build_system(description_path: pathlib.Path) -> System:
+    try:
+        description = json.loads(description_path.read_text())
+    except json.JSONDecodeError as err:
+        raise SystemExit(f"bad system description: {err}\n\n{_SYSTEM_SCHEMA}")
+    program_path = description_path.parent / description["program"]
+    program = _load_program(program_path)
+
+    close_cfg = description.get("close")
+    if close_cfg is not None:
+        spec = ClosingSpec.make(
+            env_params=close_cfg.get("env_params", {}),
+            env_channels=close_cfg.get("env_channels", ()),
+            env_shared=close_cfg.get("env_shared", ()),
+        )
+        closed = close_program(program, spec, optimize=close_cfg.get("optimize", False))
+        system = System(closed.cfgs)
+    else:
+        system = System(program)
+
+    refs = {}
+    for obj in description.get("objects", []):
+        kind = obj["kind"]
+        name = obj["name"]
+        if kind == "channel":
+            refs[name] = system.add_channel(name, capacity=obj.get("capacity", 1))
+        elif kind == "semaphore":
+            refs[name] = system.add_semaphore(name, initial=obj.get("initial", 1))
+        elif kind == "shared":
+            refs[name] = system.add_shared(name, initial=obj.get("initial", 0))
+        elif kind == "sink":
+            refs[name] = system.add_env_sink(name)
+        else:
+            raise SystemExit(f"unknown object kind {kind!r}")
+
+    for proc in description.get("processes", []):
+        proc_args = []
+        for arg in proc.get("args", []):
+            if isinstance(arg, dict) and "object" in arg:
+                ref = refs.get(arg["object"])
+                if ref is None:
+                    raise SystemExit(f"process argument references unknown object {arg['object']!r}")
+                proc_args.append(ref)
+            else:
+                proc_args.append(arg)
+        system.add_process(proc["name"], proc["proc"], proc_args)
+    return system
+
+
+def _print_report(report) -> None:
+    print(report.summary())
+    for event in report.deadlocks[:5]:
+        print("\n" + event.describe())
+    for event in report.violations[:5]:
+        print("\n" + event.describe())
+    for event in report.crashes[:5]:
+        print(f"\ncrash in {event.process}: {event.message}")
+    for event in report.divergences[:5]:
+        print(f"\ndivergence in {event.process}")
+
+
+def cmd_explore(args) -> int:
+    """The ``explore`` subcommand."""
+    system = _build_system(args.system)
+    report = explore(
+        system,
+        max_depth=args.max_depth,
+        por=not args.no_por,
+        max_paths=args.max_paths,
+        max_seconds=args.max_seconds,
+        count_states=args.count_states,
+        stop_on_first=args.stop_on_first,
+    )
+    _print_report(report)
+    return 0 if report.ok else 1
+
+
+def cmd_walk(args) -> int:
+    """The ``walk`` subcommand."""
+    system = _build_system(args.system)
+    report = random_walks(
+        system,
+        walks=args.walks,
+        max_depth=args.max_depth,
+        seed=args.seed,
+        stop_on_first=args.stop_on_first,
+    )
+    _print_report(report)
+    return 0 if report.ok else 1
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--env-param",
+        action="append",
+        default=[],
+        metavar="PROC:PARAM",
+        help="declare a parameter as environment-provided (repeatable)",
+    )
+    parser.add_argument(
+        "--env-channel",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="declare a channel fed by the environment (repeatable)",
+    )
+    parser.add_argument(
+        "--env-shared",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="declare a shared variable written by the environment (repeatable)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatically close open reactive programs (PLDI 1998) "
+        "and explore the result.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    close_parser = sub.add_parser("close", help="close an open program")
+    close_parser.add_argument("file", type=pathlib.Path, help="RC (.rc) or C (.c) source")
+    _add_spec_arguments(close_parser)
+    close_parser.add_argument("-o", "--output", type=pathlib.Path)
+    close_parser.add_argument("--optimize", action="store_true", help="run clean-up passes")
+    close_parser.add_argument("--stats", action="store_true")
+    close_parser.set_defaults(func=cmd_close)
+
+    analyze_parser = sub.add_parser("analyze", help="print the Steps 2-3 analysis")
+    analyze_parser.add_argument("file", type=pathlib.Path)
+    _add_spec_arguments(analyze_parser)
+    analyze_parser.set_defaults(func=cmd_analyze)
+
+    graph_parser = sub.add_parser("graph", help="dump control-flow graphs as DOT")
+    graph_parser.add_argument("file", type=pathlib.Path)
+    graph_parser.add_argument("--proc", help="only this procedure")
+    graph_parser.add_argument("--closed", action="store_true", help="graph after closing")
+    graph_parser.add_argument("--out-dir", type=pathlib.Path)
+    _add_spec_arguments(graph_parser)
+    graph_parser.set_defaults(func=cmd_graph)
+
+    explore_parser = sub.add_parser(
+        "explore",
+        help="systematically explore a system description",
+        epilog=_SYSTEM_SCHEMA,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    explore_parser.add_argument("system", type=pathlib.Path, help="system JSON")
+    explore_parser.add_argument("--max-depth", type=int, default=100)
+    explore_parser.add_argument("--max-paths", type=int, default=None)
+    explore_parser.add_argument("--max-seconds", type=float, default=None)
+    explore_parser.add_argument("--no-por", action="store_true")
+    explore_parser.add_argument("--count-states", action="store_true")
+    explore_parser.add_argument("--stop-on-first", action="store_true")
+    explore_parser.set_defaults(func=cmd_explore)
+
+    walk_parser = sub.add_parser("walk", help="random-walk testing of a system")
+    walk_parser.add_argument("system", type=pathlib.Path)
+    walk_parser.add_argument("--walks", type=int, default=100)
+    walk_parser.add_argument("--max-depth", type=int, default=1000)
+    walk_parser.add_argument("--seed", type=int, default=0)
+    walk_parser.add_argument("--stop-on-first", action="store_true")
+    walk_parser.set_defaults(func=cmd_walk)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except LangError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's core contribution: automatically closing open reactive
+programs (Figure 1 of the paper), plus the naive explicit-environment
+baseline of Section 3."""
+
+from .analysis import ClosingAnalysis, ProcAnalysis, analyze_for_closing
+from .closer import ClosedProgram, close_program
+from .codegen import cfg_to_source, cfgs_to_source
+from .dce import DceStats, eliminate_dead_stores, eliminate_dead_stores_program
+from .errors import ClosingError
+from .hoist import HoistStats, unswitch_proc, unswitch_program
+from .minimize import (
+    MinimizeStats,
+    bisimulation_classes,
+    eliminate_redundant_toss,
+    eliminate_redundant_toss_program,
+)
+from .naive import NaiveClosedProgram, NaiveDomains, close_naively
+from .partition import (
+    PartitionReport,
+    PartitionedSite,
+    close_with_partitioning,
+)
+from .spec import EMPTY_SPEC, ClosingSpec
+from .transform import ProcTransformStats, transform_program
+
+__all__ = [
+    "EMPTY_SPEC",
+    "ClosedProgram",
+    "ClosingAnalysis",
+    "ClosingError",
+    "ClosingSpec",
+    "DceStats",
+    "MinimizeStats",
+    "NaiveClosedProgram",
+    "NaiveDomains",
+    "PartitionReport",
+    "PartitionedSite",
+    "ProcAnalysis",
+    "close_with_partitioning",
+    "ProcTransformStats",
+    "analyze_for_closing",
+    "bisimulation_classes",
+    "cfg_to_source",
+    "cfgs_to_source",
+    "close_naively",
+    "close_program",
+    "eliminate_dead_stores",
+    "eliminate_dead_stores_program",
+    "eliminate_redundant_toss",
+    "eliminate_redundant_toss_program",
+    "HoistStats",
+    "transform_program",
+    "unswitch_proc",
+    "unswitch_program",
+]

@@ -1,0 +1,204 @@
+"""Export transformed CFGs back to runnable RC source.
+
+The closing transformation works on control-flow graphs, which need not
+be reducible to structured syntax.  We therefore emit the classic
+*dispatch loop* encoding, always valid for arbitrary graphs::
+
+    proc p(kept_params) {
+        var _pc = <start successor>;
+        var x; var y; ...            // every local, hoisted
+        while (true) {
+            switch (_pc) {
+            case 3: x = y + 1; _pc = 4;
+            case 4: if (x < 10) { _pc = 3; } else { _pc = 7; }
+            case 5: _t5 = VS_toss(1);
+                    switch (_t5) { case 0: _pc = 3; default: _pc = 7; }
+            case 7: return;
+            ...
+            }
+        }
+    }
+
+The generated text parses, normalizes and executes under the same
+runtime, which gives the test suite a strong round-trip check: the
+closed CFG and its re-parsed source must exhibit identical behaviour.
+
+Known limitation: array declarations are hoisted to the prologue, so a
+re-executed declaration does not re-zero the array (CFG-native execution,
+the primary path, is exact).
+"""
+
+from __future__ import annotations
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.nodes import (
+    AlwaysGuard,
+    BoolGuard,
+    CaseGuard,
+    CfgNode,
+    DefaultGuard,
+    NodeKind,
+    TossGuard,
+)
+from ..lang import ast
+from ..lang.pretty import pretty_expr
+from .errors import ClosingError
+
+
+def _collect_locals(cfg: ControlFlowGraph) -> tuple[list[tuple[str, int | None]], set[str]]:
+    """Every variable assigned in the graph, with array sizes."""
+    order: list[tuple[str, int | None]] = []
+    seen: set[str] = set(cfg.params)
+    names_used: set[str] = set(cfg.params)
+    for node in cfg.nodes.values():
+        for expr_field in (node.target, node.value, node.expr, node.result, *node.args):
+            if expr_field is not None:
+                names_used |= ast.expr_names(expr_field)
+        if node.kind is NodeKind.ASSIGN and isinstance(node.target, ast.Name):
+            if node.target.ident not in seen:
+                seen.add(node.target.ident)
+                order.append((node.target.ident, node.array_size))
+        elif node.kind is NodeKind.CALL and isinstance(node.result, ast.Name):
+            if node.result.ident not in seen:
+                seen.add(node.result.ident)
+                order.append((node.result.ident, None))
+    return order, names_used | seen
+
+
+def _fresh(base: str, used: set[str]) -> str:
+    name = base
+    counter = 0
+    while name in used:
+        counter += 1
+        name = f"{base}{counter}"
+    used.add(name)
+    return name
+
+
+def _single_successor(cfg: ControlFlowGraph, node: CfgNode) -> int:
+    arcs = cfg.successors(node.id)
+    if len(arcs) != 1 or not isinstance(arcs[0].guard, AlwaysGuard):
+        raise ClosingError(
+            f"{cfg.proc_name}: node {node.id} must have one unconditional successor"
+        )
+    return arcs[0].dst
+
+
+def cfg_to_source(cfg: ControlFlowGraph) -> str:
+    """Render one CFG as an RC procedure in dispatch-loop form."""
+    locals_, used_names = _collect_locals(cfg)
+    pc = _fresh("_pc", used_names)
+    lines: list[str] = []
+    lines.append(f"proc {cfg.proc_name}({', '.join(cfg.params)}) {{")
+    start_next = _single_successor(cfg, cfg.start)
+    lines.append(f"    var {pc} = {start_next};")
+    for name, array_size in locals_:
+        if array_size is not None:
+            lines.append(f"    var {name}[{array_size}];")
+        else:
+            lines.append(f"    var {name};")
+    toss_vars: dict[int, str] = {}
+    for node in cfg.nodes.values():
+        if node.kind is NodeKind.TOSS:
+            toss_vars[node.id] = _fresh(f"_t{node.id}", used_names)
+    for var in toss_vars.values():
+        lines.append(f"    var {var};")
+    lines.append("    while (true) {")
+    lines.append(f"        switch ({pc}) {{")
+
+    for node_id in sorted(cfg.nodes):
+        node = cfg.nodes[node_id]
+        if node.kind is NodeKind.START:
+            continue
+        lines.append(f"        case {node_id}:")
+        body = _node_body(cfg, node, pc, toss_vars)
+        lines.extend(f"            {line}" for line in body)
+    lines.append("        default:")
+    lines.append("            exit;")
+    lines.append("        }")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _node_body(
+    cfg: ControlFlowGraph, node: CfgNode, pc: str, toss_vars: dict[int, str]
+) -> list[str]:
+    if node.kind is NodeKind.ASSIGN:
+        if node.array_size is not None:
+            # Declared in the prologue; nothing to do at the node.
+            return [f"{pc} = {_single_successor(cfg, node)};"]
+        stmt = f"{pretty_expr(node.target)} = {pretty_expr(node.value)};"
+        return [stmt, f"{pc} = {_single_successor(cfg, node)};"]
+
+    if node.kind is NodeKind.CALL:
+        args = ", ".join(pretty_expr(arg) for arg in node.args)
+        call = f"{node.callee}({args})"
+        stmt = f"{pretty_expr(node.result)} = {call};" if node.result is not None else f"{call};"
+        return [stmt, f"{pc} = {_single_successor(cfg, node)};"]
+
+    if node.kind is NodeKind.COND:
+        return _branch_body(cfg, node, pc, pretty_expr(node.expr))
+
+    if node.kind is NodeKind.TOSS:
+        var = toss_vars[node.id]
+        out = [f"{var} = VS_toss({node.bound});"]
+        out.extend(_toss_switch(cfg, node, pc, var))
+        return out
+
+    if node.kind is NodeKind.RETURN:
+        if node.value is not None:
+            return [f"return {pretty_expr(node.value)};"]
+        return ["return;"]
+
+    if node.kind is NodeKind.EXIT:
+        return ["exit;"]
+
+    raise ClosingError(f"{cfg.proc_name}: cannot emit node kind {node.kind}")
+
+
+def _branch_body(cfg: ControlFlowGraph, node: CfgNode, pc: str, subject: str) -> list[str]:
+    arcs = cfg.successors(node.id)
+    if all(isinstance(arc.guard, BoolGuard) for arc in arcs):
+        true_dst = next(arc.dst for arc in arcs if arc.guard.expected)
+        false_dst = next(arc.dst for arc in arcs if not arc.guard.expected)
+        return [
+            f"if ({subject}) {{",
+            f"    {pc} = {true_dst};",
+            "} else {",
+            f"    {pc} = {false_dst};",
+            "}",
+        ]
+    lines = [f"switch ({subject}) {{"]
+    default_dst: int | None = None
+    for arc in arcs:
+        if isinstance(arc.guard, CaseGuard):
+            label = f"'{arc.guard.value}'" if isinstance(arc.guard.value, str) else str(arc.guard.value)
+            lines.append(f"case {label}:")
+            lines.append(f"    {pc} = {arc.dst};")
+        elif isinstance(arc.guard, DefaultGuard):
+            default_dst = arc.dst
+    if default_dst is None:
+        raise ClosingError(f"{cfg.proc_name}: switch node {node.id} lacks a default arc")
+    lines.append("default:")
+    lines.append(f"    {pc} = {default_dst};")
+    lines.append("}")
+    return lines
+
+
+def _toss_switch(cfg: ControlFlowGraph, node: CfgNode, pc: str, var: str) -> list[str]:
+    lines = [f"switch ({var}) {{"]
+    arcs = sorted(cfg.successors(node.id), key=lambda arc: arc.guard.value)
+    for arc in arcs[:-1]:
+        assert isinstance(arc.guard, TossGuard)
+        lines.append(f"case {arc.guard.value}:")
+        lines.append(f"    {pc} = {arc.dst};")
+    lines.append("default:")
+    lines.append(f"    {pc} = {arcs[-1].dst};")
+    lines.append("}")
+    return lines
+
+
+def cfgs_to_source(cfgs: dict[str, ControlFlowGraph]) -> str:
+    """Render a whole (closed) program as RC source."""
+    return "\n".join(cfg_to_source(cfg) for name, cfg in sorted(cfgs.items()))

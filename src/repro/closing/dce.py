@@ -1,0 +1,139 @@
+"""Dead-store elimination on closed control-flow graphs (optional pass).
+
+The closing transformation removes every *use* of environment-dependent
+data, which routinely orphans system computation: declarations whose
+only consumers were erased, counters feeding erased conditions, and so
+on.  Those leftovers are harmless — Theorem 6 says nothing about dead
+values — but they bloat the closed program and the per-state stores the
+explorer fingerprints, so pruning them both shrinks the output and can
+*reduce the distinct-state count* of the closed system.
+
+The pass is a classic liveness-driven sweep, iterated to a fixpoint
+(removing one dead store can kill another):
+
+* an ``ASSIGN`` node whose target variable is dead afterwards (and not
+  address-taken) is bypassed;
+* a ``CALL`` to an *invisible, effect-free* built-in (``record``,
+  ``channel``/``semaphore``/``shared`` lookups, and — notably —
+  ``VS_toss`` used as a statement) whose result is dead is bypassed;
+  visible operations and user procedure calls are never touched.
+
+Cross-procedure liveness (a value flowing out through a call argument or
+return) is respected because call/return nodes *use* their operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph, copy_cfg
+from ..cfg.nodes import NodeKind
+from ..dataflow.alias import PointsToResult
+from ..dataflow.liveness import compute_liveness
+from ..lang import ast
+
+#: Invisible built-ins with no effect beyond their result.
+_PURE_BUILTINS = frozenset({"record", "channel", "semaphore", "shared", "VS_toss"})
+
+
+@dataclass
+class DceStats:
+    """Accounting for one procedure."""
+
+    proc: str
+    removed_assigns: int = 0
+    removed_calls: int = 0
+
+    @property
+    def removed(self) -> int:
+        return self.removed_assigns + self.removed_calls
+
+
+def _removable(node, liveness) -> str | None:
+    """Return "assign"/"call" if the node is a removable dead store."""
+    if node.kind is NodeKind.ASSIGN:
+        if isinstance(node.target, ast.Name) and liveness.is_dead_after(
+            node.id, node.target.ident
+        ):
+            return "assign"
+        return None
+    if node.kind is NodeKind.CALL and node.callee in _PURE_BUILTINS:
+        if node.result is None:
+            return "call"
+        if isinstance(node.result, ast.Name) and liveness.is_dead_after(
+            node.id, node.result.ident
+        ):
+            return "call"
+    return None
+
+
+def _bypass(cfg: ControlFlowGraph, node_id: int) -> None:
+    """Splice a straight-line node out of the graph."""
+    out_arcs = cfg.successors(node_id)
+    assert len(out_arcs) == 1
+    successor = out_arcs[0].dst
+    for incoming in list(cfg.predecessors(node_id)):
+        cfg.add_arc(incoming.src, successor, incoming.guard)
+    # Drop the node and all arcs touching it.
+    dead_arcs = {
+        arc for arc in cfg.arcs if arc.src == node_id or arc.dst == node_id
+    }
+    cfg.arcs = [arc for arc in cfg.arcs if arc not in dead_arcs]
+    del cfg.nodes[node_id]
+    del cfg._succ[node_id]
+    del cfg._pred[node_id]
+    for nid in cfg.nodes:
+        cfg._succ[nid] = [a for a in cfg._succ[nid] if a not in dead_arcs]
+        cfg._pred[nid] = [a for a in cfg._pred[nid] if a not in dead_arcs]
+
+
+def eliminate_dead_stores(
+    cfg: ControlFlowGraph,
+    points_to: dict[str, set[str]] | None = None,
+    max_rounds: int = 50,
+) -> tuple[ControlFlowGraph, DceStats]:
+    """Return a pruned copy of ``cfg`` plus statistics."""
+    out = copy_cfg(cfg)
+    stats = DceStats(proc=cfg.proc_name)
+    for _ in range(max_rounds):
+        liveness = compute_liveness(out, points_to)
+        victims: list[tuple[int, str]] = []
+        for node in list(out):
+            if node.id == out.start_id:
+                continue
+            kind = _removable(node, liveness)
+            if kind is not None:
+                victims.append((node.id, kind))
+        if not victims:
+            break
+        # Self-looping dead nodes cannot be spliced; skip them (they are
+        # unreachable in practice once their feeders are gone).
+        progressed = False
+        for node_id, kind in victims:
+            arcs = out.successors(node_id)
+            if len(arcs) != 1 or arcs[0].dst == node_id:
+                continue
+            _bypass(out, node_id)
+            progressed = True
+            if kind == "assign":
+                stats.removed_assigns += 1
+            else:
+                stats.removed_calls += 1
+        if not progressed:
+            break
+    out.prune_unreachable()
+    out.validate()
+    return out, stats
+
+
+def eliminate_dead_stores_program(
+    cfgs: dict[str, ControlFlowGraph],
+    points_to: PointsToResult | None = None,
+) -> tuple[dict[str, ControlFlowGraph], dict[str, DceStats]]:
+    """Run the pass over every procedure of a (closed) program."""
+    out: dict[str, ControlFlowGraph] = {}
+    stats: dict[str, DceStats] = {}
+    for proc, cfg in cfgs.items():
+        local_map = points_to.local_pointer_map(proc) if points_to else None
+        out[proc], stats[proc] = eliminate_dead_stores(cfg, local_map)
+    return out, stats

@@ -1,0 +1,235 @@
+"""Random open-program generation.
+
+Used by the property-based tests (empirical Theorem 6: every behaviour
+of ``S × E_S`` over a finite input domain has a matching behaviour of
+the closed ``S'``) and by the linear-scaling benchmark (the paper claims
+the transformation is "essentially linear in the size of G_j and G~_j").
+
+Generated programs are *terminating by construction*: loops are counter
+loops with untainted bounds, while environment values may flow anywhere
+else (conditions, arithmetic, outputs).  That keeps both the naive
+finite-domain closing and the automatic closing finitely explorable, so
+behaviour sets can be compared exhaustively.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for the random program generator."""
+
+    max_depth: int = 3
+    statements_per_block: tuple[int, int] = (2, 5)
+    loop_bound: tuple[int, int] = (1, 3)
+    n_env_inputs: int = 2
+    n_tags: int = 3
+    allow_helper_procs: bool = True
+
+
+class ProgramGenerator:
+    """Generates one random open RC program per seed."""
+
+    def __init__(self, seed: int, config: GeneratorConfig | None = None):
+        self._rng = random.Random(seed)
+        self._config = config or GeneratorConfig()
+        self._var_counter = 0
+        self._env_calls = 0
+
+    # -- public -------------------------------------------------------------------
+
+    def generate(self) -> str:
+        """An open program with top-level procedure ``main`` and extern
+        inputs ``env_input_0..k``; outputs go to the ``out`` sink."""
+        config = self._config
+        externs = "\n".join(
+            f"extern proc env_input_{i}();" for i in range(config.n_env_inputs)
+        )
+        helpers = ""
+        helper_names: list[str] = []
+        if config.allow_helper_procs and self._rng.random() < 0.7:
+            helper_names.append("mix")
+            helpers = (
+                "proc mix(a, b) {\n"
+                "    var r = a * 2 + b;\n"
+                "    if (r > 10) {\n"
+                "        r = r - 10;\n"
+                "    }\n"
+                "    return r;\n"
+                "}\n"
+            )
+        body = self._block(
+            depth=0,
+            vars_in_scope=[],
+            helper_names=helper_names,
+            indent="    ",
+        )
+        return f"{externs}\n{helpers}proc main() {{\n{body}}}\n"
+
+    # -- internals ------------------------------------------------------------------
+
+    def _fresh(self) -> str:
+        self._var_counter += 1
+        return f"v{self._var_counter}"
+
+    def _expr(self, vars_in_scope: list[str], depth: int = 0) -> str:
+        rng = self._rng
+        choices = ["lit", "lit"]
+        if vars_in_scope:
+            choices += ["var", "var", "var"]
+        if depth < 2:
+            choices += ["binop"]
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return str(rng.randint(0, 9))
+        if kind == "var":
+            return rng.choice(vars_in_scope)
+        op = rng.choice(["+", "-", "*", "%"])
+        left = self._expr(vars_in_scope, depth + 1)
+        right = self._expr(vars_in_scope, depth + 1)
+        if op == "%":
+            # Keep the divisor a positive literal so no division faults.
+            right = str(rng.randint(1, 7))
+        return f"({left} {op} {right})"
+
+    def _cond(self, vars_in_scope: list[str]) -> str:
+        op = self._rng.choice(["==", "!=", "<", "<=", ">", ">="])
+        return f"{self._expr(vars_in_scope)} {op} {self._expr(vars_in_scope)}"
+
+    def _block(
+        self,
+        depth: int,
+        vars_in_scope: list[str],
+        helper_names: list[str],
+        indent: str,
+    ) -> str:
+        rng = self._rng
+        config = self._config
+        lines: list[str] = []
+        local_scope = list(vars_in_scope)
+        n_statements = rng.randint(*config.statements_per_block)
+        for _ in range(n_statements):
+            lines.append(self._statement(depth, local_scope, helper_names, indent))
+        return "".join(lines)
+
+    def _statement(
+        self,
+        depth: int,
+        scope: list[str],
+        helper_names: list[str],
+        indent: str,
+    ) -> str:
+        rng = self._rng
+        config = self._config
+        options = ["decl", "decl", "send", "assign"]
+        if self._env_calls < 6:
+            options += ["env", "env"]
+        if depth < config.max_depth:
+            options += ["if", "if", "loop"]
+        if helper_names and scope:
+            options += ["helper"]
+        kind = rng.choice(options)
+
+        if kind == "decl":
+            name = self._fresh()
+            expr = self._expr(scope)
+            scope.append(name)
+            return f"{indent}var {name} = {expr};\n"
+        if kind == "assign" and scope:
+            target = rng.choice(scope)
+            return f"{indent}{target} = {self._expr(scope)};\n"
+        if kind == "assign":
+            name = self._fresh()
+            expr = self._expr(scope)
+            scope.append(name)
+            return f"{indent}var {name} = {expr};\n"
+        if kind == "env":
+            self._env_calls += 1
+            name = self._fresh()
+            scope.append(name)
+            which = rng.randrange(config.n_env_inputs)
+            return f"{indent}var {name};\n{indent}{name} = env_input_{which}();\n"
+        if kind == "send":
+            if scope and rng.random() < 0.5:
+                payload = rng.choice(scope)
+            else:
+                payload = f"'tag{rng.randrange(config.n_tags)}'"
+            return f"{indent}send(out, {payload});\n"
+        if kind == "helper":
+            name = self._fresh()
+            a = rng.choice(scope)
+            b = rng.choice(scope)
+            scope.append(name)
+            return f"{indent}var {name};\n{indent}{name} = mix({a}, {b});\n"
+        if kind == "if":
+            cond = self._cond(scope)
+            then_block = self._block(depth + 1, scope, helper_names, indent + "    ")
+            if rng.random() < 0.5:
+                else_block = self._block(depth + 1, scope, helper_names, indent + "    ")
+                return (
+                    f"{indent}if ({cond}) {{\n{then_block}{indent}}} else {{\n"
+                    f"{else_block}{indent}}}\n"
+                )
+            return f"{indent}if ({cond}) {{\n{then_block}{indent}}}\n"
+        # loop: a counter loop with an untainted bound (termination!).
+        counter = self._fresh()
+        bound = rng.randint(*config.loop_bound)
+        body = self._block(depth + 1, scope, helper_names, indent + "    ")
+        return (
+            f"{indent}var {counter} = 0;\n"
+            f"{indent}while ({counter} < {bound}) {{\n"
+            f"{body}"
+            f"{indent}    {counter} = {counter} + 1;\n"
+            f"{indent}}}\n"
+        )
+
+
+def generate_program(seed: int, config: GeneratorConfig | None = None) -> str:
+    """One random open program (deterministic per seed)."""
+    return ProgramGenerator(seed, config).generate()
+
+
+def generate_sized_program(n_statements: int, seed: int = 0) -> str:
+    """A realistic open program of roughly ``n_statements`` statements,
+    for the linear-scaling benchmark.
+
+    The structure repeats every ten statements — a fresh environment
+    input, a short tainted chain, a short system chain, one
+    environment-dependent conditional, one system conditional — and
+    variable names rotate through a fixed pool (real code reuses
+    variables), so erased regions and reaching-definition sets stay of
+    bounded size while the program grows.
+    """
+    rng = random.Random(seed)
+    lines = ["extern proc env_input_0();"]
+    lines.append("proc main() {")
+    for i in range(10):
+        lines.append(f"    var e{i} = 0;")
+        lines.append(f"    var s{i} = 1;")
+    slot = 0
+    for index in range(n_statements):
+        kind = index % 10
+        slot = index % 10
+        prev = (index - 1) % 10
+        if kind == 0:
+            lines.append(f"    e{slot} = env_input_0();")
+        elif kind < 4:
+            lines.append(f"    e{slot} = e{prev} + {rng.randint(1, 5)};")
+        elif kind < 8:
+            lines.append(f"    s{slot} = s{prev} * 2 + {rng.randint(0, 3)};")
+        elif kind == 8:
+            lines.append(f"    if (e{prev} % 2 == 0) {{")
+            lines.append("        send(out, 'left');")
+            lines.append("    } else {")
+            lines.append("        send(out, 'right');")
+            lines.append("    }")
+        else:
+            lines.append(f"    if (s{prev} % 2 == 0) {{")
+            lines.append(f"        send(out, s{prev});")
+            lines.append("    }")
+    lines.append("    send(out, 'done');")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

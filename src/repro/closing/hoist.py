@@ -1,0 +1,214 @@
+"""Loop unswitching: hoisting invariant conditionals out of loops.
+
+Section 5, on the *temporal independence* imprecision: the closed
+Figure-2 program "performs 10 VS_toss operations rather than a single
+one before the loop.  In this case, hoisting the conditional test y=0
+outside the loop in p would have eliminated this imprecision."
+
+This optional source-to-source pass does exactly that hoisting (the
+classic *loop unswitching*): a conditional whose guard is invariant in
+its enclosing loop is pulled out, the loop duplicated under each
+branch::
+
+    while (c) { A; if (inv) B else C; D }
+      ==>
+    if (inv) { while (c) { A; B; D } } else { while (c) { A; C; D } }
+
+Applied before closing, an environment-dependent invariant guard then
+costs *one* toss per execution instead of one per iteration — turning
+Figure 2's 2^10 exhaustively-explorable paths into 2.
+
+Invariance is judged conservatively and purely syntactically: every
+variable of the guard must be
+
+* never assigned anywhere in the loop (declarations, assignments, call
+  results — at base-variable granularity),
+* never address-taken anywhere in the procedure, and
+* never passed (by name) to a non-builtin procedure inside the loop
+  (the callee could write through a pointer).
+
+Guard expressions are side-effect-free in core form, so re-ordering
+their evaluation before the loop is sound up to C-style unspecified
+run-time errors (the same licence Section 5 grants the main
+transformation).  Code growth is bounded by ``max_unswitches`` per
+procedure (each unswitching doubles one loop body).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from ..runtime.ops import BUILTIN_OPERATIONS
+
+
+def _base_name(expr: ast.Expr) -> str | None:
+    while isinstance(expr, (ast.Index, ast.Field)):
+        expr = expr.base
+    if isinstance(expr, ast.Unary) and expr.op == "*":
+        expr = expr.operand
+        while isinstance(expr, (ast.Index, ast.Field)):
+            expr = expr.base
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    return None
+
+
+def _mutated_names(stmts) -> set[str]:
+    """Variables possibly written by the statements (conservative)."""
+    mutated: set[str] = set()
+    for stmt in ast.walk_stmts(stmts):
+        if isinstance(stmt, ast.VarDecl):
+            mutated.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            base = _base_name(stmt.target)
+            if base is not None:
+                mutated.add(base)
+            # A write through *p can hit anything p points to; handled by
+            # the address-taken rule at the procedure level.
+        elif isinstance(stmt, ast.CallStmt):
+            if stmt.result is not None:
+                base = _base_name(stmt.result)
+                if base is not None:
+                    mutated.add(base)
+            is_builtin = stmt.callee in BUILTIN_OPERATIONS
+            for arg in stmt.args:
+                if isinstance(arg, ast.Unary) and arg.op == "&":
+                    mutated |= ast.expr_names(arg.operand)
+                elif not is_builtin and isinstance(arg, ast.Name):
+                    # Could be a pointer the callee writes through.
+                    mutated.add(arg.ident)
+    return mutated
+
+
+def _address_taken(stmts) -> set[str]:
+    taken: set[str] = set()
+
+    def scan(expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Unary) and node.op == "&":
+                base = _base_name(node.operand)
+                if base is not None:
+                    taken.add(base)
+
+    for stmt in ast.walk_stmts(stmts):
+        if isinstance(stmt, ast.VarDecl):
+            scan(stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            scan(stmt.target)
+            scan(stmt.value)
+        elif isinstance(stmt, ast.CallStmt):
+            for arg in stmt.args:
+                scan(arg)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            scan(stmt.cond)
+        elif isinstance(stmt, ast.Switch):
+            scan(stmt.subject)
+        elif isinstance(stmt, ast.Return):
+            scan(stmt.value)
+    return taken
+
+
+def _has_jumps(stmts) -> bool:
+    """break/continue inside make duplication unsafe to reason about
+    simply (they would bind to the duplicated loop — actually fine — but
+    a `continue` before the hoisted If changes which statements run; we
+    keep the pass conservative and skip such loops)."""
+    for stmt in ast.walk_stmts(stmts):
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return True
+    return False
+
+
+@dataclass
+class HoistStats:
+    proc: str
+    unswitched: int = 0
+
+
+class _Unswitcher:
+    def __init__(self, proc: ast.Proc, max_unswitches: int):
+        self._proc = proc
+        self._budget = max_unswitches
+        self._pinned = _address_taken(proc.body)
+        self.stats = HoistStats(proc=proc.name)
+
+    def run(self) -> ast.Proc:
+        body = self._block(self._proc.body)
+        return ast.Proc(self._proc.name, self._proc.params, tuple(body), self._proc.location)
+
+    def _block(self, stmts) -> list[ast.Stmt]:
+        return [self._stmt(stmt) for stmt in stmts]
+
+    def _stmt(self, stmt: ast.Stmt) -> ast.Stmt:
+        if isinstance(stmt, ast.If):
+            return ast.If(
+                stmt.cond,
+                tuple(self._block(stmt.then_body)),
+                tuple(self._block(stmt.else_body)),
+                stmt.location,
+            )
+        if isinstance(stmt, ast.Switch):
+            return ast.Switch(
+                stmt.subject,
+                tuple(
+                    ast.SwitchCase(c.value, tuple(self._block(c.body)), c.location)
+                    for c in stmt.cases
+                ),
+                tuple(self._block(stmt.default)),
+                stmt.location,
+            )
+        if isinstance(stmt, ast.While):
+            return self._while(stmt)
+        return stmt
+
+    def _while(self, loop: ast.While) -> ast.Stmt:
+        body = self._block(loop.body)
+        loop = ast.While(loop.cond, tuple(body), loop.location)
+        if self._budget <= 0 or _has_jumps(loop.body):
+            return loop
+        loop_mutated = _mutated_names(loop.body)
+        for index, inner in enumerate(loop.body):
+            if not isinstance(inner, ast.If):
+                continue
+            guard_vars = ast.expr_names(inner.cond)
+            if guard_vars & loop_mutated:
+                continue
+            if guard_vars & self._pinned:
+                continue
+            self._budget -= 1
+            self.stats.unswitched += 1
+            prefix = loop.body[:index]
+            suffix = loop.body[index + 1 :]
+            then_loop = ast.While(
+                loop.cond, prefix + inner.then_body + suffix, loop.location
+            )
+            else_loop = ast.While(
+                loop.cond, prefix + inner.else_body + suffix, loop.location
+            )
+            return ast.If(
+                inner.cond,
+                (self._while(then_loop),),
+                (self._while(else_loop),),
+                inner.location,
+            )
+        return loop
+
+
+def unswitch_proc(proc: ast.Proc, max_unswitches: int = 8) -> tuple[ast.Proc, HoistStats]:
+    """Unswitch invariant conditionals in one procedure."""
+    unswitcher = _Unswitcher(proc, max_unswitches)
+    return unswitcher.run(), unswitcher.stats
+
+
+def unswitch_program(
+    program: ast.Program, max_unswitches: int = 8
+) -> tuple[ast.Program, dict[str, HoistStats]]:
+    """Unswitch every procedure of a program (pre-closing source pass)."""
+    procs: dict[str, ast.Proc] = {}
+    stats: dict[str, HoistStats] = {}
+    for name, proc in program.procs.items():
+        procs[name], stats[name] = unswitch_proc(proc, max_unswitches)
+    return ast.Program(procs=procs, externs=dict(program.externs)), stats

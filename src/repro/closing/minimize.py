@@ -1,0 +1,141 @@
+"""Redundant-VS_toss elimination (the Section 5 branching post-pass).
+
+"One can also discuss the optimality of the branching structure of the
+generated program.  For instance, sequences of VS_toss that result in
+the same sequences of marked nodes are redundant, and could thus be
+eliminated."
+
+This optional pass implements that idea.  It computes a bisimulation
+partition of the closed graph's nodes (partition refinement: nodes are
+equivalent when they carry the same statement and their guarded
+successors fall into equivalent classes — toss successors compared as a
+*set*, since toss indices carry no meaning) and then:
+
+* rewires every ``TOSS`` node to branch over one representative per
+  *distinct* successor class, shrinking its bound;
+* bypasses a ``TOSS`` whose successors are all equivalent — the choice
+  was entirely redundant.
+
+The pass never merges or deletes non-toss nodes, so every visible
+operation stays put; it only removes choice points that provably cannot
+influence the sequence of marked nodes executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph, copy_cfg
+from ..cfg.nodes import NodeKind, TossGuard
+
+
+@dataclass
+class MinimizeStats:
+    proc: str
+    toss_removed: int = 0
+    toss_narrowed: int = 0
+    branches_removed: int = 0
+
+
+def bisimulation_classes(cfg: ControlFlowGraph) -> dict[int, int]:
+    """Partition-refinement bisimulation over the CFG.
+
+    Returns node id -> class id.  Initial classes group nodes by their
+    statement text; refinement splits classes whose members' guarded
+    successors disagree (toss successors as a set).
+    """
+    labels: dict[int, str] = {
+        node.id: f"{node.kind.value}:{node.describe()}" for node in cfg
+    }
+    # Initial partition by label.
+    classes: dict[int, int] = {}
+    index: dict[str, int] = {}
+    for node_id, label in labels.items():
+        classes[node_id] = index.setdefault(label, len(index))
+
+    while True:
+        signatures: dict[int, tuple] = {}
+        for node in cfg:
+            if node.kind is NodeKind.TOSS:
+                succ = frozenset(classes[a.dst] for a in cfg.successors(node.id))
+                signatures[node.id] = (classes[node.id], "set", succ)
+            else:
+                succ_list = tuple(
+                    sorted(
+                        (arc.guard.describe(), classes[arc.dst])
+                        for arc in cfg.successors(node.id)
+                    )
+                )
+                signatures[node.id] = (classes[node.id], "seq", succ_list)
+        new_index: dict[tuple, int] = {}
+        new_classes = {
+            node_id: new_index.setdefault(sig, len(new_index))
+            for node_id, sig in signatures.items()
+        }
+        if len(new_index) == len(set(classes.values())):
+            return new_classes
+        classes = new_classes
+
+
+def eliminate_redundant_toss(cfg: ControlFlowGraph) -> tuple[ControlFlowGraph, MinimizeStats]:
+    """Return a copy of ``cfg`` with redundant toss branching removed."""
+    out = copy_cfg(cfg)
+    stats = MinimizeStats(proc=cfg.proc_name)
+    changed = True
+    while changed:
+        changed = False
+        classes = bisimulation_classes(out)
+        for node in list(out):
+            if node.kind is not NodeKind.TOSS:
+                continue
+            arcs = sorted(out.successors(node.id), key=lambda a: a.guard.value)
+            seen: dict[int, int] = {}  # class -> representative dst
+            for arc in arcs:
+                seen.setdefault(classes[arc.dst], arc.dst)
+            if len(seen) == len(arcs):
+                continue  # every branch is distinguishable
+            changed = True
+            stats.branches_removed += len(arcs) - len(seen)
+            targets = list(seen.values())
+            if len(targets) == 1:
+                # Fully redundant choice: splice the toss node out.
+                incoming = list(out.predecessors(node.id))
+                for arc in incoming:
+                    out.add_arc(arc.src, targets[0], arc.guard)
+                dead = {
+                    a for a in out.arcs if a.src == node.id or a.dst == node.id
+                }
+                out.arcs = [a for a in out.arcs if a not in dead]
+                del out.nodes[node.id]
+                del out._succ[node.id]
+                del out._pred[node.id]
+                for nid in out.nodes:
+                    out._succ[nid] = [a for a in out._succ[nid] if a not in dead]
+                    out._pred[nid] = [a for a in out._pred[nid] if a not in dead]
+                stats.toss_removed += 1
+            else:
+                # Narrow the toss to the distinct continuations.
+                dead = set(out.successors(node.id))
+                out.arcs = [a for a in out.arcs if a not in dead]
+                out._succ[node.id] = []
+                for nid in out.nodes:
+                    out._pred[nid] = [a for a in out._pred[nid] if a not in dead]
+                node.bound = len(targets) - 1
+                for i, dst in enumerate(targets):
+                    out.add_arc(node.id, dst, TossGuard(i))
+                stats.toss_narrowed += 1
+            break  # graph changed: recompute classes before continuing
+    out.prune_unreachable()
+    out.validate()
+    return out, stats
+
+
+def eliminate_redundant_toss_program(
+    cfgs: dict[str, ControlFlowGraph],
+) -> tuple[dict[str, ControlFlowGraph], dict[str, MinimizeStats]]:
+    """Run the pass over every procedure of a (closed) program."""
+    out: dict[str, ControlFlowGraph] = {}
+    stats: dict[str, MinimizeStats] = {}
+    for proc, cfg in cfgs.items():
+        out[proc], stats[proc] = eliminate_redundant_toss(cfg)
+    return out, stats

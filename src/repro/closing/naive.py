@@ -1,0 +1,262 @@
+"""The naive closing baseline of Section 3.
+
+"Given an open system S, add a new component E_S to S whose behavior
+includes all possible sequences of inputs and outputs of S.  However,
+this naive approach generates a closed system whose state space is
+typically so large that it renders any analysis intractable: for
+instance, E_S is infinitely branching whenever the set of inputs is
+infinite."
+
+This module implements that baseline so the benchmarks can measure the
+blow-up the paper predicts.  Each environment input point (extern call,
+environment-provided parameter, receive from an environment channel) is
+replaced by an explicit nondeterministic choice over a *finite* input
+domain ``V_i`` supplied by the user — the branching degree of the
+explicit environment is exactly ``|V_i|``, as it would be for a separate
+environment process, without the extra bookkeeping of one.  An infinite
+domain is inexpressible, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..cfg.builder import build_cfgs
+from ..cfg.graph import ControlFlowGraph, copy_cfg
+from ..cfg.nodes import ALWAYS, CfgNode, NodeKind, TossGuard
+from ..lang import ast
+from ..lang.errors import SYNTHETIC
+from ..lang.parser import parse_program
+from ..runtime.ops import BUILTIN_OPERATIONS
+from .errors import ClosingError
+from .spec import ClosingSpec
+
+Value = int | bool | str
+
+
+@dataclass(frozen=True)
+class NaiveDomains:
+    """Finite input domains for every environment input point."""
+
+    #: extern procedure name -> values its calls may return.
+    call_results: Mapping[str, Sequence[Value]] = field(default_factory=dict)
+    #: (proc, param) -> values an environment-provided parameter may take.
+    params: Mapping[tuple[str, str], Sequence[Value]] = field(default_factory=dict)
+    #: channel name -> values receives from an environment channel yield.
+    channels: Mapping[str, Sequence[Value]] = field(default_factory=dict)
+    #: fallback domain for any input point not listed above.
+    default: Sequence[Value] | None = None
+
+    def for_call(self, callee: str) -> Sequence[Value]:
+        return self._pick(self.call_results.get(callee), f"extern call {callee!r}")
+
+    def for_param(self, proc: str, param: str) -> Sequence[Value]:
+        return self._pick(self.params.get((proc, param)), f"parameter {proc}::{param}")
+
+    def for_channel(self, channel: str) -> Sequence[Value]:
+        return self._pick(self.channels.get(channel), f"environment channel {channel!r}")
+
+    def _pick(self, domain: Sequence[Value] | None, what: str) -> Sequence[Value]:
+        if domain is None:
+            domain = self.default
+        if domain is None or len(domain) == 0:
+            raise ClosingError(
+                f"naive closing needs a finite input domain for {what}; the most "
+                "general environment over an infinite domain is infinitely branching"
+            )
+        return domain
+
+
+@dataclass
+class NaiveClosedProgram:
+    """Result of naive closing: directly executable CFGs plus stats."""
+
+    cfgs: dict[str, ControlFlowGraph]
+    input_points: int
+    total_branching: int  # sum of |V_i| over rewritten input points
+
+
+def _value_expr(value: Value) -> ast.Expr:
+    if isinstance(value, bool):
+        return ast.BoolLit(value, SYNTHETIC)
+    if isinstance(value, int):
+        return ast.IntLit(value, SYNTHETIC)
+    if isinstance(value, str):
+        return ast.StrLit(value, SYNTHETIC)
+    raise ClosingError(f"unsupported naive-domain value {value!r}")
+
+
+class _NaiveRewriter:
+    def __init__(
+        self,
+        cfgs: dict[str, ControlFlowGraph],
+        domains: NaiveDomains,
+        spec: ClosingSpec,
+    ):
+        self._cfgs = cfgs
+        self._domains = domains
+        self._spec = spec
+        self.input_points = 0
+        self.total_branching = 0
+
+    def run(self) -> dict[str, ControlFlowGraph]:
+        return {proc: self._rewrite(proc, cfg) for proc, cfg in self._cfgs.items()}
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _is_env_input(self, node: CfgNode) -> tuple[bool, Sequence[Value] | None]:
+        if node.kind is not NodeKind.CALL:
+            return False, None
+        spec = BUILTIN_OPERATIONS.get(node.callee)
+        if spec is None and node.callee not in self._cfgs:
+            return True, self._domains.for_call(node.callee)
+        if spec is not None and spec.name == "recv" and len(node.args) == 1:
+            arg = node.args[0]
+            if isinstance(arg, ast.StrLit) and arg.value in self._spec.env_channels:
+                return True, self._domains.for_channel(arg.value)
+        return False, None
+
+    def _rewrite(self, proc: str, cfg: ControlFlowGraph) -> ControlFlowGraph:
+        out = ControlFlowGraph(proc_name=cfg.proc_name, params=cfg.params)
+        id_map: dict[int, int] = {}
+        # entry/exit of the replacement for each original node.
+        exits: dict[int, int] = {}
+        for node_id in sorted(cfg.nodes):
+            node = cfg.nodes[node_id]
+            env_input, domain = self._is_env_input(node)
+            if env_input:
+                entry, exit_ = self._emit_choice(out, node, domain)
+                id_map[node_id] = entry
+                exits[node_id] = exit_
+            else:
+                new = out.new_node(
+                    NodeKind.START if node.kind is NodeKind.START else node.kind,
+                    location=node.location,
+                    target=node.target,
+                    value=node.value,
+                    array_size=node.array_size,
+                    expr=node.expr,
+                    callee=node.callee,
+                    args=node.args,
+                    result=node.result,
+                    bound=node.bound,
+                )
+                id_map[node_id] = new.id
+                exits[node_id] = new.id
+        for arc in cfg.arcs:
+            out.add_arc(exits[arc.src], id_map[arc.dst], arc.guard)
+        # Environment-provided parameters: choose their value up front.
+        env_params = [p for p in cfg.params if p in self._spec.params_of(proc)]
+        if env_params:
+            self._prepend_param_choices(out, proc, env_params)
+        out.validate()
+        return out
+
+    def _emit_choice(
+        self, out: ControlFlowGraph, node: CfgNode, domain: Sequence[Value]
+    ) -> tuple[int, int]:
+        """Replace an input point by ``VS_toss(|V|-1)`` over its domain.
+
+        Returns (entry node id, join node id).  The join is a no-op
+        assignment so every branch funnels into a single exit.
+        """
+        self.input_points += 1
+        self.total_branching += len(domain)
+        join = out.new_node(
+            NodeKind.ASSIGN,
+            location=node.location,
+            target=ast.Name("_env_join", SYNTHETIC),
+            value=ast.IntLit(0, SYNTHETIC),
+        )
+        if node.result is None:
+            # The input value is discarded; a single branch suffices, but
+            # the environment still "chose" — model with a 0-ary toss to
+            # keep the choice visible in statistics?  No: a discarded
+            # input cannot influence the system, skip the choice.
+            entry = out.new_node(
+                NodeKind.ASSIGN,
+                location=node.location,
+                target=ast.Name("_env_skip", SYNTHETIC),
+                value=ast.IntLit(0, SYNTHETIC),
+            )
+            out.add_arc(entry.id, join.id, ALWAYS)
+            return entry.id, join.id
+        toss = out.new_node(NodeKind.TOSS, location=node.location, bound=len(domain) - 1)
+        for index, value in enumerate(domain):
+            assign = out.new_node(
+                NodeKind.ASSIGN,
+                location=node.location,
+                target=node.result,
+                value=_value_expr(value),
+            )
+            out.add_arc(toss.id, assign.id, TossGuard(index))
+            out.add_arc(assign.id, join.id, ALWAYS)
+        return toss.id, join.id
+
+    def _prepend_param_choices(
+        self, out: ControlFlowGraph, proc: str, env_params: list[str]
+    ) -> None:
+        """Insert domain choices for env parameters right after START."""
+        start_arcs = list(out.successors(out.start_id))
+        assert len(start_arcs) == 1
+        first = start_arcs[0].dst
+        # Detach the START arc by rebuilding adjacency.
+        out.arcs.remove(start_arcs[0])
+        out._succ[out.start_id].clear()
+        out._pred[first] = [a for a in out._pred[first] if a.src != out.start_id]
+        current = out.start_id
+        for param in env_params:
+            domain = self._domains.for_param(proc, param)
+            self.input_points += 1
+            self.total_branching += len(domain)
+            toss = out.new_node(NodeKind.TOSS, location=SYNTHETIC, bound=len(domain) - 1)
+            out.add_arc(current, toss.id, ALWAYS)
+            join = out.new_node(
+                NodeKind.ASSIGN,
+                location=SYNTHETIC,
+                target=ast.Name("_env_join", SYNTHETIC),
+                value=ast.IntLit(0, SYNTHETIC),
+            )
+            for index, value in enumerate(domain):
+                assign = out.new_node(
+                    NodeKind.ASSIGN,
+                    location=SYNTHETIC,
+                    target=ast.Name(param, SYNTHETIC),
+                    value=_value_expr(value),
+                )
+                out.add_arc(toss.id, assign.id, TossGuard(index))
+                out.add_arc(assign.id, join.id, ALWAYS)
+            current = join.id
+        out.add_arc(current, first, ALWAYS)
+
+
+def close_naively(
+    source: str | ast.Program | dict[str, ControlFlowGraph],
+    domains: NaiveDomains | Mapping[str, Sequence[Value]] | None = None,
+    spec: ClosingSpec | None = None,
+    *,
+    default_domain: Sequence[Value] | None = None,
+) -> NaiveClosedProgram:
+    """Close ``source`` with an explicit finite-domain environment.
+
+    ``domains`` may be a full :class:`NaiveDomains` or, as a shorthand, a
+    mapping from extern procedure names to their result domains.
+    """
+    if isinstance(source, str):
+        source = parse_program(source)
+    if isinstance(source, ast.Program):
+        cfgs = build_cfgs(source)
+    else:
+        cfgs = {name: copy_cfg(cfg) for name, cfg in source.items()}
+    if domains is None:
+        domains = NaiveDomains(default=default_domain)
+    elif not isinstance(domains, NaiveDomains):
+        domains = NaiveDomains(call_results=dict(domains), default=default_domain)
+    rewriter = _NaiveRewriter(cfgs, domains, spec or ClosingSpec())
+    closed = rewriter.run()
+    return NaiveClosedProgram(
+        cfgs=closed,
+        input_points=rewriter.input_points,
+        total_branching=rewriter.total_branching,
+    )

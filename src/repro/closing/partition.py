@@ -1,0 +1,406 @@
+"""Input-domain partitioning: the Section 7 proposal, implemented.
+
+The paper closes with a research direction:
+
+    "Consider, for instance, a resource-management system that receives
+    (via its open interface) 32-bit integers representing amounts of
+    time requested from the resource, but whose visible behavior only
+    depends on which of a small set of ranges each request falls into.
+    Our transformation would completely eliminate the open interface ...
+    However, one could hope for a static analysis that would determine
+    the appropriate partitioning of the input domain, and, if it is
+    small enough, simplify the interface instead of eliminating it."
+
+This module implements that analysis for a decidable fragment: an
+environment input whose *only* uses are guard expressions built from
+
+* comparisons of the input against integer constants
+  (``x < 10``, ``x == 42``, ``x >= c`` ...), and
+* comparisons of ``x % k`` against integer constants (``x % 4 == 0``),
+
+optionally combined with ``&&``/``||``/``!`` inside a single guard.
+For such an input the predicates partition the integers into finitely
+many behavioural equivalence classes.  Representatives are found
+constructively: every class is realised within distance ``lcm(moduli)``
+of a comparison constant or in one of the two unbounded outer regions,
+so sampling those bands and deduplicating by predicate signature is
+exhaustive — no SMT solver needed.
+
+Qualifying input sites are rewritten into a ``VS_toss`` over the
+representative *values* (system nondeterminism, so downstream guards are
+**preserved**, not erased); everything else falls through to the
+standard Figure-1 erasure.  Where the analysis applies, the closed
+system is exact — the upper approximation collapses to equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cfg.builder import build_cfgs
+from ..cfg.graph import ControlFlowGraph, copy_cfg
+from ..cfg.nodes import ALWAYS, CfgNode, NodeKind, TossGuard
+from ..dataflow.alias import analyze_aliases
+from ..dataflow.defuse import compute_defuse
+from ..lang import ast
+from ..lang.errors import SYNTHETIC
+from ..lang.parser import parse_program
+from ..runtime.ops import BUILTIN_OPERATIONS
+from .closer import ClosedProgram, close_program
+from .spec import ClosingSpec
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+# ---------------------------------------------------------------------------
+# Predicate extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Atom:
+    """``(x % modulus) <op> constant`` — modulus None means raw ``x``."""
+
+    modulus: int | None
+    op: str
+    constant: int
+
+    def evaluate(self, value: int) -> bool:
+        subject = value if self.modulus is None else _c_mod(value, self.modulus)
+        return {
+            "==": subject == self.constant,
+            "!=": subject != self.constant,
+            "<": subject < self.constant,
+            "<=": subject <= self.constant,
+            ">": subject > self.constant,
+            ">=": subject >= self.constant,
+        }[self.op]
+
+
+def _c_mod(a: int, b: int) -> int:
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+def _extract_atoms(expr: ast.Expr, var: str) -> list[_Atom] | None:
+    """The atomic predicates of a guard over ``var``; None = unsupported."""
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("&&", "||"):
+            left = _extract_atoms(expr.left, var)
+            right = _extract_atoms(expr.right, var)
+            if left is None or right is None:
+                return None
+            return left + right
+        if expr.op in _COMPARISONS:
+            atom = _extract_comparison(expr, var)
+            return None if atom is None else [atom]
+        return None
+    if isinstance(expr, ast.Unary) and expr.op == "!":
+        return _extract_atoms(expr.operand, var)
+    return None
+
+
+def _extract_comparison(expr: ast.Binary, var: str) -> _Atom | None:
+    def subject_of(e: ast.Expr) -> int | None | str:
+        """'raw' for x, a modulus int for x % k, None otherwise."""
+        if isinstance(e, ast.Name) and e.ident == var:
+            return "raw"
+        if (
+            isinstance(e, ast.Binary)
+            and e.op == "%"
+            and isinstance(e.left, ast.Name)
+            and e.left.ident == var
+            and isinstance(e.right, ast.IntLit)
+            and e.right.value != 0
+        ):
+            return e.right.value
+        return None
+
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+    left_subject = subject_of(expr.left)
+    if left_subject is not None and isinstance(expr.right, ast.IntLit):
+        modulus = None if left_subject == "raw" else left_subject
+        return _Atom(modulus, expr.op, expr.right.value)
+    right_subject = subject_of(expr.right)
+    if right_subject is not None and isinstance(expr.left, ast.IntLit):
+        modulus = None if right_subject == "raw" else right_subject
+        return _Atom(modulus, flip[expr.op], expr.left.value)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Representative search
+# ---------------------------------------------------------------------------
+
+
+def representatives(atoms: list[_Atom], max_partition: int) -> list[int] | None:
+    """One integer per behavioural equivalence class, or None if there
+    are more than ``max_partition`` classes.
+
+    Construction: within each maximal interval carved by the raw
+    comparison constants, predicate signatures depend only on the value
+    modulo ``L = lcm(moduli)`` and on the sign (C-style ``%`` follows the
+    dividend's sign).  Sampling every value within ``L`` of each
+    constant plus an ``L``-block in both unbounded outer regions
+    therefore meets every class.
+    """
+    moduli = [a.modulus for a in atoms if a.modulus is not None]
+    lcm = 1
+    for m in moduli:
+        lcm = math.lcm(lcm, abs(m))
+    raw_constants = [a.constant for a in atoms if a.modulus is None]
+    anchors = set(raw_constants) | {0}
+
+    candidates: set[int] = set()
+    for anchor in anchors:
+        candidates.update(range(anchor - lcm, anchor + lcm + 1))
+    hi = max(anchors) + 1 + lcm
+    lo = min(anchors) - 1 - 2 * lcm
+    candidates.update(range(hi, hi + lcm))
+    candidates.update(range(lo, lo + lcm))
+
+    seen: dict[tuple[bool, ...], int] = {}
+    for value in sorted(candidates):
+        signature = tuple(atom.evaluate(value) for atom in atoms)
+        if signature not in seen:
+            seen[signature] = value
+            if len(seen) > max_partition:
+                return None
+    return sorted(seen.values())
+
+
+# ---------------------------------------------------------------------------
+# Site discovery and rewriting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PartitionedSite:
+    """One environment input whose interface was simplified, not erased."""
+
+    proc: str
+    node_id: int
+    callee: str
+    variable: str
+    classes: int
+    representatives: tuple[int, ...]
+
+
+@dataclass
+class PartitionReport:
+    sites: list[PartitionedSite] = field(default_factory=list)
+    #: Environment inputs the analysis could not partition (fell back to
+    #: the standard erasure): (proc, node id, reason).
+    fallbacks: list[tuple[str, int, str]] = field(default_factory=list)
+
+
+class _UnsupportedUse(Exception):
+    """The value escapes the comparison-only fragment."""
+
+
+def _derived_assignment(node: CfgNode, var: str) -> int | None | str:
+    """Classify ``node`` as a supported derived assignment of ``var``.
+
+    Returns ``"copy"`` for ``y = x``, a modulus for ``y = x % k``, and
+    raises :class:`_UnsupportedUse` otherwise.
+    """
+    if node.kind is not NodeKind.ASSIGN or not isinstance(node.target, ast.Name):
+        raise _UnsupportedUse(f"value flows into non-guard node {node.id}")
+    value = node.value
+    if isinstance(value, ast.Name) and value.ident == var:
+        return "copy"
+    if (
+        isinstance(value, ast.Binary)
+        and value.op == "%"
+        and isinstance(value.left, ast.Name)
+        and value.left.ident == var
+        and isinstance(value.right, ast.IntLit)
+        and value.right.value != 0
+    ):
+        return value.right.value
+    raise _UnsupportedUse(f"arithmetic beyond %% at node {node.id}")
+
+
+def _collect_atoms(
+    cfg: ControlFlowGraph,
+    defuse,
+    def_node_id: int,
+    var: str,
+    modulus: int | None,
+    depth: int = 0,
+) -> list[_Atom]:
+    """Atoms constraining the env input, following guards and simple
+    derived assignments (``y = x``, ``y = x % k``) transitively.
+
+    ``modulus`` records the transformation between the original input
+    and ``var`` (None = identity, k = input %% k).
+    """
+    if depth > 16:
+        raise _UnsupportedUse("derivation chain too deep")
+    atoms: list[_Atom] = []
+    for arc in defuse.uses_fed_by(def_node_id):
+        if arc.var != var:
+            raise _UnsupportedUse("call defines other storage")
+        use = cfg.nodes[arc.use_node]
+        if use.kind is NodeKind.COND:
+            if any(name != var for name in ast.expr_names(use.expr)):
+                raise _UnsupportedUse(
+                    f"guard at node {use.id} mixes other variables"
+                )
+            extracted = _extract_atoms(use.expr, var)
+            if extracted is None:
+                raise _UnsupportedUse(f"guard at node {use.id} too complex")
+            for atom in extracted:
+                if atom.modulus is None:
+                    atoms.append(_Atom(modulus, atom.op, atom.constant))
+                elif modulus is None:
+                    atoms.append(atom)
+                else:
+                    raise _UnsupportedUse(
+                        f"composite modulus at node {use.id}"
+                    )
+            continue
+        kind = _derived_assignment(use, var)
+        if kind == "copy":
+            next_modulus = modulus
+        else:
+            if modulus is not None:
+                raise _UnsupportedUse(f"composite modulus at node {use.id}")
+            next_modulus = kind
+        atoms.extend(
+            _collect_atoms(
+                cfg, defuse, use.id, use.target.ident, next_modulus, depth + 1
+            )
+        )
+    return atoms
+
+
+def _find_partitionable_sites(
+    cfgs: dict[str, ControlFlowGraph], max_partition: int
+) -> tuple[dict[tuple[str, int], list[int]], PartitionReport]:
+    report = PartitionReport()
+    rewrites: dict[tuple[str, int], list[int]] = {}
+    points_to = analyze_aliases(cfgs)
+    for proc, cfg in cfgs.items():
+        defuse = compute_defuse(cfg, points_to.local_pointer_map(proc))
+        for node in cfg:
+            if node.kind is not NodeKind.CALL:
+                continue
+            if node.callee in BUILTIN_OPERATIONS or node.callee in cfgs:
+                continue  # only extern (environment) calls
+            if not isinstance(node.result, ast.Name):
+                report.fallbacks.append((proc, node.id, "result not a variable"))
+                continue
+            var = node.result.ident
+            try:
+                atoms = _collect_atoms(cfg, defuse, node.id, var, None)
+            except _UnsupportedUse as unsupported:
+                report.fallbacks.append((proc, node.id, str(unsupported)))
+                continue
+            if not atoms:
+                # Input read but never consulted: a single representative.
+                rewrites[(proc, node.id)] = [0]
+                report.sites.append(
+                    PartitionedSite(proc, node.id, node.callee, var, 1, (0,))
+                )
+                continue
+            reps = representatives(atoms, max_partition)
+            if reps is None:
+                report.fallbacks.append(
+                    (proc, node.id, f"more than {max_partition} classes")
+                )
+                continue
+            rewrites[(proc, node.id)] = reps
+            report.sites.append(
+                PartitionedSite(
+                    proc, node.id, node.callee, var, len(reps), tuple(reps)
+                )
+            )
+    return rewrites, report
+
+
+def _rewrite_sites(
+    cfgs: dict[str, ControlFlowGraph],
+    rewrites: dict[tuple[str, int], list[int]],
+) -> dict[str, ControlFlowGraph]:
+    out: dict[str, ControlFlowGraph] = {}
+    for proc, cfg in cfgs.items():
+        copied = copy_cfg(cfg)
+        for (site_proc, node_id), reps in rewrites.items():
+            if site_proc != proc:
+                continue
+            node = copied.nodes[node_id]
+            successor = copied.successors(node_id)[0].dst
+            # Detach the call node's out-arc and splice in the choice.
+            dead = set(copied.successors(node_id))
+            copied.arcs = [a for a in copied.arcs if a not in dead]
+            copied._succ[node_id] = []
+            copied._pred[successor] = [
+                a for a in copied._pred[successor] if a.src != node_id
+            ]
+            if len(reps) == 1:
+                assign = copied.new_node(
+                    NodeKind.ASSIGN,
+                    location=node.location,
+                    target=node.result,
+                    value=ast.IntLit(reps[0], SYNTHETIC),
+                )
+                _replace_node_with(copied, node_id, assign.id)
+                copied.add_arc(assign.id, successor, ALWAYS)
+            else:
+                toss = copied.new_node(
+                    NodeKind.TOSS, location=node.location, bound=len(reps) - 1
+                )
+                _replace_node_with(copied, node_id, toss.id)
+                for index, value in enumerate(reps):
+                    assign = copied.new_node(
+                        NodeKind.ASSIGN,
+                        location=node.location,
+                        target=node.result,
+                        value=ast.IntLit(value, SYNTHETIC),
+                    )
+                    copied.add_arc(toss.id, assign.id, TossGuard(index))
+                    copied.add_arc(assign.id, successor, ALWAYS)
+        copied.prune_unreachable()
+        copied.validate()
+        out[proc] = copied
+    return out
+
+
+def _replace_node_with(cfg: ControlFlowGraph, old_id: int, new_id: int) -> None:
+    """Redirect all incoming arcs of ``old_id`` to ``new_id`` and drop it."""
+    for arc in list(cfg.predecessors(old_id)):
+        cfg.add_arc(arc.src, new_id, arc.guard)
+    dead = {a for a in cfg.arcs if a.dst == old_id or a.src == old_id}
+    cfg.arcs = [a for a in cfg.arcs if a not in dead]
+    del cfg.nodes[old_id]
+    del cfg._succ[old_id]
+    del cfg._pred[old_id]
+    for nid in cfg.nodes:
+        cfg._succ[nid] = [a for a in cfg._succ[nid] if a not in dead]
+        cfg._pred[nid] = [a for a in cfg._pred[nid] if a not in dead]
+
+
+def close_with_partitioning(
+    source: str | ast.Program | dict[str, ControlFlowGraph],
+    spec: ClosingSpec | None = None,
+    max_partition: int = 64,
+    optimize: bool = False,
+) -> tuple[ClosedProgram, PartitionReport]:
+    """Close ``source``, simplifying partitionable inputs instead of
+    erasing them (Section 7), then applying Figure 1 to the rest.
+
+    Returns the closed program and a report of which input sites were
+    partitioned (with their representatives) and which fell back.
+    """
+    if isinstance(source, str):
+        source = parse_program(source)
+    if isinstance(source, ast.Program):
+        cfgs = build_cfgs(source)
+    else:
+        cfgs = {name: copy_cfg(cfg) for name, cfg in source.items()}
+    rewrites, report = _find_partitionable_sites(cfgs, max_partition)
+    simplified = _rewrite_sites(cfgs, rewrites)
+    closed = close_program(simplified, spec, optimize=optimize)
+    return closed, report

@@ -1,0 +1,74 @@
+"""The :class:`ClosingSpec`: a declaration of a system's open interface.
+
+The paper assumes "for each input i in I_j, it is possible to determine
+whether i is also in I_S" — i.e. which procedure inputs may be provided
+by the environment.  In this implementation the open interface has three
+entry points, all captured here:
+
+* **extern procedures** (``extern proc get_event();`` in RC source, or
+  simply calls to procedures the program does not define): their results
+  are environment-defined, and the calls themselves are environment
+  operations, removed by the transformation;
+* **environment-provided parameters** of (typically top-level)
+  procedures — the ``x`` of Figures 2 and 3;
+* **environment input channels / shared variables**: receives/reads on
+  them yield environment-defined values, and — because the most general
+  environment can provide any input at any time — the operations are
+  treated as always-available environment operations and removed.
+
+``object_bindings`` optionally refines the may-alias analysis: it tells
+the closing tool which communication objects a procedure parameter may
+hold at run time (the launch configuration is not known at closing
+time).  Without a binding, a value transmitted through an unresolvable
+object conservatively taints *every* object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class ClosingSpec:
+    """Declares which inputs of an open system come from the environment."""
+
+    #: proc name -> parameter names provided by the environment.
+    env_params: Mapping[str, frozenset[str]] = field(default_factory=dict)
+    #: Channels whose contents are produced by the environment.
+    env_channels: frozenset[str] = frozenset()
+    #: Shared variables written by the environment.
+    env_shared: frozenset[str] = frozenset()
+    #: (proc, param) -> object names the parameter may denote at run time.
+    object_bindings: Mapping[tuple[str, str], frozenset[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def make(
+        env_params: Mapping[str, Iterable[str]] | None = None,
+        env_channels: Iterable[str] = (),
+        env_shared: Iterable[str] = (),
+        object_bindings: Mapping[tuple[str, str], Iterable[str]] | None = None,
+    ) -> "ClosingSpec":
+        """Convenience constructor accepting plain iterables."""
+        return ClosingSpec(
+            env_params={
+                proc: frozenset(params) for proc, params in (env_params or {}).items()
+            },
+            env_channels=frozenset(env_channels),
+            env_shared=frozenset(env_shared),
+            object_bindings={
+                key: frozenset(values)
+                for key, values in (object_bindings or {}).items()
+            },
+        )
+
+    def params_of(self, proc: str) -> frozenset[str]:
+        return frozenset(self.env_params.get(proc, frozenset()))
+
+    @property
+    def env_objects(self) -> frozenset[str]:
+        return self.env_channels | self.env_shared
+
+
+#: A spec with an empty open interface beyond extern procedures.
+EMPTY_SPEC = ClosingSpec()

@@ -1,0 +1,22 @@
+"""Static analyses: node accesses, may-alias (Andersen), define-use
+graphs (reaching definitions).  These feed the closing algorithm of
+:mod:`repro.closing` and the partial-order reduction of
+:mod:`repro.verisoft`."""
+
+from .accesses import Definition, NodeAccess, node_access
+from .alias import AliasAnalysis, ObjLoc, PointsToResult, VarLoc, analyze_aliases
+from .defuse import DefUseArc, DefUseGraph, compute_defuse
+
+__all__ = [
+    "AliasAnalysis",
+    "DefUseArc",
+    "DefUseGraph",
+    "Definition",
+    "NodeAccess",
+    "ObjLoc",
+    "PointsToResult",
+    "VarLoc",
+    "analyze_aliases",
+    "compute_defuse",
+    "node_access",
+]

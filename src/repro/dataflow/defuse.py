@@ -1,0 +1,122 @@
+"""Define-use graphs ``G~_j`` (Section 4 of the paper).
+
+"If a node n defines a variable v and a node n' uses variable v, and if
+there is a control-flow path from n to n' along which v is not defined,
+then there is an arc (n, n') in G~_j labelled with v."
+
+We compute this with the classic reaching-definitions worklist over the
+CFG.  *Strong* definitions kill earlier definitions of the same
+variable; *weak* definitions (through pointers, into containers, via
+``&x`` call arguments) do not kill — which is exactly the "along which v
+is not defined" condition interpreted conservatively (a path through a
+may-definition might not actually redefine v).
+
+Parameters are modelled as defined at the START node: the paper treats
+them as fresh variables initialised when the procedure is called.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph
+from .accesses import NodeAccess, node_access
+
+
+@dataclass(frozen=True, slots=True)
+class DefUseArc:
+    """Definition of ``var`` at ``def_node`` may reach its use at ``use_node``."""
+
+    def_node: int
+    use_node: int
+    var: str
+
+
+class DefUseGraph:
+    """The define-use graph of one procedure."""
+
+    def __init__(
+        self,
+        proc_name: str,
+        arcs: set[DefUseArc],
+        accesses: dict[int, NodeAccess],
+        reaching_in: dict[int, frozenset[tuple[str, int]]],
+    ):
+        self.proc_name = proc_name
+        self.arcs = arcs
+        self.accesses = accesses
+        #: node -> set of (var, def_node) pairs reaching the node's entry.
+        self.reaching_in = reaching_in
+        self._out: dict[int, list[DefUseArc]] = {}
+        self._in: dict[int, list[DefUseArc]] = {}
+        for arc in arcs:
+            self._out.setdefault(arc.def_node, []).append(arc)
+            self._in.setdefault(arc.use_node, []).append(arc)
+
+    def uses_fed_by(self, node_id: int) -> list[DefUseArc]:
+        """Arcs out of ``node_id`` (its definitions feeding later uses)."""
+        return self._out.get(node_id, [])
+
+    def defs_feeding(self, node_id: int) -> list[DefUseArc]:
+        """Arcs into ``node_id`` (definitions its uses may read)."""
+        return self._in.get(node_id, [])
+
+    def arc_count(self) -> int:
+        return len(self.arcs)
+
+
+def compute_defuse(
+    cfg: ControlFlowGraph, points_to: dict[str, set[str]] | None = None
+) -> DefUseGraph:
+    """Compute the define-use graph of ``cfg``.
+
+    ``points_to`` is the procedure-local pointer map (see
+    :meth:`repro.dataflow.alias.PointsToResult.local_pointer_map`);
+    without it, ``*p = e`` statements define nothing locally.
+    """
+    accesses: dict[int, NodeAccess] = {}
+    gen: dict[int, set[tuple[str, int]]] = {}
+    kill_vars: dict[int, set[str]] = {}
+    for node in cfg:
+        access = node_access(node, points_to)
+        accesses[node.id] = access
+        gen[node.id] = {(definition.var, node.id) for definition in access.defs}
+        kill_vars[node.id] = {
+            definition.var for definition in access.defs if definition.strong
+        }
+    # Parameters are defined at START.
+    start = cfg.start_id
+    gen[start] |= {(param, start) for param in cfg.params}
+
+    # Worklist reaching-definitions.
+    reaching_in: dict[int, set[tuple[str, int]]] = {n: set() for n in cfg.nodes}
+    reaching_out: dict[int, set[tuple[str, int]]] = {n: set() for n in cfg.nodes}
+    worklist: deque[int] = deque(cfg.nodes)
+    queued: set[int] = set(cfg.nodes)
+    while worklist:
+        node_id = worklist.popleft()
+        queued.discard(node_id)
+        in_set: set[tuple[str, int]] = set()
+        for arc in cfg.predecessors(node_id):
+            in_set |= reaching_out[arc.src]
+        reaching_in[node_id] = in_set
+        killed = kill_vars[node_id]
+        out_set = {pair for pair in in_set if pair[0] not in killed} | gen[node_id]
+        if out_set != reaching_out[node_id]:
+            reaching_out[node_id] = out_set
+            for arc in cfg.successors(node_id):
+                if arc.dst not in queued:
+                    queued.add(arc.dst)
+                    worklist.append(arc.dst)
+
+    arcs: set[DefUseArc] = set()
+    for node in cfg:
+        used = accesses[node.id].uses
+        if not used:
+            continue
+        for var, def_node in reaching_in[node.id]:
+            if var in used:
+                arcs.add(DefUseArc(def_node, node.id, var))
+    frozen_in = {n: frozenset(s) for n, s in reaching_in.items()}
+    return DefUseGraph(cfg.proc_name, arcs, accesses, frozen_in)

@@ -1,0 +1,106 @@
+"""Backward liveness analysis over control-flow graphs.
+
+Used by the optional dead-store-elimination pass
+(:mod:`repro.closing.dce`): closing erases the *uses* of
+environment-dependent data, which often leaves behind assignments (and
+declarations) whose values can no longer be observed.
+
+A variable is live at a node if some path from the node reaches a use of
+it that is not preceded by a *strong* definition.  Weak definitions
+(through pointers, into containers, by callees via escaped pointers) do
+not kill, and any variable whose address is taken is conservatively kept
+live everywhere (a pointer access could observe it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cfg.graph import ControlFlowGraph
+from ..lang import ast
+from .accesses import node_access
+
+
+def address_taken_vars(cfg: ControlFlowGraph) -> set[str]:
+    """Variables whose address is taken anywhere in the procedure."""
+    taken: set[str] = set()
+
+    def scan(expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Unary) and node.op == "&":
+                base = node.operand
+                while isinstance(base, (ast.Index, ast.Field)):
+                    base = base.base
+                if isinstance(base, ast.Name):
+                    taken.add(base.ident)
+
+    for node in cfg:
+        scan(node.target)
+        scan(node.value)
+        scan(node.expr)
+        scan(node.result)
+        for arg in node.args:
+            scan(arg)
+    return taken
+
+
+class LivenessResult:
+    """Live-variable sets at node entry and exit."""
+
+    def __init__(
+        self,
+        live_in: dict[int, frozenset[str]],
+        live_out: dict[int, frozenset[str]],
+        pinned: frozenset[str],
+    ):
+        self.live_in = live_in
+        self.live_out = live_out
+        #: Variables kept live everywhere (address taken).
+        self.pinned = pinned
+
+    def is_dead_after(self, node_id: int, var: str) -> bool:
+        return var not in self.live_out[node_id] and var not in self.pinned
+
+
+def compute_liveness(
+    cfg: ControlFlowGraph, points_to: dict[str, set[str]] | None = None
+) -> LivenessResult:
+    """Standard backward may-liveness with weak defs not killing."""
+    points_to = points_to or {}
+    pinned = frozenset(address_taken_vars(cfg))
+
+    uses: dict[int, frozenset[str]] = {}
+    kills: dict[int, frozenset[str]] = {}
+    for node in cfg:
+        access = node_access(node, points_to)
+        uses[node.id] = access.uses
+        kills[node.id] = frozenset(
+            d.var for d in access.defs if d.strong
+        )
+
+    live_in: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+    live_out: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+    worklist: deque[int] = deque(cfg.nodes)
+    queued = set(cfg.nodes)
+    while worklist:
+        node_id = worklist.popleft()
+        queued.discard(node_id)
+        out: set[str] = set()
+        for arc in cfg.successors(node_id):
+            out |= live_in[arc.dst]
+        live_out[node_id] = out
+        new_in = uses[node_id] | (out - kills[node_id])
+        if new_in != live_in[node_id]:
+            live_in[node_id] = new_in
+            for arc in cfg.predecessors(node_id):
+                if arc.src not in queued:
+                    queued.add(arc.src)
+                    worklist.append(arc.src)
+
+    return LivenessResult(
+        {n: frozenset(s) for n, s in live_in.items()},
+        {n: frozenset(s) for n, s in live_out.items()},
+        pinned,
+    )

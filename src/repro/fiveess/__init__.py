@@ -1,0 +1,30 @@
+"""A synthetic multi-process telephone call-processing application.
+
+Stands in for the Lucent 5ESS wireless call-processing case study of
+Section 6 of the paper (the original is proprietary and millions of
+lines).  The app preserves the structural properties that made the case
+study meaningful:
+
+* many families of concurrent reactive processes (line handling,
+  originating/terminating call control, registration/mobility, handover,
+  billing, maintenance, audit) communicating through FIFO channels,
+  semaphores and shared variables;
+* a wide open interface to "the rest of the switch": subscriber events,
+  answering decisions, radio measurements and maintenance opcodes arrive
+  from the environment with huge value domains;
+* a *manual stub* for one input the developers want to control precisely
+  (digit collection is stubbed with a bounded ``VS_toss``, exactly the
+  paper's "we manually developed software stubs for ... basic external
+  events we wanted to control"), while everything else is closed
+  automatically;
+* seeded concurrency defects for the explorer to find: a lock-ordering
+  deadlock between handover managers, a billing invariant violated by
+  concurrent calls, and — with the call-forwarding feature enabled — a
+  feature-interaction bug where the teardown message is routed to the
+  originally dialled line rather than the forwarded-to line that
+  answered, leaving that handler (and the line-busy flag) stuck.
+"""
+
+from .app import CallProcessingApp, build_app
+
+__all__ = ["CallProcessingApp", "build_app"]

@@ -1,0 +1,316 @@
+"""RC source generators for the call-processing application.
+
+Each function emits one process family; :func:`generate_source` splices
+them into a complete open program parameterized by the number of
+subscriber lines.  Channel names are static (``setup_0``, ``resp_1``,
+...) with small dispatch procedures switching over line ids, mirroring
+how switch software indexes per-line data structures.
+"""
+
+from __future__ import annotations
+
+
+def _dispatch_send(name: str, channel_prefix: str, n: int, payload: str) -> str:
+    """A procedure that sends ``payload`` on ``<prefix>_<target>``."""
+    cases = "\n".join(
+        f"    case {i}:\n        send({channel_prefix}_{i}, {payload});"
+        for i in range(n)
+    )
+    return f"""
+proc {name}(target, {payload}) {{
+    switch (target) {{
+{cases}
+    default:
+        send({channel_prefix}_0, {payload});
+    }}
+}}
+"""
+
+
+def _provision_cases(n: int) -> str:
+    """Arms line i to forward to line (i+1) mod n."""
+    return "\n".join(
+        f"""        case {i}:
+            write(fwd_{i}, {(i + 1) % n});"""
+        for i in range(n)
+    )
+
+
+def _dispatch_recv(name: str, channel_prefix: str, n: int) -> str:
+    """A procedure that receives from ``<prefix>_<index>``."""
+    cases = "\n".join(
+        f"""    case {i}:
+        m = recv({channel_prefix}_{i});"""
+        for i in range(n)
+    )
+    return f"""
+proc {name}(index) {{
+    var m;
+    switch (index) {{
+{cases}
+    default:
+        m = recv({channel_prefix}_0);
+    }}
+    return m;
+}}
+"""
+
+
+def generate_source(
+    n_lines: int = 2,
+    calls_per_line: int = 1,
+    seed_billing_bug: bool = True,
+) -> str:
+    """The complete open RC program for ``n_lines`` subscriber lines.
+
+    ``seed_billing_bug`` controls whether the billing daemon asserts the
+    (wrong under concurrency) invariant "at most one call is ever
+    active"; with it off, the daemon asserts the correct trunk bound.
+    """
+    if n_lines < 1:
+        raise ValueError("need at least one line")
+
+    billing_limit = 1 if seed_billing_bug else n_lines
+    total_events = n_lines * calls_per_line * 3  # answer/release/abandon bound
+
+    parts: list[str] = []
+    parts.append(
+        """
+// ---- open interface: the rest of the 5ESS switch --------------------
+extern proc next_subscriber_event();   // hook state changes, huge domain
+extern proc answer_decision();         // callee behaviour
+extern proc radio_measurement();       // signal reports, 32-bit
+extern proc maintenance_code();        // maintenance opcodes
+"""
+    )
+
+    parts.append(
+        f"""
+// ---- manual stub (paper Section 6: a small number of inputs the ----
+// ---- developers want to control are modelled by hand) --------------
+proc collect_digits() {{
+    var t;
+    t = VS_toss({n_lines - 1});
+    return t;
+}}
+"""
+    )
+
+    parts.append(_dispatch_send("route_setup", "setup", n_lines, "orig"))
+    parts.append(_dispatch_send("route_resp", "resp", n_lines, "code"))
+    parts.append(_dispatch_send("route_teardown", "teardown", n_lines, "orig"))
+    parts.append(_dispatch_recv("await_resp", "resp", n_lines))
+
+    # Per-line call-forwarding registers, read via a dispatcher.
+    fwd_cases = "\n".join(
+        f"""    case {i}:
+        t = read(fwd_{i});"""
+        for i in range(n_lines)
+    )
+    parts.append(
+        f"""
+// ---- call forwarding -----------------------------------------------
+proc read_forward(line_id) {{
+    var t;
+    switch (line_id) {{
+{fwd_cases}
+    default:
+        t = read(fwd_0);
+    }}
+    return t;
+}}
+
+// The provisioning daemon arms forwarding according to a feature code
+// from the switch administration interface (environment): the *choice*
+// is environment-controlled, the forwarding data itself is constant.
+proc provisioning_daemon(line_id) {{
+    var code;
+    code = maintenance_code();
+    if (code % 4 == 1) {{
+        switch (line_id) {{
+{_provision_cases(n_lines)}
+        default:
+            skip;
+        }}
+    }}
+    send(status, 'provisioned');
+}}
+"""
+    )
+
+    parts.append(
+        f"""
+// ---- originating side -----------------------------------------------
+proc originate(line_id, target) {{
+    sem_p(trunks);
+    var call = record();
+    call.orig = line_id;
+    call.target = target;
+    // Setup payload encodes (originating line, forwarding hop count).
+    route_setup(target, line_id * 2);
+    var resp;
+    resp = await_resp(line_id);
+    if (resp == 1) {{
+        send(billing, 'answer');
+        route_teardown(target, line_id);
+        send(billing, 'release');
+    }} else {{
+        send(billing, 'abandon');
+    }}
+    sem_v(trunks);
+}}
+
+proc line_handler(line_id, attempts) {{
+    var k = 0;
+    while (k < attempts) {{
+        var ev;
+        ev = next_subscriber_event();
+        if (ev % 4 == 0) {{
+            send(billing, 'abandon');
+        }} else {{
+            var target;
+            target = collect_digits();
+            originate(line_id, target);
+        }}
+        k = k + 1;
+    }}
+    send(status, 'line-done');
+}}
+"""
+    )
+
+    term_loop = f"""
+// ---- terminating side (one handler per line) --------------------------
+proc term_handler(line_id) {{
+    while (true) {{
+        var m;
+        m = await_setup(line_id);
+        var orig = m / 2;
+        var hop = m % 2;
+        var fwd;
+        fwd = read_forward(line_id);
+        if (hop == 0 && fwd >= 0) {{
+            // Call forwarding: hand the setup to the forwarded-to line,
+            // marking the hop so forwarding chains cannot loop.
+            route_setup(fwd, orig * 2 + 1);
+        }} else {{
+            var busy;
+            busy = read(line_busy);
+            var ans;
+            ans = answer_decision();
+            if (busy == 1) {{
+                route_resp(orig, 0);
+            }} else {{
+                if (ans % 2 == 1) {{
+                    write(line_busy, 1);
+                    route_resp(orig, 1);
+                    var t;
+                    t = await_teardown(line_id);
+                    write(line_busy, 0);
+                }} else {{
+                    route_resp(orig, 0);
+                }}
+            }}
+        }}
+    }}
+}}
+"""
+    parts.append(_dispatch_recv("await_setup", "setup", n_lines))
+    parts.append(_dispatch_recv("await_teardown", "teardown", n_lines))
+    parts.append(term_loop)
+
+    parts.append(
+        f"""
+// ---- billing ----------------------------------------------------------
+// The billing engineer believed calls were serialized; under real
+// concurrency `active` can reach the trunk limit, violating the seeded
+// invariant (active <= {billing_limit}).
+proc billing_daemon() {{
+    var active = 0;
+    while (true) {{
+        var m;
+        m = recv(billing);
+        if (m == 'answer') {{
+            active = active + 1;
+        }}
+        if (m == 'release') {{
+            active = active - 1;
+        }}
+        VS_assert(active >= 0);
+        VS_assert(active <= {billing_limit});
+    }}
+}}
+"""
+    )
+
+    parts.append(
+        """
+// ---- mobility: registration and handover ------------------------------
+proc registration_server() {
+    while (true) {
+        var msg;
+        msg = recv(reg);
+        write(location, msg);
+    }
+}
+
+proc mobile_station(station_id) {
+    var m;
+    m = radio_measurement();
+    send(reg, m % 8);
+    send(status, 'mobile-done');
+}
+
+proc handover_manager(first_cell, second_cell) {
+    var m;
+    m = radio_measurement();
+    if (m % 2 == 1) {
+        sem_p(first_cell);
+        sem_p(second_cell);
+        send(status, 'handover');
+        sem_v(second_cell);
+        sem_v(first_cell);
+    } else {
+        send(status, 'no-handover');
+    }
+}
+"""
+    )
+
+    parts.append(
+        """
+// ---- maintenance and audit --------------------------------------------
+proc maintenance_daemon() {
+    var code;
+    code = maintenance_code();
+    var severity = code % 16;
+    if (severity == 3) {
+        write(alarm, 1);
+    } else {
+        write(alarm, 0);
+    }
+    send(status, 'maintenance-done');
+}
+
+proc audit_daemon() {
+    var loc;
+    loc = read(location);
+    // `location` holds values derived from radio measurements, so it is
+    // environment-tainted: this check is *not preserved* by the closing
+    // transformation (its subject is erased) — the paper's
+    // preserved-assertion distinction.
+    VS_assert(loc >= 0);
+    var a;
+    a = read(alarm);
+    // `alarm` is only ever written the constants 0/1 (the *choice* is
+    // environment-dependent but the data is not), so this assertion IS
+    // preserved, as is the line_busy check below.
+    VS_assert(a == 0 || a == 1);
+    var b;
+    b = read(line_busy);
+    VS_assert(b == 0 || b == 1);
+    send(status, 'audit-done');
+}
+"""
+    )
+    return "\n".join(parts)

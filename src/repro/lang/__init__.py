@@ -1,0 +1,34 @@
+"""The RC language front end: lexer, parser, AST, pretty-printer,
+normalizer, and the optional pycparser-based C front end."""
+
+from . import ast
+from .errors import (
+    CFrontError,
+    LangError,
+    LexError,
+    NormalizationError,
+    ParseError,
+    SourceLocation,
+)
+from .lexer import tokenize
+from .normalize import normalize_proc, normalize_program
+from .parser import parse_expr, parse_program
+from .pretty import pretty, pretty_expr, pretty_proc
+
+__all__ = [
+    "CFrontError",
+    "LangError",
+    "LexError",
+    "NormalizationError",
+    "ParseError",
+    "SourceLocation",
+    "ast",
+    "normalize_proc",
+    "normalize_program",
+    "parse_expr",
+    "parse_program",
+    "pretty",
+    "pretty_expr",
+    "pretty_proc",
+    "tokenize",
+]

@@ -1,0 +1,52 @@
+"""Error types raised by the RC language front end.
+
+Every front-end error carries a :class:`SourceLocation` so tools built on
+top of the library (the closing tool, the C front end, the examples) can
+report precise positions.  Runtime errors live in :mod:`repro.runtime.errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A position in an RC source text (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: Location used for synthesized nodes (normalization temporaries,
+#: VS_toss branch nodes inserted by the closing transformation, ...).
+SYNTHETIC = SourceLocation(0, 0)
+
+
+class LangError(Exception):
+    """Base class of all RC front-end errors."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        if location is not None and location != SYNTHETIC:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(LangError):
+    """An unrecognised character or malformed literal in the input."""
+
+
+class ParseError(LangError):
+    """The token stream does not form a valid RC program."""
+
+
+class NormalizationError(LangError):
+    """The program cannot be brought into core form (see lang.normalize)."""
+
+
+class CFrontError(LangError):
+    """The pycparser-based C front end met an unsupported C construct."""

@@ -1,0 +1,449 @@
+"""Recursive-descent parser for the RC language.
+
+Grammar (EBNF, ``[]`` optional, ``{}`` repetition)::
+
+    program   = { procdecl | externdecl }
+    externdecl= "extern" "proc" IDENT "(" [ params ] ")" ";"
+    procdecl  = "proc" IDENT "(" [ params ] ")" block
+    params    = IDENT { "," IDENT }
+    block     = "{" { stmt } "}"
+    stmt      = "var" IDENT [ "[" INT "]" ] [ "=" expr ] ";"
+              | "if" "(" expr ")" block [ "else" ( block | ifstmt ) ]
+              | "while" "(" expr ")" block
+              | "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")" block
+              | "switch" "(" expr ")" "{" { case } [ defaultcase ] "}"
+              | "return" [ expr ] ";"
+              | "exit" ";" | "break" ";" | "continue" ";" | "skip" ";"
+              | simple ";"
+    simple    = lvalue "=" expr            (assignment; rhs may be a call)
+              | IDENT "(" [ args ] ")"     (call statement)
+    case      = "case" (INT | STRING) ":" { stmt }
+    defaultcase = "default" ":" { stmt }
+
+Expressions use standard C precedence:
+``||`` < ``&&`` < ``== !=`` < ``< <= > >=`` < ``+ -`` < ``* / %`` <
+unary (``- ! & *``) < postfix (``[...]``, ``.field``, call) < primary.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_COMPARISONS = {
+    TokenKind.EQ: "==",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+_ADDITIVE = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+_MULTIPLICATIVE = {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(f"expected {kind.value!r}, found {token}", token.location)
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        procs: dict[str, ast.Proc] = {}
+        externs: dict[str, ast.ExternDecl] = {}
+        while not self._at(TokenKind.EOF):
+            if self._at(TokenKind.EXTERN):
+                decl = self._parse_extern()
+                if decl.name in externs or decl.name in procs:
+                    raise ParseError(f"duplicate declaration of {decl.name!r}", decl.location)
+                externs[decl.name] = decl
+            else:
+                proc = self._parse_proc()
+                if proc.name in procs or proc.name in externs:
+                    raise ParseError(f"duplicate declaration of {proc.name!r}", proc.location)
+                procs[proc.name] = proc
+        return ast.Program(procs=procs, externs=externs)
+
+    def _parse_extern(self) -> ast.ExternDecl:
+        location = self._expect(TokenKind.EXTERN).location
+        self._expect(TokenKind.PROC)
+        name = self._expect(TokenKind.IDENT)
+        params = self._parse_params()
+        self._expect(TokenKind.SEMI)
+        return ast.ExternDecl(str(name.value), params, location)
+
+    def _parse_proc(self) -> ast.Proc:
+        location = self._expect(TokenKind.PROC).location
+        name = self._expect(TokenKind.IDENT)
+        params = self._parse_params()
+        body = self._parse_block()
+        return ast.Proc(str(name.value), params, body, location)
+
+    def _parse_params(self) -> tuple[str, ...]:
+        self._expect(TokenKind.LPAREN)
+        params: list[str] = []
+        if not self._at(TokenKind.RPAREN):
+            while True:
+                token = self._expect(TokenKind.IDENT)
+                if token.value in params:
+                    raise ParseError(f"duplicate parameter {token.value!r}", token.location)
+                params.append(str(token.value))
+                if self._accept(TokenKind.COMMA) is None:
+                    break
+        self._expect(TokenKind.RPAREN)
+        return tuple(params)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> tuple[ast.Stmt, ...]:
+        self._expect(TokenKind.LBRACE)
+        stmts: list[ast.Stmt] = []
+        while not self._at(TokenKind.RBRACE):
+            stmts.append(self._parse_stmt())
+        self._expect(TokenKind.RBRACE)
+        return tuple(stmts)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        kind = token.kind
+        if kind is TokenKind.VAR:
+            return self._parse_var_decl()
+        if kind is TokenKind.IF:
+            return self._parse_if()
+        if kind is TokenKind.WHILE:
+            return self._parse_while()
+        if kind is TokenKind.FOR:
+            return self._parse_for()
+        if kind is TokenKind.SWITCH:
+            return self._parse_switch()
+        if kind is TokenKind.RETURN:
+            self._advance()
+            value = None
+            if not self._at(TokenKind.SEMI):
+                value = self._parse_expr()
+            self._expect(TokenKind.SEMI)
+            return ast.Return(value, token.location)
+        if kind is TokenKind.EXIT:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Exit(token.location)
+        if kind is TokenKind.BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Break(token.location)
+        if kind is TokenKind.CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Continue(token.location)
+        if kind is TokenKind.SKIP:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Skip(token.location)
+        stmt = self._parse_simple_stmt()
+        self._expect(TokenKind.SEMI)
+        return stmt
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        location = self._expect(TokenKind.VAR).location
+        name = self._expect(TokenKind.IDENT)
+        array_size = None
+        if self._accept(TokenKind.LBRACKET) is not None:
+            size = self._expect(TokenKind.INT)
+            self._expect(TokenKind.RBRACKET)
+            array_size = int(size.value)
+            if array_size <= 0:
+                raise ParseError("array size must be positive", size.location)
+        init = None
+        if self._accept(TokenKind.ASSIGN) is not None:
+            if array_size is not None:
+                raise ParseError("array declarations cannot have initializers", location)
+            init = self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        return ast.VarDecl(str(name.value), init, array_size, location)
+
+    def _parse_if(self) -> ast.If:
+        location = self._expect(TokenKind.IF).location
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        then_body = self._parse_block()
+        else_body: tuple[ast.Stmt, ...] = ()
+        if self._accept(TokenKind.ELSE) is not None:
+            if self._at(TokenKind.IF):
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond, then_body, else_body, location)
+
+    def _parse_while(self) -> ast.While:
+        location = self._expect(TokenKind.WHILE).location
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_block()
+        return ast.While(cond, body, location)
+
+    def _parse_for(self) -> ast.For:
+        location = self._expect(TokenKind.FOR).location
+        self._expect(TokenKind.LPAREN)
+        init = None
+        if self._at(TokenKind.VAR):
+            init = self._parse_var_decl()  # consumes its own semicolon
+        elif not self._at(TokenKind.SEMI):
+            init = self._parse_simple_stmt()
+            self._expect(TokenKind.SEMI)
+        else:
+            self._expect(TokenKind.SEMI)
+        cond = None
+        if not self._at(TokenKind.SEMI):
+            cond = self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        step = None
+        if not self._at(TokenKind.RPAREN):
+            step = self._parse_simple_stmt()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_block()
+        return ast.For(init, cond, step, body, location)
+
+    def _parse_switch(self) -> ast.Switch:
+        location = self._expect(TokenKind.SWITCH).location
+        self._expect(TokenKind.LPAREN)
+        subject = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.LBRACE)
+        cases: list[ast.SwitchCase] = []
+        default: tuple[ast.Stmt, ...] = ()
+        seen_default = False
+        seen_values: set[int | str] = set()
+        while not self._at(TokenKind.RBRACE):
+            if self._at(TokenKind.CASE):
+                case_loc = self._advance().location
+                if seen_default:
+                    raise ParseError("case after default", case_loc)
+                value_token = self._peek()
+                if value_token.kind is TokenKind.INT:
+                    value: int | str = int(self._advance().value)
+                elif value_token.kind is TokenKind.STRING:
+                    value = str(self._advance().value)
+                elif value_token.kind is TokenKind.MINUS:
+                    self._advance()
+                    value = -int(self._expect(TokenKind.INT).value)
+                else:
+                    raise ParseError("case label must be an integer or string literal", value_token.location)
+                if value in seen_values:
+                    raise ParseError(f"duplicate case label {value!r}", case_loc)
+                seen_values.add(value)
+                self._expect(TokenKind.COLON)
+                body = self._parse_case_body()
+                cases.append(ast.SwitchCase(value, body, case_loc))
+            elif self._at(TokenKind.DEFAULT):
+                default_loc = self._advance().location
+                if seen_default:
+                    raise ParseError("duplicate default case", default_loc)
+                seen_default = True
+                self._expect(TokenKind.COLON)
+                default = self._parse_case_body()
+            else:
+                raise ParseError(f"expected 'case' or 'default', found {self._peek()}", self._peek().location)
+        self._expect(TokenKind.RBRACE)
+        return ast.Switch(subject, tuple(cases), default, location)
+
+    def _parse_case_body(self) -> tuple[ast.Stmt, ...]:
+        stmts: list[ast.Stmt] = []
+        while not (
+            self._at(TokenKind.CASE) or self._at(TokenKind.DEFAULT) or self._at(TokenKind.RBRACE)
+        ):
+            stmts.append(self._parse_stmt())
+        return tuple(stmts)
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """An assignment or a call statement (no trailing semicolon)."""
+        location = self._peek().location
+        expr = self._parse_expr()
+        if self._accept(TokenKind.ASSIGN) is not None:
+            if not ast.is_lvalue(expr):
+                raise ParseError("assignment target is not an lvalue", location)
+            value = self._parse_expr()
+            if isinstance(value, ast.CallExpr):
+                return ast.CallStmt(value.callee, value.args, expr, location)
+            return ast.Assign(expr, value, location)
+        if isinstance(expr, ast.CallExpr):
+            return ast.CallStmt(expr.callee, expr.args, None, location)
+        raise ParseError("expression statement must be a call or assignment", location)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at(TokenKind.OR):
+            location = self._advance().location
+            right = self._parse_and()
+            left = ast.Binary("||", left, right, location)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_equality()
+        while self._at(TokenKind.AND):
+            location = self._advance().location
+            right = self._parse_equality()
+            left = ast.Binary("&&", left, right, location)
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self._peek().kind in (TokenKind.EQ, TokenKind.NE):
+            token = self._advance()
+            right = self._parse_relational()
+            left = ast.Binary(_COMPARISONS[token.kind], left, right, token.location)
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._peek().kind in (TokenKind.LT, TokenKind.LE, TokenKind.GT, TokenKind.GE):
+            token = self._advance()
+            right = self._parse_additive()
+            left = ast.Binary(_COMPARISONS[token.kind], left, right, token.location)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind in _ADDITIVE:
+            token = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.Binary(_ADDITIVE[token.kind], left, right, token.location)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().kind in _MULTIPLICATIVE:
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.Binary(_MULTIPLICATIVE[token.kind], left, right, token.location)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return ast.Unary("-", self._parse_unary(), token.location)
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            return ast.Unary("!", self._parse_unary(), token.location)
+        if token.kind is TokenKind.AMP:
+            self._advance()
+            operand = self._parse_unary()
+            if not ast.is_lvalue(operand):
+                raise ParseError("'&' requires an lvalue operand", token.location)
+            return ast.Unary("&", operand, token.location)
+        if token.kind is TokenKind.STAR:
+            self._advance()
+            return ast.Unary("*", self._parse_unary(), token.location)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.LBRACKET:
+                self._advance()
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET)
+                expr = ast.Index(expr, index, token.location)
+            elif token.kind is TokenKind.DOT:
+                self._advance()
+                field = self._expect(TokenKind.IDENT)
+                expr = ast.Field(expr, str(field.value), token.location)
+            elif token.kind is TokenKind.LPAREN and isinstance(expr, ast.Name):
+                args = self._parse_args()
+                expr = ast.CallExpr(expr.ident, args, token.location)
+            else:
+                return expr
+
+    def _parse_args(self) -> tuple[ast.Expr, ...]:
+        self._expect(TokenKind.LPAREN)
+        args: list[ast.Expr] = []
+        if not self._at(TokenKind.RPAREN):
+            while True:
+                args.append(self._parse_expr())
+                if self._accept(TokenKind.COMMA) is None:
+                    break
+        self._expect(TokenKind.RPAREN)
+        return tuple(args)
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(int(token.value), token.location)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.StrLit(str(token.value), token.location)
+        if token.kind is TokenKind.TRUE:
+            self._advance()
+            return ast.BoolLit(True, token.location)
+        if token.kind is TokenKind.FALSE:
+            self._advance()
+            return ast.BoolLit(False, token.location)
+        if token.kind is TokenKind.TOP:
+            self._advance()
+            return ast.AbstractLit(token.location)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.Name(str(token.value), token.location)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise ParseError(f"expected expression, found {token}", token.location)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse RC source text into a :class:`repro.lang.ast.Program`."""
+    parser = Parser(tokenize(source))
+    return parser.parse_program()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single RC expression (handy in tests and the REPL examples)."""
+    parser = Parser(tokenize(source))
+    expr = parser._parse_expr()
+    trailing = parser._peek()
+    if trailing.kind is not TokenKind.EOF:
+        raise ParseError(f"unexpected trailing input {trailing}", trailing.location)
+    return expr

@@ -1,0 +1,191 @@
+"""Pretty-printer: RC ASTs back to parseable source text.
+
+``parse_program(pretty(program))`` is the identity on normalized ASTs up
+to source locations; the round-trip property is checked in the test
+suite with hypothesis-generated programs.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+#: Binding strength of each binary operator, loosest first.  Used to
+#: parenthesize only where needed.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+_UNARY_PRECEDENCE = 7
+
+
+def pretty_expr(expr: ast.Expr, parent_precedence: int = 0) -> str:
+    """Render ``expr`` with minimal parentheses."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.AbstractLit):
+        return "top"
+    if isinstance(expr, ast.StrLit):
+        escaped = expr.value.replace("\\", "\\\\").replace("'", "\\'")
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f"'{escaped}'"
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        inner = pretty_expr(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        if parent_precedence > _UNARY_PRECEDENCE:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.Binary):
+        precedence = _PRECEDENCE[expr.op]
+        left = pretty_expr(expr.left, precedence)
+        # Right operand binds one tighter so that left-associative chains
+        # render without parentheses but nested right operands keep theirs.
+        right = pretty_expr(expr.right, precedence + 1)
+        text = f"{left} {expr.op} {right}"
+        if parent_precedence > precedence:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.Index):
+        return f"{pretty_expr(expr.base, _UNARY_PRECEDENCE + 1)}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, ast.Field):
+        return f"{pretty_expr(expr.base, _UNARY_PRECEDENCE + 1)}.{expr.field}"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(pretty_expr(arg) for arg in expr.args)
+        return f"{expr.callee}({args})"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+class _Printer:
+    def __init__(self, indent: str = "    "):
+        self._indent = indent
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str) -> None:
+        self._lines.append(f"{self._indent * self._depth}{text}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.array_size is not None:
+                self.line(f"var {stmt.name}[{stmt.array_size}];")
+            elif stmt.init is not None:
+                self.line(f"var {stmt.name} = {pretty_expr(stmt.init)};")
+            else:
+                self.line(f"var {stmt.name};")
+        elif isinstance(stmt, ast.Assign):
+            self.line(f"{pretty_expr(stmt.target)} = {pretty_expr(stmt.value)};")
+        elif isinstance(stmt, ast.CallStmt):
+            args = ", ".join(pretty_expr(arg) for arg in stmt.args)
+            call = f"{stmt.callee}({args})"
+            if stmt.result is not None:
+                self.line(f"{pretty_expr(stmt.result)} = {call};")
+            else:
+                self.line(f"{call};")
+        elif isinstance(stmt, ast.If):
+            self.line(f"if ({pretty_expr(stmt.cond)}) {{")
+            self.block(stmt.then_body)
+            if stmt.else_body:
+                self.line("} else {")
+                self.block(stmt.else_body)
+            self.line("}")
+        elif isinstance(stmt, ast.While):
+            self.line(f"while ({pretty_expr(stmt.cond)}) {{")
+            self.block(stmt.body)
+            self.line("}")
+        elif isinstance(stmt, ast.For):
+            init = self._inline_simple(stmt.init)
+            cond = pretty_expr(stmt.cond) if stmt.cond is not None else ""
+            step = self._inline_simple(stmt.step)
+            self.line(f"for ({init}; {cond}; {step}) {{")
+            self.block(stmt.body)
+            self.line("}")
+        elif isinstance(stmt, ast.Switch):
+            self.line(f"switch ({pretty_expr(stmt.subject)}) {{")
+            self._depth += 1
+            for case in stmt.cases:
+                label = f"'{case.value}'" if isinstance(case.value, str) else str(case.value)
+                self.line(f"case {label}:")
+                self.block(case.body)
+            if stmt.default:
+                self.line("default:")
+                self.block(stmt.default)
+            self._depth -= 1
+            self.line("}")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.line(f"return {pretty_expr(stmt.value)};")
+            else:
+                self.line("return;")
+        elif isinstance(stmt, ast.Exit):
+            self.line("exit;")
+        elif isinstance(stmt, ast.Break):
+            self.line("break;")
+        elif isinstance(stmt, ast.Continue):
+            self.line("continue;")
+        elif isinstance(stmt, ast.Skip):
+            self.line("skip;")
+        else:
+            raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+    def _inline_simple(self, stmt: ast.Stmt | None) -> str:
+        """Render a for-header clause without the trailing semicolon."""
+        if stmt is None:
+            return ""
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                return f"var {stmt.name} = {pretty_expr(stmt.init)}"
+            return f"var {stmt.name}"
+        if isinstance(stmt, ast.Assign):
+            return f"{pretty_expr(stmt.target)} = {pretty_expr(stmt.value)}"
+        if isinstance(stmt, ast.CallStmt):
+            args = ", ".join(pretty_expr(arg) for arg in stmt.args)
+            call = f"{stmt.callee}({args})"
+            if stmt.result is not None:
+                return f"{pretty_expr(stmt.result)} = {call}"
+            return call
+        raise TypeError(f"cannot inline statement node {type(stmt).__name__}")
+
+    def block(self, stmts: tuple[ast.Stmt, ...]) -> None:
+        self._depth += 1
+        for stmt in stmts:
+            self.stmt(stmt)
+        self._depth -= 1
+
+
+def pretty_proc(proc: ast.Proc) -> str:
+    """Render a single procedure."""
+    printer = _Printer()
+    printer.line(f"proc {proc.name}({', '.join(proc.params)}) {{")
+    printer.block(proc.body)
+    printer.line("}")
+    return printer.render()
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a whole program (externs first, then procedures)."""
+    parts: list[str] = []
+    for extern in program.externs.values():
+        parts.append(f"extern proc {extern.name}({', '.join(extern.params)});\n")
+    for proc in program.procs.values():
+        parts.append(pretty_proc(proc))
+    return "\n".join(parts)

@@ -1,0 +1,47 @@
+"""Concurrent runtime substrate: processes, communication objects, stores.
+
+This package implements the execution model of Section 2 of the paper: a
+closed concurrent system is a finite set of processes executing
+deterministic sequential code, communicating *only* through communication
+objects (shared variables, semaphores, bounded FIFO channels) whose
+operations are *visible*; everything else is invisible.  The enabledness
+of every operation on a communication object depends only on the history
+of operations performed on it, never on transmitted values.
+"""
+
+from .errors import (
+    DivergenceError,
+    ObjectError,
+    ProcessCrash,
+    RuntimeFault,
+    TossDomainError,
+)
+from .objects import CommunicationObject, EnvSink, FifoChannel, Semaphore, SharedVar
+from .ops import BUILTIN_OPERATIONS, OperationSpec
+from .process import Process, ProcessStatus
+from .system import System, SystemConfig
+from .values import AbstractValue, ObjectRef, Pointer, RecordValue, TOP
+
+__all__ = [
+    "AbstractValue",
+    "BUILTIN_OPERATIONS",
+    "CommunicationObject",
+    "DivergenceError",
+    "EnvSink",
+    "FifoChannel",
+    "ObjectError",
+    "ObjectRef",
+    "OperationSpec",
+    "Pointer",
+    "Process",
+    "ProcessCrash",
+    "ProcessStatus",
+    "RecordValue",
+    "RuntimeFault",
+    "Semaphore",
+    "SharedVar",
+    "System",
+    "SystemConfig",
+    "TOP",
+    "TossDomainError",
+]

@@ -1,0 +1,50 @@
+"""Runtime error types.
+
+RC follows the paper's treatment of run-time errors (Section 5): like C,
+RC leaves most error behaviours *unspecified*, so the closing
+transformation is free to delete statements that could fault when they
+depend only on environment values.  The interpreter itself is strict: a
+faulting execution raises :class:`RuntimeFault`, which the explorer
+reports as a :class:`ProcessCrash` event with the offending trace.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeFault(Exception):
+    """A run-time error with unspecified source-language behaviour.
+
+    Examples: array index out of bounds, dereference of a non-pointer,
+    arithmetic on incompatible values, division by zero, branching on an
+    abstract (environment-erased) value.
+    """
+
+
+class TossDomainError(RuntimeFault):
+    """``VS_toss(n)`` called with a negative ``n`` or a non-integer."""
+
+
+class ObjectError(RuntimeFault):
+    """Misuse of a communication object (wrong kind, unknown name, ...)."""
+
+
+class DivergenceError(Exception):
+    """A process exceeded its invisible-step budget without reaching a
+    visible operation — the paper's footnote-1 divergence timeout."""
+
+    def __init__(self, process_name: str, budget: int):
+        self.process_name = process_name
+        self.budget = budget
+        super().__init__(
+            f"process {process_name!r} executed {budget} invisible steps "
+            "without attempting a visible operation"
+        )
+
+
+class ProcessCrash(Exception):
+    """Wrapper carrying the process name alongside the original fault."""
+
+    def __init__(self, process_name: str, fault: Exception):
+        self.process_name = process_name
+        self.fault = fault
+        super().__init__(f"process {process_name!r} crashed: {fault}")

@@ -1,0 +1,121 @@
+"""The :class:`Process` wrapper: one sequential program under scheduler
+control.
+
+A process owns an :class:`~repro.runtime.interp.Interpreter` coroutine
+and tracks where it currently stands:
+
+* ``AT_VISIBLE`` — stopped just before a visible operation (the paper's
+  global-state condition is "the next operation of every process is
+  visible");
+* ``NEEDS_TOSS`` — stopped at a ``VS_toss`` choice point (an *invisible*
+  nondeterministic operation inside a transition);
+* ``TERMINATED`` — the top-level procedure returned/exited; per the
+  paper, termination in the top level is permanently blocking;
+* ``CRASHED`` — a :class:`RuntimeFault` occurred (unspecified behaviour);
+* ``DIVERGED`` — the invisible-step budget was exhausted.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from .errors import DivergenceError, ProcessCrash, RuntimeFault
+from .interp import Interpreter, Request, TossRequest, VisibleRequest
+
+
+class ProcessStatus(enum.Enum):
+    """Where a process currently stands (see the module docstring)."""
+    AT_VISIBLE = "at-visible"
+    NEEDS_TOSS = "needs-toss"
+    TERMINATED = "terminated"
+    CRASHED = "crashed"
+    DIVERGED = "diverged"
+
+
+class Process:
+    """A running process: coroutine + status + pending request."""
+
+    def __init__(self, name: str, interpreter: Interpreter):
+        self.name = name
+        self._interpreter = interpreter
+        self._coroutine = interpreter.run()
+        self.status: ProcessStatus | None = None  # None until start()
+        self.pending: Request | None = None
+        self.crash: Exception | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the initial invisible prefix up to the first request."""
+        self._resume(lambda: next(self._coroutine))
+
+    def resume(self, value: Any = None) -> None:
+        """Answer the pending request with ``value`` and run to the next one."""
+        if self.status not in (ProcessStatus.AT_VISIBLE, ProcessStatus.NEEDS_TOSS):
+            raise RuntimeError(f"cannot resume process {self.name!r} in status {self.status}")
+        self.pending = None
+        self._resume(lambda: self._coroutine.send(value))
+
+    def _resume(self, step) -> None:
+        try:
+            request = step()
+        except StopIteration:
+            self.status = ProcessStatus.TERMINATED
+            self.pending = None
+            return
+        except DivergenceError as err:
+            self.status = ProcessStatus.DIVERGED
+            self.pending = None
+            self.crash = err
+            return
+        except RuntimeFault as fault:
+            self.status = ProcessStatus.CRASHED
+            self.pending = None
+            self.crash = ProcessCrash(self.name, fault)
+            return
+        self.pending = request
+        if isinstance(request, TossRequest):
+            self.status = ProcessStatus.NEEDS_TOSS
+        else:
+            self.status = ProcessStatus.AT_VISIBLE
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def visible_request(self) -> VisibleRequest | None:
+        if isinstance(self.pending, VisibleRequest):
+            return self.pending
+        return None
+
+    @property
+    def toss_request(self) -> TossRequest | None:
+        if isinstance(self.pending, TossRequest):
+            return self.pending
+        return None
+
+    def is_blocked_forever(self) -> bool:
+        """Terminated, crashed and diverged processes never run again."""
+        return self.status in (
+            ProcessStatus.TERMINATED,
+            ProcessStatus.CRASHED,
+            ProcessStatus.DIVERGED,
+        )
+
+    def enabled(self) -> bool:
+        """Whether the pending visible operation may currently execute."""
+        request = self.visible_request
+        if request is None:
+            return False
+        if request.obj is None:  # VS_assert is always enabled
+            return True
+        return request.obj.enabled(request.op)
+
+    def state_fingerprint(self) -> Any:
+        base: tuple[Any, ...] = (self.name, self.status.value if self.status else "new")
+        if self.status in (ProcessStatus.AT_VISIBLE, ProcessStatus.NEEDS_TOSS):
+            return base + (self._interpreter.state_fingerprint(),)
+        return base
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {self.status and self.status.value}>"

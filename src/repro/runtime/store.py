@@ -1,0 +1,62 @@
+"""Stores: frames of memory cells for procedure activations.
+
+A store maps variables (memory locations) to values (Section 5 of the
+paper).  Each procedure activation owns a :class:`Frame`; the paper's
+"fresh variables created for each argument" are exactly the parameter
+cells of a new frame.  Fresh variables do not escape their scope — a
+callee cannot name a caller's locals — though a *pointer* passed as an
+argument may reach them, which is precisely what the alias analysis
+tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import RuntimeFault
+from .values import ArrayValue, Cell, fingerprint
+
+
+class Frame:
+    """One procedure activation: name -> memory cell."""
+
+    __slots__ = ("proc_name", "cells")
+
+    def __init__(self, proc_name: str):
+        self.proc_name = proc_name
+        self.cells: dict[str, Cell] = {}
+
+    def declare(self, name: str, value: Any = 0) -> Cell:
+        """Create (or re-initialize) the cell for a local/parameter."""
+        cell = self.cells.get(name)
+        if cell is None:
+            cell = Cell(value)
+            self.cells[name] = cell
+        else:
+            # Re-executing a declaration (loop bodies) resets the cell in
+            # place so existing pointers to it stay valid, like C autos
+            # reused across iterations.
+            cell.value = value
+        return cell
+
+    def declare_array(self, name: str, size: int) -> Cell:
+        return self.declare(name, ArrayValue(size=size))
+
+    def cell(self, name: str) -> Cell:
+        found = self.cells.get(name)
+        if found is None:
+            raise RuntimeFault(
+                f"{self.proc_name}: variable {name!r} used before declaration"
+            )
+        return found
+
+    def state_fingerprint(self) -> Any:
+        items = sorted(self.cells.items())
+        return (
+            self.proc_name,
+            tuple((name, fingerprint(cell.value)) for name, cell in items),
+        )
+
+    def __repr__(self) -> str:
+        inner = {name: cell.value for name, cell in self.cells.items()}
+        return f"Frame({self.proc_name!r}, {inner!r})"

@@ -1,0 +1,314 @@
+"""System description and live runs.
+
+:class:`System` is the *static* description of a closed concurrent
+system: the program (as CFGs), the communication objects and the process
+launch specs.  Calling :meth:`System.start` instantiates a fresh
+:class:`Run` — fresh objects, fresh process coroutines — which is what
+makes stateless (re-execution based) exploration possible: the explorer
+simply starts a new run per path, exactly like VeriSoft reinitialises
+the system to explore an alternative path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..cfg.builder import build_cfgs
+from ..cfg.graph import ControlFlowGraph
+from ..lang import ast
+from ..lang.parser import parse_program
+from .errors import ObjectError
+from .interp import Interpreter
+from .objects import CommunicationObject, EnvSink, FifoChannel, Semaphore, SharedVar
+from .process import Process, ProcessStatus
+from .values import ObjectRef
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Tunables shared by every process of a system."""
+
+    divergence_budget: int = 100_000
+    max_call_depth: int = 512
+
+
+@dataclass(frozen=True, slots=True)
+class _ObjectSpec:
+    kind: str
+    name: str
+    params: tuple[tuple[str, Any], ...]
+
+    def instantiate(self) -> CommunicationObject:
+        kwargs = dict(self.params)
+        if self.kind == "channel":
+            return FifoChannel(self.name, **kwargs)
+        if self.kind == "env_sink":
+            return EnvSink(self.name, **kwargs)
+        if self.kind == "semaphore":
+            return Semaphore(self.name, **kwargs)
+        if self.kind == "shared":
+            return SharedVar(self.name, **kwargs)
+        raise ObjectError(f"unknown object kind {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class _ProcessSpec:
+    name: str
+    proc: str
+    args: tuple[Any, ...]
+
+
+class System:
+    """Static description of a closed concurrent system.
+
+    ``source`` may be RC source text, a parsed :class:`~repro.lang.ast.Program`
+    or a pre-built CFG dictionary (the output of the closing
+    transformation).
+    """
+
+    def __init__(
+        self,
+        source: str | ast.Program | dict[str, ControlFlowGraph],
+        config: SystemConfig | None = None,
+    ):
+        if isinstance(source, str):
+            source = parse_program(source)
+        if isinstance(source, ast.Program):
+            self.cfgs = build_cfgs(source)
+        else:
+            self.cfgs = dict(source)
+        self.config = config or SystemConfig()
+        self._object_specs: dict[str, _ObjectSpec] = {}
+        self._process_specs: list[_ProcessSpec] = []
+
+    # -- declaration API ---------------------------------------------------------
+
+    def _add_object(self, kind: str, name: str, **params) -> ObjectRef:
+        if name in self._object_specs:
+            raise ObjectError(f"duplicate communication object {name!r}")
+        self._object_specs[name] = _ObjectSpec(kind, name, tuple(sorted(params.items())))
+        public_kind = "channel" if kind == "env_sink" else kind
+        return ObjectRef(public_kind, name)
+
+    def add_channel(self, name: str, capacity: int = 1) -> ObjectRef:
+        """Declare a bounded FIFO channel."""
+        return self._add_object("channel", name, capacity=capacity)
+
+    def add_env_sink(self, name: str, visible_in_state: bool = False) -> ObjectRef:
+        """Declare an always-enabled output channel to the environment."""
+        return self._add_object("env_sink", name, visible_in_state=visible_in_state)
+
+    def add_semaphore(self, name: str, initial: int = 1) -> ObjectRef:
+        """Declare a counting semaphore."""
+        return self._add_object("semaphore", name, initial=initial)
+
+    def add_shared(self, name: str, initial: Any = 0) -> ObjectRef:
+        """Declare a shared variable."""
+        return self._add_object("shared", name, initial=initial)
+
+    def add_process(self, name: str, proc: str, args: Iterable[Any] = ()) -> None:
+        """Declare a process running top-level procedure ``proc``.
+
+        ``args`` are bound to the procedure's parameters; they may be
+        ints, bools, strings or :class:`ObjectRef` values.
+        """
+        if any(spec.name == name for spec in self._process_specs):
+            raise ObjectError(f"duplicate process name {name!r}")
+        if proc not in self.cfgs:
+            raise ObjectError(f"unknown top-level procedure {proc!r}")
+        args = tuple(args)
+        expected = len(self.cfgs[proc].params)
+        if len(args) != expected:
+            raise ObjectError(
+                f"process {name!r}: procedure {proc!r} takes {expected} "
+                f"arguments, got {len(args)}"
+            )
+        self._process_specs.append(_ProcessSpec(name, proc, args))
+
+    @property
+    def process_names(self) -> list[str]:
+        return [spec.name for spec in self._process_specs]
+
+    @property
+    def process_specs(self) -> list[tuple[str, str, tuple[Any, ...]]]:
+        """(process name, top-level procedure, launch args) triples."""
+        return [(spec.name, spec.proc, spec.args) for spec in self._process_specs]
+
+    @property
+    def object_names(self) -> list[str]:
+        return list(self._object_specs)
+
+    # -- instantiation -------------------------------------------------------------
+
+    def start(self) -> "Run":
+        """Create a fresh run (fresh objects, fresh process coroutines)."""
+        if not self._process_specs:
+            raise ObjectError("system has no processes")
+        objects = {name: spec.instantiate() for name, spec in self._object_specs.items()}
+        processes = []
+        for spec in self._process_specs:
+            interpreter = Interpreter(
+                self.cfgs,
+                spec.proc,
+                spec.args,
+                objects,
+                divergence_budget=self.config.divergence_budget,
+                process_name=spec.name,
+                max_call_depth=self.config.max_call_depth,
+            )
+            processes.append(Process(spec.name, interpreter))
+        return Run(objects, processes)
+
+
+@dataclass(frozen=True, slots=True)
+class AssertionOutcome:
+    """Result of performing one ``VS_assert``."""
+
+    process: str
+    proc_name: str
+    node_id: int
+    violated: bool
+
+
+class Run:
+    """A live instance of a system, driven by a scheduler/explorer."""
+
+    def __init__(self, objects: dict[str, CommunicationObject], processes: list[Process]):
+        self.objects = objects
+        self.processes = processes
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start_processes(self) -> None:
+        """Run every process's initial invisible prefix.
+
+        May leave some processes in ``NEEDS_TOSS`` if they toss before
+        their first visible operation; the scheduler must answer those
+        before a global state is reached.
+        """
+        if self._started:
+            raise RuntimeError("run already started")
+        self._started = True
+        for process in self.processes:
+            process.start()
+
+    # -- scheduler interface -----------------------------------------------------------
+
+    def toss_pending(self) -> Process | None:
+        """The first process awaiting a toss value, if any.
+
+        Tosses are invisible and local, so answering them in a fixed
+        deterministic order loses no behaviours (invisible operations of
+        distinct processes commute).
+        """
+        for process in self.processes:
+            if process.status is ProcessStatus.NEEDS_TOSS:
+                return process
+        return None
+
+    def at_global_state(self) -> bool:
+        """All processes stopped at a visible op or blocked forever."""
+        return all(
+            process.status is ProcessStatus.AT_VISIBLE or process.is_blocked_forever()
+            for process in self.processes
+        )
+
+    def enabled_processes(self) -> list[Process]:
+        """Processes whose next visible operation is currently enabled."""
+        return [
+            process
+            for process in self.processes
+            if process.status is ProcessStatus.AT_VISIBLE and process.enabled()
+        ]
+
+    def is_deadlock(self) -> bool:
+        """A deadlock: some process is still live but nothing is enabled.
+
+        A state where *every* process terminated normally is not a
+        deadlock.
+        """
+        if not self.at_global_state():
+            return False
+        if self.enabled_processes():
+            return False
+        return any(
+            process.status is ProcessStatus.AT_VISIBLE for process in self.processes
+        )
+
+    def all_terminated(self) -> bool:
+        return all(
+            process.status is ProcessStatus.TERMINATED for process in self.processes
+        )
+
+    def execute_visible(self, process: Process) -> AssertionOutcome | None:
+        """Execute ``process``'s pending visible operation.
+
+        The caller must have checked enabledness.  Returns the assertion
+        outcome when the operation was a ``VS_assert``.
+        """
+        request = process.visible_request
+        if request is None:
+            raise RuntimeError(f"process {process.name!r} has no pending visible op")
+        outcome = None
+        if request.obj is None:
+            # VS_assert: evaluate the (already computed) subject.
+            subject = request.args[0]
+            violated = _assert_violated(subject)
+            outcome = AssertionOutcome(
+                process=process.name,
+                proc_name=request.proc_name,
+                node_id=request.node_id,
+                violated=violated,
+            )
+            result = None
+        else:
+            if not request.obj.enabled(request.op):
+                raise RuntimeError(
+                    f"visible op {request.op!r} on {request.obj.name!r} is not enabled"
+                )
+            result = request.obj.perform(request.op, request.args)
+        process.resume(result)
+        return outcome
+
+    def answer_toss(self, process: Process, value: int) -> None:
+        request = process.toss_request
+        if request is None:
+            raise RuntimeError(f"process {process.name!r} is not awaiting a toss")
+        if not (0 <= value <= request.bound):
+            raise ValueError(f"toss value {value} outside 0..{request.bound}")
+        process.resume(value)
+
+    # -- state inspection ------------------------------------------------------------
+
+    def state_fingerprint(self) -> Any:
+        """Hashable global-state snapshot (processes + objects)."""
+        return (
+            tuple(process.state_fingerprint() for process in self.processes),
+            tuple(obj.state_fingerprint() for obj in self.objects.values()),
+        )
+
+    def env_outputs(self, sink_name: str) -> list[Any]:
+        """The recorded output trace of an :class:`EnvSink`."""
+        sink = self.objects.get(sink_name)
+        if not isinstance(sink, EnvSink):
+            raise ObjectError(f"{sink_name!r} is not an environment sink")
+        return list(sink.outputs)
+
+
+def _assert_violated(subject: Any) -> bool:
+    from .values import TOP
+
+    if subject is TOP:
+        # A non-preserved assertion (its subject was erased by the closing
+        # transformation): vacuously passes — Theorem 7 only promises
+        # preservation for assertions whose subject survives.
+        return False
+    if isinstance(subject, bool):
+        return not subject
+    if isinstance(subject, int):
+        return subject == 0
+    # Any non-boolean, non-int subject counts as a violation: asserting on
+    # a record/pointer is almost certainly a bug in the checked program.
+    return True

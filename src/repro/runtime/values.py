@@ -1,0 +1,192 @@
+"""Runtime values and memory cells.
+
+A *store* maps variables (memory locations) to values, as in Section 5
+of the paper.  We realise memory locations as :class:`Cell` objects;
+pointers hold a reference to a cell, arrays are sequences of cells and
+records map field names to cells, so ``&a[i]``, ``&r.f`` and ``*p = e``
+all behave like their C counterparts.
+
+The special value :data:`TOP` ("abstract value") stands for a value that
+the closing transformation erased because it depended on the
+environment.  It propagates through arithmetic, may be transmitted
+through channels, but *branching on it is a runtime fault* — by Lemma 5
+of the paper a correctly closed program never does so, and the fault
+turns any closing bug into a loud failure in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class AbstractValue:
+    """The erased "environment-dependent" value (a singleton, ``TOP``)."""
+
+    _instance: "AbstractValue | None" = None
+
+    def __new__(cls) -> "AbstractValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+#: The unique abstract value.
+TOP = AbstractValue()
+
+
+class Cell:
+    """A mutable memory location."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = 0):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Cell({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Pointer:
+    """A pointer value: the address of a cell."""
+
+    cell: Cell
+
+    def __repr__(self) -> str:
+        return f"Pointer(->{self.cell.value!r})"
+
+
+class ArrayValue:
+    """A fixed-size array of cells."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, size: int | None = None, cells: list[Cell] | None = None):
+        if cells is not None:
+            self.cells = cells
+        else:
+            self.cells = [Cell(0) for _ in range(size or 0)]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        return f"ArrayValue({[cell.value for cell in self.cells]!r})"
+
+
+class RecordValue:
+    """A record: a mutable mapping from field names to cells.
+
+    Fields are created on first write (RC records are structural, like a
+    C struct whose layout is inferred); reading a never-written field is
+    a runtime fault, raised by the interpreter.
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: dict[str, Cell] | None = None):
+        self.fields = fields if fields is not None else {}
+
+    def cell(self, name: str, create: bool = False) -> Cell | None:
+        existing = self.fields.get(name)
+        if existing is None and create:
+            existing = Cell(0)
+            self.fields[name] = existing
+        return existing
+
+    def __repr__(self) -> str:
+        inner = {name: cell.value for name, cell in self.fields.items()}
+        return f"RecordValue({inner!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectRef:
+    """A first-class reference to a communication object.
+
+    ``kind`` is ``"channel"``, ``"semaphore"`` or ``"shared"``; ``name``
+    is the registration name in the :class:`repro.runtime.system.System`.
+    Object references are ordinary values, so processes can be
+    parameterized by the objects they talk to.
+    """
+
+    kind: str
+    name: str
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.name}>"
+
+
+def fingerprint(value: Any, _seen: set[int] | None = None) -> Any:
+    """A hashable, structural fingerprint of a runtime value.
+
+    Used by the optional state-counting instrumentation of the explorer
+    (benchmarks measure actual state-space sizes with it).  Cycles through
+    pointers are cut with a visited set.
+    """
+    if _seen is None:
+        _seen = set()
+    if isinstance(value, (int, bool, str)):
+        return value
+    if value is TOP:
+        return ("top",)
+    if isinstance(value, ObjectRef):
+        return ("obj", value.kind, value.name)
+    if isinstance(value, Pointer):
+        if id(value.cell) in _seen:
+            return ("ptr-cycle",)
+        _seen.add(id(value.cell))
+        return ("ptr", fingerprint(value.cell.value, _seen))
+    if isinstance(value, ArrayValue):
+        return ("arr", tuple(fingerprint(cell.value, _seen) for cell in value.cells))
+    if isinstance(value, RecordValue):
+        items = sorted(value.fields.items())
+        return ("rec", tuple((name, fingerprint(cell.value, _seen)) for name, cell in items))
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def copy_value(value: Any) -> Any:
+    """Deep-copy a runtime value (used when transmitting through objects,
+    so that later mutation by the sender cannot alter a queued message)."""
+    if isinstance(value, (int, bool, str)) or value is TOP or isinstance(value, ObjectRef):
+        return value
+    if isinstance(value, Pointer):
+        # Pointers are transmitted by reference: both sides then share the
+        # cell, which models C programs mailing pointers between threads.
+        return value
+    if isinstance(value, ArrayValue):
+        return ArrayValue(cells=[Cell(copy_value(cell.value)) for cell in value.cells])
+    if isinstance(value, RecordValue):
+        return RecordValue({name: Cell(copy_value(cell.value)) for name, cell in value.fields.items()})
+    raise TypeError(f"cannot copy value of type {type(value).__name__}")
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """Structural equality used by ``==`` in RC."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right if (left is TOP or right is TOP) else left == right
+    if left is TOP or right is TOP:
+        return left is right
+    if isinstance(left, (int, str)) and isinstance(right, (int, str)):
+        return left == right
+    if isinstance(left, ObjectRef) and isinstance(right, ObjectRef):
+        return left == right
+    if isinstance(left, Pointer) and isinstance(right, Pointer):
+        return left.cell is right.cell
+    if isinstance(left, ArrayValue) and isinstance(right, ArrayValue):
+        if len(left) != len(right):
+            return False
+        return all(
+            values_equal(a.value, b.value) for a, b in zip(left.cells, right.cells)
+        )
+    if isinstance(left, RecordValue) and isinstance(right, RecordValue):
+        if set(left.fields) != set(right.fields):
+            return False
+        return all(
+            values_equal(left.fields[name].value, right.fields[name].value)
+            for name in left.fields
+        )
+    return False

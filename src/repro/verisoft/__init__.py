@@ -1,0 +1,51 @@
+"""The VeriSoft substrate: stateless systematic state-space exploration
+with partial-order reduction, for closed concurrent systems."""
+
+from .behaviors import behavior_inclusion, matches_with_erasure, missing_behaviors
+from .explorer import Explorer, collect_output_traces, explore, replay
+from .random_walk import random_walks
+from .por import (
+    PersistentSetComputer,
+    TransitionSig,
+    independent,
+    process_footprint,
+    signature_of,
+)
+from .results import (
+    AssertionViolationEvent,
+    Choice,
+    CrashEvent,
+    DeadlockEvent,
+    DivergenceEvent,
+    ExplorationReport,
+    ScheduleChoice,
+    TossChoice,
+    Trace,
+    TraceStep,
+)
+
+__all__ = [
+    "AssertionViolationEvent",
+    "Choice",
+    "CrashEvent",
+    "DeadlockEvent",
+    "DivergenceEvent",
+    "ExplorationReport",
+    "Explorer",
+    "PersistentSetComputer",
+    "ScheduleChoice",
+    "TossChoice",
+    "Trace",
+    "TraceStep",
+    "TransitionSig",
+    "behavior_inclusion",
+    "collect_output_traces",
+    "explore",
+    "independent",
+    "matches_with_erasure",
+    "missing_behaviors",
+    "process_footprint",
+    "random_walks",
+    "replay",
+    "signature_of",
+]

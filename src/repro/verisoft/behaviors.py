@@ -1,0 +1,48 @@
+"""Visible-behaviour comparison utilities.
+
+Theorem 6 relates the closed system ``S'`` to ``S × E_S`` up to *erased
+values*: every computation of ``S × E_S`` has a counterpart in ``S'``
+with the same visible operations, where values the transformation erased
+appear as the abstract value TOP.  These helpers implement that
+matching, and are what the Figure 2/3 experiments and the property
+tests use to compare behaviour sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..runtime.values import TOP
+
+
+def matches_with_erasure(closed_trace: tuple, open_trace: tuple) -> bool:
+    """Whether a closed-system output trace matches an open-system one.
+
+    Traces match position-wise; an erased (TOP) element of the closed
+    trace matches anything.
+    """
+    if len(closed_trace) != len(open_trace):
+        return False
+    return all(c is TOP or c == o for c, o in zip(closed_trace, open_trace))
+
+
+def behavior_inclusion(
+    open_traces: Iterable[tuple], closed_traces: Iterable[tuple]
+) -> bool:
+    """Theorem-6 inclusion: every open behaviour has a matching closed one."""
+    closed = list(closed_traces)
+    return all(
+        any(matches_with_erasure(ct, ot) for ct in closed) for ot in open_traces
+    )
+
+
+def missing_behaviors(
+    open_traces: Iterable[tuple], closed_traces: Iterable[tuple]
+) -> list[tuple]:
+    """Open behaviours with no matching closed behaviour (diagnostics)."""
+    closed = list(closed_traces)
+    return [
+        ot
+        for ot in open_traces
+        if not any(matches_with_erasure(ct, ot) for ct in closed)
+    ]

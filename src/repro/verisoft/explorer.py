@@ -1,0 +1,450 @@
+"""The VeriSoft-style systematic state-space explorer.
+
+Like VeriSoft [God97], the explorer is *stateless*: it never stores
+global states.  A path through the state space is a sequence of
+**choices** — which process executes its next visible operation at each
+global state, and which value each ``VS_toss`` returns — and the search
+is a depth-first walk over the choice tree that *re-executes the system
+from its initial state* to backtrack (the runtime is deterministic, so
+replay is exact).
+
+At every global state the explorer checks for deadlocks, records
+assertion outcomes, process crashes (runtime faults) and divergences,
+and expands a *persistent* subset of the enabled transitions filtered
+through a *sleep set* (:mod:`repro.verisoft.por`) — the partial-order
+methods that [God97] identifies as the key to tractability.  For finite
+acyclic state spaces the search is exhaustive up to the depth bound; it
+"can always guarantee, from a given initial state, complete coverage of
+the state space up to some depth".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..runtime.process import Process, ProcessStatus
+from ..runtime.system import Run, System
+from .por import (
+    PersistentSetComputer,
+    TransitionSig,
+    augment_sleep,
+    process_footprint,
+    signature_of,
+)
+from .results import (
+    AssertionViolationEvent,
+    Choice,
+    CrashEvent,
+    DeadlockEvent,
+    DivergenceEvent,
+    ExplorationReport,
+    ScheduleChoice,
+    TossChoice,
+    Trace,
+    TraceStep,
+)
+
+
+@dataclass
+class _ChoicePoint:
+    """One branching decision in the DFS, with its untried alternatives."""
+
+    kind: str  # "schedule" | "toss"
+    alternatives: list[Any]  # process names or toss values
+    index: int = 0
+    sleep: frozenset[TransitionSig] = frozenset()
+    #: signature per alternative (schedule points; used for sleep sets).
+    sigs: list[TransitionSig | None] = field(default_factory=list)
+
+    @property
+    def chosen(self) -> Any:
+        return self.alternatives[self.index]
+
+    def exhausted(self) -> bool:
+        return self.index + 1 >= len(self.alternatives)
+
+
+class _Leaf(Exception):
+    """Internal: the current execution reached a leaf of the DFS tree."""
+
+
+class Explorer:
+    """Drives the stateless search over a :class:`repro.runtime.System`.
+
+    Arguments:
+        system: the (closed) system to explore.
+        max_depth: bound on transitions per path; exploration is complete
+            up to this depth.
+        por: enable persistent-set + sleep-set reduction.
+        count_states: additionally hash every visited global state to
+            report the number of *distinct* states (not part of VeriSoft,
+            which stores no states; used by the benchmarks to measure
+            true state-space sizes).
+        stop_on_first: stop at the first deadlock/violation/crash.
+        max_paths / max_transitions / max_seconds: work budgets; the
+            report's ``truncated`` flag is set when one trips.
+        max_events: cap on recorded events of each kind (traces can be
+            large; counting continues).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        max_depth: int = 100,
+        por: bool = True,
+        count_states: bool = False,
+        stop_on_first: bool = False,
+        max_paths: int | None = None,
+        max_transitions: int | None = None,
+        max_seconds: float | None = None,
+        max_events: int = 25,
+        on_leaf: Callable[[Run, Trace], None] | None = None,
+        stop_when: Callable[[ExplorationReport], bool] | None = None,
+    ):
+        self._system = system
+        self._max_depth = max_depth
+        self._por = por
+        self._count_states = count_states
+        self._stop_on_first = stop_on_first
+        self._max_paths = max_paths
+        self._max_transitions = max_transitions
+        self._max_seconds = max_seconds
+        self._max_events = max_events
+        self._on_leaf = on_leaf
+        self._stop_when = stop_when
+        self._persistent: PersistentSetComputer | None = None
+        if por:
+            footprints = self._compute_footprints(system)
+            self._persistent = PersistentSetComputer(footprints)
+
+    @staticmethod
+    def _compute_footprints(system: System) -> dict[str, set[str]]:
+        from ..dataflow.alias import analyze_aliases
+
+        points_to = analyze_aliases(system.cfgs)
+        footprints: dict[str, set[str]] = {}
+        for name, proc, args in system.process_specs:
+            cfg = system.cfgs[proc]
+            launch = dict(zip(cfg.params, args))
+            footprints[name] = process_footprint(
+                system.cfgs, proc, launch, points_to
+            )
+        return footprints
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self) -> ExplorationReport:
+        report = ExplorationReport()
+        if self._count_states:
+            report.distinct_states = 0
+        stack: list[_ChoicePoint] = []
+        seen_states: set[Any] | None = set() if self._count_states else None
+        started = time.monotonic()
+        stop = False
+
+        while not stop:
+            try:
+                self._execute(stack, report, seen_states)
+            except _Leaf:
+                pass
+            report.paths_explored += 1
+
+            if self._stop_on_first and not report.ok:
+                break
+            if self._stop_when is not None and self._stop_when(report):
+                break
+            if self._max_paths is not None and report.paths_explored >= self._max_paths:
+                report.truncated = True
+                break
+            if (
+                self._max_transitions is not None
+                and report.transitions_executed >= self._max_transitions
+            ):
+                report.truncated = True
+                break
+            if self._max_seconds is not None and time.monotonic() - started > self._max_seconds:
+                report.truncated = True
+                break
+
+            # Backtrack to the deepest choice point with untried options.
+            while stack and stack[-1].exhausted():
+                stack.pop()
+            if not stack:
+                break
+            stack[-1].index += 1
+
+        if seen_states is not None:
+            report.distinct_states = len(seen_states)
+        return report
+
+    # -- one (re-)execution -------------------------------------------------------
+
+    def _execute(
+        self,
+        stack: list[_ChoicePoint],
+        report: ExplorationReport,
+        seen_states: set[Any] | None,
+    ) -> None:
+        run = self._system.start()
+        run.start_processes()
+        replay_len = len(stack)
+        state = _ExecState(run=run, stack=stack, replay_len=replay_len, report=report)
+        self._note_broken_processes(state)
+        current_sleep: frozenset[TransitionSig] = frozenset()
+        depth = 0
+
+        while True:
+            # Resolve pending toss choices (invisible, intra-transition).
+            while True:
+                tossing = run.toss_pending()
+                if tossing is None:
+                    break
+                request = tossing.toss_request
+                point = self._choice(
+                    state, "toss", list(range(request.bound + 1)), frozenset(), []
+                )
+                value = point.chosen
+                state.choices.append(TossChoice(tossing.name, value))
+                run.answer_toss(tossing, value)
+                self._note_broken_processes(state)
+
+            # A global state.
+            if state.fresh:
+                report.states_visited += 1
+                report.max_depth_reached = max(report.max_depth_reached, depth)
+            if seen_states is not None:
+                seen_states.add(run.state_fingerprint())
+
+            if run.is_deadlock():
+                if state.fresh and len(report.deadlocks) < self._max_events:
+                    report.deadlocks.append(
+                        DeadlockEvent(state.trace(), *_blocked_info(run))
+                    )
+                self._leaf(state)
+            if run.all_terminated():
+                self._leaf(state)
+            if depth >= self._max_depth:
+                report.truncated = True
+                self._leaf(state)
+
+            enabled = run.enabled_processes()
+            if not enabled:
+                # Every live process is blocked but some processes crashed/
+                # diverged/terminated: nothing can move.
+                self._leaf(state)
+
+            if self._persistent is not None:
+                candidates = self._persistent.persistent_choices(run)
+            else:
+                candidates = enabled
+            sigs = [signature_of(p) for p in candidates]
+            filtered: list[Process] = []
+            filtered_sigs: list[TransitionSig | None] = []
+            for process, sig in zip(candidates, sigs):
+                if sig is not None and sig in current_sleep:
+                    continue
+                filtered.append(process)
+                filtered_sigs.append(sig)
+            if not filtered:
+                # All moves are asleep: this subtree is covered elsewhere.
+                self._leaf(state)
+
+            point = self._choice(
+                state,
+                "schedule",
+                [p.name for p in filtered],
+                current_sleep,
+                filtered_sigs,
+            )
+            chosen_name = point.chosen
+            chosen = next(p for p in run.processes if p.name == chosen_name)
+            chosen_sig = point.sigs[point.index] if point.sigs else signature_of(chosen)
+            state.choices.append(ScheduleChoice(chosen_name))
+
+            request = chosen.visible_request
+            detail = ""
+            obj_name = request.obj.name if request.obj is not None else None
+            outcome = run.execute_visible(chosen)
+            if state.fresh:
+                report.transitions_executed += 1
+            state.steps.append(
+                TraceStep(chosen_name, request.op, obj_name, detail)
+            )
+            depth += 1
+            if outcome is not None and outcome.violated and state.fresh:
+                if len(report.violations) < self._max_events:
+                    report.violations.append(
+                        AssertionViolationEvent(
+                            state.trace(),
+                            outcome.process,
+                            outcome.proc_name,
+                            outcome.node_id,
+                        )
+                    )
+                else:
+                    report.violations.append(
+                        AssertionViolationEvent(
+                            Trace((), ()), outcome.process, outcome.proc_name, outcome.node_id
+                        )
+                    )
+            self._note_broken_processes(state)
+            if self._stop_on_first and not report.ok:
+                self._leaf(state)
+
+            # Sleep set carried into the successor state.
+            if chosen_sig is not None:
+                explored = [
+                    sig
+                    for sig in point.sigs[: point.index]
+                    if sig is not None
+                ]
+                current_sleep = augment_sleep(point.sleep, explored, chosen_sig)
+            else:
+                current_sleep = frozenset()
+
+    # -- choice handling ---------------------------------------------------------------
+
+    def _choice(
+        self,
+        state: "_ExecState",
+        kind: str,
+        alternatives: list[Any],
+        sleep: frozenset[TransitionSig],
+        sigs: list[TransitionSig | None],
+    ) -> _ChoicePoint:
+        if state.ptr < len(state.stack):
+            point = state.stack[state.ptr]
+            state.ptr += 1
+            if point.kind != kind:
+                raise RuntimeError(
+                    "replay divergence: expected a "
+                    f"{point.kind} choice, got {kind} — the runtime is not deterministic"
+                )
+            return point
+        point = _ChoicePoint(kind=kind, alternatives=alternatives, sleep=sleep, sigs=sigs)
+        if kind == "toss":
+            # Counted at creation so replays do not double-count.
+            state.report.toss_points += 1
+        state.stack.append(point)
+        state.ptr += 1
+        return point
+
+    def _leaf(self, state: "_ExecState") -> None:
+        if self._on_leaf is not None and state.fresh:
+            self._on_leaf(state.run, state.trace())
+        raise _Leaf()
+
+    def _note_broken_processes(self, state: "_ExecState") -> None:
+        report = state.report
+        for process in state.run.processes:
+            if process.name in state.noted_broken:
+                continue
+            if process.status is ProcessStatus.CRASHED:
+                state.noted_broken.add(process.name)
+                if state.fresh and len(report.crashes) < self._max_events:
+                    report.crashes.append(
+                        CrashEvent(state.trace(), process.name, str(process.crash))
+                    )
+                elif state.fresh:
+                    report.crashes.append(CrashEvent(Trace((), ()), process.name, ""))
+            elif process.status is ProcessStatus.DIVERGED:
+                state.noted_broken.add(process.name)
+                if state.fresh and len(report.divergences) < self._max_events:
+                    report.divergences.append(DivergenceEvent(state.trace(), process.name))
+                elif state.fresh:
+                    report.divergences.append(DivergenceEvent(Trace((), ()), process.name))
+
+
+def _blocked_info(run: Run) -> tuple[tuple[str, ...], tuple[tuple[str, str, str | None], ...]]:
+    """Names and pending-operation details of the blocked processes."""
+    blocked = []
+    waiting = []
+    for process in run.processes:
+        if process.status is ProcessStatus.AT_VISIBLE:
+            blocked.append(process.name)
+            request = process.visible_request
+            obj = request.obj.name if request.obj is not None else None
+            waiting.append((process.name, request.op, obj))
+    return tuple(blocked), tuple(waiting)
+
+
+@dataclass
+class _ExecState:
+    """Mutable state of one (re-)execution."""
+
+    run: Run
+    stack: list[_ChoicePoint]
+    replay_len: int
+    report: ExplorationReport
+    ptr: int = 0
+    choices: list[Choice] = field(default_factory=list)
+    steps: list[TraceStep] = field(default_factory=list)
+    noted_broken: set[str] = field(default_factory=set)
+
+    @property
+    def fresh(self) -> bool:
+        """Whether execution has passed the replayed prefix (events and
+        statistics are only recorded on fresh ground, so replays do not
+        double-count)."""
+        return self.ptr >= self.replay_len
+
+    def trace(self) -> Trace:
+        return Trace(tuple(self.choices), tuple(self.steps))
+
+
+def explore(
+    system: System,
+    max_depth: int = 100,
+    por: bool = True,
+    **kwargs,
+) -> ExplorationReport:
+    """One-call exploration of a closed system."""
+    return Explorer(system, max_depth=max_depth, por=por, **kwargs).run()
+
+
+def replay(system: System, trace: Trace) -> Run:
+    """Re-execute ``trace`` on a fresh run of ``system`` and return the
+    resulting :class:`Run` (for inspecting stores, sink outputs, ...)."""
+    run = system.start()
+    run.start_processes()
+    for choice in trace.choices:
+        if isinstance(choice, TossChoice):
+            process = run.toss_pending()
+            if process is None or process.name != choice.process:
+                raise RuntimeError(f"replay mismatch at toss choice {choice}")
+            run.answer_toss(process, choice.value)
+        else:
+            process = next(p for p in run.processes if p.name == choice.process)
+            run.execute_visible(process)
+    return run
+
+
+def collect_output_traces(
+    system: System,
+    sink: str,
+    max_depth: int = 200,
+    max_paths: int | None = None,
+) -> set[tuple]:
+    """All visible output traces of ``system`` on environment sink ``sink``.
+
+    Explores every path (partial-order reduction off, so every
+    interleaving's outputs are observed) and collects the sink's output
+    sequence at each leaf.  Used by the Figure 2/3 behaviour-equivalence
+    experiments.
+    """
+    traces: set[tuple] = set()
+
+    def on_leaf(run: Run, _trace: Trace) -> None:
+        traces.add(tuple(run.env_outputs(sink)))
+
+    explorer = Explorer(
+        system,
+        max_depth=max_depth,
+        por=False,
+        max_paths=max_paths,
+        on_leaf=on_leaf,
+    )
+    explorer.run()
+    return traces

@@ -1,0 +1,134 @@
+"""Random-walk exploration: VeriSoft's lightweight testing mode.
+
+For state spaces far beyond exhaustive reach (the paper's real target
+was an application of hundreds of thousands of lines), a cheap
+complement to bounded-exhaustive search is running many independent
+random walks: at every global state pick a random enabled process, at
+every ``VS_toss`` a random value.  No coverage guarantee, but events
+found are real and come with the same replayable traces.
+
+Deterministic per seed (the runtime is deterministic and the only
+randomness is the seeded PRNG), so a failing walk can be re-run exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..runtime.process import ProcessStatus
+from ..runtime.system import System
+from .results import (
+    AssertionViolationEvent,
+    CrashEvent,
+    DeadlockEvent,
+    DivergenceEvent,
+    ExplorationReport,
+    ScheduleChoice,
+    TossChoice,
+    Trace,
+    TraceStep,
+)
+
+
+def random_walks(
+    system: System,
+    walks: int = 100,
+    max_depth: int = 1000,
+    seed: int = 0,
+    max_events: int = 25,
+    stop_on_first: bool = False,
+) -> ExplorationReport:
+    """Run ``walks`` independent random executions of ``system``.
+
+    Returns an :class:`ExplorationReport`; ``paths_explored`` counts the
+    walks.  Unlike the exhaustive explorer, revisited states are neither
+    detected nor avoided.
+    """
+    rng = random.Random(seed)
+    report = ExplorationReport()
+
+    for _ in range(walks):
+        run = system.start()
+        run.start_processes()
+        choices: list = []
+        steps: list[TraceStep] = []
+        noted: set[str] = set()
+        depth = 0
+
+        def note_broken() -> None:
+            for process in run.processes:
+                if process.name in noted:
+                    continue
+                if process.status is ProcessStatus.CRASHED:
+                    noted.add(process.name)
+                    if len(report.crashes) < max_events:
+                        report.crashes.append(
+                            CrashEvent(
+                                Trace(tuple(choices), tuple(steps)),
+                                process.name,
+                                str(process.crash),
+                            )
+                        )
+                elif process.status is ProcessStatus.DIVERGED:
+                    noted.add(process.name)
+                    if len(report.divergences) < max_events:
+                        report.divergences.append(
+                            DivergenceEvent(
+                                Trace(tuple(choices), tuple(steps)), process.name
+                            )
+                        )
+
+        note_broken()
+        while depth < max_depth:
+            tossing = run.toss_pending()
+            if tossing is not None:
+                value = rng.randint(0, tossing.toss_request.bound)
+                choices.append(TossChoice(tossing.name, value))
+                run.answer_toss(tossing, value)
+                note_broken()
+                continue
+
+            report.states_visited += 1
+            if run.is_deadlock():
+                if len(report.deadlocks) < max_events:
+                    from .explorer import _blocked_info
+
+                    blocked, waiting = _blocked_info(run)
+                    report.deadlocks.append(
+                        DeadlockEvent(
+                            Trace(tuple(choices), tuple(steps)), blocked, waiting
+                        )
+                    )
+                break
+            enabled = run.enabled_processes()
+            if not enabled:
+                break
+
+            chosen = rng.choice(enabled)
+            request = chosen.visible_request
+            choices.append(ScheduleChoice(chosen.name))
+            obj_name = request.obj.name if request.obj is not None else None
+            outcome = run.execute_visible(chosen)
+            steps.append(TraceStep(chosen.name, request.op, obj_name))
+            report.transitions_executed += 1
+            depth += 1
+            if outcome is not None and outcome.violated:
+                if len(report.violations) < max_events:
+                    report.violations.append(
+                        AssertionViolationEvent(
+                            Trace(tuple(choices), tuple(steps)),
+                            outcome.process,
+                            outcome.proc_name,
+                            outcome.node_id,
+                        )
+                    )
+            note_broken()
+        else:
+            report.truncated = True
+
+        report.max_depth_reached = max(report.max_depth_reached, depth)
+        report.paths_explored += 1
+        if stop_on_first and not report.ok:
+            break
+
+    return report

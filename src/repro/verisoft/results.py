@@ -1,0 +1,163 @@
+"""Exploration results: events, traces and the final report.
+
+VeriSoft reports deadlocks and assertion violations together with a
+scenario that reproduces them; our :class:`Trace` plays the same role —
+it is the exact sequence of scheduling and toss choices, so feeding it
+back through the deterministic runtime replays the buggy execution
+(:func:`repro.verisoft.explorer.replay`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleChoice:
+    """At a global state, run this process's next visible operation."""
+
+    process: str
+
+    def describe(self) -> str:
+        return f"run {self.process}"
+
+
+@dataclass(frozen=True, slots=True)
+class TossChoice:
+    """Answer the pending ``VS_toss`` of ``process`` with ``value``."""
+
+    process: str
+    value: int
+
+    def describe(self) -> str:
+        return f"{self.process}: VS_toss -> {self.value}"
+
+
+Choice = ScheduleChoice | TossChoice
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One executed visible operation, for human-readable scenarios."""
+
+    process: str
+    op: str
+    obj: str | None
+    detail: str = ""
+
+    def describe(self) -> str:
+        where = f" on {self.obj}" if self.obj else ""
+        extra = f" {self.detail}" if self.detail else ""
+        return f"{self.process}: {self.op}{where}{extra}"
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """A replayable exploration path."""
+
+    choices: tuple[Choice, ...]
+    steps: tuple[TraceStep, ...]
+
+    def describe(self) -> str:
+        return "\n".join(step.describe() for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlockEvent:
+    """A reachable global state where no process can make progress."""
+
+    trace: Trace
+    blocked: tuple[str, ...]  # names of the processes waiting forever
+    #: For each blocked process: (name, pending op, object name or None).
+    waiting: tuple[tuple[str, str, str | None], ...] = ()
+
+    def describe(self) -> str:
+        if self.waiting:
+            details = ", ".join(
+                f"{name} on {op}({obj})" if obj else f"{name} on {op}"
+                for name, op, obj in self.waiting
+            )
+        else:
+            details = ", ".join(self.blocked)
+        return f"deadlock (blocked: {details}) after:\n{self.trace.describe()}"
+
+
+@dataclass(frozen=True, slots=True)
+class AssertionViolationEvent:
+    """A ``VS_assert`` whose subject evaluated to false."""
+
+    trace: Trace
+    process: str
+    proc_name: str
+    node_id: int
+
+    def describe(self) -> str:
+        return (
+            f"assertion violated in {self.process} "
+            f"({self.proc_name}, node {self.node_id}) after:\n{self.trace.describe()}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """A process hit a runtime fault (C-style unspecified behaviour)."""
+
+    trace: Trace
+    process: str
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class DivergenceEvent:
+    """A process exceeded the invisible-step budget (footnote 1)."""
+
+    trace: Trace
+    process: str
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate statistics and findings of one exploration."""
+
+    #: Global states encountered, counting revisits (the stateless search
+    #: does not know when it re-reaches a state).
+    states_visited: int = 0
+    #: Distinct global states, when state counting was enabled.
+    distinct_states: int | None = None
+    transitions_executed: int = 0
+    toss_points: int = 0
+    paths_explored: int = 0
+    max_depth_reached: int = 0
+    #: True when a depth/path/transition bound cut the search short.
+    truncated: bool = False
+
+    deadlocks: list[DeadlockEvent] = field(default_factory=list)
+    violations: list[AssertionViolationEvent] = field(default_factory=list)
+    crashes: list[CrashEvent] = field(default_factory=list)
+    divergences: list[DivergenceEvent] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No deadlock, violation, crash or divergence found."""
+        return not (self.deadlocks or self.violations or self.crashes or self.divergences)
+
+    def summary(self) -> str:
+        parts = [
+            f"paths={self.paths_explored}",
+            f"states={self.states_visited}",
+            f"transitions={self.transitions_executed}",
+        ]
+        if self.distinct_states is not None:
+            parts.append(f"distinct={self.distinct_states}")
+        parts.append(f"deadlocks={len(self.deadlocks)}")
+        parts.append(f"violations={len(self.violations)}")
+        if self.crashes:
+            parts.append(f"crashes={len(self.crashes)}")
+        if self.divergences:
+            parts.append(f"divergences={len(self.divergences)}")
+        if self.truncated:
+            parts.append("TRUNCATED")
+        return " ".join(parts)

@@ -1,0 +1,215 @@
+"""Tests for CFG construction."""
+
+import pytest
+
+from repro.cfg import (
+    BoolGuard,
+    CaseGuard,
+    CfgError,
+    DefaultGuard,
+    NodeKind,
+    build_cfgs,
+)
+from repro.lang.parser import parse_program
+
+
+def cfg_of(source, proc="main"):
+    return build_cfgs(parse_program(source))[proc]
+
+
+def kinds(cfg):
+    counts = {}
+    for node in cfg:
+        counts[node.kind] = counts.get(node.kind, 0) + 1
+    return counts
+
+
+class TestStraightLine:
+    def test_empty_proc(self):
+        cfg = cfg_of("proc main() { }")
+        # START -> implicit RETURN
+        assert kinds(cfg) == {NodeKind.START: 1, NodeKind.RETURN: 1}
+        assert cfg.arc_count() == 1
+
+    def test_sequence_of_assignments(self):
+        cfg = cfg_of("proc main() { var a = 1; var b = 2; a = b; }")
+        assert kinds(cfg)[NodeKind.ASSIGN] == 3
+        cfg.validate()
+
+    def test_skip_produces_no_node(self):
+        cfg = cfg_of("proc main() { skip; skip; }")
+        assert kinds(cfg) == {NodeKind.START: 1, NodeKind.RETURN: 1}
+
+    def test_explicit_return_no_implicit_one(self):
+        cfg = cfg_of("proc main() { return; }")
+        assert kinds(cfg)[NodeKind.RETURN] == 1
+
+    def test_exit_node(self):
+        cfg = cfg_of("proc main() { exit; }")
+        assert kinds(cfg)[NodeKind.EXIT] == 1
+        assert NodeKind.RETURN not in kinds(cfg)
+
+    def test_dead_code_after_return_dropped(self):
+        cfg = cfg_of("proc main() { return; var a = 1; }")
+        assert NodeKind.ASSIGN not in kinds(cfg)
+
+
+class TestConditionals:
+    def test_if_has_true_and_false_arcs(self):
+        cfg = cfg_of("proc main(x) { if (x == 1) { var a = 1; } }")
+        cond = cfg.nodes_of_kind(NodeKind.COND)[0]
+        guards = {arc.guard for arc in cfg.successors(cond.id)}
+        assert guards == {BoolGuard(True), BoolGuard(False)}
+
+    def test_if_else_merge(self):
+        cfg = cfg_of(
+            "proc main(x) { if (x == 1) { var a = 1; } else { var b = 2; } var c = 3; }"
+        )
+        # both branch assignments flow into the same join assignment
+        join = next(
+            n
+            for n in cfg.nodes_of_kind(NodeKind.ASSIGN)
+            if n.target.ident == "c"
+        )
+        assert len(cfg.predecessors(join.id)) == 2
+
+    def test_both_branches_return(self):
+        cfg = cfg_of(
+            "proc main(x) { if (x == 1) { return; } else { return; } }"
+        )
+        assert kinds(cfg)[NodeKind.RETURN] == 2
+
+    def test_switch_guards(self):
+        cfg = cfg_of(
+            """
+            proc main(x) {
+                switch (x) {
+                case 1: var a = 1;
+                case 'msg': var b = 2;
+                default: var c = 3;
+                }
+            }
+            """
+        )
+        cond = cfg.nodes_of_kind(NodeKind.COND)[0]
+        guards = [arc.guard for arc in cfg.successors(cond.id)]
+        case_values = {g.value for g in guards if isinstance(g, CaseGuard)}
+        assert case_values == {1, "msg"}
+        assert sum(isinstance(g, DefaultGuard) for g in guards) == 1
+
+    def test_switch_without_default_still_has_default_arc(self):
+        cfg = cfg_of("proc main(x) { switch (x) { case 1: var a = 1; } var z = 0; }")
+        cond = cfg.nodes_of_kind(NodeKind.COND)[0]
+        guards = [arc.guard for arc in cfg.successors(cond.id)]
+        assert any(isinstance(g, DefaultGuard) for g in guards)
+
+
+class TestLoops:
+    def test_while_loop_back_arc(self):
+        cfg = cfg_of("proc main() { var i = 0; while (i < 3) { i = i + 1; } }")
+        cond = cfg.nodes_of_kind(NodeKind.COND)[0]
+        incr = next(
+            n for n in cfg.nodes_of_kind(NodeKind.ASSIGN) if n.describe() == "i = i + 1"
+        )
+        assert any(arc.dst == cond.id for arc in cfg.successors(incr.id))
+
+    def test_break_exits_loop(self):
+        cfg = cfg_of(
+            "proc main() { while (true) { break; } var a = 1; }"
+        )
+        cond = cfg.nodes_of_kind(NodeKind.COND)[0]
+        after = next(n for n in cfg.nodes_of_kind(NodeKind.ASSIGN))
+        preds = {arc.src for arc in cfg.predecessors(after.id)}
+        assert cond.id in preds  # via break edge or false edge
+
+    def test_continue_targets_loop_head(self):
+        cfg = cfg_of(
+            """
+            proc main() {
+                var i = 0;
+                while (i < 5) {
+                    i = i + 1;
+                    if (i == 2) { continue; }
+                    send(out, i);
+                }
+            }
+            """
+        )
+        # the loop-head COND must have >= 3 predecessors: init, loop end,
+        # and the continue
+        head = cfg.nodes_of_kind(NodeKind.COND)[0]
+        assert len(cfg.predecessors(head.id)) >= 3
+
+    def test_nested_loop_break_binds_inner(self):
+        cfg = cfg_of(
+            """
+            proc main() {
+                var i = 0;
+                while (i < 2) {
+                    while (true) { break; }
+                    i = i + 1;
+                }
+            }
+            """
+        )
+        cfg.validate()
+
+    def test_infinite_loop_keeps_syntactic_exit(self):
+        cfg = cfg_of("proc main() { while (true) { var x = 1; } }")
+        # Guards are not constant-folded: the false branch exists
+        # syntactically (out-arc guards must be exhaustive), so the
+        # implicit return is still built.
+        assert kinds(cfg)[NodeKind.RETURN] == 1
+        cfg.validate()
+
+
+class TestCalls:
+    def test_call_node_payload(self):
+        cfg = cfg_of("proc main() { var r; r = f(1, 2); } proc f(a, b) { return a; }")
+        call = cfg.nodes_of_kind(NodeKind.CALL)[0]
+        assert call.callee == "f"
+        assert len(call.args) == 2
+        assert call.result is not None
+
+    def test_builtin_call_node(self):
+        cfg = cfg_of("proc main() { send(box, 1); }")
+        call = cfg.nodes_of_kind(NodeKind.CALL)[0]
+        assert call.callee == "send"
+
+
+class TestValidation:
+    def test_validate_passes_on_all_samples(self):
+        for source in [
+            "proc main() { }",
+            "proc main(x) { if (x == 1) { return; } }",
+            "proc main() { var i = 0; while (i < 3) { i = i + 1; } }",
+            "proc main(x) { switch (x) { case 1: skip; default: skip; } }",
+        ]:
+            cfg_of(source).validate()
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CfgError):
+            cfg_of("proc main() { break; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(CfgError):
+            cfg_of("proc main() { continue; }")
+
+    def test_max_out_degree(self):
+        cfg = cfg_of(
+            """
+            proc main(x) {
+                switch (x) {
+                case 1: skip;
+                case 2: skip;
+                case 3: skip;
+                default: skip;
+                }
+            }
+            """
+        )
+        assert cfg.max_out_degree() == 4
+
+    def test_start_has_no_predecessors(self):
+        cfg = cfg_of("proc main() { var i = 0; while (true) { i = i + 1; } }")
+        assert cfg.predecessors(cfg.start_id) == []

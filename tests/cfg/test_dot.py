@@ -1,0 +1,38 @@
+"""Tests for DOT export."""
+
+from repro.cfg import build_cfgs, to_dot
+from repro.lang.parser import parse_program
+
+
+def cfg_of(source, proc="main"):
+    return build_cfgs(parse_program(source))[proc]
+
+
+def test_dot_contains_all_nodes_and_arcs():
+    cfg = cfg_of("proc main(x) { if (x == 1) { send(out, 1); } }")
+    dot = to_dot(cfg)
+    for node in cfg:
+        assert f"n{node.id} [" in dot
+    assert dot.count("->") == cfg.arc_count()
+
+
+def test_dot_guard_labels_present():
+    cfg = cfg_of("proc main(x) { if (x == 1) { send(out, 1); } }")
+    dot = to_dot(cfg)
+    assert 'label="true"' in dot
+    assert 'label="false"' in dot
+
+
+def test_dot_highlight():
+    from repro.cfg import NodeKind
+
+    cfg = cfg_of("proc main() { var a = 1; }")
+    assign = cfg.nodes_of_kind(NodeKind.ASSIGN)[0]
+    dot = to_dot(cfg, highlight={assign.id})
+    assert "fillcolor" in dot
+
+
+def test_dot_escapes_quotes():
+    cfg = cfg_of("proc main() { send(out, 'a\"b'); }")
+    dot = to_dot(cfg)
+    assert '\\"' in dot

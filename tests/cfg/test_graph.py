@@ -1,0 +1,150 @@
+"""Tests for the ControlFlowGraph container itself."""
+
+import pytest
+
+from repro.cfg import (
+    ALWAYS,
+    BoolGuard,
+    CfgError,
+    ControlFlowGraph,
+    NodeKind,
+    TossGuard,
+    copy_cfg,
+)
+from repro.lang import ast
+
+
+def linear_cfg():
+    cfg = ControlFlowGraph(proc_name="p")
+    start = cfg.new_node(NodeKind.START)
+    assign = cfg.new_node(
+        NodeKind.ASSIGN, target=ast.Name("x"), value=ast.IntLit(1)
+    )
+    ret = cfg.new_node(NodeKind.RETURN)
+    cfg.add_arc(start.id, assign.id, ALWAYS)
+    cfg.add_arc(assign.id, ret.id, ALWAYS)
+    return cfg
+
+
+class TestConstruction:
+    def test_ids_are_unique_and_sequential(self):
+        cfg = linear_cfg()
+        assert sorted(cfg.nodes) == [0, 1, 2]
+
+    def test_duplicate_start_rejected(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        cfg.new_node(NodeKind.START)
+        with pytest.raises(CfgError):
+            cfg.new_node(NodeKind.START)
+
+    def test_arc_to_missing_node_rejected(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        start = cfg.new_node(NodeKind.START)
+        with pytest.raises(CfgError):
+            cfg.add_arc(start.id, 99, ALWAYS)
+
+    def test_adjacency(self):
+        cfg = linear_cfg()
+        assert [a.dst for a in cfg.successors(0)] == [1]
+        assert [a.src for a in cfg.predecessors(2)] == [1]
+
+
+class TestValidation:
+    def test_valid_linear_graph(self):
+        linear_cfg().validate()
+
+    def test_missing_start(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        node = cfg.new_node(NodeKind.RETURN)
+        with pytest.raises(CfgError):
+            cfg.validate()
+
+    def test_terminal_with_out_arc_rejected(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        start = cfg.new_node(NodeKind.START)
+        ret = cfg.new_node(NodeKind.RETURN)
+        cfg.add_arc(start.id, ret.id, ALWAYS)
+        cfg.add_arc(ret.id, start.id, ALWAYS)
+        with pytest.raises(CfgError):
+            cfg.validate()
+
+    def test_nonterminal_without_out_arc_rejected(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        start = cfg.new_node(NodeKind.START)
+        assign = cfg.new_node(NodeKind.ASSIGN, target=ast.Name("x"), value=ast.IntLit(0))
+        cfg.add_arc(start.id, assign.id, ALWAYS)
+        with pytest.raises(CfgError):
+            cfg.validate()
+
+    def test_cond_must_cover_both_branches(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        start = cfg.new_node(NodeKind.START)
+        cond = cfg.new_node(NodeKind.COND, expr=ast.BoolLit(True))
+        ret = cfg.new_node(NodeKind.RETURN)
+        cfg.add_arc(start.id, cond.id, ALWAYS)
+        cfg.add_arc(cond.id, ret.id, BoolGuard(True))
+        with pytest.raises(CfgError):
+            cfg.validate()
+
+    def test_toss_guards_must_cover_range(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        start = cfg.new_node(NodeKind.START)
+        toss = cfg.new_node(NodeKind.TOSS, bound=1)
+        ret = cfg.new_node(NodeKind.RETURN)
+        cfg.add_arc(start.id, toss.id, ALWAYS)
+        cfg.add_arc(toss.id, ret.id, TossGuard(0))
+        with pytest.raises(CfgError):
+            cfg.validate()
+        cfg.add_arc(toss.id, ret.id, TossGuard(1))
+        cfg.validate()
+
+    def test_start_with_incoming_rejected(self):
+        cfg = ControlFlowGraph(proc_name="p")
+        start = cfg.new_node(NodeKind.START)
+        assign = cfg.new_node(NodeKind.ASSIGN, target=ast.Name("x"), value=ast.IntLit(0))
+        cfg.add_arc(start.id, assign.id, ALWAYS)
+        cfg.add_arc(assign.id, start.id, ALWAYS)
+        with pytest.raises(CfgError):
+            cfg.validate()
+
+
+class TestQueries:
+    def test_reachable_from_start(self):
+        cfg = linear_cfg()
+        orphan = cfg.new_node(NodeKind.ASSIGN, target=ast.Name("z"), value=ast.IntLit(0))
+        assert orphan.id not in cfg.reachable_from_start()
+        assert cfg.start_id in cfg.reachable_from_start()
+
+    def test_prune_unreachable(self):
+        cfg = linear_cfg()
+        orphan = cfg.new_node(NodeKind.ASSIGN, target=ast.Name("z"), value=ast.IntLit(0))
+        removed = cfg.prune_unreachable()
+        assert removed == 1
+        assert orphan.id not in cfg.nodes
+        cfg.validate()
+
+    def test_nodes_of_kind(self):
+        cfg = linear_cfg()
+        assert len(cfg.nodes_of_kind(NodeKind.ASSIGN)) == 1
+        assert len(cfg.nodes_of_kind(NodeKind.ASSIGN, NodeKind.RETURN)) == 2
+
+
+class TestCopy:
+    def test_copy_is_deep_for_structure(self):
+        cfg = linear_cfg()
+        clone = copy_cfg(cfg)
+        clone.nodes[1].value = ast.IntLit(99)
+        assert cfg.nodes[1].value.value == 1
+
+    def test_copy_preserves_arcs_and_start(self):
+        cfg = linear_cfg()
+        clone = copy_cfg(cfg)
+        assert clone.start_id == cfg.start_id
+        assert [(a.src, a.dst) for a in clone.arcs] == [(a.src, a.dst) for a in cfg.arcs]
+        clone.validate()
+
+    def test_copy_allows_extension(self):
+        cfg = linear_cfg()
+        clone = copy_cfg(cfg)
+        extra = clone.new_node(NodeKind.EXIT)
+        assert extra.id not in cfg.nodes

@@ -1,0 +1,93 @@
+"""Unit tests for CFG node and guard descriptions."""
+
+import pytest
+
+from repro.cfg import (
+    ALWAYS,
+    AlwaysGuard,
+    BoolGuard,
+    CaseGuard,
+    DefaultGuard,
+    NodeKind,
+    TossGuard,
+)
+from repro.cfg.nodes import Arc, CfgNode
+from repro.lang import ast
+
+
+class TestGuardDescriptions:
+    def test_always(self):
+        assert ALWAYS.describe() == "always"
+        assert AlwaysGuard() == ALWAYS  # frozen dataclass equality
+
+    def test_bool(self):
+        assert BoolGuard(True).describe() == "true"
+        assert BoolGuard(False).describe() == "false"
+
+    def test_case(self):
+        assert CaseGuard(3).describe() == "case 3"
+        assert CaseGuard("tag").describe() == "case 'tag'"
+
+    def test_default(self):
+        assert DefaultGuard().describe() == "default"
+
+    def test_toss(self):
+        assert TossGuard(2).describe() == "toss == 2"
+
+    def test_guards_hashable(self):
+        {ALWAYS, BoolGuard(True), CaseGuard(1), DefaultGuard(), TossGuard(0)}
+
+
+class TestNodeDescriptions:
+    def test_start(self):
+        assert CfgNode(0, NodeKind.START).describe() == "start"
+
+    def test_assign(self):
+        node = CfgNode(
+            1, NodeKind.ASSIGN, target=ast.Name("x"), value=ast.IntLit(5)
+        )
+        assert node.describe() == "x = 5"
+
+    def test_array_decl(self):
+        node = CfgNode(1, NodeKind.ASSIGN, target=ast.Name("a"), array_size=4)
+        assert node.describe() == "a = new_array(4)"
+
+    def test_cond(self):
+        node = CfgNode(
+            2,
+            NodeKind.COND,
+            expr=ast.Binary("<", ast.Name("i"), ast.IntLit(10)),
+        )
+        assert node.describe() == "cond i < 10"
+
+    def test_call_with_result(self):
+        node = CfgNode(
+            3,
+            NodeKind.CALL,
+            callee="recv",
+            args=(ast.StrLit("box"),),
+            result=ast.Name("v"),
+        )
+        assert node.describe() == "v = recv('box')"
+
+    def test_call_without_result(self):
+        node = CfgNode(3, NodeKind.CALL, callee="sem_v", args=(ast.StrLit("s"),))
+        assert node.describe() == "sem_v('s')"
+
+    def test_return_variants(self):
+        assert CfgNode(4, NodeKind.RETURN).describe() == "return"
+        assert (
+            CfgNode(4, NodeKind.RETURN, value=ast.Name("x")).describe() == "return x"
+        )
+
+    def test_exit(self):
+        assert CfgNode(5, NodeKind.EXIT).describe() == "exit"
+
+    def test_toss(self):
+        assert CfgNode(6, NodeKind.TOSS, bound=3).describe() == "cond VS_toss(3)"
+
+
+class TestArc:
+    def test_describe(self):
+        arc = Arc(1, 2, BoolGuard(True))
+        assert arc.describe() == "1 -[true]-> 2"

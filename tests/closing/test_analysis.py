@@ -1,0 +1,328 @@
+"""Tests for Steps 2–3 (V_I computation, marking) and the
+interprocedural environment-taint fixpoint — including the precision
+examples discussed in Section 5 of the paper."""
+
+import pytest
+
+from repro.cfg import NodeKind, build_cfgs
+from repro.closing import ClosingSpec, analyze_for_closing
+from repro.closing.errors import ClosingError
+from repro.lang.parser import parse_program
+
+
+def analyze(source, spec=None, **kwargs):
+    cfgs = build_cfgs(parse_program(source))
+    if spec is None and kwargs:
+        spec = ClosingSpec.make(**kwargs)
+    return analyze_for_closing(cfgs, spec)
+
+
+def node_by_desc(pa, fragment):
+    for node in pa.cfg:
+        if fragment in node.describe():
+            return node
+    raise AssertionError(f"no node matching {fragment!r}")
+
+
+class TestPaperSection5Examples:
+    def test_direct_dependence_chain(self):
+        """First Section 5 example: a, b, c all functionally dependent."""
+        analysis = analyze(
+            "proc p(x) { var a = x % 2; var b = a + 1; var c = b; }",
+            env_params={"p": ["x"]},
+        )
+        pa = analysis.procs["p"]
+        for fragment in ("a = x % 2", "b = a + 1", "c = b"):
+            assert node_by_desc(pa, fragment).id in pa.n_i, fragment
+
+    def test_control_dependence_does_not_taint_data(self):
+        """Second Section 5 example: a, b, c are NOT functionally
+        dependent — only the conditional consults the environment."""
+        analysis = analyze(
+            """
+            proc p(x) {
+                var a = 0;
+                var b;
+                if (x > 0) { b = a - 1; } else { b = a + 1; }
+                var c = b;
+            }
+            """,
+            env_params={"p": ["x"]},
+        )
+        pa = analysis.procs["p"]
+        cond = node_by_desc(pa, "cond x > 0")
+        assert cond.id in pa.n_i
+        assert cond.id not in pa.marked
+        for fragment in ("a = 0", "b = a - 1", "b = a + 1", "c = b"):
+            node = node_by_desc(pa, fragment)
+            assert node.id not in pa.n_i, fragment
+            assert node.id in pa.marked, fragment
+
+    def test_defuse_composition_imprecision(self):
+        """Third Section 5 example: `a=x+1; b=a-x` conservatively reports
+        b as dependent on x although the subtraction cancels — Lemma 1
+        covers this imprecision."""
+        analysis = analyze(
+            "proc p(x) { var a = x + 1; var b = a - x; var c = b; }",
+            env_params={"p": ["x"]},
+        )
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "b = a - x").id in pa.n_i
+        assert node_by_desc(pa, "c = b").id in pa.n_i  # monovariant closure
+
+
+class TestStep2ViComputation:
+    def test_vi_empty_without_env_inputs(self):
+        analysis = analyze("proc p() { var a = 1; var b = a + 1; }")
+        pa = analysis.procs["p"]
+        assert pa.n_i == frozenset()
+        assert all(not vi for vi in pa.vi.values())
+
+    def test_vi_contains_exact_variables(self):
+        analysis = analyze(
+            "proc p(x) { var a = x + 1; var b = 0; var c = a + b; }",
+            env_params={"p": ["x"]},
+        )
+        pa = analysis.procs["p"]
+        node = node_by_desc(pa, "c = a + b")
+        assert pa.vi_of(node.id) == {"a"}
+
+    def test_env_call_result_is_env_defined(self):
+        analysis = analyze(
+            "extern proc env(); proc p() { var v; v = env(); var w = v + 1; }"
+        )
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "w = v + 1").id in pa.n_i
+
+    def test_untainted_siblings_unaffected(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc p() {
+                var v;
+                v = env();
+                var pure = 10;
+                var derived = pure * 2;
+                var dirty = v + pure;
+            }
+            """
+        )
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "derived = pure * 2").id not in pa.n_i
+        assert node_by_desc(pa, "dirty = v + pure").id in pa.n_i
+
+    def test_strong_redefinition_clears_taint(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc p() {
+                var v;
+                v = env();
+                v = 5;
+                var w = v;
+            }
+            """
+        )
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "w = v").id not in pa.n_i
+
+
+class TestStep3Marking:
+    def test_start_and_termination_always_marked(self):
+        analysis = analyze("proc p(x) { return x; }", env_params={"p": ["x"]})
+        pa = analysis.procs["p"]
+        assert pa.cfg.start_id in pa.marked
+        for node in pa.cfg.nodes_of_kind(NodeKind.RETURN, NodeKind.EXIT):
+            assert node.id in pa.marked
+
+    def test_system_calls_marked_even_when_tainted(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc helper(v) { }
+            proc p() { var v; v = env(); helper(v); send(c, v); }
+            """
+        )
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "helper").id in pa.marked
+        assert node_by_desc(pa, "send").id in pa.marked
+
+    def test_environment_calls_unmarked(self):
+        analysis = analyze("extern proc env(); proc p() { var v; v = env(); }")
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "env()").id not in pa.marked
+
+    def test_tainted_assign_and_cond_unmarked(self):
+        analysis = analyze(
+            "proc p(x) { var y = x % 2; if (y == 0) { send(c, 1); } }",
+            env_params={"p": ["x"]},
+        )
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "y = x % 2").id not in pa.marked
+        assert node_by_desc(pa, "cond y == 0").id not in pa.marked
+
+
+class TestInterproceduralFixpoint:
+    def test_tainted_argument_taints_callee_param(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc callee(v) { var w = v + 1; }
+            proc p() { var x; x = env(); callee(x); }
+            """
+        )
+        assert "v" in analysis.env_params["callee"]
+        pa = analysis.procs["callee"]
+        assert node_by_desc(pa, "w = v + 1").id in pa.n_i
+
+    def test_untainted_argument_does_not_taint(self):
+        analysis = analyze(
+            """
+            proc callee(v) { var w = v + 1; }
+            proc p() { callee(3); }
+            """
+        )
+        assert analysis.env_params["callee"] == frozenset()
+
+    def test_single_tainted_call_site_suffices(self):
+        # One clean call site and one tainted one: parameter still removed
+        # (the paper's note on Step 5).
+        analysis = analyze(
+            """
+            extern proc env();
+            proc callee(v) { var w = v + 1; }
+            proc p() { callee(3); var x; x = env(); callee(x); }
+            """
+        )
+        assert "v" in analysis.env_params["callee"]
+
+    def test_tainted_return_value_propagates(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc source() { var x; x = env(); return x; }
+            proc p() { var v; v = source(); var w = v * 2; }
+            """
+        )
+        assert "source" in analysis.env_returns
+        pa = analysis.procs["p"]
+        assert node_by_desc(pa, "w = v * 2").id in pa.n_i
+
+    def test_taint_through_transitive_calls(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc sink(v) { var w = v; }
+            proc middle(v) { sink(v); }
+            proc p() { var x; x = env(); middle(x); }
+            """
+        )
+        assert "v" in analysis.env_params["middle"]
+        assert "v" in analysis.env_params["sink"]
+
+    def test_pointer_arg_to_tainted_write_escapes(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc fill(p) { var x; x = env(); *p = x; }
+            proc main() { var slot = 0; fill(&slot); var y = slot + 1; }
+            """
+        )
+        assert "slot" in analysis.escaped_env_vars["main"]
+        pa = analysis.procs["main"]
+        assert node_by_desc(pa, "y = slot + 1").id in pa.n_i
+
+
+class TestObjectTaint:
+    def test_send_of_tainted_value_taints_channel(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc a() { var x; x = env(); send(box, x); }
+            proc b() { var v; v = recv(box); var w = v + 1; }
+            """
+        )
+        assert "box" in analysis.tainted_objects
+        pa = analysis.procs["b"]
+        assert node_by_desc(pa, "w = v + 1").id in pa.n_i
+
+    def test_clean_channel_not_tainted(self):
+        analysis = analyze(
+            """
+            proc a() { send(box, 1); }
+            proc b() { var v; v = recv(box); var w = v + 1; }
+            """
+        )
+        assert "box" not in analysis.tainted_objects
+        pa = analysis.procs["b"]
+        assert node_by_desc(pa, "w = v + 1").id not in pa.n_i
+
+    def test_shared_var_taint(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc a() { var x; x = env(); write(sv, x); }
+            proc b() { var v; v = read(sv); var w = v; }
+            """
+        )
+        assert "sv" in analysis.tainted_objects
+        assert node_by_desc(analysis.procs["b"], "w = v").id in analysis.procs["b"].n_i
+
+    def test_env_channel_recv_removed_and_tainted(self):
+        analysis = analyze(
+            "proc p() { var v; v = recv(inbox); var w = v; }",
+            env_channels=["inbox"],
+        )
+        pa = analysis.procs["p"]
+        recv = node_by_desc(pa, "recv")
+        assert recv.id not in pa.marked  # environment operation, removed
+        assert node_by_desc(pa, "w = v").id in pa.n_i
+
+    def test_send_to_env_channel_rejected(self):
+        with pytest.raises(ClosingError):
+            analyze("proc p() { send(inbox, 1); }", env_channels=["inbox"])
+
+    def test_unknown_object_taints_all_when_any_tainted(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc a(ch) { var x; x = env(); send(ch, x); }
+            proc b() { var v; v = recv(other); var w = v; }
+            """
+        )
+        assert analysis.all_objects_tainted
+        pa = analysis.procs["b"]
+        assert node_by_desc(pa, "w = v").id in pa.n_i
+
+    def test_object_binding_restores_precision(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc a(ch) { var x; x = env(); send(ch, x); }
+            proc b() { var v; v = recv(other); var w = v; }
+            """,
+            object_bindings={("a", "ch"): ["mine"]},
+        )
+        assert not analysis.all_objects_tainted
+        assert analysis.tainted_objects == {"mine"}
+        pa = analysis.procs["b"]
+        assert node_by_desc(pa, "w = v").id not in pa.n_i
+
+
+class TestFixpointBehavior:
+    def test_rounds_reported(self):
+        analysis = analyze("proc p() { var a = 1; }")
+        assert analysis.rounds >= 1
+
+    def test_mutual_recursion_converges(self):
+        analysis = analyze(
+            """
+            extern proc env();
+            proc even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            proc odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            proc p() { var x; x = env(); var r; r = even(x); }
+            """
+        )
+        assert "n" in analysis.env_params["even"]
+        assert "n" in analysis.env_params["odd"]
+        assert "even" in analysis.env_returns

@@ -1,0 +1,136 @@
+"""Tests for the dead-store-elimination pass on closed programs."""
+
+import pytest
+
+from tests.helpers import single_process_behaviors
+
+from repro import close_program
+from repro.cfg import NodeKind, build_cfgs
+from repro.closing.dce import eliminate_dead_stores
+from repro.closing.generators import generate_program
+from repro.lang.parser import parse_program
+
+
+def cfg_of(source, proc="main"):
+    return build_cfgs(parse_program(source))[proc]
+
+
+class TestBasicElimination:
+    def test_unused_assignment_removed(self):
+        cfg = cfg_of("proc main() { var dead = 42; send(out, 1); }")
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert stats.removed_assigns == 1
+        assert not any("dead" in n.describe() for n in pruned)
+
+    def test_used_assignment_kept(self):
+        cfg = cfg_of("proc main() { var live = 42; send(out, live); }")
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert stats.removed == 0
+
+    def test_chain_of_dead_stores_removed(self):
+        cfg = cfg_of(
+            "proc main() { var a = 1; var b = a + 1; var c = b + 1; send(out, 9); }"
+        )
+        pruned, stats = eliminate_dead_stores(cfg)
+        # c dead -> b dead -> a dead: the fixpoint gets all three.
+        assert stats.removed_assigns == 3
+
+    def test_overwritten_store_removed(self):
+        cfg = cfg_of("proc main() { var x = 1; x = 2; send(out, x); }")
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert stats.removed_assigns == 1
+        assert any("x = 2" in n.describe() for n in pruned)
+
+    def test_loop_carried_variable_kept(self):
+        cfg = cfg_of(
+            "proc main() { var i = 0; while (i < 3) { send(out, i); i = i + 1; } }"
+        )
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert stats.removed == 0
+
+    def test_address_taken_variable_kept(self):
+        cfg = cfg_of(
+            """
+            proc main() {
+                var x = 1;
+                var p = &x;
+                *p = 2;
+                send(out, *p);
+            }
+            """
+        )
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert not any(
+            n.kind is NodeKind.ASSIGN and "x = 1" == n.describe()
+            for n in pruned
+        ) or stats.removed == 0  # x pinned: either kept conservatively
+
+    def test_dead_toss_statement_removed(self):
+        cfg = cfg_of("proc main() { var t; t = VS_toss(3); send(out, 'hi'); }")
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert stats.removed_calls == 1
+        assert not any(n.callee == "VS_toss" for n in pruned.nodes_of_kind(NodeKind.CALL))
+
+    def test_visible_call_never_removed(self):
+        cfg = cfg_of("proc main() { var v; v = recv(ch); send(out, 'done'); }")
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert any(n.callee == "recv" for n in pruned.nodes_of_kind(NodeKind.CALL))
+        assert stats.removed_calls == 0
+
+    def test_user_call_never_removed(self):
+        cfg_map = build_cfgs(
+            parse_program(
+                "proc f() { send(out, 1); return 0; } proc main() { var v; v = f(); }"
+            )
+        )
+        pruned, stats = eliminate_dead_stores(cfg_map["main"])
+        assert any(n.callee == "f" for n in pruned.nodes_of_kind(NodeKind.CALL))
+
+    def test_value_feeding_condition_kept(self):
+        cfg = cfg_of(
+            "proc main() { var x = 1; if (x > 0) { send(out, 'p'); } }"
+        )
+        pruned, stats = eliminate_dead_stores(cfg)
+        assert stats.removed == 0
+
+
+class TestOnClosedPrograms:
+    def test_closing_residue_cleaned(self):
+        # After closing, the declaration of x (kept as `x = 0`) feeds
+        # nothing: DCE removes it.
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var x;
+                x = env();
+                if (x > 0) { send(out, 'p'); } else { send(out, 'n'); }
+            }
+            """
+        )
+        assert any("x = 0" in n.describe() for n in closed.cfgs["main"])
+        optimized = closed.optimize()
+        assert not any("x = 0" in n.describe() for n in optimized.cfgs["main"])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_behaviour_preserved_on_generated_programs(self, seed):
+        closed = close_program(generate_program(seed))
+        optimized = closed.optimize()
+        before = single_process_behaviors(closed.cfgs, "main", max_depth=80)
+        after = single_process_behaviors(optimized.cfgs, "main", max_depth=80)
+        assert before == after
+
+    def test_optimize_stats_recorded(self):
+        closed = close_program(
+            "extern proc env(); proc main() { var x; x = env(); send(out, 'k'); }",
+        )
+        optimized = closed.optimize()
+        assert "main" in optimized.optimize_stats
+
+    def test_optimize_flag_on_close_program(self):
+        closed = close_program(
+            "extern proc env(); proc main() { var x; x = env(); send(out, 'k'); }",
+            optimize=True,
+        )
+        assert closed.optimize_stats
+        closed.cfgs["main"].validate()

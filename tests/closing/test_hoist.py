@@ -1,0 +1,169 @@
+"""Tests for loop unswitching (the Section 5 hoisting suggestion)."""
+
+import pytest
+
+from tests.helpers import single_process_behaviors
+
+from repro import System, close_program, explore
+from repro.closing.generators import generate_program
+from repro.closing.hoist import unswitch_proc, unswitch_program
+from repro.lang import ast
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+
+FIG2 = """
+extern proc env();
+proc main() {
+    var x;
+    x = env();
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 10) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+
+def unswitched(source):
+    program = normalize_program(parse_program(source))
+    return unswitch_program(program)
+
+
+def paths_of(cfgs, proc="main"):
+    system = System(cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", proc, [])
+    return explore(system, max_depth=60, por=False).paths_explored
+
+
+class TestUnswitching:
+    def test_invariant_conditional_hoisted(self):
+        program, stats = unswitched(FIG2)
+        assert stats["main"].unswitched == 1
+        top_level = program.procs["main"].body
+        # The outermost statement structure now ends in an If over two
+        # specialised loops.
+        last = top_level[-1]
+        assert isinstance(last, ast.If)
+        assert any(isinstance(s, ast.While) for s in last.then_body)
+        assert any(isinstance(s, ast.While) for s in last.else_body)
+
+    def test_variant_conditional_not_hoisted(self):
+        program, stats = unswitched(
+            """
+            proc main(n) {
+                var i = 0;
+                while (i < n) {
+                    if (i % 2 == 0) { send(out, 'e'); } else { send(out, 'o'); }
+                    i = i + 1;
+                }
+            }
+            """
+        )
+        assert stats["main"].unswitched == 0
+
+    def test_address_taken_guard_not_hoisted(self):
+        program, stats = unswitched(
+            """
+            proc main(y) {
+                var p = &y;
+                var i = 0;
+                while (i < 3) {
+                    if (y == 0) { send(out, 'a'); }
+                    *p = *p + 1;
+                    i = i + 1;
+                }
+            }
+            """
+        )
+        assert stats["main"].unswitched == 0
+
+    def test_loop_with_break_not_unswitched(self):
+        program, stats = unswitched(
+            """
+            proc main(y) {
+                var i = 0;
+                while (i < 3) {
+                    if (y == 0) { send(out, 'a'); }
+                    if (i == 1) { break; }
+                    i = i + 1;
+                }
+            }
+            """
+        )
+        assert stats["main"].unswitched == 0
+
+    def test_guard_passed_to_user_call_not_hoisted(self):
+        program, stats = unswitched(
+            """
+            proc touch(v) { }
+            proc main(y) {
+                var i = 0;
+                while (i < 3) {
+                    if (y == 0) { send(out, 'a'); }
+                    touch(y);
+                    i = i + 1;
+                }
+            }
+            """
+        )
+        assert stats["main"].unswitched == 0
+
+    def test_budget_limits_growth(self):
+        source = """
+        proc main(a, b, c) {
+            var i = 0;
+            while (i < 2) {
+                if (a == 0) { send(out, 1); }
+                if (b == 0) { send(out, 2); }
+                if (c == 0) { send(out, 3); }
+                i = i + 1;
+            }
+        }
+        """
+        program = normalize_program(parse_program(source))
+        __, stats = unswitch_program(program, max_unswitches=2)
+        assert stats["main"].unswitched == 2
+
+    def test_behaviour_preserved(self):
+        program, _ = unswitched(FIG2)
+        # Compare under the naive closing with a tiny domain (both sides
+        # deterministic given the input).
+        from repro.closing import NaiveDomains, close_naively
+
+        before = close_naively(parse_program(FIG2), NaiveDomains(default=[0, 1, 2, 3]))
+        after = close_naively(program, NaiveDomains(default=[0, 1, 2, 3]))
+        assert single_process_behaviors(before.cfgs, "main") == (
+            single_process_behaviors(after.cfgs, "main")
+        )
+
+
+class TestHoistingFixesTemporalImprecision:
+    def test_figure2_paths_drop_from_1024_to_2(self):
+        plain = close_program(FIG2)
+        program, _ = unswitched(FIG2)
+        hoisted = close_program(program)
+        assert paths_of(plain.cfgs) == 1024
+        assert paths_of(hoisted.cfgs) == 2
+
+    def test_behaviour_superset_maintained(self):
+        # Hoisting before closing can only *tighten* the approximation:
+        # the hoisted closed program's behaviours are included in the
+        # plain closed program's.
+        plain = close_program(FIG2)
+        program, _ = unswitched(FIG2)
+        hoisted = close_program(program)
+        plain_traces = single_process_behaviors(plain.cfgs, "main")
+        hoisted_traces = single_process_behaviors(hoisted.cfgs, "main")
+        assert hoisted_traces <= plain_traces
+        assert hoisted_traces == {("even",) * 10, ("odd",) * 10}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_programs_closable_after_hoisting(self, seed):
+        source = generate_program(seed)
+        program, _ = unswitched(source)
+        closed = close_program(program)
+        for cfg in closed.cfgs.values():
+            cfg.validate()

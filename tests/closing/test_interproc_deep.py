@@ -1,0 +1,197 @@
+"""Deeper interprocedural taint scenarios: diamonds, cross-process
+chains, structured data, combined pointer/channel/return flows."""
+
+import pytest
+
+from tests.helpers import behavior_inclusion, single_process_behaviors
+
+from repro import System, close_naively, close_program, explore
+from repro.cfg import NodeKind, build_cfgs
+from repro.closing import NaiveDomains, analyze_for_closing
+from repro.lang.parser import parse_program
+
+
+def analyze(source, **kwargs):
+    from repro.closing import ClosingSpec
+
+    cfgs = build_cfgs(parse_program(source))
+    spec = ClosingSpec.make(**kwargs) if kwargs else None
+    return analyze_for_closing(cfgs, spec)
+
+
+class TestDiamondCallGraphs:
+    SOURCE = """
+    extern proc env();
+    proc leaf(v) { return v + 1; }
+    proc left() { var x; x = env(); return leaf(x); }
+    proc right() { return leaf(10); }
+    proc main() {
+        var a;
+        a = left();
+        var b;
+        b = right();
+        var c = b * 2;
+        if (a > 0) { send(out, c); } else { send(out, 0 - c); }
+    }
+    """
+
+    def test_shared_callee_tainted_by_one_caller(self):
+        analysis = analyze(self.SOURCE)
+        # leaf's parameter is tainted via left, so (context-insensitively)
+        # leaf's return taints right's result too.
+        assert "v" in analysis.env_params["leaf"]
+        assert "leaf" in analysis.env_returns
+        assert "right" in analysis.env_returns
+
+    def test_soundness_despite_merging(self):
+        closed = close_program(self.SOURCE)
+        naive = close_naively(self.SOURCE, NaiveDomains(default=[0, 3]))
+        open_traces = single_process_behaviors(naive.cfgs, "main")
+        closed_traces = single_process_behaviors(closed.cfgs, "main")
+        assert behavior_inclusion(open_traces, closed_traces)
+
+
+class TestCrossProcessChains:
+    def test_three_hop_channel_chain(self):
+        source = """
+        extern proc env();
+        proc stage1() { var x; x = env(); send(h1, x % 8); }
+        proc stage2() { var v; v = recv(h1); send(h2, v + 1); }
+        proc stage3() {
+            var v;
+            v = recv(h2);
+            if (v > 4) { send(out, 'hi'); } else { send(out, 'lo'); }
+        }
+        """
+        analysis = analyze(source)
+        assert {"h1", "h2"} <= analysis.tainted_objects
+        closed = close_program(source)
+        system = System(closed.cfgs)
+        system.add_channel("h1", capacity=1)
+        system.add_channel("h2", capacity=1)
+        system.add_env_sink("out")
+        system.add_process("s1", "stage1", [])
+        system.add_process("s2", "stage2", [])
+        system.add_process("s3", "stage3", [])
+        from repro.verisoft import collect_output_traces
+
+        traces = collect_output_traces(system, "out", max_depth=30)
+        assert traces == {("hi",), ("lo",)}
+
+    def test_taint_does_not_leak_backward(self):
+        source = """
+        extern proc env();
+        proc producer() { send(clean, 5); var x; x = env(); send(dirty, x); }
+        proc consumer() {
+            var a;
+            a = recv(clean);
+            var b = a * 2;
+            send(out, b);
+            var c;
+            c = recv(dirty);
+            var d = c * 2;
+        }
+        """
+        analysis = analyze(source)
+        assert "dirty" in analysis.tainted_objects
+        assert "clean" not in analysis.tainted_objects
+        pa = analysis.procs["consumer"]
+        descriptions = {
+            node.id: node.describe() for node in pa.cfg
+        }
+        b_node = next(i for i, d in descriptions.items() if d == "b = a * 2")
+        d_node = next(i for i, d in descriptions.items() if d == "d = c * 2")
+        assert b_node not in pa.n_i
+        assert d_node in pa.n_i
+
+
+class TestPointerChains:
+    def test_pointer_into_record_field(self):
+        source = """
+        extern proc env();
+        proc fill(r) { r.level = env(); }
+        proc main() {
+            var box;
+            box = record();
+            box.level = 0;
+            fill(box);
+            var v = box.level;
+            if (v > 0) { send(out, 'set'); }
+        }
+        """
+        # Records are passed by value in RC, so fill mutates a copy: the
+        # caller's box is NOT tainted and the guard is preserved.
+        analysis = analyze(source)
+        pa = analysis.procs["main"]
+        guard = next(n for n in pa.cfg if "cond" in n.describe())
+        assert guard.id not in pa.n_i
+
+    def test_pointer_to_record_taints_caller(self):
+        source = """
+        extern proc env();
+        proc fill(p) { *p = env(); }
+        proc main() {
+            var slot = 0;
+            fill(&slot);
+            if (slot > 0) { send(out, 'set'); } else { send(out, 'unset'); }
+        }
+        """
+        closed = close_program(source)
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("set",), ("unset",)}
+
+    def test_double_indirection(self):
+        source = """
+        extern proc env();
+        proc fill(pp) { var inner; inner = *pp; *inner = env(); }
+        proc main() {
+            var slot = 0;
+            var p = &slot;
+            fill(&p);
+            var v = slot;
+            if (v > 0) { send(out, 'hit'); } else { send(out, 'miss'); }
+        }
+        """
+        closed = close_program(source)
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("hit",), ("miss",)}
+
+
+class TestSemaphoresStayClean:
+    def test_semaphore_ops_never_tainted(self):
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            sem_p(lock);
+            if (x > 0) { send(out, 'a'); } else { send(out, 'b'); }
+            sem_v(lock);
+        }
+        """
+        analysis = analyze(source)
+        assert "lock" not in analysis.tainted_objects
+        closed = close_program(source)
+        cfg = closed.cfgs["main"]
+        ops = [n.callee for n in cfg.nodes_of_kind(NodeKind.CALL)]
+        assert ops.count("sem_p") == 1 and ops.count("sem_v") == 1
+
+
+class TestExternOutputs:
+    def test_extern_call_with_system_args_removed(self):
+        # Calls INTO the environment are environment operations; their
+        # arguments (outputs to the env) vanish with them — outputs that
+        # must stay observable belong on env sinks.
+        source = """
+        extern proc report(value);
+        proc main() {
+            var x = 7;
+            report(x);
+            send(out, x);
+        }
+        """
+        closed = close_program(source)
+        cfg = closed.cfgs["main"]
+        assert not any(n.callee == "report" for n in cfg.nodes_of_kind(NodeKind.CALL))
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {(7,)}

@@ -1,0 +1,158 @@
+"""Tests for redundant-toss elimination (the Section 5 post-pass)."""
+
+import pytest
+
+from tests.helpers import single_process_behaviors
+
+from repro import System, close_program, explore
+from repro.cfg import ALWAYS, ControlFlowGraph, NodeKind, TossGuard, build_cfgs
+from repro.closing.generators import generate_program
+from repro.closing.minimize import bisimulation_classes, eliminate_redundant_toss
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+def toss_cfg(n_branches, same_target=True):
+    """START -> TOSS -> n identical (or distinct) sends -> RETURN."""
+    cfg = ControlFlowGraph(proc_name="p")
+    start = cfg.new_node(NodeKind.START)
+    toss = cfg.new_node(NodeKind.TOSS, bound=n_branches - 1)
+    ret = cfg.new_node(NodeKind.RETURN)
+    cfg.add_arc(start.id, toss.id, ALWAYS)
+    for i in range(n_branches):
+        tag = "same" if same_target else f"tag{i}"
+        send = cfg.new_node(
+            NodeKind.CALL,
+            callee="send",
+            args=(ast.StrLit("out"), ast.StrLit(tag)),
+        )
+        cfg.add_arc(toss.id, send.id, TossGuard(i))
+        cfg.add_arc(send.id, ret.id, ALWAYS)
+    cfg.validate()
+    return cfg
+
+
+class TestBisimulation:
+    def test_identical_straightline_nodes_equivalent(self):
+        cfg = toss_cfg(3, same_target=True)
+        classes = bisimulation_classes(cfg)
+        sends = [n.id for n in cfg.nodes_of_kind(NodeKind.CALL)]
+        assert len({classes[s] for s in sends}) == 1
+
+    def test_distinct_nodes_not_equivalent(self):
+        cfg = toss_cfg(3, same_target=False)
+        classes = bisimulation_classes(cfg)
+        sends = [n.id for n in cfg.nodes_of_kind(NodeKind.CALL)]
+        assert len({classes[s] for s in sends}) == 3
+
+    def test_successor_difference_splits_classes(self):
+        # Two identical assigns, but one leads to a send and the other to
+        # a return: not bisimilar.
+        source = """
+        proc main(c) {
+            var x;
+            if (c == 1) { x = 5; send(out, 1); } else { x = 5; }
+        }
+        """
+        cfg = build_cfgs(parse_program(source))["main"]
+        classes = bisimulation_classes(cfg)
+        assigns = [
+            n.id for n in cfg.nodes_of_kind(NodeKind.ASSIGN) if "x = 5" in n.describe()
+        ]
+        assert len(assigns) == 2
+        assert classes[assigns[0]] != classes[assigns[1]]
+
+
+class TestTossElimination:
+    def test_fully_redundant_toss_removed(self):
+        cfg = toss_cfg(4, same_target=True)
+        pruned, stats = eliminate_redundant_toss(cfg)
+        assert stats.toss_removed == 1
+        assert not pruned.nodes_of_kind(NodeKind.TOSS)
+
+    def test_distinct_branches_untouched(self):
+        cfg = toss_cfg(3, same_target=False)
+        pruned, stats = eliminate_redundant_toss(cfg)
+        assert stats.toss_removed == 0 and stats.toss_narrowed == 0
+
+    def test_partially_redundant_toss_narrowed(self):
+        # 4 branches, 2 distinct behaviours.
+        cfg = ControlFlowGraph(proc_name="p")
+        start = cfg.new_node(NodeKind.START)
+        toss = cfg.new_node(NodeKind.TOSS, bound=3)
+        ret = cfg.new_node(NodeKind.RETURN)
+        cfg.add_arc(start.id, toss.id, ALWAYS)
+        for i in range(4):
+            tag = "a" if i % 2 == 0 else "b"
+            send = cfg.new_node(
+                NodeKind.CALL,
+                callee="send",
+                args=(ast.StrLit("out"), ast.StrLit(tag)),
+            )
+            cfg.add_arc(toss.id, send.id, TossGuard(i))
+            cfg.add_arc(send.id, ret.id, ALWAYS)
+        cfg.validate()
+        pruned, stats = eliminate_redundant_toss(cfg)
+        assert stats.toss_narrowed == 1
+        assert stats.branches_removed == 2
+        remaining = pruned.nodes_of_kind(NodeKind.TOSS)[0]
+        assert remaining.bound == 1
+        pruned.validate()
+
+    def test_behaviour_set_preserved(self):
+        cfg = toss_cfg(4, same_target=True)
+        pruned, _ = eliminate_redundant_toss(cfg)
+        before = single_process_behaviors({"p": cfg}, "p")
+        after = single_process_behaviors({"p": pruned}, "p")
+        assert before == after == {("same",)}
+
+    def test_path_count_reduced(self):
+        cfg = toss_cfg(4, same_target=True)
+        pruned, _ = eliminate_redundant_toss(cfg)
+
+        def paths(graph):
+            system = System({"p": graph})
+            system.add_env_sink("out")
+            system.add_process("P", "p", [])
+            return explore(system, max_depth=10, por=False).paths_explored
+
+        assert paths(cfg) == 4
+        assert paths(pruned) == 1
+
+
+class TestOnClosedPrograms:
+    def test_redundant_branch_from_convergent_taint(self):
+        # Both tainted branches assign different tainted data and then do
+        # the SAME visible thing: the closing keeps a 2-way toss (the
+        # conditional had 2 successors), but the branches are bisimilar,
+        # so minimization removes the choice.
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            if (x > 0) {
+                send(out, 'same');
+            } else {
+                send(out, 'same');
+            }
+            send(out, 'done');
+        }
+        """
+        closed = close_program(source)
+        assert closed.cfgs["main"].nodes_of_kind(NodeKind.TOSS)
+        optimized = closed.optimize()
+        assert not optimized.cfgs["main"].nodes_of_kind(NodeKind.TOSS)
+        before = single_process_behaviors(closed.cfgs, "main")
+        after = single_process_behaviors(optimized.cfgs, "main")
+        assert before == after
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_behaviours_preserved_on_generated_programs(self, seed):
+        closed = close_program(generate_program(seed))
+        minimized, _ = eliminate_redundant_toss(closed.cfgs["main"])
+        cfgs = dict(closed.cfgs)
+        cfgs["main"] = minimized
+        before = single_process_behaviors(closed.cfgs, "main", max_depth=80)
+        after = single_process_behaviors(cfgs, "main", max_depth=80)
+        assert before == after

@@ -1,0 +1,154 @@
+"""Tests for the naive explicit-environment baseline (Section 3)."""
+
+import pytest
+
+from tests.helpers import single_process_behaviors
+
+from repro import System, close_naively, explore
+from repro.closing import ClosingError, ClosingSpec
+from repro.closing.naive import NaiveDomains
+
+
+class TestDomains:
+    def test_call_domain_lookup(self):
+        domains = NaiveDomains(call_results={"f": [1, 2]})
+        assert domains.for_call("f") == [1, 2]
+
+    def test_default_fallback(self):
+        domains = NaiveDomains(default=[0])
+        assert domains.for_call("anything") == [0]
+
+    def test_missing_domain_rejected(self):
+        domains = NaiveDomains()
+        with pytest.raises(ClosingError):
+            domains.for_call("f")
+
+    def test_empty_domain_rejected(self):
+        domains = NaiveDomains(call_results={"f": []})
+        with pytest.raises(ClosingError):
+            domains.for_call("f")
+
+
+class TestRewriting:
+    SOURCE = """
+    extern proc get();
+    proc main() {
+        var x;
+        x = get();
+        if (x == 1) { send(out, 'one'); } else { send(out, 'other'); }
+    }
+    """
+
+    def test_behaviours_enumerate_domain(self):
+        naive = close_naively(self.SOURCE, {"get": [0, 1, 2]})
+        traces = single_process_behaviors(naive.cfgs, "main")
+        assert traces == {("one",), ("other",)}
+
+    def test_branching_statistics(self):
+        naive = close_naively(self.SOURCE, {"get": [0, 1, 2, 3]})
+        assert naive.input_points == 1
+        assert naive.total_branching == 4
+
+    def test_path_count_equals_domain_size(self):
+        naive = close_naively(self.SOURCE, {"get": list(range(5))})
+        system = System(naive.cfgs)
+        system.add_env_sink("out")
+        system.add_process("m", "main", [])
+        report = explore(system, max_depth=20, por=False)
+        assert report.paths_explored == 5
+
+    def test_discarded_input_not_branched(self):
+        source = "extern proc get(); proc main() { get(); send(out, 'done'); }"
+        naive = close_naively(source, {"get": list(range(50))})
+        system = System(naive.cfgs)
+        system.add_env_sink("out")
+        system.add_process("m", "main", [])
+        report = explore(system, max_depth=20, por=False)
+        assert report.paths_explored == 1
+
+    def test_multiple_input_points_multiply(self):
+        source = """
+        extern proc get();
+        proc main() {
+            var a;
+            a = get();
+            var b;
+            b = get();
+            send(out, a * 10 + b);
+        }
+        """
+        naive = close_naively(source, {"get": [0, 1, 2]})
+        traces = single_process_behaviors(naive.cfgs, "main")
+        assert len(traces) == 9
+
+    def test_string_domains(self):
+        source = """
+        extern proc get_event();
+        proc main() {
+            var e;
+            e = get_event();
+            switch (e) {
+            case 'offhook': send(out, 1);
+            default: send(out, 0);
+            }
+        }
+        """
+        naive = close_naively(source, {"get_event": ["offhook", "onhook"]})
+        traces = single_process_behaviors(naive.cfgs, "main")
+        assert traces == {(1,), (0,)}
+
+    def test_env_param_domain(self):
+        source = "proc main(x) { if (x > 0) { send(out, 'pos'); } else { send(out, 'neg'); } }"
+        spec = ClosingSpec.make(env_params={"main": ["x"]})
+        naive = close_naively(
+            source,
+            NaiveDomains(params={("main", "x"): [-1, 1]}),
+            spec,
+        )
+        # The parameter remains in the signature; the launch value is a
+        # dummy immediately overwritten by the environment's choice.
+        traces = single_process_behaviors(naive.cfgs, "main", args=(0,))
+        assert traces == {("pos",), ("neg",)}
+
+    def test_env_channel_domain(self):
+        source = """
+        proc main() {
+            var v;
+            v = recv(inbox);
+            send(out, v + 1);
+        }
+        """
+        spec = ClosingSpec.make(env_channels=["inbox"])
+        naive = close_naively(
+            source, NaiveDomains(channels={"inbox": [10, 20]}), spec
+        )
+        traces = single_process_behaviors(naive.cfgs, "main")
+        assert traces == {(11,), (21,)}
+
+    def test_per_callee_domains(self):
+        source = """
+        extern proc small();
+        extern proc big();
+        proc main() {
+            var a;
+            a = small();
+            var b;
+            b = big();
+            send(out, a + b);
+        }
+        """
+        naive = close_naively(
+            source,
+            NaiveDomains(call_results={"small": [0, 1], "big": [100, 200, 300]}),
+        )
+        traces = single_process_behaviors(naive.cfgs, "main")
+        assert len(traces) == 6
+
+    def test_original_graph_unchanged(self):
+        from repro.cfg import build_cfgs
+        from repro.lang.parser import parse_program
+
+        cfgs = build_cfgs(parse_program(self.SOURCE))
+        before = cfgs["main"].node_count()
+        close_naively(cfgs, {"get": [0, 1]})
+        assert cfgs["main"].node_count() == before

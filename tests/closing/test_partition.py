@@ -1,0 +1,248 @@
+"""Tests for input-domain partitioning (the Section 7 proposal)."""
+
+import pytest
+
+from tests.helpers import single_process_behaviors
+
+from repro import close_naively, close_program
+from repro.closing import NaiveDomains, close_with_partitioning
+from repro.closing.partition import _Atom, representatives
+
+RESOURCE_MANAGER = """
+extern proc next_request();
+
+proc main(n) {
+    var i = 0;
+    while (i < n) {
+        var req;
+        req = next_request();
+        if (req < 10) {
+            send(out, 'immediate');
+        } else {
+            if (req < 1000) {
+                send(out, 'queued');
+            } else {
+                send(out, 'rejected');
+            }
+        }
+        i = i + 1;
+    }
+}
+"""
+
+
+class TestRepresentatives:
+    def evaluate_all(self, atoms, values):
+        return {tuple(a.evaluate(v) for a in atoms) for v in values}
+
+    def test_single_threshold(self):
+        atoms = [_Atom(None, "<", 10)]
+        reps = representatives(atoms, 64)
+        assert len(reps) == 2
+        assert self.evaluate_all(atoms, reps) == {(True,), (False,)}
+
+    def test_two_thresholds(self):
+        atoms = [_Atom(None, "<", 10), _Atom(None, "<", 1000)]
+        reps = representatives(atoms, 64)
+        # three feasible classes: <10, [10,1000), >=1000
+        assert len(reps) == 3
+
+    def test_modulus(self):
+        atoms = [_Atom(2, "==", 0)]
+        reps = representatives(atoms, 64)
+        signatures = self.evaluate_all(atoms, reps)
+        assert (True,) in signatures and (False,) in signatures
+
+    def test_modulus_and_threshold_cross_product(self):
+        atoms = [_Atom(3, "==", 0), _Atom(None, "<", 100)]
+        reps = representatives(atoms, 64)
+        assert len(self.evaluate_all(atoms, reps)) == len(reps)
+        assert len(reps) == 4  # {mult-of-3, not} x {<100, >=100}
+
+    def test_negative_dividend_c_mod(self):
+        # C-style %: -3 % 2 == -1, so 'x % 2 == 1' is false for all
+        # negative odd x — the sampler must expose the negative classes.
+        atoms = [_Atom(2, "==", 1), _Atom(None, "<", 0)]
+        reps = representatives(atoms, 64)
+        signatures = self.evaluate_all(atoms, reps)
+        assert (False, True) in signatures  # negative odd or even
+        assert (True, False) in signatures  # positive odd
+
+    def test_class_budget(self):
+        atoms = [_Atom(101, "==", i) for i in range(70)]
+        assert representatives(atoms, 64) is None
+
+    def test_exhaustive_against_brute_force(self):
+        atoms = [
+            _Atom(None, "<", 5),
+            _Atom(None, ">=", -3),
+            _Atom(4, "==", 1),
+            _Atom(6, "!=", 2),
+        ]
+        reps = representatives(atoms, 256)
+        sampled = self.evaluate_all(atoms, reps)
+        brute = self.evaluate_all(atoms, range(-60, 61))
+        assert brute <= sampled
+
+
+class TestCloseWithPartitioning:
+    def test_resource_manager_partitioned(self):
+        closed, report = close_with_partitioning(RESOURCE_MANAGER)
+        assert len(report.sites) == 1
+        site = report.sites[0]
+        assert site.classes == 3
+        assert not report.fallbacks
+
+    def test_partitioned_closing_is_exact(self):
+        """Where partitioning applies, closed == open behaviours (no
+        upper approximation) — the Section 7 goal."""
+        closed, _ = close_with_partitioning(RESOURCE_MANAGER)
+        partitioned = single_process_behaviors(closed.cfgs, "main", args=(2,))
+        # Ground truth: naive closing over a domain that has a value in
+        # every range.
+        naive = close_naively(
+            RESOURCE_MANAGER, NaiveDomains(default=[0, 500, 5000])
+        )
+        exact = single_process_behaviors(naive.cfgs, "main", args=(2,))
+        assert partitioned == exact
+        # Plain closing over-approximates in branching (the nested
+        # conditionals become independent tosses) but never under-covers.
+        plain = close_program(RESOURCE_MANAGER)
+        plain_traces = single_process_behaviors(plain.cfgs, "main", args=(2,))
+        assert exact <= plain_traces
+
+    def test_unpartitionable_input_falls_back(self):
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            var y = x * 2;
+            if (y < 10) { send(out, 'a'); } else { send(out, 'b'); }
+        }
+        """
+        closed, report = close_with_partitioning(source)
+        assert not report.sites
+        assert report.fallbacks
+        # Fallback still closes soundly (the standard erasure).
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("a",), ("b",)}
+
+    def test_mixed_variable_guard_falls_back(self):
+        source = """
+        extern proc env();
+        proc main(limit) {
+            var x;
+            x = env();
+            if (x < limit) { send(out, 'a'); } else { send(out, 'b'); }
+        }
+        """
+        closed, report = close_with_partitioning(source)
+        assert report.fallbacks
+
+    def test_unused_input_gets_single_representative(self):
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            send(out, 'done');
+        }
+        """
+        closed, report = close_with_partitioning(source)
+        assert report.sites and report.sites[0].classes == 1
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("done",)}
+
+    def test_mixed_sites_partition_and_erase(self):
+        source = """
+        extern proc ranged();
+        extern proc opaque();
+        proc main() {
+            var a;
+            a = ranged();
+            if (a < 5) { send(out, 'small'); } else { send(out, 'big'); }
+            var b;
+            b = opaque();
+            var c = b + 1;
+            if (c > 0) { send(out, 'pos'); } else { send(out, 'neg'); }
+        }
+        """
+        closed, report = close_with_partitioning(source)
+        assert len(report.sites) == 1
+        assert len(report.fallbacks) == 1
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {
+            ("small", "pos"),
+            ("small", "neg"),
+            ("big", "pos"),
+            ("big", "neg"),
+        }
+
+    def test_boolean_combinations_in_guard(self):
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            if (x >= 0 && x < 100) { send(out, 'in'); } else { send(out, 'out'); }
+        }
+        """
+        closed, report = close_with_partitioning(source)
+        assert len(report.sites) == 1
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("in",), ("out",)}
+
+    def test_figure2_becomes_exact(self):
+        """Partitioning also repairs Figure 2: x % 2 has two classes, the
+        toss happens once at the input site, so the closed program is
+        exact instead of a strict upper approximation."""
+        fig2 = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            var y = x % 2;
+            var cnt = 0;
+            while (cnt < 4) {
+                if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+                cnt = cnt + 1;
+            }
+        }
+        """
+        closed, report = close_with_partitioning(fig2)
+        # The derived-assignment chain (y = x % 2, then guards on y) is
+        # followed: two classes, closed exactly.
+        assert len(report.sites) == 1
+        assert report.sites[0].classes == 2
+        assert not report.fallbacks
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("even",) * 4, ("odd",) * 4}
+
+    def test_copy_chain_followed(self):
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            var y = x;
+            var z = y;
+            if (z < 0) { send(out, 'neg'); } else { send(out, 'pos'); }
+        }
+        """
+        closed, report = close_with_partitioning(source)
+        assert len(report.sites) == 1
+        assert report.sites[0].classes == 2
+
+    def test_composite_modulus_falls_back(self):
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            var y = x % 6;
+            if (y % 2 == 0) { send(out, 'a'); } else { send(out, 'b'); }
+        }
+        """
+        closed, report = close_with_partitioning(source)
+        assert report.fallbacks  # (x % 6) % 2 is outside the fragment

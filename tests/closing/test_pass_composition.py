@@ -1,0 +1,78 @@
+"""Composition of the optional passes: hoist → close → optimize, and
+partition → optimize — behaviour must be stable through any pipeline."""
+
+import pytest
+
+from tests.helpers import single_process_behaviors
+
+from repro import close_program
+from repro.closing import close_with_partitioning, unswitch_program
+from repro.closing.generators import GeneratorConfig, generate_program
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+
+SMALL = GeneratorConfig(max_depth=2, statements_per_block=(2, 3), loop_bound=(1, 2))
+
+FIG2 = """
+extern proc env();
+proc main() {
+    var x;
+    x = env();
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 3) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+
+class TestPipelines:
+    def test_hoist_then_close_then_optimize(self):
+        program, _ = unswitch_program(normalize_program(parse_program(FIG2)))
+        closed = close_program(program, optimize=True)
+        for cfg in closed.cfgs.values():
+            cfg.validate()
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("even",) * 3, ("odd",) * 3}
+
+    def test_partition_then_optimize(self):
+        closed, report = close_with_partitioning(FIG2, optimize=True)
+        assert report.sites
+        traces = single_process_behaviors(closed.cfgs, "main")
+        assert traces == {("even",) * 3, ("odd",) * 3}
+
+    def test_optimize_is_idempotent(self):
+        closed = close_program(FIG2).optimize()
+        again = closed.optimize()
+        assert sum(c.node_count() for c in closed.cfgs.values()) == sum(
+            c.node_count() for c in again.cfgs.values()
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_pipelines_agree_on_behaviour_inclusion(self, seed):
+        """Every pipeline's behaviour set must contain the plain one
+        only shrinking toward (never below) the exact semantics."""
+        source = generate_program(seed, SMALL)
+        plain = close_program(source)
+        plain_traces = single_process_behaviors(plain.cfgs, "main", max_depth=80)
+
+        optimized = close_program(source, optimize=True)
+        optimized_traces = single_process_behaviors(
+            optimized.cfgs, "main", max_depth=80
+        )
+        assert optimized_traces == plain_traces  # clean-up is behaviour-neutral
+
+        hoisted_prog, _ = unswitch_program(
+            normalize_program(parse_program(source))
+        )
+        hoisted = close_program(hoisted_prog)
+        hoisted_traces = single_process_behaviors(hoisted.cfgs, "main", max_depth=80)
+        assert hoisted_traces <= plain_traces  # hoisting only tightens
+
+        partitioned, _ = close_with_partitioning(source)
+        partitioned_traces = single_process_behaviors(
+            partitioned.cfgs, "main", max_depth=80
+        )
+        assert partitioned_traces <= plain_traces  # partitioning only tightens

@@ -1,0 +1,114 @@
+"""Hypothesis property tests over randomly generated open programs.
+
+Complements the example-based suites with machine-generated coverage of
+the pipeline invariants: normalization, CFG structure, define-use
+consistency, marking rules, and exploration determinism.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import System, close_program, explore
+from repro.cfg import NodeKind, build_cfgs
+from repro.closing import analyze_for_closing
+from repro.closing.generators import GeneratorConfig, generate_program
+from repro.dataflow.alias import analyze_aliases
+from repro.dataflow.defuse import compute_defuse
+from repro.lang.parser import parse_program
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+SMALL = GeneratorConfig(max_depth=2, statements_per_block=(2, 3), loop_bound=(1, 2))
+
+
+class TestPipelineInvariants:
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_cfgs_always_validate(self, seed):
+        cfgs = build_cfgs(parse_program(generate_program(seed, SMALL)))
+        for cfg in cfgs.values():
+            cfg.validate()
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_defuse_arcs_are_consistent(self, seed):
+        cfgs = build_cfgs(parse_program(generate_program(seed, SMALL)))
+        points_to = analyze_aliases(cfgs)
+        for proc, cfg in cfgs.items():
+            graph = compute_defuse(cfg, points_to.local_pointer_map(proc))
+            for arc in graph.arcs:
+                defs = graph.accesses[arc.def_node].defined_vars()
+                if arc.def_node == cfg.start_id:
+                    defs |= set(cfg.params)
+                assert arc.var in defs
+                assert arc.var in graph.accesses[arc.use_node].uses
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_marking_rules(self, seed):
+        cfgs = build_cfgs(parse_program(generate_program(seed, SMALL)))
+        analysis = analyze_for_closing(cfgs)
+        for proc, pa in analysis.procs.items():
+            cfg = pa.cfg
+            assert cfg.start_id in pa.marked
+            for node in cfg:
+                if node.kind in (NodeKind.RETURN, NodeKind.EXIT):
+                    assert node.id in pa.marked
+                elif node.kind is NodeKind.CALL and node.callee in cfgs:
+                    assert node.id in pa.marked
+                elif node.kind in (NodeKind.ASSIGN, NodeKind.COND):
+                    # marked iff untainted
+                    assert (node.id in pa.marked) == (node.id not in pa.n_i)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_closed_graphs_validate_and_are_closed(self, seed):
+        closed = close_program(generate_program(seed, SMALL))
+        for cfg in closed.cfgs.values():
+            cfg.validate()
+        reanalysis = analyze_for_closing(closed.cfgs)
+        for pa in reanalysis.procs.values():
+            assert pa.n_i == frozenset()
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_optimize_preserves_validity(self, seed):
+        closed = close_program(generate_program(seed, SMALL), optimize=True)
+        for cfg in closed.cfgs.values():
+            cfg.validate()
+
+
+class TestExplorationDeterminism:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_exploration_is_reproducible(self, seed):
+        source = generate_program(seed, SMALL)
+        closed = close_program(source)
+
+        def run_once():
+            system = System(closed.cfgs)
+            system.add_env_sink("out")
+            system.add_process("P", "main", [])
+            return explore(system, max_depth=60, por=False)
+
+        a, b = run_once(), run_once()
+        assert a.paths_explored == b.paths_explored
+        assert a.transitions_executed == b.transitions_executed
+        assert a.states_visited == b.states_visited
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_por_never_loses_assert_or_deadlock_on_single_process(self, seed):
+        # With one process POR must change nothing at all.
+        source = generate_program(seed, SMALL)
+        closed = close_program(source)
+
+        def run(por):
+            system = System(closed.cfgs)
+            system.add_env_sink("out")
+            system.add_process("P", "main", [])
+            return explore(system, max_depth=60, por=por)
+
+        full, reduced = run(False), run(True)
+        assert full.paths_explored == reduced.paths_explored
+        assert full.transitions_executed == reduced.transitions_executed

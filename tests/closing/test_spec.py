@@ -1,0 +1,71 @@
+"""Tests for ClosingSpec construction and the close_program driver API."""
+
+import pytest
+
+from repro import close_program
+from repro.closing import ClosingSpec, EMPTY_SPEC
+
+
+class TestSpecConstruction:
+    def test_make_normalizes_collections(self):
+        spec = ClosingSpec.make(
+            env_params={"p": ["x", "y"]},
+            env_channels=["a"],
+            env_shared=["s"],
+            object_bindings={("p", "ch"): ["c1", "c2"]},
+        )
+        assert spec.params_of("p") == {"x", "y"}
+        assert spec.env_channels == {"a"}
+        assert spec.env_objects == {"a", "s"}
+        assert spec.object_bindings[("p", "ch")] == {"c1", "c2"}
+
+    def test_params_of_unknown_proc_empty(self):
+        assert EMPTY_SPEC.params_of("nope") == frozenset()
+
+    def test_empty_spec_is_reusable(self):
+        assert EMPTY_SPEC.env_objects == frozenset()
+
+
+class TestDriverApi:
+    SOURCE = "proc main(x) { if (x > 0) { send(out, 1); } }"
+
+    def test_keyword_arguments(self):
+        closed = close_program(self.SOURCE, env_params={"main": ["x"]})
+        assert closed.cfgs["main"].params == ()
+
+    def test_explicit_spec(self):
+        spec = ClosingSpec.make(env_params={"main": ["x"]})
+        closed = close_program(self.SOURCE, spec)
+        assert closed.cfgs["main"].params == ()
+
+    def test_spec_and_kwargs_conflict(self):
+        with pytest.raises(ValueError):
+            close_program(self.SOURCE, EMPTY_SPEC, env_params={"main": ["x"]})
+
+    def test_accepts_parsed_program(self):
+        from repro.lang.parser import parse_program
+
+        closed = close_program(parse_program(self.SOURCE), env_params={"main": ["x"]})
+        assert "main" in closed.cfgs
+
+    def test_accepts_cfgs(self):
+        from repro.cfg import build_cfgs
+        from repro.lang.parser import parse_program
+
+        cfgs = build_cfgs(parse_program(self.SOURCE))
+        closed = close_program(cfgs, env_params={"main": ["x"]})
+        assert "main" in closed.cfgs
+
+    def test_summary_mentions_removed_params(self):
+        closed = close_program(self.SOURCE, env_params={"main": ["x"]})
+        assert "params removed: x" in closed.summary()
+
+    def test_elapsed_time_recorded(self):
+        closed = close_program(self.SOURCE)
+        assert closed.elapsed_seconds >= 0
+
+    def test_kept_params_query(self):
+        closed = close_program(
+            "proc main(a, b) { send(out, a); }", env_params={"main": ["b"]}
+        )
+        assert closed.kept_params("main") == ("a",)

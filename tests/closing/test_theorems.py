@@ -1,0 +1,300 @@
+"""Empirical checks of the paper's correctness results.
+
+* **Lemma 5** — the transformed system is closed: re-running Steps 2–3
+  over the closed program finds no environment dependence anywhere
+  (``V_I(n') = ∅`` for every node).
+* **Theorem 6** — simulation: every computation of ``S × E_S`` (with the
+  environment restricted to a finite domain so it can be enumerated via
+  the naive closing) has a matching computation of ``S'`` exhibiting the
+  same sequence of visible operations, with erased values matching
+  anything.
+* **Theorem 7** — deadlocks and preserved-assertion violations of
+  ``S × E_S`` appear in ``S'`` too.
+
+These run both on hand-written programs and on randomly generated ones.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import behavior_inclusion
+
+from repro import System, close_naively, close_program, explore
+from repro.closing import analyze_for_closing
+from repro.closing.generators import GeneratorConfig, generate_program
+from repro.closing.naive import NaiveDomains
+from repro.verisoft import collect_output_traces
+
+#: Small generated programs keep the naive |V|^k enumeration feasible.
+SMALL = GeneratorConfig(
+    max_depth=2,
+    statements_per_block=(2, 3),
+    loop_bound=(1, 2),
+    n_env_inputs=2,
+)
+
+
+def closed_is_closed(closed):
+    """Lemma 5 check: no node of the closed program uses env values."""
+    analysis = analyze_for_closing(closed.cfgs)
+    for proc, pa in analysis.procs.items():
+        assert pa.n_i == frozenset(), f"{proc} still has N_I = {pa.n_i}"
+        for node_id, vi in pa.vi.items():
+            assert not vi, f"{proc} node {node_id} has V_I = {vi}"
+
+
+def behaviors(cfgs, proc="main", max_depth=120):
+    system = System(cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", proc, [])
+    return collect_output_traces(system, "out", max_depth=max_depth)
+
+
+FIXED_PROGRAMS = [
+    # Figure 2.
+    """
+    extern proc env_input_0();
+    proc main() {
+        var x;
+        x = env_input_0();
+        var y = x % 2;
+        var cnt = 0;
+        while (cnt < 4) {
+            if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+            cnt = cnt + 1;
+        }
+    }
+    """,
+    # Figure 3.
+    """
+    extern proc env_input_0();
+    proc main() {
+        var x;
+        x = env_input_0();
+        var cnt = 0;
+        while (cnt < 4) {
+            var y = x % 2;
+            if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+            x = x / 2;
+            cnt = cnt + 1;
+        }
+    }
+    """,
+    # Mixed tainted/untainted computation with a helper procedure.
+    """
+    extern proc env_input_0();
+    proc scale(v) { return v * 3; }
+    proc main() {
+        var x;
+        x = env_input_0();
+        var base;
+        base = scale(2);
+        send(out, base);
+        if (x > 5) { send(out, 'high'); } else { send(out, 'low'); }
+        send(out, base + 1);
+    }
+    """,
+    # Tainted value transmitted on the sink (erased to top).
+    """
+    extern proc env_input_0();
+    proc main() {
+        var x;
+        x = env_input_0();
+        send(out, 'begin');
+        send(out, x % 4);
+        send(out, 'end');
+    }
+    """,
+    # Environment value consumed by a switch.
+    """
+    extern proc env_input_0();
+    proc main() {
+        var x;
+        x = env_input_0();
+        switch (x % 3) {
+        case 0: send(out, 'zero');
+        case 1: send(out, 'one');
+        default: send(out, 'more');
+        }
+    }
+    """,
+]
+
+
+class TestLemma5:
+    @pytest.mark.parametrize("source", FIXED_PROGRAMS)
+    def test_fixed_programs(self, source):
+        closed_is_closed(close_program(source))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs(self, seed):
+        closed_is_closed(close_program(generate_program(seed)))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_small_generated_programs(self, seed):
+        closed_is_closed(close_program(generate_program(seed, SMALL)))
+
+    def test_closing_is_idempotent_on_behaviour(self):
+        source = FIXED_PROGRAMS[0]
+        once = close_program(source)
+        twice = close_program(once.cfgs)
+        assert behaviors(once.cfgs) == behaviors(twice.cfgs)
+
+
+class TestTheorem6Inclusion:
+    DOMAIN = [0, 1, 2, 5]
+
+    def _check_inclusion(self, source):
+        naive = close_naively(
+            source, NaiveDomains(default=self.DOMAIN)
+        )
+        auto = close_program(source)
+        open_traces = behaviors(naive.cfgs)
+        closed_traces = behaviors(auto.cfgs)
+        assert behavior_inclusion(open_traces, closed_traces), (
+            f"missing behaviours: open={sorted(open_traces)[:5]} "
+            f"closed={sorted(closed_traces)[:5]}"
+        )
+
+    @pytest.mark.parametrize("source", FIXED_PROGRAMS)
+    def test_fixed_programs(self, source):
+        self._check_inclusion(source)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs(self, seed):
+        self._check_inclusion(generate_program(seed, SMALL))
+
+    def test_figure2_is_strict_upper_approximation(self):
+        source = FIXED_PROGRAMS[0]
+        naive = close_naively(source, NaiveDomains(default=list(range(16))))
+        auto = close_program(source)
+        open_traces = behaviors(naive.cfgs)
+        closed_traces = behaviors(auto.cfgs)
+        assert behavior_inclusion(open_traces, closed_traces)
+        assert len(closed_traces) > len(open_traces)  # strictness
+
+
+class TestTheorem7Preservation:
+    def test_deadlock_preserved(self):
+        # Whether the deadlock occurs depends on an environment value in
+        # the *original*; the closed system must still exhibit it.
+        source = """
+        extern proc env();
+        proc a() {
+            var x;
+            x = env();
+            if (x % 2 == 0) { sem_p(s1); sem_p(s2); sem_v(s2); sem_v(s1); }
+        }
+        proc b() {
+            sem_p(s2);
+            sem_p(s1);
+            sem_v(s1);
+            sem_v(s2);
+        }
+        """
+
+        def build(cfgs):
+            system = System(cfgs)
+            system.add_semaphore("s1", 1)
+            system.add_semaphore("s2", 1)
+            system.add_process("a", "a", [])
+            system.add_process("b", "b", [])
+            return system
+
+        naive = close_naively(source, NaiveDomains(default=[0, 1]))
+        auto = close_program(source)
+        open_report = explore(build(naive.cfgs), max_depth=30)
+        closed_report = explore(build(auto.cfgs), max_depth=30)
+        assert open_report.deadlocks  # ground truth: reachable in S x Es
+        assert closed_report.deadlocks  # preserved in S'
+
+    def test_preserved_assertion_violation_survives(self):
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            var counter = 0;
+            if (x % 2 == 0) { counter = counter + 1; }
+            if (x % 3 == 0) { counter = counter + 1; }
+            VS_assert(counter < 2);
+        }
+        """
+
+        def build(cfgs):
+            system = System(cfgs)
+            system.add_process("m", "main", [])
+            return system
+
+        naive = close_naively(source, NaiveDomains(default=list(range(7))))
+        auto = close_program(source)
+        open_report = explore(build(naive.cfgs), max_depth=30)
+        closed_report = explore(build(auto.cfgs), max_depth=30)
+        assert open_report.violations  # x = 6 violates in S x Es
+        assert closed_report.violations
+
+    def test_nonpreserved_assertion_never_fires_spuriously_as_preserved(self):
+        # An erased assertion subject passes vacuously in S'.
+        source = """
+        extern proc env();
+        proc main() {
+            var x;
+            x = env();
+            VS_assert(x >= 0);
+            send(out, 'after');
+        }
+        """
+        auto = close_program(source)
+        system = System(auto.cfgs)
+        system.add_env_sink("out")
+        system.add_process("m", "main", [])
+        report = explore(system, max_depth=20)
+        assert not report.violations
+        assert report.ok
+
+
+class TestBranchingDegreeClaim:
+    """Section 1: 'our transformation preserves, or may even reduce, the
+    static degree of branching of the original code'.
+
+    Formally: every inserted ``VS_toss`` branches over ``|succ(a)|``
+    *distinct* marked continuations, which never exceeds the number of
+    control-flow paths through the erased region it replaces (and is
+    strictly smaller whenever erased branches reconverge)."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_toss_fanout_bounded_by_region_paths(self, seed):
+        closed = close_program(generate_program(seed))
+        for proc, stats in closed.proc_stats.items():
+            assert stats.branching_preserved(), (proc, stats.toss_details)
+
+    @pytest.mark.parametrize("source", FIXED_PROGRAMS)
+    def test_fixed_programs(self, source):
+        closed = close_program(source)
+        for stats in closed.proc_stats.values():
+            assert stats.branching_preserved()
+
+    def test_reconvergence_strictly_reduces(self):
+        # Both erased branches compute different tainted data but meet at
+        # the same send: no toss is needed at all (2 paths -> 1 target).
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var x;
+                x = env();
+                var y;
+                if (x > 0) { y = x; } else { y = x + 1; }
+                send(out, 'done');
+            }
+            """
+        )
+        stats = closed.proc_stats["main"]
+        assert stats.toss_nodes == 0
+
+    def test_single_erased_cond_keeps_degree_two(self):
+        closed = close_program(FIXED_PROGRAMS[0])
+        stats = closed.proc_stats["main"]
+        assert stats.toss_details
+        for _, fanout, paths in stats.toss_details:
+            assert fanout == 2 and paths == 2

@@ -1,0 +1,347 @@
+"""Tests for Steps 4–5: the CFG rebuild with VS_toss insertion and
+parameter/argument removal."""
+
+import pytest
+
+from repro.cfg import NodeKind, TossGuard
+from repro.closing import ClosingError, close_program
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+FIG2 = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 10) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+FIG3 = """
+proc q(x) {
+    var cnt = 0;
+    while (cnt < 10) {
+        var y = x % 2;
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        x = x / 2;
+        cnt = cnt + 1;
+    }
+}
+"""
+
+
+def closed_cfg(source, proc, **kwargs):
+    closed = close_program(source, **kwargs)
+    return closed, closed.cfgs[proc]
+
+
+class TestFigure2:
+    def test_structure(self):
+        closed, cfg = closed_cfg(FIG2, "p", env_params={"p": ["x"]})
+        # y assignment and the y==0 conditional are gone; a single
+        # VS_toss(1) conditional replaces the branch.
+        descriptions = [node.describe() for node in cfg]
+        assert not any("y" in d for d in descriptions)
+        toss_nodes = cfg.nodes_of_kind(NodeKind.TOSS)
+        assert len(toss_nodes) == 1
+        assert toss_nodes[0].bound == 1
+
+    def test_parameter_removed(self):
+        closed, cfg = closed_cfg(FIG2, "p", env_params={"p": ["x"]})
+        assert cfg.params == ()
+        assert closed.removed_params == {"p": ("x",)}
+
+    def test_counter_machinery_preserved(self):
+        closed, cfg = closed_cfg(FIG2, "p", env_params={"p": ["x"]})
+        descriptions = [node.describe() for node in cfg]
+        assert any("cnt = 0" in d for d in descriptions)
+        assert any("cnt = cnt + 1" in d for d in descriptions)
+        assert any("cond cnt < 10" in d for d in descriptions)
+
+    def test_sends_preserved(self):
+        closed, cfg = closed_cfg(FIG2, "p", env_params={"p": ["x"]})
+        sends = [n for n in cfg.nodes_of_kind(NodeKind.CALL) if n.callee == "send"]
+        assert len(sends) == 2
+
+    def test_toss_guards_cover_branches(self):
+        closed, cfg = closed_cfg(FIG2, "p", env_params={"p": ["x"]})
+        toss = cfg.nodes_of_kind(NodeKind.TOSS)[0]
+        guards = sorted(
+            arc.guard.value for arc in cfg.successors(toss.id)
+        )
+        assert guards == [0, 1]
+
+    def test_graph_validates(self):
+        closed, cfg = closed_cfg(FIG2, "p", env_params={"p": ["x"]})
+        cfg.validate()
+
+
+class TestFigure3:
+    def test_p_and_q_close_to_equivalent_graphs(self):
+        """The paper: 'Note that G'_p and G'_q are equivalent; although p
+        and q are functionally distinct, the algorithm transforms each of
+        them to the same closed program.'"""
+        _, p_cfg = closed_cfg(FIG2, "p", env_params={"p": ["x"]})
+        _, q_cfg = closed_cfg(FIG3, "q", env_params={"q": ["x"]})
+        assert _shape(p_cfg) == _shape(q_cfg)
+
+    def test_x_division_eliminated(self):
+        _, cfg = closed_cfg(FIG3, "q", env_params={"q": ["x"]})
+        assert not any("x" in node.describe() for node in cfg)
+
+
+def _shape(cfg):
+    """A canonical structural fingerprint of a CFG (up to node ids)."""
+    index = {node_id: i for i, node_id in enumerate(sorted(cfg.nodes))}
+    nodes = tuple(
+        (index[nid], cfg.nodes[nid].kind.name, cfg.nodes[nid].describe())
+        for nid in sorted(cfg.nodes)
+    )
+    arcs = tuple(
+        sorted(
+            (index[a.src], index[a.dst], a.guard.describe()) for a in cfg.arcs
+        )
+    )
+    return nodes, arcs
+
+
+class TestStep5ArgumentRemoval:
+    def test_call_site_argument_dropped(self):
+        closed = close_program(
+            """
+            extern proc env();
+            proc callee(keep, drop) { var a = keep; var b = drop + 1; }
+            proc main() { var x; x = env(); callee(5, x); }
+            """
+        )
+        assert closed.cfgs["callee"].params == ("keep",)
+        call = next(
+            n
+            for n in closed.cfgs["main"].nodes_of_kind(NodeKind.CALL)
+            if n.callee == "callee"
+        )
+        assert len(call.args) == 1
+
+    def test_builtin_value_arg_erased_to_top(self):
+        closed = close_program(
+            "extern proc env(); proc main() { var x; x = env(); send(c, x); }"
+        )
+        send = next(
+            n
+            for n in closed.cfgs["main"].nodes_of_kind(NodeKind.CALL)
+            if n.callee == "send"
+        )
+        assert isinstance(send.args[1], ast.AbstractLit)
+
+    def test_nonpreserved_assert_subject_erased(self):
+        closed = close_program(
+            "extern proc env(); proc main() { var x; x = env(); VS_assert(x); }"
+        )
+        check = next(
+            n
+            for n in closed.cfgs["main"].nodes_of_kind(NodeKind.CALL)
+            if n.callee == "VS_assert"
+        )
+        assert isinstance(check.args[0], ast.AbstractLit)
+
+    def test_preserved_assert_untouched(self):
+        closed = close_program(
+            "extern proc env(); proc main() { var x; x = env(); var y = 1; VS_assert(y == 1); }"
+        )
+        check = next(
+            n
+            for n in closed.cfgs["main"].nodes_of_kind(NodeKind.CALL)
+            if n.callee == "VS_assert"
+        )
+        assert not isinstance(check.args[0], ast.AbstractLit)
+
+    def test_tainted_return_value_dropped(self):
+        closed = close_program(
+            """
+            extern proc env();
+            proc source() { var x; x = env(); return x; }
+            proc main() { var v; v = source(); }
+            """
+        )
+        ret = next(
+            n
+            for n in closed.cfgs["source"].nodes_of_kind(NodeKind.RETURN)
+            if True
+        )
+        assert ret.value is None
+
+    def test_tainted_result_location_dropped(self):
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var a[3];
+                var i;
+                i = env();
+                a[i % 3] = recv(box);
+            }
+            """
+        )
+        recv = next(
+            n
+            for n in closed.cfgs["main"].nodes_of_kind(NodeKind.CALL)
+            if n.callee == "recv"
+        )
+        assert recv.result is None
+
+    def test_operation_on_env_chosen_object_rejected(self):
+        # The channel reference itself is environment data.
+        with pytest.raises(ClosingError):
+            close_program(
+                "proc main(x) { var c = x; send(c, 1); }",
+                env_params={"main": ["x"]},
+            )
+
+    def test_control_dependent_object_choice_is_fine(self):
+        # Only *data* taint on the object argument is a problem; an
+        # environment-controlled choice between two concrete channels
+        # closes normally (the toss picks the channel).
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var c;
+                var x;
+                x = env();
+                if (x % 2 == 0) { c = channel('a'); } else { c = channel('b'); }
+                send(c, 1);
+            }
+            """
+        )
+        assert closed.cfgs["main"].nodes_of_kind(NodeKind.TOSS)
+
+
+class TestStep4EdgeCases:
+    def test_erased_loop_body_still_reaches_termination(self):
+        # The tainted while-loop is eliminated; control must still flow
+        # from the kept prefix to the kept return (structured control
+        # flow always offers a marked termination).
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var x;
+                x = env();
+                var flag = 1;
+                if (flag == 1) {
+                    send(c, 1);
+                } else {
+                    while (x > 0) { x = x + 1; }
+                }
+            }
+            """
+        )
+        cfg = closed.cfgs["main"]
+        cfg.validate()
+        assert cfg.nodes_of_kind(NodeKind.RETURN)
+        # The tainted loop (condition and increment) is gone; only the
+        # untainted declaration `var x;` (x = 0) survives.
+        descriptions = [node.describe() for node in cfg]
+        assert not any("x > 0" in d or "x + 1" in d or "env" in d for d in descriptions)
+
+    def test_inescapable_unmarked_cycle_gets_exit(self):
+        """succ(a) = 0: every path from the arc stays inside eliminated
+        nodes forever.  Only constructible with a hand-built CFG (the
+        structured builder always reaches a marked termination node), but
+        Step 4 of the paper's algorithm must handle it: the divergence is
+        eliminated and the process terminates."""
+        from repro.cfg import ALWAYS, BoolGuard, ControlFlowGraph
+        from repro.lang import ast as rc_ast
+
+        cfg = ControlFlowGraph(proc_name="spin", params=("x",))
+        start = cfg.new_node(NodeKind.START)
+        cond = cfg.new_node(
+            NodeKind.COND, expr=rc_ast.Binary(">", rc_ast.Name("x"), rc_ast.IntLit(0))
+        )
+        cfg.add_arc(start.id, cond.id, ALWAYS)
+        cfg.add_arc(cond.id, cond.id, BoolGuard(True))
+        cfg.add_arc(cond.id, cond.id, BoolGuard(False))
+        cfg.validate()
+        closed = close_program({"spin": cfg}, env_params={"spin": ["x"]})
+        out = closed.cfgs["spin"]
+        out.validate()
+        assert out.nodes_of_kind(NodeKind.EXIT)
+
+    def test_whole_body_erased_becomes_exit_or_return(self):
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var x;
+                x = env();
+                while (x > 0) { x = x - 1; }
+            }
+            """
+        )
+        cfg = closed.cfgs["main"]
+        cfg.validate()
+        # START must flow to a termination node, possibly via a toss.
+        kinds = {node.kind for node in cfg}
+        assert NodeKind.RETURN in kinds or NodeKind.EXIT in kinds
+
+    def test_branching_collapses_when_both_sides_erased(self):
+        # if/else whose both branches are erased: one successor remains,
+        # no toss is needed.
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var x;
+                x = env();
+                var keep = 0;
+                if (x > 0) { var a = x + 1; } else { var b = x + 2; }
+                keep = 1;
+                send(c, keep);
+            }
+            """
+        )
+        cfg = closed.cfgs["main"]
+        assert not cfg.nodes_of_kind(NodeKind.TOSS)
+
+    def test_toss_on_multiway_switch(self):
+        closed = close_program(
+            """
+            extern proc env();
+            proc main() {
+                var x;
+                x = env();
+                switch (x % 3) {
+                case 0: send(c, 'a');
+                case 1: send(c, 'b');
+                default: send(c, 'd');
+                }
+            }
+            """
+        )
+        cfg = closed.cfgs["main"]
+        toss = cfg.nodes_of_kind(NodeKind.TOSS)
+        assert len(toss) == 1
+        assert toss[0].bound == 2
+
+    def test_untainted_program_unchanged_in_behavior(self):
+        source = """
+        proc main() {
+            var i = 0;
+            while (i < 3) { send(c, i); i = i + 1; }
+        }
+        """
+        closed = close_program(source)
+        cfg = closed.cfgs["main"]
+        assert not cfg.nodes_of_kind(NodeKind.TOSS)
+        assert closed.nodes_eliminated == 0
+
+    def test_stats_accounting(self):
+        closed = close_program(FIG2, env_params={"p": ["x"]})
+        stats = closed.proc_stats["p"]
+        assert stats.nodes_before == 9
+        assert stats.toss_nodes == 1
+        assert stats.removed_params == ("x",)
+        assert stats.eliminated >= 2  # y assign + cond (at least)
+        assert closed.toss_nodes_added == 1

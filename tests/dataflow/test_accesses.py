@@ -1,0 +1,141 @@
+"""Tests for per-node use/def computation."""
+
+from repro.cfg import NodeKind, build_cfgs
+from repro.dataflow.accesses import node_access
+from repro.lang.parser import parse_program
+
+
+def node_by_desc(source, fragment, proc="main"):
+    cfg = build_cfgs(parse_program(source))[proc]
+    for node in cfg:
+        if fragment in node.describe():
+            return node
+    raise AssertionError(f"no node matching {fragment!r}")
+
+
+class TestAssignAccess:
+    def test_simple_assignment(self):
+        node = node_by_desc("proc main() { var a = 1; var b = a + 2; }", "b = a + 2")
+        access = node_access(node)
+        assert access.uses == {"a"}
+        assert [(d.var, d.strong) for d in access.defs] == [("b", True)]
+
+    def test_self_assignment_uses_and_defines(self):
+        node = node_by_desc("proc main() { var a = 1; a = a + 1; }", "a = a + 1")
+        access = node_access(node)
+        assert access.uses == {"a"}
+        assert access.defined_vars() == {"a"}
+
+    def test_array_store_is_weak(self):
+        node = node_by_desc(
+            "proc main() { var a[3]; var i = 0; a[i] = 5; }", "a[i] = 5"
+        )
+        access = node_access(node)
+        assert access.uses == {"a", "i"}
+        assert [(d.var, d.strong) for d in access.defs] == [("a", False)]
+
+    def test_field_store_is_weak(self):
+        node = node_by_desc(
+            "proc main() { var r; r = record(); r.f = 1; }", "r.f = 1"
+        )
+        access = node_access(node)
+        assert [(d.var, d.strong) for d in access.defs] == [("r", False)]
+        assert "r" in access.uses
+
+    def test_deref_store_uses_pointer_defines_pointees(self):
+        node = node_by_desc(
+            "proc main() { var x = 0; var p = &x; *p = 7; }", "*p = 7"
+        )
+        access = node_access(node, {"p": {"x"}})
+        assert access.uses == {"p"}
+        assert [(d.var, d.strong) for d in access.defs] == [("x", False)]
+
+    def test_deref_store_without_alias_info(self):
+        node = node_by_desc(
+            "proc main() { var x = 0; var p = &x; *p = 7; }", "*p = 7"
+        )
+        access = node_access(node)
+        assert access.defs == ()
+
+    def test_array_decl_defines_only(self):
+        node = node_by_desc("proc main() { var a[4]; }", "new_array")
+        access = node_access(node)
+        assert access.uses == set()
+        assert access.defined_vars() == {"a"}
+
+    def test_rhs_address_of(self):
+        node = node_by_desc("proc main() { var x = 0; var p = &x; }", "p = &x")
+        access = node_access(node)
+        assert "x" in access.uses
+        assert access.defined_vars() == {"p"}
+
+
+class TestCondReturnAccess:
+    def test_cond_uses(self):
+        node = node_by_desc("proc main(x, y) { if (x < y) { skip; } }", "cond x < y")
+        access = node_access(node)
+        assert access.uses == {"x", "y"}
+        assert access.defs == ()
+
+    def test_return_uses(self):
+        node = node_by_desc("proc main(x) { return x + 1; }", "return x + 1")
+        access = node_access(node)
+        assert access.uses == {"x"}
+
+    def test_bare_return(self):
+        node = node_by_desc("proc main() { return; }", "return")
+        access = node_access(node)
+        assert access.uses == set()
+
+    def test_start_uses_and_defines_nothing(self):
+        cfg = build_cfgs(parse_program("proc main(x) { }"))["main"]
+        access = node_access(cfg.start)
+        assert access.uses == set() and access.defs == ()
+
+
+class TestCallAccess:
+    def test_user_call_args_used(self):
+        node = node_by_desc(
+            "proc main() { var a = 1; f(a); } proc f(x) { }", "f(a)"
+        )
+        access = node_access(node)
+        assert access.uses == {"a"}
+
+    def test_user_call_result_defined(self):
+        node = node_by_desc(
+            "proc main() { var r; r = f(); } proc f() { return 1; }", "r = f()"
+        )
+        access = node_access(node)
+        assert access.defined_vars() == {"r"}
+
+    def test_address_arg_to_user_call_weak_def(self):
+        node = node_by_desc(
+            "proc main() { var x = 0; f(&x); } proc f(p) { *p = 1; }", "f(&x)"
+        )
+        access = node_access(node)
+        assert ("x", False) in [(d.var, d.strong) for d in access.defs]
+        assert "x" in access.uses
+
+    def test_address_arg_to_builtin_no_def(self):
+        node = node_by_desc("proc main() { var x = 1; VS_assert(x); }", "VS_assert")
+        access = node_access(node)
+        assert access.defs == ()
+
+    def test_pointer_var_arg_with_alias_info(self):
+        source = "proc main() { var x = 0; var p = &x; f(p); } proc f(q) { *q = 1; }"
+        node = node_by_desc(source, "f(p)")
+        access = node_access(node, {"p": {"x"}})
+        assert ("x", False) in [(d.var, d.strong) for d in access.defs]
+
+    def test_builtin_recv_result(self):
+        node = node_by_desc("proc main() { var v; v = recv(ch); }", "recv")
+        access = node_access(node)
+        assert access.defined_vars() == {"v"}
+
+    def test_result_through_array_uses_index(self):
+        node = node_by_desc(
+            "proc main() { var a[2]; var i = 0; a[i] = recv(ch); }", "recv"
+        )
+        access = node_access(node)
+        assert "i" in access.uses
+        assert ("a", False) in [(d.var, d.strong) for d in access.defs]

@@ -1,0 +1,203 @@
+"""Tests for the Andersen-style may-alias analysis."""
+
+from repro.cfg import build_cfgs
+from repro.dataflow.alias import ObjLoc, VarLoc, analyze_aliases
+from repro.lang.parser import parse_program
+
+
+def pts(source):
+    cfgs = build_cfgs(parse_program(source))
+    return analyze_aliases(cfgs)
+
+
+class TestBasics:
+    def test_address_of(self):
+        result = pts("proc main() { var x = 0; var p = &x; }")
+        assert VarLoc("main", "x") in result.var_points_to("main", "p")
+
+    def test_copy(self):
+        result = pts("proc main() { var x = 0; var p = &x; var q = p; }")
+        assert VarLoc("main", "x") in result.var_points_to("main", "q")
+
+    def test_non_pointer_expr_contributes_nothing(self):
+        result = pts("proc main() { var x = 0; var y = x + 1; }")
+        assert result.var_points_to("main", "y") == set()
+
+    def test_store_through_pointer(self):
+        result = pts(
+            """
+            proc main() {
+                var x = 0;
+                var y = 0;
+                var p = &x;
+                var pp = &p;
+                *pp = &y;
+            }
+            """
+        )
+        # p may now point to y as well.
+        targets = result.var_points_to("main", "p")
+        assert VarLoc("main", "x") in targets
+        assert VarLoc("main", "y") in targets
+
+    def test_load_through_pointer(self):
+        result = pts(
+            """
+            proc main() {
+                var x = 0;
+                var p = &x;
+                var pp = &p;
+                var q = *pp;
+            }
+            """
+        )
+        assert VarLoc("main", "x") in result.var_points_to("main", "q")
+
+    def test_flow_insensitivity_merges(self):
+        result = pts(
+            """
+            proc main(c) {
+                var x = 0;
+                var y = 0;
+                var p = &x;
+                if (c == 1) { p = &y; }
+            }
+            """
+        )
+        targets = result.var_points_to("main", "p")
+        assert {VarLoc("main", "x"), VarLoc("main", "y")} <= targets
+
+    def test_container_collapse(self):
+        result = pts(
+            """
+            proc main() {
+                var x = 0;
+                var a[2];
+                a[0] = &x;
+                var p = a[1];
+            }
+            """
+        )
+        assert VarLoc("main", "x") in result.var_points_to("main", "p")
+
+    def test_record_field_collapse(self):
+        result = pts(
+            """
+            proc main() {
+                var x = 0;
+                var r;
+                r = record();
+                r.ptr = &x;
+                var p = r.ptr;
+            }
+            """
+        )
+        assert VarLoc("main", "x") in result.var_points_to("main", "p")
+
+
+class TestInterprocedural:
+    def test_param_passing(self):
+        result = pts(
+            "proc main() { var x = 0; f(&x); } proc f(p) { *p = 1; }"
+        )
+        assert VarLoc("main", "x") in result.var_points_to("f", "p")
+
+    def test_return_value(self):
+        result = pts(
+            """
+            proc main() { var x = 0; var p; p = f(&x); }
+            proc f(q) { return q; }
+            """
+        )
+        assert VarLoc("main", "x") in result.var_points_to("main", "p")
+
+    def test_context_insensitivity_merges_callers(self):
+        result = pts(
+            """
+            proc main() {
+                var x = 0;
+                var y = 0;
+                f(&x);
+                f(&y);
+            }
+            proc f(p) { }
+            """
+        )
+        targets = result.var_points_to("f", "p")
+        assert {VarLoc("main", "x"), VarLoc("main", "y")} <= targets
+
+    def test_nonlocal_pointees(self):
+        result = pts("proc main() { var x = 0; f(&x); } proc f(p) { *p = 1; }")
+        nonlocal_ = result.nonlocal_pointees("f", "p")
+        assert VarLoc("main", "x") in nonlocal_
+
+    def test_local_pointer_map(self):
+        result = pts("proc main() { var x = 0; var p = &x; *p = 2; }")
+        local = result.local_pointer_map("main")
+        assert local["p"] == {"x"}
+
+    def test_extern_call_returns_no_pointers(self):
+        result = pts(
+            "extern proc env(); proc main() { var p; p = env(); }"
+        )
+        assert result.var_points_to("main", "p") == set()
+
+
+class TestObjectReferences:
+    def test_channel_lookup(self):
+        result = pts("proc main() { var c; c = channel('box'); }")
+        assert ObjLoc("box") in result.var_points_to("main", "c")
+
+    def test_object_ref_through_call(self):
+        result = pts(
+            """
+            proc main() { var c; c = channel('box'); use(c); }
+            proc use(ch) { send(ch, 1); }
+            """
+        )
+        assert ObjLoc("box") in result.var_points_to("use", "ch")
+
+    def test_objects_of_string_literal(self):
+        result = pts("proc main() { send(box, 1); }")
+        from repro.lang import ast
+
+        assert result.objects_of("main", ast.StrLit("box")) == {"box"}
+
+    def test_objects_of_variable(self):
+        result = pts("proc main() { var c; c = channel('box'); send(c, 1); }")
+        from repro.lang import ast
+
+        assert result.objects_of("main", ast.Name("c")) == {"box"}
+
+    def test_objects_of_unknown_variable_is_none(self):
+        result = pts("proc main(c) { send(c, 1); }")
+        from repro.lang import ast
+
+        assert result.objects_of("main", ast.Name("c")) is None
+
+    def test_pointer_mailed_through_channel(self):
+        result = pts(
+            """
+            proc a() { var x = 0; send(box, &x); }
+            proc b() { var p; p = recv(box); *p = 1; }
+            """
+        )
+        assert VarLoc("a", "x") in result.var_points_to("b", "p")
+
+    def test_pointer_through_shared_var(self):
+        result = pts(
+            """
+            proc a() { var x = 0; write(sv, &x); }
+            proc b() { var p; p = read(sv); }
+            """
+        )
+        assert VarLoc("a", "x") in result.var_points_to("b", "p")
+
+    def test_pointer_through_dynamic_channel(self):
+        result = pts(
+            """
+            proc a() { var c; c = channel('m'); var x = 0; send(c, &x); }
+            proc b() { var c; c = channel('m'); var p; p = recv(c); }
+            """
+        )
+        assert VarLoc("a", "x") in result.var_points_to("b", "p")

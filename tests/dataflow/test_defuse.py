@@ -1,0 +1,179 @@
+"""Tests for define-use graph computation (reaching definitions)."""
+
+from repro.cfg import NodeKind, build_cfgs
+from repro.dataflow.alias import analyze_aliases
+from repro.dataflow.defuse import compute_defuse
+from repro.lang.parser import parse_program
+
+
+def defuse_of(source, proc="main"):
+    cfgs = build_cfgs(parse_program(source))
+    points_to = analyze_aliases(cfgs)
+    cfg = cfgs[proc]
+    return cfg, compute_defuse(cfg, points_to.local_pointer_map(proc))
+
+
+def node_by_desc(cfg, fragment):
+    for node in cfg:
+        if fragment in node.describe():
+            return node
+    raise AssertionError(f"no node matching {fragment!r}")
+
+
+def has_arc(graph, def_desc, use_desc, var, cfg):
+    d = node_by_desc(cfg, def_desc)
+    u = node_by_desc(cfg, use_desc)
+    return any(
+        arc.def_node == d.id and arc.use_node == u.id and arc.var == var
+        for arc in graph.arcs
+    )
+
+
+class TestStraightLine:
+    def test_def_reaches_use(self):
+        cfg, graph = defuse_of("proc main() { var a = 1; var b = a + 2; }")
+        assert has_arc(graph, "a = 1", "b = a + 2", "a", cfg)
+
+    def test_strong_def_kills(self):
+        cfg, graph = defuse_of(
+            "proc main() { var a = 1; a = 2; var b = a; }"
+        )
+        assert has_arc(graph, "a = 2", "b = a", "a", cfg)
+        assert not has_arc(graph, "a = 1", "b = a", "a", cfg)
+
+    def test_param_defined_at_start(self):
+        cfg, graph = defuse_of("proc main(x) { var y = x; }")
+        use = node_by_desc(cfg, "y = x")
+        assert any(
+            arc.def_node == cfg.start_id and arc.var == "x"
+            for arc in graph.defs_feeding(use.id)
+        )
+
+    def test_chain_through_copies(self):
+        cfg, graph = defuse_of(
+            "proc main() { var a = 1; var b = a; var c = b; }"
+        )
+        assert has_arc(graph, "b = a", "c = b", "b", cfg)
+        assert not has_arc(graph, "a = 1", "c = b", "a", cfg)
+
+
+class TestBranches:
+    def test_both_branch_defs_reach_join(self):
+        cfg, graph = defuse_of(
+            """
+            proc main(c) {
+                var a = 0;
+                if (c == 1) { a = 1; } else { a = 2; }
+                var b = a;
+            }
+            """
+        )
+        assert has_arc(graph, "a = 1", "b = a", "a", cfg)
+        assert has_arc(graph, "a = 2", "b = a", "a", cfg)
+        assert not has_arc(graph, "a = 0", "b = a", "a", cfg)
+
+    def test_partial_kill_keeps_fallthrough(self):
+        cfg, graph = defuse_of(
+            """
+            proc main(c) {
+                var a = 0;
+                if (c == 1) { a = 1; }
+                var b = a;
+            }
+            """
+        )
+        assert has_arc(graph, "a = 0", "b = a", "a", cfg)
+        assert has_arc(graph, "a = 1", "b = a", "a", cfg)
+
+    def test_cond_node_uses(self):
+        cfg, graph = defuse_of("proc main() { var a = 1; if (a == 1) { skip; } }")
+        assert has_arc(graph, "a = 1", "cond a == 1", "a", cfg)
+
+
+class TestLoops:
+    def test_loop_carried_dependence(self):
+        cfg, graph = defuse_of(
+            "proc main() { var i = 0; while (i < 3) { i = i + 1; } }"
+        )
+        # i = i + 1 feeds both the loop condition and itself.
+        assert has_arc(graph, "i = i + 1", "cond i < 3", "i", cfg)
+        assert has_arc(graph, "i = i + 1", "i = i + 1", "i", cfg)
+        assert has_arc(graph, "i = 0", "cond i < 3", "i", cfg)
+
+    def test_init_does_not_reach_past_redef_in_loop(self):
+        cfg, graph = defuse_of(
+            """
+            proc main() {
+                var i = 0;
+                var s = 0;
+                while (i < 3) {
+                    s = i;
+                    i = i + 1;
+                }
+                var t = s;
+            }
+            """
+        )
+        assert has_arc(graph, "s = i", "t = s", "s", cfg)
+        assert has_arc(graph, "s = 0", "t = s", "s", cfg)  # zero-iteration path
+
+
+class TestWeakDefs:
+    def test_array_store_does_not_kill(self):
+        cfg, graph = defuse_of(
+            """
+            proc main() {
+                var a[2];
+                a[0] = 1;
+                var b = a[1];
+            }
+            """
+        )
+        # Both the declaration and the weak store reach the use.
+        assert has_arc(graph, "a[0] = 1", "b = a[1]", "a", cfg)
+        assert has_arc(graph, "new_array(2)", "b = a[1]", "a", cfg)
+
+    def test_pointer_store_reaches_use(self):
+        cfg, graph = defuse_of(
+            """
+            proc main() {
+                var x = 0;
+                var p = &x;
+                *p = 5;
+                var y = x;
+            }
+            """
+        )
+        assert has_arc(graph, "*p = 5", "y = x", "x", cfg)
+        assert has_arc(graph, "x = 0", "y = x", "x", cfg)  # weak def doesn't kill
+
+    def test_call_with_address_arg_defines(self):
+        cfg, graph = defuse_of(
+            """
+            proc main() {
+                var x = 0;
+                f(&x);
+                var y = x;
+            }
+            proc f(p) { *p = 1; }
+            """
+        )
+        assert has_arc(graph, "f(&x)", "y = x", "x", cfg)
+
+
+class TestApiAndCounts:
+    def test_uses_fed_by_and_defs_feeding_agree(self):
+        cfg, graph = defuse_of("proc main() { var a = 1; var b = a; var c = a; }")
+        d = node_by_desc(cfg, "a = 1")
+        fed = graph.uses_fed_by(d.id)
+        assert len(fed) == 2
+        for arc in fed:
+            assert arc in graph.defs_feeding(arc.use_node)
+
+    def test_arc_count(self):
+        cfg, graph = defuse_of("proc main() { var a = 1; var b = a; }")
+        assert graph.arc_count() == len(graph.arcs)
+
+    def test_no_false_arcs_for_unrelated_vars(self):
+        cfg, graph = defuse_of("proc main() { var a = 1; var b = 2; var c = b; }")
+        assert not has_arc(graph, "a = 1", "c = b", "a", cfg)

@@ -1,0 +1,86 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import System, close_program
+from repro.runtime.system import Run
+from repro.verisoft import collect_output_traces
+
+
+def run_single(
+    source_or_cfgs,
+    proc: str = "main",
+    args: tuple = (),
+    objects: dict[str, Any] | None = None,
+    max_steps: int = 10_000,
+    toss_choices: list[int] | None = None,
+) -> Run:
+    """Run a single-process system to completion with a trivial scheduler.
+
+    ``objects`` maps names to ("channel", capacity) / ("semaphore", n) /
+    ("shared", init) / ("sink",); an ``out`` sink is always present.
+    ``toss_choices`` supplies VS_toss answers in order (default: all 0).
+    """
+    system = System(source_or_cfgs)
+    system.add_env_sink("out")
+    for name, spec in (objects or {}).items():
+        kind = spec[0]
+        if kind == "channel":
+            system.add_channel(name, capacity=spec[1])
+        elif kind == "semaphore":
+            system.add_semaphore(name, initial=spec[1])
+        elif kind == "shared":
+            system.add_shared(name, initial=spec[1])
+        elif kind == "sink":
+            system.add_env_sink(name)
+        else:
+            raise ValueError(f"unknown object kind {kind!r}")
+    system.add_process("P", proc, list(args))
+    run = system.start()
+    run.start_processes()
+    tosses = list(toss_choices or [])
+    steps = 0
+    while steps < max_steps:
+        steps += 1
+        pending = run.toss_pending()
+        if pending is not None:
+            value = tosses.pop(0) if tosses else 0
+            run.answer_toss(pending, value)
+            continue
+        enabled = run.enabled_processes()
+        if not enabled:
+            break
+        run.execute_visible(enabled[0])
+    return run
+
+
+def outputs_of(run: Run, sink: str = "out") -> list:
+    return run.env_outputs(sink)
+
+
+def single_process_behaviors(
+    cfgs_or_source,
+    proc: str,
+    args: tuple = (),
+    objects: dict[str, Any] | None = None,
+    max_depth: int = 60,
+) -> set[tuple]:
+    """All output traces of a single-process system on sink ``out``."""
+    system = System(cfgs_or_source)
+    system.add_env_sink("out")
+    for name, spec in (objects or {}).items():
+        kind = spec[0]
+        if kind == "channel":
+            system.add_channel(name, capacity=spec[1])
+        elif kind == "semaphore":
+            system.add_semaphore(name, initial=spec[1])
+        elif kind == "shared":
+            system.add_shared(name, initial=spec[1])
+    system.add_process("P", proc, list(args))
+    return collect_output_traces(system, "out", max_depth=max_depth)
+
+
+# Re-exported from the library so existing test imports keep working.
+from repro.verisoft.behaviors import behavior_inclusion, matches_with_erasure  # noqa: E402,F401

@@ -1,0 +1,108 @@
+"""End-to-end: a multi-function C program (structs, switch, loops,
+pointers) through the pycparser front end, closed, and explored."""
+
+import pytest
+
+pytest.importorskip("pycparser")
+
+from repro import System, close_program, collect_output_traces, explore
+from repro.lang.cfront import c_to_program
+
+C_SOURCE = """
+int poll_event();
+int sensor_value();
+
+struct stats { int highs; int lows; };
+
+void note(struct stats *s, int high) {
+    if (high) {
+        s->highs += 1;
+    } else {
+        s->lows += 1;
+    }
+}
+
+int classify(int v) {
+    if (v > 50) { return 1; }
+    return 0;
+}
+
+void monitor(int cycles) {
+    struct stats s;
+    s.highs = 0;
+    s.lows = 0;
+    int i;
+    for (i = 0; i < cycles; i++) {
+        int ev = poll_event();
+        switch (ev % 3) {
+        case 0:
+            send(log, "idle");
+            break;
+        case 1: {
+            int v = sensor_value();
+            int high = classify(v);
+            note(&s, high);
+            if (high) { send(log, "high"); } else { send(log, "low"); }
+            break;
+        }
+        default:
+            send(log, "maintenance");
+            break;
+        }
+    }
+    VS_assert(s.highs + s.lows <= cycles);
+    send(log, "done");
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def closed():
+    return close_program(c_to_program(C_SOURCE))
+
+
+def build(closed, cycles=2):
+    system = System(closed.cfgs)
+    system.add_env_sink("log")
+    system.add_process("mon", "monitor", [cycles])
+    return system
+
+
+class TestCCaseStudy:
+    def test_translates_and_closes(self, closed):
+        assert set(closed.cfgs) == {"note", "classify", "monitor"}
+        for cfg in closed.cfgs.values():
+            cfg.validate()
+
+    def test_env_branching_becomes_toss(self, closed):
+        from repro.cfg import NodeKind
+
+        assert closed.cfgs["monitor"].nodes_of_kind(NodeKind.TOSS)
+        # classify's parameter came only from the env value: removed.
+        assert closed.removed_params.get("classify") == ("v",)
+
+    def test_all_event_patterns_explored(self, closed):
+        report = explore(build(closed), max_depth=40)
+        assert report.ok  # the bookkeeping assertion is preserved & holds
+        # Ground truth: 4 outcomes per cycle (idle | high | low |
+        # maintenance).  The closed system explores at least those; the
+        # upper approximation decorrelates classify's decision from the
+        # display and the stats update, so extra (infeasible but
+        # harmless) paths appear on top.
+        assert report.paths_explored >= 16
+        assert not report.truncated
+
+    def test_observable_traces(self, closed):
+        traces = collect_output_traces(build(closed, cycles=1), "log", max_depth=40)
+        assert traces == {
+            ("idle", "done"),
+            ("high", "done"),
+            ("low", "done"),
+            ("maintenance", "done"),
+        }
+
+    def test_struct_counts_preserved(self, closed):
+        # The stats struct is system data fed by env-dependent *choices*
+        # but constant increments: the preserved assertion never fires.
+        report = explore(build(closed, cycles=3), max_depth=60)
+        assert not report.violations

@@ -1,0 +1,104 @@
+"""End-to-end reproduction of the paper's Figures 2 and 3, as tests.
+
+The benchmark harness (benchmarks/test_fig2_transform.py and
+test_fig3_transform.py) regenerates the full figures; these tests pin
+the headline facts so regressions are caught in the fast suite.
+"""
+
+import pytest
+
+from repro import System, close_program, collect_output_traces
+
+P_SRC = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 10) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+Q_SRC = """
+proc q(x) {
+    var cnt = 0;
+    while (cnt < 10) {
+        var y = x % 2;
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        x = x / 2;
+        cnt = cnt + 1;
+    }
+}
+"""
+
+
+def open_behaviors(source, proc, inputs):
+    traces = set()
+    for value in inputs:
+        system = System(source)
+        system.add_env_sink("out")
+        system.add_process("P", proc, [value])
+        traces |= collect_output_traces(system, "out", max_depth=40)
+    return traces
+
+
+def closed_behaviors(source, proc):
+    closed = close_program(source, env_params={proc: ["x"]})
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", proc, [])
+    return collect_output_traces(system, "out", max_depth=40)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return {
+        "open": open_behaviors(P_SRC, "p", range(1024)),
+        "closed": closed_behaviors(P_SRC, "p"),
+    }
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return {
+        "open": open_behaviors(Q_SRC, "q", range(1024)),
+        "closed": closed_behaviors(Q_SRC, "q"),
+    }
+
+
+class TestFigure2:
+    def test_open_system_has_two_behaviours(self, fig2):
+        # For any input, p emits either ten 'even's or ten 'odd's.
+        assert fig2["open"] == {("even",) * 10, ("odd",) * 10}
+
+    def test_closed_system_has_all_mixtures(self, fig2):
+        assert len(fig2["closed"]) == 1024
+
+    def test_strict_upper_approximation(self, fig2):
+        """The paper: 'the resulting closed program is a strict upper
+        approximation of p combined with its most general environment'."""
+        assert fig2["open"] < fig2["closed"]
+
+    def test_mixed_sequence_is_new(self, fig2):
+        mixed = ("even", "odd") * 5
+        assert mixed in fig2["closed"]
+        assert mixed not in fig2["open"]
+
+
+class TestFigure3:
+    def test_open_system_exhibits_all_bit_patterns(self, fig3):
+        # q sends the ten least-significant bits of x.
+        assert len(fig3["open"]) == 1024
+
+    def test_optimal_translation(self, fig3):
+        """The paper: 'the resulting closed program is equivalent to q
+        combined with its most general environment'."""
+        assert fig3["open"] == fig3["closed"]
+
+
+class TestFigure2Vs3:
+    def test_same_closed_behaviours(self, fig2, fig3):
+        """p and q are functionally distinct but close to the same
+        program."""
+        assert fig2["closed"] == fig3["closed"]

@@ -1,0 +1,128 @@
+"""Integration test: a stop-and-wait protocol closed against the most
+general lossy link (the examples/stop_and_wait.py scenario, pinned)."""
+
+import pytest
+
+from repro import System, close_program, collect_output_traces, explore
+
+PROTOCOL = """
+extern proc link_quality();
+
+proc deliver_or_drop(ch, frame) {
+    var q;
+    q = link_quality();
+    if (q % 4 != 0) {
+        send(ch, frame);
+    } else {
+        send(ch, 'lost');
+    }
+}
+
+proc sender(n_frames, max_retries) {
+    var down = channel('to_recv');
+    var up = channel('to_send');
+    var seq = 0;
+    var frame = 0;
+    while (frame < n_frames) {
+        var tries = 0;
+        var acked = 0;
+        while (acked == 0) {
+            if (tries > max_retries) {
+                send(out, 'give-up');
+                exit;
+            }
+            deliver_or_drop(down, frame * 2 + seq);
+            var ack;
+            ack = recv(up);
+            if (ack != 'lost') {
+                if (ack == seq) { acked = 1; }
+            }
+            tries = tries + 1;
+        }
+        seq = 1 - seq;
+        frame = frame + 1;
+    }
+    send(out, 'sender-done');
+}
+
+proc receiver(n_frames) {
+    var down = channel('to_recv');
+    var up = channel('to_send');
+    var expected = 0;
+    var delivered = 0;
+    while (true) {
+        var m;
+        m = recv(down);
+        if (m != 'lost') {
+            var seq = m % 2;
+            var payload = m / 2;
+            if (seq == expected) {
+                send(out, payload);
+                delivered = delivered + 1;
+                VS_assert(payload == delivered - 1);
+                expected = 1 - expected;
+            }
+            deliver_or_drop(up, seq);
+        } else {
+            skip;
+        }
+    }
+}
+"""
+
+
+def build(n_frames=2, max_retries=2):
+    closed = close_program(PROTOCOL)
+    system = System(closed.cfgs)
+    system.add_channel("to_recv", capacity=1)
+    system.add_channel("to_send", capacity=1)
+    system.add_env_sink("out")
+    system.add_process("S", "sender", [n_frames, max_retries])
+    system.add_process("R", "receiver", [n_frames])
+    return closed, system
+
+
+@pytest.fixture(scope="module")
+def traces():
+    _, system = build()
+    return collect_output_traces(system, "out", max_depth=80)
+
+
+class TestStopAndWait:
+    def test_link_decisions_become_tosses(self):
+        closed, _ = build()
+        assert closed.proc_stats["deliver_or_drop"].toss_nodes == 1
+
+    def test_ordering_assertion_holds_under_all_loss(self):
+        _, system = build()
+        report = explore(system, max_depth=80, por=True)
+        assert not report.violations
+        assert not report.crashes
+
+    def test_no_out_of_order_or_duplicate_delivery(self, traces):
+        for trace in traces:
+            payloads = [x for x in trace if isinstance(x, int)]
+            assert payloads == sorted(set(payloads))
+            assert payloads == list(range(len(payloads)))
+
+    def test_success_outcome_reachable(self, traces):
+        assert any(t and t[-1] == "sender-done" for t in traces)
+
+    def test_give_up_reachable_under_heavy_loss(self, traces):
+        assert any("give-up" in t for t in traces)
+
+    def test_full_delivery_precedes_success(self, traces):
+        for trace in traces:
+            if trace and trace[-1] == "sender-done":
+                assert [x for x in trace if isinstance(x, int)] == [0, 1]
+
+    def test_more_retries_enable_more_outcomes(self):
+        _, generous = build(max_retries=4)
+        generous_traces = collect_output_traces(generous, "out", max_depth=120)
+        _, stingy = build(max_retries=0)
+        stingy_traces = collect_output_traces(stingy, "out", max_depth=120)
+        success = lambda ts: any(t and t[-1] == "sender-done" for t in ts)  # noqa: E731
+        assert success(generous_traces)
+        assert success(stingy_traces)  # lossless pattern still succeeds
+        # With zero retries a single loss aborts: give-up outcomes exist.
+        assert any("give-up" in t for t in stingy_traces)

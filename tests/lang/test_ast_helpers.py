@@ -1,0 +1,84 @@
+"""Unit tests for AST helper functions."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_program
+
+
+class TestIsLvalue:
+    def test_name(self):
+        assert ast.is_lvalue(parse_expr("x"))
+
+    def test_index_and_field(self):
+        assert ast.is_lvalue(parse_expr("a[1]"))
+        assert ast.is_lvalue(parse_expr("r.f"))
+        assert ast.is_lvalue(parse_expr("a[1].f"))
+
+    def test_deref(self):
+        assert ast.is_lvalue(parse_expr("*p"))
+
+    def test_non_lvalues(self):
+        assert not ast.is_lvalue(parse_expr("1"))
+        assert not ast.is_lvalue(parse_expr("x + 1"))
+        assert not ast.is_lvalue(parse_expr("-x"))
+        assert not ast.is_lvalue(parse_expr("f(x)"))
+
+
+class TestExprNames:
+    def test_simple(self):
+        assert ast.expr_names(parse_expr("x + y * z")) == {"x", "y", "z"}
+
+    def test_through_structures(self):
+        assert ast.expr_names(parse_expr("a[i].f + *p")) == {"a", "i", "p"}
+
+    def test_literals_have_no_names(self):
+        assert ast.expr_names(parse_expr("1 + 2")) == set()
+        assert ast.expr_names(parse_expr("'tag'")) == set()
+
+    def test_call_arguments_included(self):
+        assert ast.expr_names(parse_expr("f(x, g(y))")) == {"x", "y"}
+
+    def test_duplicates_collapse(self):
+        assert ast.expr_names(parse_expr("x + x * x")) == {"x"}
+
+
+class TestWalkers:
+    def test_walk_expr_preorder(self):
+        expr = parse_expr("a + b * c")
+        kinds = [type(node).__name__ for node in ast.walk_expr(expr)]
+        assert kinds[0] == "Binary"  # the + comes first
+        assert kinds.count("Name") == 3
+
+    def test_walk_stmts_recurses_everywhere(self):
+        program = parse_program(
+            """
+            proc main(x) {
+                if (x == 1) {
+                    while (true) { var a = 1; }
+                } else {
+                    switch (x) {
+                    case 2: var b = 2;
+                    default: var c = 3;
+                    }
+                }
+                for (var i = 0; i < 2; i = i + 1) { var d = 4; }
+            }
+            """
+        )
+        stmts = list(ast.walk_stmts(program.procs["main"].body))
+        decls = {s.name for s in stmts if isinstance(s, ast.VarDecl)}
+        assert decls == {"a", "b", "c", "d", "i"}
+
+    def test_walk_stmts_covers_for_header(self):
+        program = parse_program(
+            "proc main() { for (var i = 0; i < 2; i = i + 1) { } }"
+        )
+        stmts = list(ast.walk_stmts(program.procs["main"].body))
+        assert any(isinstance(s, ast.Assign) for s in stmts)  # the step
+
+
+class TestProgramApi:
+    def test_proc_names(self):
+        program = parse_program("proc a() { } proc b() { }")
+        assert program.proc_names() == ["a", "b"]

@@ -1,0 +1,222 @@
+"""Tests for normalization to core form."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import NormalizationError
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+
+
+def norm(source):
+    return normalize_program(parse_program(source))
+
+
+def main_body(source):
+    return norm(source).procs["main"].body
+
+
+def all_stmts(source):
+    return list(ast.walk_stmts(norm(source).procs["main"].body))
+
+
+class TestCallHoisting:
+    def test_call_in_expression_is_hoisted(self):
+        body = main_body("proc main() { var x = f() + 1; } proc f() { return 2; }")
+        # var _t0; _t0 = f(); var x = _t0 + 1;
+        kinds = [type(s).__name__ for s in body]
+        assert kinds == ["VarDecl", "CallStmt", "VarDecl"]
+        call = body[1]
+        assert call.callee == "f"
+
+    def test_nested_calls_hoisted_in_order(self):
+        body = main_body(
+            "proc main() { var x = f(g()); } proc f(a) { return a; } proc g() { return 1; }"
+        )
+        calls = [s for s in body if isinstance(s, ast.CallStmt)]
+        assert [c.callee for c in calls] == ["g", "f"]
+
+    def test_complex_call_argument_atomized(self):
+        body = main_body("proc main() { var a = 1; f(a + 2); } proc f(x) { }")
+        call = next(s for s in body if isinstance(s, ast.CallStmt))
+        assert all(
+            isinstance(arg, (ast.Name, ast.IntLit, ast.BoolLit, ast.StrLit))
+            for arg in call.args
+        )
+
+    def test_simple_arguments_left_alone(self):
+        body = main_body("proc main() { var a = 1; f(a, 2, 'tag'); } proc f(x, y, z) { }")
+        call = next(s for s in body if isinstance(s, ast.CallStmt))
+        assert isinstance(call.args[0], ast.Name)
+        assert isinstance(call.args[1], ast.IntLit)
+        assert isinstance(call.args[2], ast.StrLit)
+
+    def test_address_of_argument_preserved(self):
+        body = main_body("proc main() { var a = 1; f(&a); } proc f(p) { }")
+        call = next(s for s in body if isinstance(s, ast.CallStmt))
+        assert isinstance(call.args[0], ast.Unary) and call.args[0].op == "&"
+
+    def test_assignment_from_call_becomes_call_stmt(self):
+        body = main_body("proc main() { var x; x = f(); } proc f() { return 1; }")
+        assert isinstance(body[1], ast.CallStmt)
+        assert isinstance(body[1].result, ast.Name)
+
+    def test_call_in_while_guard_reevaluated(self):
+        body = main_body(
+            "proc main() { while (f() > 0) { skip; } } proc f() { return 0; }"
+        )
+        loop = body[0]
+        assert isinstance(loop, ast.While)
+        # Guard became `true`; the call and test moved into the body.
+        assert isinstance(loop.cond, ast.BoolLit) and loop.cond.value is True
+        inner = [type(s).__name__ for s in loop.body]
+        assert "CallStmt" in inner and "If" in inner
+
+
+class TestForDesugaring:
+    def test_for_becomes_while(self):
+        body = main_body("proc main() { for (var i = 0; i < 3; i = i + 1) { skip; } }")
+        kinds = [type(s).__name__ for s in body]
+        assert "For" not in kinds
+        assert "While" in kinds
+
+    def test_for_without_cond_uses_true(self):
+        body = main_body("proc main() { for (;;) { break; } }")
+        loop = next(s for s in body if isinstance(s, ast.While))
+        assert isinstance(loop.cond, ast.BoolLit)
+
+    def test_continue_in_for_runs_step(self):
+        stmts = all_stmts(
+            """
+            proc main() {
+                for (var i = 0; i < 3; i = i + 1) {
+                    if (i == 1) { continue; }
+                    send(out, i);
+                }
+            }
+            """
+        )
+        # The continue must be preceded by the injected step assignment.
+        continues = [s for s in stmts if isinstance(s, ast.Continue)]
+        assert continues
+        ifs = [s for s in stmts if isinstance(s, ast.If)]
+        then_with_continue = next(
+            s.then_body for s in ifs if any(isinstance(t, ast.Continue) for t in s.then_body)
+        )
+        assert isinstance(then_with_continue[0], ast.Assign)
+        assert isinstance(then_with_continue[1], ast.Continue)
+
+    def test_for_scope_does_not_leak(self):
+        with pytest.raises(NormalizationError):
+            norm("proc main() { for (var i = 0; i < 3; i = i + 1) { } send(out, i); }")
+
+
+class TestScoping:
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(NormalizationError):
+            norm("proc main() { x = 1; }")
+
+    def test_undeclared_in_expression_rejected(self):
+        with pytest.raises(NormalizationError):
+            norm("proc main() { var x = y + 1; }")
+
+    def test_params_are_in_scope(self):
+        norm("proc main(a, b) { var x = a + b; }")
+
+    def test_shadowing_renamed_apart(self):
+        program = norm(
+            """
+            proc main() {
+                var x = 1;
+                if (x == 1) {
+                    var x = 2;
+                    send(out, x);
+                }
+                send(out, x);
+            }
+            """
+        )
+        stmts = list(ast.walk_stmts(program.procs["main"].body))
+        sends = [s for s in stmts if isinstance(s, ast.CallStmt)]
+        inner_arg = sends[0].args[1]
+        outer_arg = sends[1].args[1]
+        assert isinstance(inner_arg, ast.Name) and isinstance(outer_arg, ast.Name)
+        assert inner_arg.ident != outer_arg.ident
+
+    def test_block_scope_ends(self):
+        with pytest.raises(NormalizationError):
+            norm("proc main() { if (true) { var x = 1; } send(out, x); }")
+
+    def test_undeclared_callee_rejected(self):
+        with pytest.raises(NormalizationError):
+            norm("proc main() { mystery(); }")
+
+    def test_extern_callee_accepted(self):
+        norm("extern proc env(); proc main() { var x; x = env(); }")
+
+    def test_builtin_callees_accepted(self):
+        norm(
+            """
+            proc main() {
+                var c;
+                c = channel('ch');
+                send(c, 1);
+                var v;
+                v = recv(c);
+                sem_p(s);
+                sem_v(s);
+                write(sv, 1);
+                var w;
+                w = read(sv);
+                VS_assert(true);
+                var t;
+                t = VS_toss(3);
+                var r;
+                r = record();
+            }
+            """
+        )
+
+
+class TestObjectArguments:
+    def test_bare_object_name_becomes_string(self):
+        program = norm("proc main() { send(box, 1); }")
+        stmts = list(ast.walk_stmts(program.procs["main"].body))
+        send = next(s for s in stmts if isinstance(s, ast.CallStmt))
+        assert isinstance(send.args[0], ast.StrLit)
+        assert send.args[0].value == "box"
+
+    def test_local_variable_object_arg_stays_variable(self):
+        program = norm(
+            "proc main() { var box; box = channel('real'); send(box, 1); }"
+        )
+        stmts = list(ast.walk_stmts(program.procs["main"].body))
+        send = next(
+            s for s in stmts if isinstance(s, ast.CallStmt) and s.callee == "send"
+        )
+        assert isinstance(send.args[0], ast.Name)
+
+    def test_object_param_stays_variable(self):
+        program = norm("proc main(box) { send(box, 1); }")
+        stmts = list(ast.walk_stmts(program.procs["main"].body))
+        send = next(s for s in stmts if isinstance(s, ast.CallStmt))
+        assert isinstance(send.args[0], ast.Name)
+
+
+class TestIdempotence:
+    def test_normalize_is_idempotent(self):
+        source = """
+        extern proc env();
+        proc helper(a) { return a * 2; }
+        proc main() {
+            var x = helper(3) + 1;
+            for (var i = 0; i < x; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                send(out, i);
+            }
+        }
+        """
+        once = normalize_program(parse_program(source))
+        twice = normalize_program(parse_program(pretty(once)))
+        assert pretty(twice) == pretty(once)

@@ -1,0 +1,265 @@
+"""Unit tests for the RC parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expr, parse_program
+
+
+def first_proc(source):
+    program = parse_program(source)
+    return next(iter(program.procs.values()))
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        expr = parse_expr("a < b && c > d")
+        assert isinstance(expr, ast.Binary) and expr.op == "&&"
+        assert expr.left.op == "<"
+        assert expr.right.op == ">"
+
+    def test_or_binds_loosest(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "-"
+        assert isinstance(expr.right, ast.Name) and expr.right.ident == "c"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.Unary) and expr.left.op == "-"
+
+    def test_unary_not(self):
+        expr = parse_expr("!done")
+        assert isinstance(expr, ast.Unary) and expr.op == "!"
+
+    def test_address_of(self):
+        expr = parse_expr("&x")
+        assert isinstance(expr, ast.Unary) and expr.op == "&"
+
+    def test_address_of_requires_lvalue(self):
+        with pytest.raises(ParseError):
+            parse_expr("&(1 + 2)")
+
+    def test_deref(self):
+        expr = parse_expr("*p")
+        assert isinstance(expr, ast.Unary) and expr.op == "*"
+
+    def test_double_deref(self):
+        expr = parse_expr("**pp")
+        assert expr.op == "*"
+        assert expr.operand.op == "*"
+
+    def test_index(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.index, ast.Binary)
+
+    def test_nested_index(self):
+        expr = parse_expr("a[0][1]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_field(self):
+        expr = parse_expr("msg.kind")
+        assert isinstance(expr, ast.Field)
+        assert expr.field == "kind"
+
+    def test_chained_field(self):
+        expr = parse_expr("a.b.c")
+        assert expr.field == "c"
+        assert expr.base.field == "b"
+
+    def test_call_expr(self):
+        expr = parse_expr("f(1, x)")
+        assert isinstance(expr, ast.CallExpr)
+        assert expr.callee == "f"
+        assert len(expr.args) == 2
+
+    def test_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+        assert isinstance(parse_expr("top"), ast.AbstractLit)
+        assert parse_expr("'tag'").value == "tag"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 )")
+
+
+class TestStatements:
+    def test_var_decl_plain(self):
+        proc = first_proc("proc m() { var x; }")
+        decl = proc.body[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.init is None and decl.array_size is None
+
+    def test_var_decl_with_init(self):
+        proc = first_proc("proc m() { var x = 1 + 2; }")
+        assert isinstance(proc.body[0].init, ast.Binary)
+
+    def test_array_decl(self):
+        proc = first_proc("proc m() { var a[10]; }")
+        assert proc.body[0].array_size == 10
+
+    def test_array_decl_zero_size_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc m() { var a[0]; }")
+
+    def test_array_decl_with_init_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc m() { var a[3] = 1; }")
+
+    def test_assignment(self):
+        proc = first_proc("proc m() { var x; x = 5; }")
+        assign = proc.body[1]
+        assert isinstance(assign, ast.Assign)
+
+    def test_assignment_to_deref(self):
+        proc = first_proc("proc m() { var x; var p = &x; *p = 1; }")
+        assign = proc.body[2]
+        assert isinstance(assign.target, ast.Unary)
+
+    def test_assignment_to_non_lvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc m() { 1 + 2 = 3; }")
+
+    def test_call_statement(self):
+        proc = first_proc("proc m() { f(); } proc f() { }")
+        call = proc.body[0]
+        assert isinstance(call, ast.CallStmt)
+        assert call.result is None
+
+    def test_call_with_result(self):
+        proc = first_proc("proc m() { var x; x = f(); } proc f() { return 1; }")
+        call = proc.body[1]
+        assert isinstance(call, ast.CallStmt)
+        assert isinstance(call.result, ast.Name)
+
+    def test_bare_expression_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc m() { x + 1; }")
+
+    def test_if_else(self):
+        proc = first_proc("proc m() { if (true) { skip; } else { exit; } }")
+        stmt = proc.body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.Exit)
+
+    def test_else_if_chain(self):
+        proc = first_proc(
+            "proc m(x) { if (x == 1) { skip; } else if (x == 2) { skip; } else { skip; } }"
+        )
+        stmt = proc.body[0]
+        inner = stmt.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert inner.else_body
+
+    def test_while(self):
+        proc = first_proc("proc m() { while (true) { skip; } }")
+        assert isinstance(proc.body[0], ast.While)
+
+    def test_for_full(self):
+        proc = first_proc("proc m() { for (var i = 0; i < 3; i = i + 1) { skip; } }")
+        stmt = proc.body[0]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        proc = first_proc("proc m() { for (;;) { break; } }")
+        stmt = proc.body[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_switch(self):
+        proc = first_proc(
+            """
+            proc m(x) {
+                switch (x) {
+                case 1: skip;
+                case 'tag': skip;
+                case -2: skip;
+                default: exit;
+                }
+            }
+            """
+        )
+        stmt = proc.body[0]
+        assert isinstance(stmt, ast.Switch)
+        assert [c.value for c in stmt.cases] == [1, "tag", -2]
+        assert isinstance(stmt.default[0], ast.Exit)
+
+    def test_switch_duplicate_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc m(x) { switch (x) { case 1: skip; case 1: skip; } }")
+
+    def test_switch_duplicate_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "proc m(x) { switch (x) { default: skip; default: skip; } }"
+            )
+
+    def test_switch_case_after_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "proc m(x) { switch (x) { default: skip; case 1: skip; } }"
+            )
+
+    def test_return_with_and_without_value(self):
+        proc = first_proc("proc m(x) { if (x == 0) { return; } return x; }")
+        assert proc.body[0].then_body[0].value is None
+        assert isinstance(proc.body[1].value, ast.Name)
+
+    def test_break_continue(self):
+        proc = first_proc("proc m() { while (true) { break; continue; } }")
+        body = proc.body[0].body
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+
+class TestTopLevel:
+    def test_multiple_procs(self):
+        program = parse_program("proc a() { } proc b(x, y) { }")
+        assert list(program.procs) == ["a", "b"]
+        assert program.procs["b"].params == ("x", "y")
+
+    def test_extern_decl(self):
+        program = parse_program("extern proc env(a); proc m() { }")
+        assert "env" in program.externs
+        assert program.externs["env"].params == ("a",)
+
+    def test_duplicate_proc_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc a() { } proc a() { }")
+
+    def test_duplicate_extern_vs_proc_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("extern proc a(); proc a() { }")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc a(x, x) { }")
+
+    def test_missing_brace_reports_location(self):
+        with pytest.raises(ParseError):
+            parse_program("proc a() { skip;")
+
+    def test_empty_program(self):
+        program = parse_program("")
+        assert program.procs == {}

@@ -1,0 +1,181 @@
+"""Pretty-printer tests, including the parse∘pretty round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty, pretty_expr, pretty_proc
+
+
+class TestExprPrinting:
+    def test_minimal_parentheses_precedence(self):
+        assert pretty_expr(parse_expr("1 + 2 * 3")) == "1 + 2 * 3"
+        assert pretty_expr(parse_expr("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_left_assoc_no_parens(self):
+        assert pretty_expr(parse_expr("a - b - c")) == "a - b - c"
+
+    def test_right_nested_keeps_parens(self):
+        assert pretty_expr(parse_expr("a - (b - c)")) == "a - (b - c)"
+
+    def test_unary_inside_binary(self):
+        assert pretty_expr(parse_expr("-x + 1")) == "-x + 1"
+
+    def test_boolean_structure(self):
+        assert pretty_expr(parse_expr("a && (b || c)")) == "a && (b || c)"
+        assert pretty_expr(parse_expr("(a && b) || c")) == "a && b || c"
+
+    def test_string_escaping(self):
+        printed = pretty_expr(ast.StrLit("a'b\nc"))
+        assert printed == "'a\\'b\\nc'"
+        reparsed = parse_expr(printed)
+        assert reparsed.value == "a'b\nc"
+
+    def test_index_field_chain(self):
+        assert pretty_expr(parse_expr("a[1].f[2]")) == "a[1].f[2]"
+
+    def test_top_literal(self):
+        assert pretty_expr(ast.AbstractLit()) == "top"
+
+    def test_deref_and_address(self):
+        assert pretty_expr(parse_expr("*p + 1")) == "*p + 1"
+        assert pretty_expr(parse_expr("&x")) == "&x"
+
+
+SAMPLE_PROGRAMS = [
+    "proc main() {\n    skip;\n}\n",
+    """
+extern proc env();
+
+proc main(n) {
+    var x;
+    x = env();
+    var i = 0;
+    while (i < n) {
+        if (x % 2 == 0) {
+            send(out, 'even');
+        } else {
+            send(out, 'odd');
+        }
+        i = i + 1;
+    }
+    return;
+}
+""",
+    """
+proc dispatch(kind) {
+    switch (kind) {
+    case 0:
+        send(a, 1);
+    case 'str':
+        send(b, 2);
+    default:
+        exit;
+    }
+}
+""",
+    """
+proc loops() {
+    for (var i = 0; i < 3; i = i + 1) {
+        if (i == 1) {
+            continue;
+        }
+        if (i == 2) {
+            break;
+        }
+    }
+}
+""",
+    """
+proc pointers() {
+    var x = 1;
+    var p = &x;
+    *p = 2;
+    var y = *p;
+    var a[4];
+    a[0] = y;
+    var r;
+    r = record();
+    r.field = a[0];
+}
+""",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", SAMPLE_PROGRAMS)
+    def test_parse_pretty_fixpoint(self, source):
+        """pretty(parse(s)) is a fixpoint: reprinting the reparse is stable."""
+        program = parse_program(source)
+        printed = pretty(program)
+        reparsed = parse_program(printed)
+        assert pretty(reparsed) == printed
+
+    def test_extern_survives_round_trip(self):
+        program = parse_program("extern proc env(a, b); proc m() { }")
+        printed = pretty(program)
+        reparsed = parse_program(printed)
+        assert reparsed.externs["env"].params == ("a", "b")
+
+
+# A hypothesis strategy for expressions, built bottom-up.
+_names = st.sampled_from(["x", "y", "cnt", "msg"])
+_leaves = st.one_of(
+    st.integers(min_value=0, max_value=999).map(ast.IntLit),
+    st.booleans().map(ast.BoolLit),
+    _names.map(ast.Name),
+    st.sampled_from(["even", "odd", "setup"]).map(ast.StrLit),
+)
+
+
+def _exprs(children):
+    binary = st.builds(
+        lambda op, l, r: ast.Binary(op, l, r),
+        st.sampled_from(["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]),
+        children,
+        children,
+    )
+    unary = st.builds(
+        lambda op, e: ast.Unary(op, e), st.sampled_from(["-", "!"]), children
+    )
+    index = st.builds(lambda b, i: ast.Index(b, i), _names.map(ast.Name), children)
+    field = st.builds(lambda b: ast.Field(b, "f"), _names.map(ast.Name))
+    return st.one_of(binary, unary, index, field)
+
+
+expr_strategy = st.recursive(_leaves, _exprs, max_leaves=25)
+
+
+class TestExprRoundTripProperty:
+    @given(expr_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_pretty_then_parse_is_identity_modulo_location(self, expr):
+        printed = pretty_expr(expr)
+        reparsed = parse_expr(printed)
+        assert _strip(reparsed) == _strip(expr)
+
+
+def _strip(expr):
+    """Structural comparison ignoring source locations."""
+    if isinstance(expr, ast.IntLit):
+        return ("int", expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return ("bool", expr.value)
+    if isinstance(expr, ast.StrLit):
+        return ("str", expr.value)
+    if isinstance(expr, ast.AbstractLit):
+        return ("top",)
+    if isinstance(expr, ast.Name):
+        return ("name", expr.ident)
+    if isinstance(expr, ast.Unary):
+        return ("unary", expr.op, _strip(expr.operand))
+    if isinstance(expr, ast.Binary):
+        return ("binary", expr.op, _strip(expr.left), _strip(expr.right))
+    if isinstance(expr, ast.Index):
+        return ("index", _strip(expr.base), _strip(expr.index))
+    if isinstance(expr, ast.Field):
+        return ("field", _strip(expr.base), expr.field)
+    if isinstance(expr, ast.CallExpr):
+        return ("call", expr.callee, tuple(_strip(a) for a in expr.args))
+    raise AssertionError(type(expr))

@@ -1,0 +1,354 @@
+"""Tests for the CFG interpreter (single-process semantics)."""
+
+import pytest
+
+from tests.helpers import outputs_of, run_single
+
+from repro.runtime.process import ProcessStatus
+from repro.runtime.values import TOP
+
+
+def outputs(source, proc="main", args=(), **kwargs):
+    return outputs_of(run_single(source, proc, args, **kwargs))
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        src = """
+        proc main() {
+            send(out, 2 + 3);
+            send(out, 2 - 5);
+            send(out, 4 * 3);
+            send(out, 7 / 2);
+            send(out, 7 % 3);
+        }
+        """
+        assert outputs(src) == [5, -3, 12, 3, 1]
+
+    def test_c_style_division_truncates_toward_zero(self):
+        src = """
+        proc main() {
+            send(out, -7 / 2);
+            send(out, 7 / -2);
+            send(out, -7 % 2);
+            send(out, 7 % -2);
+        }
+        """
+        assert outputs(src) == [-3, -3, -1, 1]
+
+    def test_division_by_zero_crashes(self):
+        run = run_single("proc main() { var x = 1 / 0; }")
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_comparisons(self):
+        src = """
+        proc main() {
+            if (1 < 2) { send(out, 'lt'); }
+            if (2 <= 2) { send(out, 'le'); }
+            if (3 > 2) { send(out, 'gt'); }
+            if (2 >= 3) { send(out, 'no'); }
+            if (1 == 1) { send(out, 'eq'); }
+            if (1 != 2) { send(out, 'ne'); }
+        }
+        """
+        assert outputs(src) == ["lt", "le", "gt", "eq", "ne"]
+
+    def test_string_equality(self):
+        src = """
+        proc main() {
+            var t = 'abc';
+            if (t == 'abc') { send(out, 1); }
+            if (t != 'xyz') { send(out, 2); }
+        }
+        """
+        assert outputs(src) == [1, 2]
+
+    def test_boolean_short_circuit(self):
+        # The right operand would fault (division by zero) if evaluated.
+        src = """
+        proc main() {
+            var zero = 0;
+            if (false && (1 / zero) == 1) { send(out, 'bad'); }
+            if (true || (1 / zero) == 1) { send(out, 'good'); }
+        }
+        """
+        assert outputs(src) == ["good"]
+
+    def test_unary_ops(self):
+        src = """
+        proc main() {
+            send(out, -(3));
+            if (!false) { send(out, 'notfalse'); }
+            if (!0) { send(out, 'notzero'); }
+        }
+        """
+        assert outputs(src) == [-3, "notfalse", "notzero"]
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        src = """
+        proc main() {
+            var i = 0;
+            var total = 0;
+            while (i < 5) { total = total + i; i = i + 1; }
+            send(out, total);
+        }
+        """
+        assert outputs(src) == [10]
+
+    def test_for_loop_with_continue_and_break(self):
+        src = """
+        proc main() {
+            for (var i = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 6) { break; }
+                send(out, i);
+            }
+        }
+        """
+        assert outputs(src) == [1, 3, 5]
+
+    def test_switch_dispatch(self):
+        src = """
+        proc main(x) {
+            switch (x) {
+            case 1: send(out, 'one');
+            case 2: send(out, 'two');
+            default: send(out, 'many');
+            }
+        }
+        """
+        assert outputs(src, args=(1,)) == ["one"]
+        assert outputs(src, args=(2,)) == ["two"]
+        assert outputs(src, args=(5,)) == ["many"]
+
+    def test_switch_on_strings(self):
+        src = """
+        proc main(x) {
+            switch (x) {
+            case 'setup': send(out, 1);
+            default: send(out, 0);
+            }
+        }
+        """
+        assert outputs(src, args=("setup",)) == [1]
+        assert outputs(src, args=("other",)) == [0]
+
+    def test_exit_terminates(self):
+        run = run_single("proc main() { send(out, 1); exit; send(out, 2); }")
+        assert outputs_of(run) == [1]
+        assert run.processes[0].status is ProcessStatus.TERMINATED
+
+
+class TestProcedures:
+    def test_call_and_return_value(self):
+        src = """
+        proc double(x) { return x * 2; }
+        proc main() { send(out, double(21)); }
+        """
+        assert outputs(src) == [42]
+
+    def test_recursion(self):
+        src = """
+        proc fact(n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        proc main() { send(out, fact(5)); }
+        """
+        assert outputs(src) == [120]
+
+    def test_arguments_passed_by_value(self):
+        src = """
+        proc mutate(x) { x = 99; }
+        proc main() { var a = 1; mutate(a); send(out, a); }
+        """
+        assert outputs(src) == [1]
+
+    def test_pointer_argument_mutates_caller(self):
+        src = """
+        proc mutate(p) { *p = 99; }
+        proc main() { var a = 1; mutate(&a); send(out, a); }
+        """
+        assert outputs(src) == [99]
+
+    def test_missing_return_value_is_abstract(self):
+        src = """
+        proc f() { return; }
+        proc main() { var x; x = f(); send(out, x); }
+        """
+        run = run_single(src)
+        assert outputs_of(run) == [TOP]
+
+    def test_call_depth_limit(self):
+        src = """
+        proc loop() { loop(); }
+        proc main() { loop(); }
+        """
+        run = run_single(src)
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_locals_are_per_activation(self):
+        src = """
+        proc f(depth) {
+            var local = depth;
+            if (depth > 0) { f(depth - 1); }
+            send(out, local);
+        }
+        proc main() { f(2); }
+        """
+        assert outputs(src) == [0, 1, 2]
+
+
+class TestMemory:
+    def test_arrays(self):
+        src = """
+        proc main() {
+            var a[3];
+            a[0] = 10;
+            a[2] = 30;
+            send(out, a[0] + a[1] + a[2]);
+        }
+        """
+        assert outputs(src) == [40]
+
+    def test_array_out_of_bounds_crashes(self):
+        run = run_single("proc main() { var a[2]; a[5] = 1; }")
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_negative_index_crashes(self):
+        run = run_single("proc main() { var a[2]; var i = -1; a[i] = 1; }")
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_records(self):
+        src = """
+        proc main() {
+            var r;
+            r = record();
+            r.kind = 'setup';
+            r.line = 7;
+            send(out, r.kind);
+            send(out, r.line);
+        }
+        """
+        assert outputs(src) == ["setup", 7]
+
+    def test_reading_missing_field_crashes(self):
+        run = run_single(
+            "proc main() { var r; r = record(); send(out, r.missing); }"
+        )
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_field_on_non_record_crashes(self):
+        run = run_single("proc main() { var x = 1; x.f = 2; }")
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_pointers_into_arrays(self):
+        src = """
+        proc main() {
+            var a[2];
+            var p = &a[1];
+            *p = 42;
+            send(out, a[1]);
+        }
+        """
+        assert outputs(src) == [42]
+
+    def test_pointer_chains(self):
+        src = """
+        proc main() {
+            var x = 1;
+            var p = &x;
+            var pp = &p;
+            **pp = 5;
+            send(out, x);
+        }
+        """
+        assert outputs(src) == [5]
+
+    def test_deref_non_pointer_crashes(self):
+        run = run_single("proc main() { var x = 1; var y = *x; }")
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+
+class TestAbstractValues:
+    def test_top_propagates_through_arithmetic(self):
+        src = "proc main() { var x = top; send(out, x + 1); }"
+        assert outputs(src) == [TOP]
+
+    def test_branching_on_top_crashes(self):
+        run = run_single("proc main() { var x = top; if (x == 1) { skip; } }")
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_switch_on_top_crashes(self):
+        run = run_single(
+            "proc main() { var x = top; switch (x) { case 1: skip; default: skip; } }"
+        )
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_sending_top_is_allowed(self):
+        assert outputs("proc main() { send(out, top); }") == [TOP]
+
+    def test_assert_on_top_passes_vacuously(self):
+        run = run_single("proc main() { VS_assert(top); send(out, 'done'); }")
+        assert outputs_of(run) == ["done"]
+
+
+class TestToss:
+    def test_toss_values_drive_execution(self):
+        src = """
+        proc main() {
+            var t;
+            t = VS_toss(2);
+            send(out, t);
+        }
+        """
+        assert outputs(src, toss_choices=[2]) == [2]
+        assert outputs(src, toss_choices=[0]) == [0]
+
+    def test_toss_negative_bound_crashes(self):
+        run = run_single("proc main() { var t; t = VS_toss(-1); }")
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+
+class TestDivergence:
+    def test_invisible_loop_diverges(self):
+        from repro.runtime import SystemConfig
+        from repro import System
+
+        system = System(
+            "proc main() { var i = 0; while (true) { i = i + 1; } }",
+            config=SystemConfig(divergence_budget=500),
+        )
+        system.add_env_sink("out")
+        system.add_process("P", "main")
+        run = system.start()
+        run.start_processes()
+        assert run.processes[0].status is ProcessStatus.DIVERGED
+
+    def test_visible_ops_reset_budget(self):
+        from repro.runtime import SystemConfig
+        from repro import System
+
+        system = System(
+            """
+            proc main() {
+                var i = 0;
+                while (i < 100) {
+                    var j = 0;
+                    while (j < 50) { j = j + 1; }
+                    send(out, i);
+                    i = i + 1;
+                }
+            }
+            """,
+            config=SystemConfig(divergence_budget=500),
+        )
+        system.add_env_sink("out")
+        system.add_process("P", "main")
+        run = system.start()
+        run.start_processes()
+        while run.enabled_processes():
+            run.execute_visible(run.enabled_processes()[0])
+        assert run.processes[0].status is ProcessStatus.TERMINATED

@@ -1,0 +1,196 @@
+"""End-to-end messaging tests: structured data through objects, poll,
+pointer mailing, kind checking."""
+
+import pytest
+
+from repro import System
+from repro.runtime.errors import ObjectError
+from repro.runtime.process import ProcessStatus
+
+
+def drive(run, max_steps=2000, toss=0):
+    run.start_processes()
+    for _ in range(max_steps):
+        pending = run.toss_pending()
+        if pending is not None:
+            run.answer_toss(pending, toss)
+            continue
+        enabled = run.enabled_processes()
+        if not enabled:
+            return
+        run.execute_visible(enabled[0])
+    raise AssertionError("did not quiesce")
+
+
+class TestStructuredMessages:
+    def test_record_through_channel(self):
+        source = """
+        proc sender() {
+            var msg;
+            msg = record();
+            msg.kind = 'setup';
+            msg.line = 7;
+            send(box, msg);
+        }
+        proc receiver() {
+            var m;
+            m = recv(box);
+            send(out, m.kind);
+            send(out, m.line);
+        }
+        """
+        system = System(source)
+        system.add_channel("box", capacity=1)
+        system.add_env_sink("out")
+        system.add_process("s", "sender", [])
+        system.add_process("r", "receiver", [])
+        run = system.start()
+        drive(run)
+        assert run.env_outputs("out") == ["setup", 7]
+
+    def test_record_mutation_after_send_invisible(self):
+        source = """
+        proc sender() {
+            var msg;
+            msg = record();
+            msg.v = 1;
+            send(box, msg);
+            msg.v = 99;
+            send(done, 1);
+        }
+        proc receiver() {
+            var go;
+            go = recv(done);
+            var m;
+            m = recv(box);
+            send(out, m.v);
+        }
+        """
+        system = System(source)
+        system.add_channel("box", capacity=1)
+        system.add_channel("done", capacity=1)
+        system.add_env_sink("out")
+        system.add_process("s", "sender", [])
+        system.add_process("r", "receiver", [])
+        run = system.start()
+        drive(run)
+        assert run.env_outputs("out") == [1]  # copy-on-send
+
+    def test_pointer_through_channel_shares_cell(self):
+        source = """
+        proc owner() {
+            var cell = 0;
+            send(box, &cell);
+            var go;
+            go = recv(done);
+            send(out, cell);
+        }
+        proc writer() {
+            var p;
+            p = recv(box);
+            *p = 42;
+            send(done, 1);
+        }
+        """
+        system = System(source)
+        system.add_channel("box", capacity=1)
+        system.add_channel("done", capacity=1)
+        system.add_env_sink("out")
+        system.add_process("o", "owner", [])
+        system.add_process("w", "writer", [])
+        run = system.start()
+        drive(run)
+        assert run.env_outputs("out") == [42]
+
+    def test_poll_observes_queue_length(self):
+        source = """
+        proc main() {
+            send(out, poll(box));
+            send(box, 1);
+            send(box, 2);
+            send(out, poll(box));
+        }
+        """
+        system = System(source)
+        system.add_channel("box", capacity=4)
+        system.add_env_sink("out")
+        system.add_process("m", "main", [])
+        run = system.start()
+        drive(run)
+        assert run.env_outputs("out") == [0, 2]
+
+
+class TestKindChecking:
+    def _crashing_run(self, body, objects):
+        system = System(f"proc main() {{ {body} }}")
+        for kind, name, arg in objects:
+            if kind == "channel":
+                system.add_channel(name, capacity=arg)
+            elif kind == "semaphore":
+                system.add_semaphore(name, initial=arg)
+            elif kind == "shared":
+                system.add_shared(name, initial=arg)
+        system.add_process("m", "main", [])
+        run = system.start()
+        run.start_processes()
+        while run.enabled_processes():
+            run.execute_visible(run.enabled_processes()[0])
+        return run
+
+    def test_send_on_semaphore_crashes(self):
+        run = self._crashing_run("send(s, 1);", [("semaphore", "s", 1)])
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_sem_p_on_channel_crashes(self):
+        run = self._crashing_run("sem_p(c);", [("channel", "c", 1)])
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_read_on_channel_crashes(self):
+        run = self._crashing_run("var v; v = read(c);", [("channel", "c", 1)])
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_unknown_object_crashes(self):
+        run = self._crashing_run("send(ghost, 1);", [])
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+    def test_lookup_kind_mismatch_crashes(self):
+        run = self._crashing_run(
+            "var c; c = channel('s');", [("semaphore", "s", 1)]
+        )
+        assert run.processes[0].status is ProcessStatus.CRASHED
+
+
+class TestArraysThroughSystem:
+    def test_array_via_shared_var(self):
+        source = """
+        proc writer() {
+            var a[3];
+            a[1] = 5;
+            write(table, a);
+        }
+        proc reader() {
+            var t;
+            t = recv(sync);
+            var a;
+            a = read(table);
+            send(out, a[1]);
+        }
+        proc syncer() { send(sync, 1); }
+        """
+        system = System(source)
+        system.add_shared("table", initial=0)
+        system.add_channel("sync", capacity=1)
+        system.add_env_sink("out")
+        system.add_process("w", "writer", [])
+        system.add_process("s", "syncer", [])
+        system.add_process("r", "reader", [])
+        run = system.start()
+        run.start_processes()
+        # force writer first so the table is populated
+        order = {"w": 0, "s": 1, "r": 2}
+        for _ in range(50):
+            enabled = sorted(run.enabled_processes(), key=lambda p: order[p.name])
+            if not enabled:
+                break
+            run.execute_visible(enabled[0])
+        assert run.env_outputs("out") == [5]

@@ -1,0 +1,146 @@
+"""Tests for communication objects — especially history-only enabledness."""
+
+import pytest
+
+from repro.runtime.errors import ObjectError
+from repro.runtime.objects import EnvSink, FifoChannel, Semaphore, SharedVar
+
+
+class TestFifoChannel:
+    def test_send_recv_fifo_order(self):
+        ch = FifoChannel("c", capacity=3)
+        ch.perform("send", (1,))
+        ch.perform("send", (2,))
+        assert ch.perform("recv", ()) == 1
+        assert ch.perform("recv", ()) == 2
+
+    def test_enabledness_is_history_only(self):
+        ch = FifoChannel("c", capacity=1)
+        assert ch.enabled("send")
+        assert not ch.enabled("recv")
+        ch.perform("send", (42,))
+        assert not ch.enabled("send")
+        assert ch.enabled("recv")
+        ch.perform("recv", ())
+        assert ch.enabled("send")
+
+    def test_enabledness_independent_of_values(self):
+        # Two channels with identical op histories but different values
+        # have identical enabledness — the Section 2 assumption.
+        a, b = FifoChannel("a", 2), FifoChannel("b", 2)
+        a.perform("send", (1,))
+        b.perform("send", (999,))
+        for op in ("send", "recv", "poll"):
+            assert a.enabled(op) == b.enabled(op)
+
+    def test_poll_counts_queue(self):
+        ch = FifoChannel("c", capacity=2)
+        assert ch.perform("poll", ()) == 0
+        ch.perform("send", (1,))
+        assert ch.perform("poll", ()) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ObjectError):
+            FifoChannel("c", capacity=0)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ObjectError):
+            FifoChannel("c").enabled("sem_p")
+
+    def test_messages_copied_on_send(self):
+        from repro.runtime.values import RecordValue
+
+        ch = FifoChannel("c", capacity=1)
+        record = RecordValue()
+        record.cell("f", create=True).value = 1
+        ch.perform("send", (record,))
+        record.fields["f"].value = 99  # sender mutates after send
+        received = ch.perform("recv", ())
+        assert received.fields["f"].value == 1
+
+    def test_fingerprint_reflects_queue(self):
+        ch = FifoChannel("c", capacity=2)
+        before = ch.state_fingerprint()
+        ch.perform("send", (1,))
+        assert ch.state_fingerprint() != before
+
+
+class TestEnvSink:
+    def test_always_enabled_for_send(self):
+        sink = EnvSink("out")
+        for _ in range(100):
+            sink.perform("send", ("x",))
+        assert sink.enabled("send")
+
+    def test_records_outputs_in_order(self):
+        sink = EnvSink("out")
+        sink.perform("send", (1,))
+        sink.perform("send", (2,))
+        assert sink.outputs == [1, 2]
+
+    def test_recv_not_supported(self):
+        with pytest.raises(ObjectError):
+            EnvSink("out").enabled("recv")
+
+    def test_fingerprint_hidden_by_default(self):
+        sink = EnvSink("out")
+        before = sink.state_fingerprint()
+        sink.perform("send", (1,))
+        assert sink.state_fingerprint() == before
+
+    def test_fingerprint_visible_when_requested(self):
+        sink = EnvSink("out", visible_in_state=True)
+        before = sink.state_fingerprint()
+        sink.perform("send", (1,))
+        assert sink.state_fingerprint() != before
+
+
+class TestSemaphore:
+    def test_p_blocks_at_zero(self):
+        sem = Semaphore("s", initial=1)
+        assert sem.enabled("sem_p")
+        sem.perform("sem_p", ())
+        assert not sem.enabled("sem_p")
+        sem.perform("sem_v", ())
+        assert sem.enabled("sem_p")
+
+    def test_counting(self):
+        sem = Semaphore("s", initial=2)
+        sem.perform("sem_p", ())
+        sem.perform("sem_p", ())
+        assert not sem.enabled("sem_p")
+
+    def test_v_always_enabled(self):
+        sem = Semaphore("s", initial=0)
+        assert sem.enabled("sem_v")
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ObjectError):
+            Semaphore("s", initial=-1)
+
+
+class TestSharedVar:
+    def test_read_write(self):
+        sv = SharedVar("v", initial=7)
+        assert sv.perform("read", ()) == 7
+        sv.perform("write", (9,))
+        assert sv.perform("read", ()) == 9
+
+    def test_always_enabled(self):
+        sv = SharedVar("v")
+        assert sv.enabled("read") and sv.enabled("write")
+
+    def test_values_copied(self):
+        from repro.runtime.values import ArrayValue
+
+        sv = SharedVar("v")
+        array = ArrayValue(size=1)
+        sv.perform("write", (array,))
+        array.cells[0].value = 5
+        assert sv.perform("read", ()).cells[0].value == 0
+
+    def test_fingerprint_tracks_value(self):
+        sv = SharedVar("v", initial=0)
+        before = sv.state_fingerprint()
+        sv.perform("write", (1,))
+        assert sv.state_fingerprint() != before

@@ -1,0 +1,92 @@
+"""Unit tests for the Process wrapper."""
+
+import pytest
+
+from repro import System
+from repro.runtime.process import ProcessStatus
+
+
+def fresh_process(source="proc main() { send(out, 1); }", args=()):
+    system = System(source)
+    system.add_env_sink("out")
+    system.add_process("p", "main", list(args))
+    run = system.start()
+    return run, run.processes[0]
+
+
+class TestLifecycle:
+    def test_status_none_before_start(self):
+        _, process = fresh_process()
+        assert process.status is None
+        assert process.pending is None
+
+    def test_at_visible_after_start(self):
+        run, process = fresh_process()
+        run.start_processes()
+        assert process.status is ProcessStatus.AT_VISIBLE
+        assert process.visible_request is not None
+        assert process.toss_request is None
+
+    def test_needs_toss(self):
+        run, process = fresh_process("proc main() { var t; t = VS_toss(1); }")
+        run.start_processes()
+        assert process.status is ProcessStatus.NEEDS_TOSS
+        assert process.toss_request is not None
+        assert process.visible_request is None
+
+    def test_terminated(self):
+        run, process = fresh_process("proc main() { return; }")
+        run.start_processes()
+        assert process.status is ProcessStatus.TERMINATED
+        assert process.is_blocked_forever()
+
+    def test_resume_in_wrong_state_raises(self):
+        run, process = fresh_process("proc main() { return; }")
+        run.start_processes()
+        with pytest.raises(RuntimeError):
+            process.resume(None)
+
+    def test_crash_captures_fault(self):
+        run, process = fresh_process("proc main() { var x = 1 / 0; }")
+        run.start_processes()
+        assert process.status is ProcessStatus.CRASHED
+        assert "division by zero" in str(process.crash)
+        assert process.is_blocked_forever()
+
+
+class TestEnabledness:
+    def test_enabled_tracks_object_state(self):
+        source = "proc main() { var v; v = recv(box); }"
+        system = System(source)
+        system.add_channel("box", capacity=1)
+        system.add_process("p", "main")
+        run = system.start()
+        run.start_processes()
+        process = run.processes[0]
+        assert not process.enabled()
+        run.objects["box"].perform("send", (5,))
+        assert process.enabled()
+
+    def test_assert_always_enabled(self):
+        run, process = fresh_process("proc main() { VS_assert(true); }")
+        run.start_processes()
+        assert process.enabled()
+
+
+class TestFingerprints:
+    def test_fingerprint_stable_for_same_state(self):
+        run1, p1 = fresh_process()
+        run2, p2 = fresh_process()
+        run1.start_processes()
+        run2.start_processes()
+        assert p1.state_fingerprint() == p2.state_fingerprint()
+
+    def test_terminated_fingerprint_is_minimal(self):
+        run, process = fresh_process("proc main() { return; }")
+        run.start_processes()
+        assert process.state_fingerprint() == ("p", "terminated")
+
+    def test_repr_contains_status(self):
+        run, process = fresh_process()
+        run.start_processes()
+        assert "at-visible" in repr(process)

@@ -1,0 +1,52 @@
+"""Tests for frames (stores)."""
+
+import pytest
+
+from repro.runtime.errors import RuntimeFault
+from repro.runtime.store import Frame
+from repro.runtime.values import ArrayValue, Pointer
+
+
+class TestFrame:
+    def test_declare_and_read(self):
+        frame = Frame("p")
+        frame.declare("x", 5)
+        assert frame.cell("x").value == 5
+
+    def test_undeclared_use_faults(self):
+        frame = Frame("p")
+        with pytest.raises(RuntimeFault):
+            frame.cell("ghost")
+
+    def test_redeclare_resets_in_place(self):
+        # Re-executing a declaration (loop body) must keep the same cell
+        # so outstanding pointers stay valid.
+        frame = Frame("p")
+        cell = frame.declare("x", 1)
+        pointer = Pointer(cell)
+        again = frame.declare("x", 0)
+        assert again is cell
+        assert pointer.cell.value == 0
+
+    def test_declare_array(self):
+        frame = Frame("p")
+        cell = frame.declare_array("a", 4)
+        assert isinstance(cell.value, ArrayValue)
+        assert len(cell.value) == 4
+
+    def test_fingerprint_is_deterministic(self):
+        a, b = Frame("p"), Frame("p")
+        for frame in (a, b):
+            frame.declare("y", 2)
+            frame.declare("x", 1)
+        assert a.state_fingerprint() == b.state_fingerprint()
+
+    def test_fingerprint_differs_by_value(self):
+        a, b = Frame("p"), Frame("p")
+        a.declare("x", 1)
+        b.declare("x", 2)
+        assert a.state_fingerprint() != b.state_fingerprint()
+
+    def test_fingerprint_includes_proc_name(self):
+        a, b = Frame("p"), Frame("q")
+        assert a.state_fingerprint() != b.state_fingerprint()

@@ -1,0 +1,219 @@
+"""Tests for System/Run: multi-process wiring and scheduler interface."""
+
+import pytest
+
+from repro import System
+from repro.runtime import SystemConfig
+from repro.runtime.errors import ObjectError
+from repro.runtime.process import ProcessStatus
+
+PINGPONG = """
+proc ping(n) {
+    var i = 0;
+    while (i < n) {
+        send(ab, i);
+        var r;
+        r = recv(ba);
+        i = i + 1;
+    }
+}
+proc pong(n) {
+    var i = 0;
+    while (i < n) {
+        var v;
+        v = recv(ab);
+        send(ba, v + 100);
+        i = i + 1;
+    }
+}
+"""
+
+
+def pingpong_system(n=2):
+    system = System(PINGPONG)
+    system.add_channel("ab", capacity=1)
+    system.add_channel("ba", capacity=1)
+    system.add_process("ping", "ping", [n])
+    system.add_process("pong", "pong", [n])
+    return system
+
+
+def drive(run, max_steps=1000):
+    run.start_processes()
+    steps = 0
+    while steps < max_steps:
+        steps += 1
+        pending = run.toss_pending()
+        if pending is not None:
+            run.answer_toss(pending, 0)
+            continue
+        enabled = run.enabled_processes()
+        if not enabled:
+            return steps
+        run.execute_visible(enabled[0])
+    raise AssertionError("did not quiesce")
+
+
+class TestDeclarationChecks:
+    def test_duplicate_object_rejected(self):
+        system = System("proc main() { }")
+        system.add_channel("c")
+        with pytest.raises(ObjectError):
+            system.add_semaphore("c")
+
+    def test_duplicate_process_rejected(self):
+        system = System("proc main() { }")
+        system.add_process("p", "main")
+        with pytest.raises(ObjectError):
+            system.add_process("p", "main")
+
+    def test_unknown_procedure_rejected(self):
+        system = System("proc main() { }")
+        with pytest.raises(ObjectError):
+            system.add_process("p", "nope")
+
+    def test_arity_mismatch_rejected(self):
+        system = System("proc main(a, b) { }")
+        with pytest.raises(ObjectError):
+            system.add_process("p", "main", [1])
+
+    def test_empty_system_cannot_start(self):
+        system = System("proc main() { }")
+        with pytest.raises(ObjectError):
+            system.start()
+
+    def test_process_specs_exposed(self):
+        system = System("proc main(a) { }")
+        system.add_process("p", "main", [1])
+        assert system.process_specs == [("p", "main", (1,))]
+
+
+class TestRunLifecycle:
+    def test_pingpong_runs_to_completion(self):
+        run = pingpong_system().start()
+        drive(run)
+        assert run.all_terminated()
+
+    def test_runs_are_independent(self):
+        system = pingpong_system()
+        run1 = system.start()
+        run2 = system.start()
+        drive(run1)
+        # run2 is untouched by run1 having executed.
+        assert run2.processes[0].status is None
+        drive(run2)
+        assert run2.all_terminated()
+
+    def test_double_start_rejected(self):
+        run = pingpong_system().start()
+        run.start_processes()
+        with pytest.raises(RuntimeError):
+            run.start_processes()
+
+    def test_object_ref_launch_args(self):
+        source = """
+        proc worker(inbox) {
+            var v;
+            v = recv(inbox);
+            send(out, v);
+        }
+        """
+        system = System(source)
+        ref = system.add_channel("jobs", capacity=1)
+        system.add_env_sink("out")
+        system.add_process("w", "worker", [ref])
+        run = system.start()
+        run.start_processes()
+        # Feed the channel directly, then drive.
+        run.objects["jobs"].perform("send", (7,))
+        while run.enabled_processes():
+            run.execute_visible(run.enabled_processes()[0])
+        assert run.env_outputs("out") == [7]
+
+
+class TestDeadlockPredicate:
+    def test_blocked_recv_is_deadlock(self):
+        system = System("proc main() { var v; v = recv(empty); }")
+        system.add_channel("empty")
+        system.add_process("p", "main")
+        run = system.start()
+        run.start_processes()
+        assert run.is_deadlock()
+
+    def test_all_terminated_is_not_deadlock(self):
+        run = pingpong_system().start()
+        drive(run)
+        assert run.all_terminated()
+        assert not run.is_deadlock()
+
+    def test_crashed_process_alone_is_not_deadlock(self):
+        system = System("proc main() { var x = 1 / 0; }")
+        system.add_process("p", "main")
+        run = system.start()
+        run.start_processes()
+        assert run.processes[0].status is ProcessStatus.CRASHED
+        assert not run.is_deadlock()
+
+    def test_mixed_crash_and_block_is_deadlock(self):
+        source = """
+        proc crash() { var x = 1 / 0; }
+        proc block() { var v; v = recv(empty); }
+        """
+        system = System(source)
+        system.add_channel("empty")
+        system.add_process("c", "crash")
+        system.add_process("b", "block")
+        run = system.start()
+        run.start_processes()
+        assert run.is_deadlock()
+
+
+class TestAssertions:
+    def test_violation_reported_with_location(self):
+        system = System("proc main() { VS_assert(1 == 2); }")
+        system.add_process("p", "main")
+        run = system.start()
+        run.start_processes()
+        outcome = run.execute_visible(run.enabled_processes()[0])
+        assert outcome is not None
+        assert outcome.violated
+        assert outcome.process == "p"
+        assert outcome.proc_name == "main"
+
+    def test_passing_assert(self):
+        system = System("proc main() { VS_assert(true); }")
+        system.add_process("p", "main")
+        run = system.start()
+        run.start_processes()
+        outcome = run.execute_visible(run.enabled_processes()[0])
+        assert outcome is not None and not outcome.violated
+
+    def test_non_boolean_subject_is_violation(self):
+        system = System("proc main() { VS_assert('oops'); }")
+        system.add_process("p", "main")
+        run = system.start()
+        run.start_processes()
+        outcome = run.execute_visible(run.enabled_processes()[0])
+        assert outcome.violated
+
+
+class TestStateFingerprint:
+    def test_fingerprint_stable_across_identical_runs(self):
+        system = pingpong_system()
+        run1, run2 = system.start(), system.start()
+        run1.start_processes()
+        run2.start_processes()
+        assert run1.state_fingerprint() == run2.state_fingerprint()
+
+    def test_fingerprint_changes_with_progress(self):
+        system = pingpong_system()
+        run = system.start()
+        run.start_processes()
+        before = run.state_fingerprint()
+        run.execute_visible(run.enabled_processes()[0])
+        assert run.state_fingerprint() != before
+
+    def test_fingerprint_is_hashable(self):
+        run = pingpong_system().start()
+        run.start_processes()
+        hash(run.state_fingerprint())

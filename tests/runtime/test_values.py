@@ -1,0 +1,138 @@
+"""Tests for runtime values, cells, and fingerprinting."""
+
+import pytest
+
+from repro.runtime.values import (
+    TOP,
+    AbstractValue,
+    ArrayValue,
+    Cell,
+    ObjectRef,
+    Pointer,
+    RecordValue,
+    copy_value,
+    fingerprint,
+    values_equal,
+)
+
+
+class TestAbstractValue:
+    def test_singleton(self):
+        assert AbstractValue() is TOP
+
+    def test_repr(self):
+        assert repr(TOP) == "TOP"
+
+
+class TestCellsAndPointers:
+    def test_cell_mutation_visible_through_pointer(self):
+        cell = Cell(1)
+        pointer = Pointer(cell)
+        cell.value = 2
+        assert pointer.cell.value == 2
+
+    def test_pointer_equality_is_cell_identity(self):
+        cell = Cell(1)
+        assert values_equal(Pointer(cell), Pointer(cell))
+        assert not values_equal(Pointer(cell), Pointer(Cell(1)))
+
+
+class TestArraysAndRecords:
+    def test_array_initialized_to_zero(self):
+        array = ArrayValue(size=3)
+        assert [c.value for c in array.cells] == [0, 0, 0]
+
+    def test_record_field_autocreate(self):
+        record = RecordValue()
+        assert record.cell("f") is None
+        cell = record.cell("f", create=True)
+        assert cell is not None and cell.value == 0
+        assert record.cell("f") is cell
+
+
+class TestCopyValue:
+    def test_scalars_shared(self):
+        assert copy_value(5) == 5
+        assert copy_value("tag") == "tag"
+        assert copy_value(TOP) is TOP
+        ref = ObjectRef("channel", "c")
+        assert copy_value(ref) is ref
+
+    def test_array_copied_deeply(self):
+        array = ArrayValue(size=2)
+        clone = copy_value(array)
+        array.cells[0].value = 9
+        assert clone.cells[0].value == 0
+
+    def test_record_copied_deeply(self):
+        record = RecordValue()
+        record.cell("f", create=True).value = 1
+        clone = copy_value(record)
+        record.fields["f"].value = 2
+        assert clone.fields["f"].value == 1
+
+    def test_pointer_copied_by_reference(self):
+        cell = Cell(1)
+        pointer = Pointer(cell)
+        clone = copy_value(pointer)
+        cell.value = 7
+        assert clone.cell.value == 7
+
+
+class TestValuesEqual:
+    def test_ints_and_strings(self):
+        assert values_equal(3, 3)
+        assert not values_equal(3, 4)
+        assert values_equal("a", "a")
+        assert not values_equal("a", 3)
+
+    def test_top_only_equals_top(self):
+        assert values_equal(TOP, TOP)
+        assert not values_equal(TOP, 0)
+        assert not values_equal(0, TOP)
+
+    def test_arrays_structural(self):
+        a = ArrayValue(size=2)
+        b = ArrayValue(size=2)
+        assert values_equal(a, b)
+        a.cells[1].value = 5
+        assert not values_equal(a, b)
+        assert not values_equal(a, ArrayValue(size=3))
+
+    def test_records_structural(self):
+        a, b = RecordValue(), RecordValue()
+        a.cell("f", create=True).value = 1
+        b.cell("f", create=True).value = 1
+        assert values_equal(a, b)
+        b.cell("g", create=True)
+        assert not values_equal(a, b)
+
+
+class TestFingerprint:
+    def test_scalars(self):
+        assert fingerprint(5) == 5
+        assert fingerprint(TOP) == ("top",)
+
+    def test_array_fingerprint_changes_with_content(self):
+        array = ArrayValue(size=2)
+        before = fingerprint(array)
+        array.cells[0].value = 1
+        assert fingerprint(array) != before
+
+    def test_record_fingerprint_field_order_independent(self):
+        a, b = RecordValue(), RecordValue()
+        a.cell("x", create=True).value = 1
+        a.cell("y", create=True).value = 2
+        b.cell("y", create=True).value = 2
+        b.cell("x", create=True).value = 1
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_pointer_cycle_terminates(self):
+        cell = Cell(0)
+        cell.value = Pointer(cell)
+        assert fingerprint(Pointer(cell)) is not None
+
+    def test_fingerprints_are_hashable(self):
+        record = RecordValue()
+        record.cell("f", create=True).value = ArrayValue(size=1)
+        hash(fingerprint(record))

@@ -1,0 +1,205 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+OPEN_RC = """
+extern proc env();
+
+proc main() {
+    var x;
+    x = env();
+    if (x % 2 == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+}
+"""
+
+DEADLOCK_RC = """
+proc grab(first, second) {
+    sem_p(first);
+    sem_p(second);
+    sem_v(second);
+    sem_v(first);
+}
+"""
+
+
+@pytest.fixture()
+def open_file(tmp_path):
+    path = tmp_path / "open.rc"
+    path.write_text(OPEN_RC)
+    return path
+
+
+class TestClose:
+    def test_close_to_stdout(self, open_file, capsys):
+        assert main(["close", str(open_file)]) == 0
+        out = capsys.readouterr().out
+        assert "VS_toss(1)" in out
+        assert "proc main()" in out
+
+    def test_close_to_file(self, open_file, tmp_path, capsys):
+        output = tmp_path / "closed.rc"
+        assert main(["close", str(open_file), "-o", str(output)]) == 0
+        assert "VS_toss" in output.read_text()
+
+    def test_closed_output_reparses(self, open_file, tmp_path):
+        from repro.lang.parser import parse_program
+
+        output = tmp_path / "closed.rc"
+        main(["close", str(open_file), "-o", str(output)])
+        parse_program(output.read_text())
+
+    def test_stats_flag(self, open_file, capsys):
+        main(["close", str(open_file), "--stats"])
+        err = capsys.readouterr().err
+        assert "closed 1 procedure" in err
+
+    def test_env_param_flag(self, tmp_path, capsys):
+        path = tmp_path / "p.rc"
+        path.write_text("proc main(x) { if (x > 0) { send(out, 1); } }")
+        assert main(["close", str(path), "--env-param", "main:x"]) == 0
+        out = capsys.readouterr().out
+        assert "proc main()" in out  # parameter removed
+
+    def test_bad_env_param_syntax(self, open_file):
+        with pytest.raises(SystemExit):
+            main(["close", str(open_file), "--env-param", "nonsense"])
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["close", str(tmp_path / "nope.rc")]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.rc"
+        path.write_text("proc main( {")
+        assert main(["close", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_c_input(self, tmp_path, capsys):
+        pytest.importorskip("pycparser")
+        path = tmp_path / "open.c"
+        path.write_text(
+            "int env();\nvoid main() { int x = env(); if (x) { send(out, 1); } }"
+        )
+        assert main(["close", str(path)]) == 0
+        assert "VS_toss" in capsys.readouterr().out
+
+
+class TestAnalyzeAndGraph:
+    def test_analyze_output(self, open_file, capsys):
+        assert main(["analyze", str(open_file)]) == 0
+        out = capsys.readouterr().out
+        assert "proc main" in out
+        assert "N_I" in out
+
+    def test_graph_stdout(self, open_file, capsys):
+        assert main(["graph", str(open_file)]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_graph_closed_to_dir(self, open_file, tmp_path, capsys):
+        out_dir = tmp_path / "dots"
+        assert (
+            main(["graph", str(open_file), "--closed", "--out-dir", str(out_dir)]) == 0
+        )
+        assert (out_dir / "main.dot").exists()
+
+    def test_graph_unknown_proc(self, open_file):
+        with pytest.raises(SystemExit):
+            main(["graph", str(open_file), "--proc", "nope"])
+
+
+class TestExplore:
+    def _write_system(self, tmp_path, program_text, description):
+        program = tmp_path / "prog.rc"
+        program.write_text(program_text)
+        description = dict(description, program="prog.rc")
+        system = tmp_path / "system.json"
+        system.write_text(json.dumps(description))
+        return system
+
+    def test_explore_clean_system(self, tmp_path, capsys):
+        system = self._write_system(
+            tmp_path,
+            OPEN_RC,
+            {
+                "close": {},
+                "objects": [{"kind": "sink", "name": "out"}],
+                "processes": [{"name": "m", "proc": "main", "args": []}],
+            },
+        )
+        assert main(["explore", str(system)]) == 0
+        assert "paths=2" in capsys.readouterr().out
+
+    def test_explore_finds_deadlock_exit_code(self, tmp_path, capsys):
+        system = self._write_system(
+            tmp_path,
+            DEADLOCK_RC,
+            {
+                "objects": [
+                    {"kind": "semaphore", "name": "s1", "initial": 1},
+                    {"kind": "semaphore", "name": "s2", "initial": 1},
+                ],
+                "processes": [
+                    {
+                        "name": "a",
+                        "proc": "grab",
+                        "args": [{"object": "s1"}, {"object": "s2"}],
+                    },
+                    {
+                        "name": "b",
+                        "proc": "grab",
+                        "args": [{"object": "s2"}, {"object": "s1"}],
+                    },
+                ],
+            },
+        )
+        assert main(["explore", str(system), "--max-depth", "20"]) == 1
+        out = capsys.readouterr().out
+        assert "deadlock" in out
+
+    def test_walk_command(self, tmp_path, capsys):
+        system = self._write_system(
+            tmp_path,
+            OPEN_RC,
+            {
+                "close": {},
+                "objects": [{"kind": "sink", "name": "out"}],
+                "processes": [{"name": "m", "proc": "main", "args": []}],
+            },
+        )
+        assert main(["walk", str(system), "--walks", "5"]) == 0
+        assert "paths=5" in capsys.readouterr().out
+
+    def test_bad_json_reports_schema(self, tmp_path):
+        system = tmp_path / "system.json"
+        system.write_text("{not json")
+        with pytest.raises(SystemExit) as err:
+            main(["explore", str(system)])
+        assert "schema" in str(err.value)
+
+    def test_unknown_object_reference(self, tmp_path):
+        system = self._write_system(
+            tmp_path,
+            DEADLOCK_RC,
+            {
+                "objects": [],
+                "processes": [
+                    {"name": "a", "proc": "grab", "args": [{"object": "ghost"}, 1]}
+                ],
+            },
+        )
+        with pytest.raises(SystemExit):
+            main(["explore", str(system)])
+
+
+class TestMisc:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["--version"])
+        assert err.value.code == 0
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,53 @@
+"""Documentation hygiene: every module, public class and public function
+of the library carries a docstring (deliverable (e))."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        try:
+            yield importlib.import_module(info.name)
+        except ImportError:
+            continue  # optional dependency missing (cfront without pycparser)
+
+
+ALL_MODULES = list(_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if not (member.__doc__ and member.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+def test_examples_have_docstrings():
+    import pathlib
+
+    examples = pathlib.Path(__file__).parent.parent / "examples"
+    for path in examples.glob("*.py"):
+        text = path.read_text()
+        assert text.lstrip().startswith(('"""', "#!")), path.name
+        assert '"""' in text, f"{path.name} lacks a module docstring"

@@ -1,0 +1,271 @@
+"""Tests for partial-order reduction: footprints, independence,
+persistent sets, sleep sets — and the key soundness property that POR
+does not lose deadlocks or violations."""
+
+import pytest
+
+from repro import System, explore
+from repro.cfg import build_cfgs
+from repro.lang.parser import parse_program
+from repro.verisoft.por import (
+    ANY_OBJECT,
+    TransitionSig,
+    augment_sleep,
+    filter_sleep,
+    independent,
+    process_footprint,
+)
+
+
+class TestFootprints:
+    def cfgs(self, source):
+        return build_cfgs(parse_program(source))
+
+    def test_direct_names(self):
+        cfgs = self.cfgs("proc main() { send(a, 1); sem_p(b); }")
+        assert process_footprint(cfgs, "main", {}) == {"a", "b"}
+
+    def test_through_called_procs(self):
+        cfgs = self.cfgs(
+            """
+            proc helper() { send(inner, 1); }
+            proc main() { helper(); send(outer, 2); }
+            """
+        )
+        assert process_footprint(cfgs, "main", {}) == {"inner", "outer"}
+
+    def test_launch_arg_resolution(self):
+        from repro.runtime.values import ObjectRef
+
+        cfgs = self.cfgs("proc main(ch) { send(ch, 1); }")
+        fp = process_footprint(cfgs, "main", {"ch": ObjectRef("channel", "box")})
+        assert fp == {"box"}
+
+    def test_unresolvable_object_is_any(self):
+        cfgs = self.cfgs("proc main(ch) { send(ch, 1); }")
+        assert ANY_OBJECT in process_footprint(cfgs, "main", {})
+
+    def test_unreachable_proc_not_included(self):
+        cfgs = self.cfgs(
+            """
+            proc main() { send(a, 1); }
+            proc unused() { send(b, 1); }
+            """
+        )
+        assert process_footprint(cfgs, "main", {}) == {"a"}
+
+    def test_recursion_terminates(self):
+        cfgs = self.cfgs("proc main() { send(a, 1); main(); }")
+        assert process_footprint(cfgs, "main", {}) == {"a"}
+
+    def test_alias_resolution_of_looked_up_channels(self):
+        from repro.dataflow.alias import analyze_aliases
+
+        cfgs = self.cfgs(
+            "proc main() { var c; c = channel('ctl'); send(c, 1); }"
+        )
+        assert ANY_OBJECT in process_footprint(cfgs, "main", {})
+        points_to = analyze_aliases(cfgs)
+        assert process_footprint(cfgs, "main", {}, points_to) == {"ctl"}
+
+    def test_alias_resolution_reduces_interleavings(self):
+        # Two processes each talking to their own looked-up channel:
+        # alias-driven footprints let POR collapse the interleavings.
+        source = """
+        proc worker(which) {
+            var c;
+            if (which == 0) { c = channel('c0'); } else { c = channel('c1'); }
+            send(c, 1);
+        }
+        """
+        # The flow-insensitive merge makes both workers' footprints
+        # {c0, c1} — overlapping, so no reduction here; but a helper with
+        # a *fixed* lookup does reduce:
+        fixed = """
+        proc worker0() { var c; c = channel('c0'); send(c, 1); }
+        proc worker1() { var c; c = channel('c1'); send(c, 1); }
+        """
+        system = System(fixed)
+        system.add_channel("c0", capacity=1)
+        system.add_channel("c1", capacity=1)
+        system.add_process("w0", "worker0", [])
+        system.add_process("w1", "worker1", [])
+        report = explore(system, max_depth=10, por=True)
+        assert report.paths_explored == 1
+
+
+class TestIndependence:
+    def sig(self, process, obj, op="send", local=False):
+        return TransitionSig(process, 0, op, obj, local)
+
+    def test_same_process_dependent(self):
+        assert not independent(self.sig("p", "a"), self.sig("p", "b"))
+
+    def test_distinct_objects_independent(self):
+        assert independent(self.sig("p", "a"), self.sig("q", "b"))
+
+    def test_same_object_dependent(self):
+        assert not independent(self.sig("p", "a"), self.sig("q", "a"))
+
+    def test_local_independent_with_everything(self):
+        local = self.sig("p", None, op="VS_assert", local=True)
+        assert independent(local, self.sig("q", "a"))
+        assert independent(self.sig("q", "a"), local)
+
+
+class TestSleepSets:
+    def sig(self, process, obj):
+        return TransitionSig(process, 0, "send", obj, False)
+
+    def test_filter_keeps_independent(self):
+        sleep = frozenset({self.sig("p", "a"), self.sig("q", "b")})
+        taken = self.sig("r", "a")
+        kept = filter_sleep(sleep, taken)
+        assert self.sig("q", "b") in kept
+        assert self.sig("p", "a") not in kept
+
+    def test_augment_adds_explored_siblings(self):
+        taken = self.sig("r", "c")
+        sibling = self.sig("p", "a")
+        out = augment_sleep(frozenset(), [sibling], taken)
+        assert sibling in out
+
+    def test_augment_drops_dependent_siblings(self):
+        taken = self.sig("r", "c")
+        conflicting = self.sig("p", "c")
+        out = augment_sleep(frozenset(), [conflicting], taken)
+        assert conflicting not in out
+
+
+def _ring_system(n, por):
+    """n processes passing a token round a ring of channels."""
+    source = """
+    proc node(inp, outp, rounds) {
+        var i = 0;
+        while (i < rounds) {
+            var t;
+            t = recv(inp);
+            send(outp, t + 1);
+            i = i + 1;
+        }
+    }
+    proc starter(inp, outp, rounds) {
+        var i = 0;
+        send(outp, 0);
+        while (i < rounds) {
+            var t;
+            t = recv(inp);
+            if (i + 1 < rounds) { send(outp, t + 1); }
+            i = i + 1;
+        }
+    }
+    """
+    system = System(source)
+    refs = [system.add_channel(f"ring_{i}", capacity=1) for i in range(n)]
+    system.add_process("n0", "starter", [refs[0], refs[1 % n], 2])
+    for i in range(1, n):
+        system.add_process(f"n{i}", "node", [refs[i], refs[(i + 1) % n], 2])
+    return system
+
+
+def _philosophers(n, por_unused=None):
+    source = """
+    proc philosopher(first, second) {
+        sem_p(first);
+        sem_p(second);
+        send(out, 'eat');
+        sem_v(second);
+        sem_v(first);
+    }
+    """
+    system = System(source)
+    system.add_env_sink("out")
+    forks = [system.add_semaphore(f"fork_{i}", 1) for i in range(n)]
+    for i in range(n):
+        system.add_process(
+            f"phil_{i}", "philosopher", [forks[i], forks[(i + 1) % n]]
+        )
+    return system
+
+
+class TestReductionSoundness:
+    def test_por_reduces_work_on_independent_systems(self):
+        source = "proc worker(ch, n) { var i = 0; while (i < n) { send(ch, i); i = i + 1; } }"
+
+        def build():
+            system = System(source)
+            for i in range(3):
+                ref = system.add_channel(f"c{i}", capacity=5)
+                system.add_process(f"w{i}", "worker", [ref, 3])
+            return system
+
+        full = explore(build(), max_depth=30, por=False)
+        reduced = explore(build(), max_depth=30, por=True)
+        assert reduced.ok and full.ok
+        assert reduced.paths_explored < full.paths_explored
+        assert reduced.paths_explored == 1  # fully independent
+
+    def test_por_preserves_dining_philosopher_deadlock(self):
+        full = explore(_philosophers(3), max_depth=40, por=False)
+        reduced = explore(_philosophers(3), max_depth=40, por=True)
+        assert full.deadlocks and reduced.deadlocks
+        assert reduced.transitions_executed <= full.transitions_executed
+
+    def test_por_preserves_distinct_states_on_ring(self):
+        full = explore(_ring_system(3, False), max_depth=40, por=False, count_states=True)
+        reduced = explore(_ring_system(3, True), max_depth=40, por=True, count_states=True)
+        assert full.ok and reduced.ok
+        # Reduction may visit fewer states but must not invent any.
+        assert reduced.states_visited <= full.states_visited
+
+    def test_por_preserves_violations(self):
+        source = """
+        proc incr() {
+            var v;
+            v = read(counter);
+            write(counter, v + 1);
+        }
+        proc checker() {
+            var v;
+            v = read(counter);
+            VS_assert(v <= 1);
+        }
+        """
+
+        def build():
+            system = System(source)
+            system.add_shared("counter", initial=0)
+            system.add_process("i1", "incr", [])
+            system.add_process("i2", "incr", [])
+            system.add_process("c", "checker", [])
+            return system
+
+        full = explore(build(), max_depth=20, por=False)
+        reduced = explore(build(), max_depth=20, por=True)
+        assert bool(full.violations) == bool(reduced.violations) == True  # noqa: E712
+
+    def test_local_assert_forms_singleton_persistent_set(self):
+        # One asserting process + one channel process: the assert should
+        # not multiply interleavings under POR.
+        source = """
+        proc asserter(n) {
+            var i = 0;
+            while (i < n) { VS_assert(true); i = i + 1; }
+        }
+        proc sender(ch, n) {
+            var i = 0;
+            while (i < n) { send(ch, i); i = i + 1; }
+        }
+        """
+
+        def build():
+            system = System(source)
+            ref = system.add_channel("c", capacity=10)
+            system.add_process("a", "asserter", [4])
+            system.add_process("s", "sender", [ref, 4])
+            return system
+
+        full = explore(build(), max_depth=30, por=False)
+        reduced = explore(build(), max_depth=30, por=True)
+        assert reduced.paths_explored == 1
+        assert full.paths_explored > 1

@@ -1,0 +1,158 @@
+"""Cross-validation of the explorer against an independent reference.
+
+The production explorer is stateless, replay-based and partial-order
+reduced — lots of machinery to get wrong.  This suite re-implements
+exhaustive exploration in the most naive way possible (plain recursion
+over choice prefixes, re-executing from scratch at every step, no
+sharing, no reduction) and checks that both agree on the *semantic*
+facts: the set of reachable global states (by fingerprint), the set of
+deadlock states, and whether a violation exists.
+"""
+
+import pytest
+
+from repro import System, explore
+from repro.runtime.system import Run
+
+
+def _reference_explore(build_system, max_depth):
+    """Naive exhaustive exploration by prefix re-execution."""
+    states: set = set()
+    deadlock_states: set = set()
+    violation = False
+
+    def replay(prefix):
+        run = build_system().start()
+        run.start_processes()
+        for kind, which in prefix:
+            if kind == "toss":
+                process = run.toss_pending()
+                run.answer_toss(process, which)
+            else:
+                process = next(p for p in run.processes if p.name == which)
+                outcome = run.execute_visible(process)
+                if outcome is not None and outcome.violated:
+                    nonlocal violation
+                    violation = True
+        return run
+
+    def expand(prefix, depth):
+        run = replay(prefix)
+        pending = run.toss_pending()
+        if pending is not None:
+            for value in range(pending.toss_request.bound + 1):
+                expand(prefix + [("toss", value)], depth)
+            return
+        fingerprint = run.state_fingerprint()
+        states.add(fingerprint)
+        if run.is_deadlock():
+            deadlock_states.add(fingerprint)
+            return
+        if depth >= max_depth:
+            return
+        for process in run.enabled_processes():
+            expand(prefix + [("schedule", process.name)], depth + 1)
+
+    expand([], 0)
+    return states, deadlock_states, violation
+
+
+def _production_explore(build_system, max_depth, por):
+    states: set = set()
+    deadlock_states: set = set()
+
+    def on_leaf(run: Run, _trace):
+        if run.is_deadlock():
+            deadlock_states.add(run.state_fingerprint())
+
+    report = explore(
+        build_system(),
+        max_depth=max_depth,
+        por=por,
+        count_states=True,
+        on_leaf=on_leaf,
+    )
+    return report, deadlock_states
+
+
+def two_incrementers():
+    source = """
+    proc incr(n) {
+        var i = 0;
+        while (i < n) {
+            var v;
+            v = read(counter);
+            write(counter, v + 1);
+            i = i + 1;
+        }
+    }
+    """
+    system = System(source)
+    system.add_shared("counter", 0)
+    system.add_process("a", "incr", [1])
+    system.add_process("b", "incr", [1])
+    return system
+
+
+def toss_and_sync():
+    source = """
+    proc chooser() {
+        var t;
+        t = VS_toss(1);
+        if (t == 0) { send(ch, 'zero'); } else { send(ch, 'one'); }
+    }
+    proc taker() {
+        var m;
+        m = recv(ch);
+        VS_assert(m != 'one');
+    }
+    """
+    system = System(source)
+    system.add_channel("ch", capacity=1)
+    system.add_process("c", "chooser", [])
+    system.add_process("t", "taker", [])
+    return system
+
+
+def philosophers_2():
+    source = """
+    proc phil(first, second) {
+        sem_p(first);
+        sem_p(second);
+        sem_v(second);
+        sem_v(first);
+    }
+    """
+    system = System(source)
+    f0 = system.add_semaphore("f0", 1)
+    f1 = system.add_semaphore("f1", 1)
+    system.add_process("p0", "phil", [f0, f1])
+    system.add_process("p1", "phil", [f1, f0])
+    return system
+
+
+WORKLOADS = [
+    (two_incrementers, 12),
+    (toss_and_sync, 8),
+    (philosophers_2, 12),
+]
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("factory,depth", WORKLOADS, ids=lambda w: getattr(w, "__name__", w))
+    def test_full_search_matches_reference_states(self, factory, depth):
+        ref_states, ref_deadlocks, ref_violation = _reference_explore(factory, depth)
+        report, deadlock_states = _production_explore(factory, depth, por=False)
+        assert report.distinct_states == len(ref_states)
+        assert deadlock_states == ref_deadlocks
+        assert bool(report.violations) == ref_violation
+
+    @pytest.mark.parametrize("factory,depth", WORKLOADS, ids=lambda w: getattr(w, "__name__", w))
+    def test_por_preserves_deadlock_states_and_violations(self, factory, depth):
+        ref_states, ref_deadlocks, ref_violation = _reference_explore(factory, depth)
+        report, deadlock_states = _production_explore(factory, depth, por=True)
+        # POR may visit fewer states but must find every deadlock *state*
+        # and agree on violation existence.
+        assert deadlock_states == ref_deadlocks
+        assert bool(report.violations) == ref_violation
+        assert report.distinct_states <= len(ref_states)

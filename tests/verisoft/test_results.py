@@ -1,0 +1,77 @@
+"""Tests for exploration result types and their reporting helpers."""
+
+from repro.verisoft.results import (
+    AssertionViolationEvent,
+    DeadlockEvent,
+    ExplorationReport,
+    ScheduleChoice,
+    TossChoice,
+    Trace,
+    TraceStep,
+)
+
+
+def sample_trace():
+    return Trace(
+        choices=(ScheduleChoice("a"), TossChoice("a", 1), ScheduleChoice("b")),
+        steps=(
+            TraceStep("a", "send", "box"),
+            TraceStep("b", "recv", "box"),
+            TraceStep("b", "VS_assert", None),
+        ),
+    )
+
+
+class TestTrace:
+    def test_length_counts_choices(self):
+        assert len(sample_trace()) == 3
+
+    def test_describe_lists_steps(self):
+        text = sample_trace().describe()
+        assert "a: send on box" in text
+        assert "b: VS_assert" in text
+
+    def test_choice_descriptions(self):
+        assert ScheduleChoice("p").describe() == "run p"
+        assert TossChoice("p", 2).describe() == "p: VS_toss -> 2"
+
+
+class TestEvents:
+    def test_deadlock_describe(self):
+        event = DeadlockEvent(sample_trace(), ("a", "b"))
+        text = event.describe()
+        assert "deadlock" in text
+        assert "a, b" in text
+
+    def test_violation_describe(self):
+        event = AssertionViolationEvent(sample_trace(), "b", "main", 7)
+        text = event.describe()
+        assert "b" in text and "main" in text and "7" in text
+
+
+class TestReport:
+    def test_ok_flag(self):
+        report = ExplorationReport()
+        assert report.ok
+        report.violations.append(
+            AssertionViolationEvent(Trace((), ()), "p", "main", 0)
+        )
+        assert not report.ok
+
+    def test_summary_mentions_truncation(self):
+        report = ExplorationReport(truncated=True)
+        assert "TRUNCATED" in report.summary()
+
+    def test_summary_counts(self):
+        report = ExplorationReport(paths_explored=3, states_visited=10)
+        text = report.summary()
+        assert "paths=3" in text and "states=10" in text
+
+    def test_summary_hides_empty_optional_sections(self):
+        report = ExplorationReport()
+        assert "crashes" not in report.summary()
+        assert "distinct" not in report.summary()
+
+    def test_summary_shows_distinct_when_counted(self):
+        report = ExplorationReport(distinct_states=5)
+        assert "distinct=5" in report.summary()
