@@ -15,7 +15,7 @@ bisimulation-based toss minimization) on the case-study core:
 
 import pytest
 
-from repro import explore
+from repro import SearchOptions, run_search
 from repro.fiveess import build_app
 
 
@@ -25,13 +25,15 @@ def _nodes(cfgs):
 
 def _explore(app, closed):
     system = app.make_system(closed, with_mobility=False, with_maintenance=False)
-    return explore(
+    return run_search(
         system,
-        max_depth=45,
-        por=True,
-        max_paths=4000,
-        count_states=True,
-        max_seconds=60,
+        SearchOptions(
+            max_depth=45,
+            por=True,
+            max_paths=4000,
+            count_states=True,
+            time_budget=60,
+        ),
     )
 
 

@@ -9,7 +9,7 @@ three workloads: independent workers (best case), dining philosophers
 
 import pytest
 
-from repro import System, explore
+from repro import SearchOptions, System, run_search
 from repro.fiveess import build_app
 
 
@@ -65,8 +65,9 @@ def test_ablation_por(benchmark, record_table):
     for name, factory, depth, cap in workloads:
         results = {}
         for por in (False, True):
-            report = explore(
-                factory(), max_depth=depth, por=por, max_paths=cap, max_seconds=60
+            report = run_search(
+                factory(),
+                SearchOptions(max_depth=depth, por=por, max_paths=cap, time_budget=60),
             )
             results[por] = report
             note = " (path budget hit)" if report.truncated else ""
@@ -83,7 +84,7 @@ def test_ablation_por(benchmark, record_table):
     record_table("ABL-POR", lines)
 
     benchmark.pedantic(
-        lambda: explore(philosophers(), max_depth=40, por=True),
+        lambda: run_search(philosophers(), SearchOptions(max_depth=40, por=True)),
         rounds=3,
         iterations=1,
     )

@@ -16,7 +16,7 @@ directly measurable on its own examples:
 
 import pytest
 
-from repro import System, close_program, explore
+from repro import SearchOptions, System, close_program, run_search
 
 COMPOSED = "proc p(x) { var a = x + 1; var b = a - x; var c = b; send(out, c); }"
 
@@ -58,7 +58,7 @@ def paths_of(closed):
     system = System(closed.cfgs)
     system.add_env_sink("out")
     system.add_process("P", "p", [])
-    return explore(system, max_depth=40, por=False).paths_explored
+    return run_search(system, SearchOptions(max_depth=40, por=False)).paths_explored
 
 
 def test_ablation_precision(benchmark, record_table):

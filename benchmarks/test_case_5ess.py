@@ -17,7 +17,7 @@ setup would produce:
 
 import pytest
 
-from repro import explore
+from repro import SearchOptions, run_search
 from repro.fiveess import build_app
 
 
@@ -43,14 +43,16 @@ def test_case_5ess(benchmark, record_table):
 
     # Defect hunt 1: the seeded lock-order deadlock (mobility slice).
     system = app.make_system(closed, with_maintenance=False)
-    deadlock_report = explore(
+    deadlock_report = run_search(
         system,
-        max_depth=40,
-        por=True,
-        max_paths=6000,
-        stop_when=lambda r: any(
-            app.classify_deadlock(d.blocked) == "seeded-lock-order"
-            for d in r.deadlocks
+        SearchOptions(
+            max_depth=40,
+            por=True,
+            max_paths=6000,
+            stop_when=lambda r: any(
+                app.classify_deadlock(d.blocked) == "seeded-lock-order"
+                for d in r.deadlocks
+            ),
         ),
     )
     seeded = [
@@ -68,13 +70,15 @@ def test_case_5ess(benchmark, record_table):
 
     # Defect hunt 2: the billing invariant violation (core call flow).
     system = app.make_system(closed, with_mobility=False, with_maintenance=False)
-    violation_report = explore(
+    violation_report = run_search(
         system,
-        max_depth=60,
-        por=True,
-        max_paths=50_000,
-        max_seconds=90,
-        stop_when=lambda r: bool(r.violations),
+        SearchOptions(
+            max_depth=60,
+            por=True,
+            max_paths=50_000,
+            time_budget=90,
+            stop_when=lambda r: bool(r.violations),
+        ),
     )
     lines += [
         "defect 2: billing invariant violated by concurrent calls",
@@ -89,14 +93,17 @@ def test_case_5ess(benchmark, record_table):
     system = app.make_system(
         closed, with_mobility=False, with_maintenance=False, with_forwarding=True
     )
-    forwarding_report = explore(
+    forwarding_report = run_search(
         system,
-        max_depth=70,
-        por=True,
-        max_paths=20_000,
-        max_seconds=90,
-        stop_when=lambda r: any(
-            app.classify_event(d) == "forwarding-teardown-leak" for d in r.deadlocks
+        SearchOptions(
+            max_depth=70,
+            por=True,
+            max_paths=20_000,
+            time_budget=90,
+            stop_when=lambda r: any(
+                app.classify_event(d) == "forwarding-teardown-leak"
+                for d in r.deadlocks
+            ),
         ),
     )
     leak_found = any(
@@ -112,7 +119,7 @@ def test_case_5ess(benchmark, record_table):
 
     # Coverage sweep of the full system within a fixed budget.
     system = app.make_system(closed)
-    sweep = explore(system, max_depth=35, por=True, max_paths=2000)
+    sweep = run_search(system, SearchOptions(max_depth=35, por=True, max_paths=2000))
     lines += [
         "",
         "bounded sweep of the full system (all 12 processes):",
@@ -122,8 +129,6 @@ def test_case_5ess(benchmark, record_table):
     # Scaling: larger configurations via random-walk testing (the state
     # space outgrows bounded-exhaustive search, as the paper's real
     # application did; walks still find the seeded deadlock).
-    from repro.verisoft import random_walks
-
     lines += ["", "scaling (400 random walks, depth 80, seed 11):"]
     lines.append(
         f"  {'lines':>5} {'processes':>10} {'closing ms':>11} "
@@ -133,7 +138,10 @@ def test_case_5ess(benchmark, record_table):
         big = build_app(n_lines=n_lines, calls_per_line=1)
         big_closed = big.close()
         big_system = big.make_system(big_closed, with_maintenance=False)
-        walk_report = random_walks(big_system, walks=400, max_depth=80, seed=11)
+        walk_report = run_search(
+            big_system,
+            SearchOptions(strategy="random", walks=400, max_depth=80, seed=11),
+        )
         found = any(
             big.classify_deadlock(d.blocked) == "seeded-lock-order"
             for d in walk_report.deadlocks

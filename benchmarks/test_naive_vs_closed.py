@@ -17,7 +17,7 @@ closed system is flat.
 
 import pytest
 
-from repro import System, close_naively, close_program, explore
+from repro import SearchOptions, System, close_naively, close_program, run_search
 
 OPEN_SERVER = """
 extern proc get_req();
@@ -44,7 +44,7 @@ def build_system(cfgs):
 
 
 def explore_fully(cfgs):
-    return explore(build_system(cfgs), max_depth=50, por=False)
+    return run_search(build_system(cfgs), SearchOptions(max_depth=50, por=False))
 
 
 def test_naive_vs_closed(benchmark, record_table):

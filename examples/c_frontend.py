@@ -9,7 +9,7 @@ pycparser-based front end, closes it, and explores the result.
 Run:  python examples/c_frontend.py
 """
 
-from repro import System, close_program, explore
+from repro import SearchOptions, System, close_program, run_search
 from repro.lang.cfront import c_to_program
 from repro.lang.pretty import pretty
 
@@ -55,7 +55,7 @@ def main() -> None:
     system = System(closed.cfgs)
     system.add_env_sink("egress")
     system.add_process("router", "router", [3])
-    report = explore(system, max_depth=40)
+    report = run_search(system, SearchOptions(strategy="dfs", max_depth=40))
     print(report.summary())
     print()
     print(

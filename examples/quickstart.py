@@ -12,7 +12,7 @@ exhaustively with the VeriSoft-style explorer.
 Run:  python examples/quickstart.py
 """
 
-from repro import System, close_program, explore
+from repro import SearchOptions, System, close_program, run_search
 
 OPEN_PROGRAM = """
 extern proc poll_sensor();
@@ -51,7 +51,7 @@ def main() -> None:
     system.add_process("ctl", "controller", [3])
 
     print("=== 3. Explore every behaviour ===")
-    report = explore(system, max_depth=30)
+    report = run_search(system, SearchOptions(strategy="dfs", max_depth=30))
     print(report.summary())
     print()
     print(

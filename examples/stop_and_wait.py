@@ -18,7 +18,7 @@ duplicated or reordered delivery.
 Run:  python examples/stop_and_wait.py
 """
 
-from repro import System, close_program, collect_output_traces, explore
+from repro import SearchOptions, System, close_program, collect_output_traces, run_search
 
 PROTOCOL = """
 extern proc link_quality();
@@ -105,7 +105,7 @@ def main() -> None:
     print()
 
     print("=== Exhaustive check over all loss patterns ===")
-    report = explore(system, max_depth=80, por=True)
+    report = run_search(system, SearchOptions(strategy="dfs", max_depth=80, por=True))
     print(report.summary())
     assert not report.violations, "ordering/duplication property violated!"
     print(

@@ -10,7 +10,7 @@ seeded concurrency defects.
 Run:  python examples/telephone_switch.py
 """
 
-from repro import explore
+from repro import SearchOptions, run_search
 from repro.fiveess import build_app
 
 
@@ -37,14 +37,17 @@ def main() -> None:
 
     print("=== 3. Hunting the seeded lock-order deadlock ===")
     system = app.make_system(closed, with_maintenance=False)
-    report = explore(
+    report = run_search(
         system,
-        max_depth=40,
-        por=True,
-        max_paths=6000,
-        stop_when=lambda r: any(
-            app.classify_deadlock(d.blocked) == "seeded-lock-order"
-            for d in r.deadlocks
+        SearchOptions(
+            strategy="dfs",
+            max_depth=40,
+            por=True,
+            max_paths=6000,
+            stop_when=lambda r: any(
+                app.classify_deadlock(d.blocked) == "seeded-lock-order"
+                for d in r.deadlocks
+            ),
         ),
     )
     for event in report.deadlocks:
@@ -61,13 +64,16 @@ def main() -> None:
 
     print("=== 4. Hunting the billing-invariant violation ===")
     system = app.make_system(closed, with_mobility=False, with_maintenance=False)
-    report = explore(
+    report = run_search(
         system,
-        max_depth=60,
-        por=True,
-        max_paths=50_000,
-        max_seconds=90,
-        stop_when=lambda r: bool(r.violations),
+        SearchOptions(
+            strategy="dfs",
+            max_depth=60,
+            por=True,
+            max_paths=50_000,
+            time_budget=90,
+            stop_when=lambda r: bool(r.violations),
+        ),
     )
     if report.violations:
         violation = report.violations[0]

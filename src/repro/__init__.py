@@ -22,14 +22,15 @@ The package provides, from the bottom up:
 
 Quick start::
 
-    from repro import close_program, System, explore
+    from repro import close_program, System, SearchOptions, run_search
 
     closed = close_program(OPEN_SOURCE)          # Figure 1, end to end
     system = System(closed.cfgs)
     system.add_env_sink("out")
     system.add_process("main", "main")           # env params are gone
-    report = explore(system, max_depth=50)
+    report = run_search(system, SearchOptions(strategy="dfs", max_depth=50))
     print(report.summary())
+    print(report.stats.describe())               # live search telemetry
 """
 
 from .cfg import ControlFlowGraph, build_cfg, build_cfgs, to_dot
@@ -46,10 +47,16 @@ from .runtime import System, SystemConfig
 from .verisoft import (
     ExplorationReport,
     Explorer,
+    ProgressPrinter,
+    SearchOptions,
+    SearchStats,
     Trace,
     collect_output_traces,
     explore,
+    parallel_search,
+    random_walks,
     replay,
+    run_search,
 )
 
 __version__ = "1.0.0"
@@ -62,6 +69,9 @@ __all__ = [
     "ExplorationReport",
     "Explorer",
     "NaiveDomains",
+    "ProgressPrinter",
+    "SearchOptions",
+    "SearchStats",
     "System",
     "SystemConfig",
     "Trace",
@@ -72,8 +82,11 @@ __all__ = [
     "collect_output_traces",
     "explore",
     "normalize_program",
+    "parallel_search",
     "parse_program",
     "pretty",
+    "random_walks",
     "replay",
+    "run_search",
     "to_dot",
 ]

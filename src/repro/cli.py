@@ -17,14 +17,17 @@ Subcommands
     Dump control-flow graphs in Graphviz DOT (before and, with
     ``--closed``, after the transformation).
 
-``explore``
-    Run the VeriSoft-style explorer over a *system description*: a JSON
-    file naming the program, the communication objects and the
-    processes (see ``--help`` for the schema), optionally closing the
-    program first.
+``search``
+    The unified search front end: run any strategy (``dfs``, ``random``
+    or ``parallel``) over a *system description* — a JSON file naming
+    the program, the communication objects and the processes (see
+    ``--help`` for the schema), optionally closing the program first::
 
-``walk``
-    Random-walk testing of the same system description.
+        repro search system.json --strategy parallel --jobs 4 --progress
+
+``explore`` / ``walk``
+    Deprecated shims for ``search --strategy dfs`` and
+    ``search --strategy random``; they forward to the same machinery.
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ from .closing import ClosingSpec, close_program
 from .lang import parse_program
 from .lang.errors import LangError
 from .runtime import System
-from .verisoft import explore, random_walks
+from .verisoft import ProgressPrinter, SearchOptions, run_search
 
 _SYSTEM_SCHEMA = """\
 System description JSON schema:
@@ -220,34 +223,62 @@ def _print_report(report) -> None:
         print(f"\ndivergence in {event.process}")
 
 
-def cmd_explore(args) -> int:
-    """The ``explore`` subcommand."""
-    system = _build_system(args.system)
-    report = explore(
-        system,
+def _options_from_args(args) -> SearchOptions:
+    """Build :class:`SearchOptions` from ``search``-style CLI arguments."""
+    return SearchOptions(
+        strategy=args.strategy,
         max_depth=args.max_depth,
         por=not args.no_por,
-        max_paths=args.max_paths,
-        max_seconds=args.max_seconds,
         count_states=args.count_states,
         stop_on_first=args.stop_on_first,
+        max_paths=args.max_paths,
+        max_transitions=args.max_transitions,
+        time_budget=args.time_budget,
+        max_events=args.max_events,
+        walks=args.walks,
+        seed=args.seed,
+        jobs=args.jobs,
+        prefix_depth=args.prefix_depth,
     )
+
+
+def cmd_search(args) -> int:
+    """The ``search`` subcommand: the unified search front end."""
+    system = _build_system(args.system)
+    options = _options_from_args(args)
+    ticker = ProgressPrinter() if args.progress else None
+    if ticker is not None:
+        options.progress = ticker
+    try:
+        report = run_search(system, options)
+    finally:
+        if ticker is not None:
+            ticker.finish()
     _print_report(report)
+    if args.stats and report.stats is not None:
+        print("\n" + report.stats.describe(), file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _forward_to_search(args, strategy: str, old_name: str) -> int:
+    print(
+        f"note: 'repro {old_name}' is deprecated; use "
+        f"'repro search --strategy {strategy}'",
+        file=sys.stderr,
+    )
+    args.strategy = strategy
+    return cmd_search(args)
+
+
+def cmd_explore(args) -> int:
+    """The ``explore`` subcommand (deprecated shim for ``search``)."""
+    args.time_budget = args.max_seconds
+    return _forward_to_search(args, "dfs", "explore")
 
 
 def cmd_walk(args) -> int:
-    """The ``walk`` subcommand."""
-    system = _build_system(args.system)
-    report = random_walks(
-        system,
-        walks=args.walks,
-        max_depth=args.max_depth,
-        seed=args.seed,
-        stop_on_first=args.stop_on_first,
-    )
-    _print_report(report)
-    return 0 if report.ok else 1
+    """The ``walk`` subcommand (deprecated shim for ``search``)."""
+    return _forward_to_search(args, "random", "walk")
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -305,9 +336,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(graph_parser)
     graph_parser.set_defaults(func=cmd_graph)
 
+    search_parser = sub.add_parser(
+        "search",
+        help="search a system description (unified front end)",
+        epilog=_SYSTEM_SCHEMA,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    search_parser.add_argument("system", type=pathlib.Path, help="system JSON")
+    search_parser.add_argument(
+        "--strategy",
+        choices=("dfs", "random", "parallel"),
+        default="dfs",
+        help="search strategy (default: dfs)",
+    )
+    search_parser.add_argument("--max-depth", type=int, default=100)
+    search_parser.add_argument("--max-paths", type=int, default=None)
+    search_parser.add_argument("--max-transitions", type=int, default=None)
+    search_parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; the report is flagged incomplete when it expires",
+    )
+    search_parser.add_argument("--no-por", action="store_true")
+    search_parser.add_argument("--count-states", action="store_true")
+    search_parser.add_argument("--stop-on-first", action="store_true")
+    search_parser.add_argument("--max-events", type=int, default=25)
+    search_parser.add_argument(
+        "--walks", type=int, default=100, help="random strategy: number of walks"
+    )
+    search_parser.add_argument(
+        "--seed", type=int, default=0, help="random strategy: PRNG seed"
+    )
+    search_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help="parallel strategy: worker processes (0 = all cores)",
+    )
+    search_parser.add_argument(
+        "--prefix-depth",
+        type=int,
+        default=None,
+        help="parallel strategy: frontier depth of the prefix partition "
+        "(default: auto-tuned)",
+    )
+    search_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live one-line search ticker to stderr",
+    )
+    search_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the full search-telemetry summary after the run",
+    )
+    search_parser.set_defaults(func=cmd_search)
+
     explore_parser = sub.add_parser(
         "explore",
-        help="systematically explore a system description",
+        help="DEPRECATED: use 'search --strategy dfs'",
         epilog=_SYSTEM_SCHEMA,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -318,15 +409,39 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument("--no-por", action="store_true")
     explore_parser.add_argument("--count-states", action="store_true")
     explore_parser.add_argument("--stop-on-first", action="store_true")
-    explore_parser.set_defaults(func=cmd_explore)
+    explore_parser.add_argument("--progress", action="store_true")
+    explore_parser.set_defaults(
+        func=cmd_explore,
+        max_transitions=None,
+        max_events=25,
+        walks=100,
+        seed=0,
+        jobs=0,
+        prefix_depth=None,
+        stats=False,
+    )
 
-    walk_parser = sub.add_parser("walk", help="random-walk testing of a system")
+    walk_parser = sub.add_parser(
+        "walk", help="DEPRECATED: use 'search --strategy random'"
+    )
     walk_parser.add_argument("system", type=pathlib.Path)
     walk_parser.add_argument("--walks", type=int, default=100)
     walk_parser.add_argument("--max-depth", type=int, default=1000)
     walk_parser.add_argument("--seed", type=int, default=0)
     walk_parser.add_argument("--stop-on-first", action="store_true")
-    walk_parser.set_defaults(func=cmd_walk)
+    walk_parser.add_argument("--progress", action="store_true")
+    walk_parser.set_defaults(
+        func=cmd_walk,
+        no_por=False,
+        count_states=False,
+        max_paths=None,
+        max_transitions=None,
+        time_budget=None,
+        max_events=25,
+        jobs=0,
+        prefix_depth=None,
+        stats=False,
+    )
     return parser
 
 
@@ -340,6 +455,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
     except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 

@@ -65,6 +65,16 @@ class System:
     ``source`` may be RC source text, a parsed :class:`~repro.lang.ast.Program`
     or a pre-built CFG dictionary (the output of the closing
     transformation).
+
+    Systems are **picklable**: a ``System`` consists only of static data
+    (CFGs, object/process specs, config), never of live runs, so the
+    parallel driver (:mod:`repro.verisoft.parallel`) can ship one to
+    worker processes and re-instantiate fresh runs there.  The pickle
+    contract is explicit (:meth:`__getstate__`/:meth:`__setstate__`) so
+    that future caches added to the class cannot accidentally break
+    worker fan-out.  :class:`Run` instances hold live coroutines and are
+    deliberately *not* picklable — workers re-execute from the initial
+    state instead, which is the whole point of stateless search.
     """
 
     def __init__(
@@ -81,6 +91,22 @@ class System:
         self.config = config or SystemConfig()
         self._object_specs: dict[str, _ObjectSpec] = {}
         self._process_specs: list[_ProcessSpec] = []
+
+    # -- pickling (parallel worker fan-out) ---------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "cfgs": self.cfgs,
+            "config": self.config,
+            "object_specs": self._object_specs,
+            "process_specs": self._process_specs,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.cfgs = state["cfgs"]
+        self.config = state["config"]
+        self._object_specs = state["object_specs"]
+        self._process_specs = state["process_specs"]
 
     # -- declaration API ---------------------------------------------------------
 
@@ -178,6 +204,12 @@ class Run:
         self.objects = objects
         self.processes = processes
         self._started = False
+
+    def __reduce__(self):
+        raise TypeError(
+            "Run instances hold live process coroutines and cannot be "
+            "pickled; pickle the System and start a fresh run instead"
+        )
 
     # -- lifecycle ------------------------------------------------------------------
 

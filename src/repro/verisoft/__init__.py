@@ -1,9 +1,23 @@
 """The VeriSoft substrate: stateless systematic state-space exploration
-with partial-order reduction, for closed concurrent systems."""
+with partial-order reduction, for closed concurrent systems.
+
+The unified entry point is :func:`run_search` driven by a
+:class:`SearchOptions`; ``explore``/``random_walks``/``replay`` remain
+as thin compatibility wrappers around the same machinery.
+"""
 
 from .behaviors import behavior_inclusion, matches_with_erasure, missing_behaviors
 from .explorer import Explorer, collect_output_traces, explore, replay
+from .parallel import (
+    ChoicePrefix,
+    PrefixPoint,
+    enumerate_prefixes,
+    merge_reports,
+    parallel_search,
+)
 from .random_walk import random_walks
+from .search import STRATEGIES, SearchOptions, run_search
+from .stats import ProgressPrinter, SearchStats
 from .por import (
     PersistentSetComputer,
     TransitionSig,
@@ -27,25 +41,35 @@ from .results import (
 __all__ = [
     "AssertionViolationEvent",
     "Choice",
+    "ChoicePrefix",
     "CrashEvent",
     "DeadlockEvent",
     "DivergenceEvent",
     "ExplorationReport",
     "Explorer",
     "PersistentSetComputer",
+    "PrefixPoint",
+    "ProgressPrinter",
+    "STRATEGIES",
     "ScheduleChoice",
+    "SearchOptions",
+    "SearchStats",
     "TossChoice",
     "Trace",
     "TraceStep",
     "TransitionSig",
     "behavior_inclusion",
     "collect_output_traces",
+    "enumerate_prefixes",
     "explore",
     "independent",
     "matches_with_erasure",
+    "merge_reports",
     "missing_behaviors",
+    "parallel_search",
     "process_footprint",
     "random_walks",
     "replay",
+    "run_search",
     "signature_of",
 ]

@@ -45,6 +45,7 @@ from .results import (
     Trace,
     TraceStep,
 )
+from .stats import SearchStats
 
 
 @dataclass
@@ -85,8 +86,26 @@ class Explorer:
         stop_on_first: stop at the first deadlock/violation/crash.
         max_paths / max_transitions / max_seconds: work budgets; the
             report's ``truncated`` flag is set when one trips.
+        time_budget: wall-clock budget in seconds, checked at every
+            global state (not merely between paths like ``max_seconds``);
+            when it expires the report is flagged ``incomplete=True``
+            (and ``truncated``) instead of the search running unbounded.
         max_events: cap on recorded events of each kind (traces can be
             large; counting continues).
+        initial_stack: a frozen choice prefix (see
+            :mod:`repro.verisoft.parallel`); the search replays it and
+            explores only the subtree below — backtracking never climbs
+            above the prefix.  Prefix states/transitions are not
+            re-counted.
+        frontier_depth / on_frontier: cut every path at this depth and
+            hand the current choice stack to ``on_frontier`` instead of
+            descending — the prefix-enumeration mode of the parallel
+            driver.
+        fingerprint_set: with ``count_states``, collect fingerprints
+            into this caller-owned set (so a parallel coordinator can
+            union worker sets).
+        progress / progress_interval: periodic live-telemetry callback
+            receiving the running :class:`~repro.verisoft.stats.SearchStats`.
     """
 
     def __init__(
@@ -99,9 +118,16 @@ class Explorer:
         max_paths: int | None = None,
         max_transitions: int | None = None,
         max_seconds: float | None = None,
+        time_budget: float | None = None,
         max_events: int = 25,
         on_leaf: Callable[[Run, Trace], None] | None = None,
         stop_when: Callable[[ExplorationReport], bool] | None = None,
+        initial_stack: list[_ChoicePoint] | None = None,
+        frontier_depth: int | None = None,
+        on_frontier: Callable[[list[_ChoicePoint]], None] | None = None,
+        fingerprint_set: set[Any] | None = None,
+        progress: Callable[[SearchStats], None] | None = None,
+        progress_interval: float = 0.5,
     ):
         self._system = system
         self._max_depth = max_depth
@@ -111,9 +137,17 @@ class Explorer:
         self._max_paths = max_paths
         self._max_transitions = max_transitions
         self._max_seconds = max_seconds
+        self._time_budget = time_budget
         self._max_events = max_events
         self._on_leaf = on_leaf
         self._stop_when = stop_when
+        self._initial_stack = initial_stack
+        self._frontier_depth = frontier_depth
+        self._on_frontier = on_frontier
+        self._fingerprint_set = fingerprint_set
+        self._progress = progress
+        self._progress_interval = progress_interval
+        self._deadline: float | None = None
         self._persistent: PersistentSetComputer | None = None
         if por:
             footprints = self._compute_footprints(system)
@@ -137,20 +171,48 @@ class Explorer:
 
     def run(self) -> ExplorationReport:
         report = ExplorationReport()
+        stats = report.stats = SearchStats(strategy="dfs")
         if self._count_states:
             report.distinct_states = 0
-        stack: list[_ChoicePoint] = []
-        seen_states: set[Any] | None = set() if self._count_states else None
+        stack: list[_ChoicePoint] = list(self._initial_stack or ())
+        base = len(stack)
+        if self._count_states:
+            seen_states: set[Any] | None = (
+                self._fingerprint_set if self._fingerprint_set is not None else set()
+            )
+        else:
+            seen_states = None
         started = time.monotonic()
-        stop = False
+        cpu_started = time.process_time()
+        if self._time_budget is not None:
+            self._deadline = started + self._time_budget
+        next_tick = started + self._progress_interval
+        executions = 0
 
-        while not stop:
+        while True:
             try:
-                self._execute(stack, report, seen_states)
+                # On the very first pass over a frozen prefix nothing has
+                # been bumped: the prefix's edges were all executed (and
+                # recorded) by the coordinator that produced it.
+                frozen_replay = executions == 0 and base > 0
+                self._execute(stack, report, seen_states, stats, frozen_replay)
             except _Leaf:
                 pass
             report.paths_explored += 1
+            if executions:
+                stats.replays += 1
+            executions += 1
 
+            if self._progress is not None:
+                now = time.monotonic()
+                if now >= next_tick:
+                    self._sync_stats(report, stats, started, cpu_started)
+                    self._progress(stats)
+                    next_tick = now + self._progress_interval
+
+            if report.incomplete:
+                report.truncated = True
+                break
             if self._stop_on_first and not report.ok:
                 break
             if self._stop_when is not None and self._stop_when(report):
@@ -168,16 +230,33 @@ class Explorer:
                 report.truncated = True
                 break
 
-            # Backtrack to the deepest choice point with untried options.
-            while stack and stack[-1].exhausted():
+            # Backtrack to the deepest choice point with untried options,
+            # never climbing into a frozen prefix.
+            while len(stack) > base and stack[-1].exhausted():
                 stack.pop()
-            if not stack:
+            if len(stack) <= base:
                 break
             stack[-1].index += 1
 
         if seen_states is not None:
             report.distinct_states = len(seen_states)
+        self._sync_stats(report, stats, started, cpu_started)
         return report
+
+    def _sync_stats(
+        self,
+        report: ExplorationReport,
+        stats: SearchStats,
+        started: float,
+        cpu_started: float,
+    ) -> None:
+        stats.states_visited = report.states_visited
+        stats.transitions_executed = report.transitions_executed
+        stats.toss_points = report.toss_points
+        stats.paths_explored = report.paths_explored
+        stats.max_depth_reached = report.max_depth_reached
+        stats.wall_time = time.monotonic() - started
+        stats.cpu_time = time.process_time() - cpu_started
 
     # -- one (re-)execution -------------------------------------------------------
 
@@ -186,11 +265,19 @@ class Explorer:
         stack: list[_ChoicePoint],
         report: ExplorationReport,
         seen_states: set[Any] | None,
+        stats: SearchStats,
+        frozen_replay: bool = False,
     ) -> None:
         run = self._system.start()
         run.start_processes()
         replay_len = len(stack)
-        state = _ExecState(run=run, stack=stack, replay_len=replay_len, report=report)
+        state = _ExecState(
+            run=run,
+            stack=stack,
+            replay_len=replay_len,
+            edge_replay_len=replay_len + 1 if frozen_replay else replay_len,
+            report=report,
+        )
         self._note_broken_processes(state)
         current_sleep: frozenset[TransitionSig] = frozenset()
         depth = 0
@@ -210,12 +297,23 @@ class Explorer:
                 run.answer_toss(tossing, value)
                 self._note_broken_processes(state)
 
+            # Frontier cut: hand the subtree below this state to the
+            # parallel driver instead of descending into it.
+            if self._frontier_depth is not None and depth >= self._frontier_depth:
+                if self._on_frontier is not None:
+                    self._on_frontier(state.stack)
+                raise _Leaf()
+
             # A global state.
             if state.fresh:
                 report.states_visited += 1
                 report.max_depth_reached = max(report.max_depth_reached, depth)
             if seen_states is not None:
                 seen_states.add(run.state_fingerprint())
+
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                report.incomplete = True
+                raise _Leaf()
 
             if run.is_deadlock():
                 if state.fresh and len(report.deadlocks) < self._max_events:
@@ -239,11 +337,16 @@ class Explorer:
                 candidates = self._persistent.persistent_choices(run)
             else:
                 candidates = enabled
+            if state.fresh:
+                stats.enabled_transitions += len(enabled)
+                stats.persistent_transitions += len(candidates)
             sigs = [signature_of(p) for p in candidates]
             filtered: list[Process] = []
             filtered_sigs: list[TransitionSig | None] = []
             for process, sig in zip(candidates, sigs):
                 if sig is not None and sig in current_sleep:
+                    if state.fresh:
+                        stats.sleep_prunes += 1
                     continue
                 filtered.append(process)
                 filtered_sigs.append(sig)
@@ -267,13 +370,15 @@ class Explorer:
             detail = ""
             obj_name = request.obj.name if request.obj is not None else None
             outcome = run.execute_visible(chosen)
-            if state.fresh:
+            if state.fresh_edge:
                 report.transitions_executed += 1
+            else:
+                stats.replayed_transitions += 1
             state.steps.append(
                 TraceStep(chosen_name, request.op, obj_name, detail)
             )
             depth += 1
-            if outcome is not None and outcome.violated and state.fresh:
+            if outcome is not None and outcome.violated and state.fresh_edge:
                 if len(report.violations) < self._max_events:
                     report.violations.append(
                         AssertionViolationEvent(
@@ -343,17 +448,17 @@ class Explorer:
                 continue
             if process.status is ProcessStatus.CRASHED:
                 state.noted_broken.add(process.name)
-                if state.fresh and len(report.crashes) < self._max_events:
+                if state.fresh_edge and len(report.crashes) < self._max_events:
                     report.crashes.append(
                         CrashEvent(state.trace(), process.name, str(process.crash))
                     )
-                elif state.fresh:
+                elif state.fresh_edge:
                     report.crashes.append(CrashEvent(Trace((), ()), process.name, ""))
             elif process.status is ProcessStatus.DIVERGED:
                 state.noted_broken.add(process.name)
-                if state.fresh and len(report.divergences) < self._max_events:
+                if state.fresh_edge and len(report.divergences) < self._max_events:
                     report.divergences.append(DivergenceEvent(state.trace(), process.name))
-                elif state.fresh:
+                elif state.fresh_edge:
                     report.divergences.append(DivergenceEvent(Trace((), ()), process.name))
 
 
@@ -378,6 +483,14 @@ class _ExecState:
     stack: list[_ChoicePoint]
     replay_len: int
     report: ExplorationReport
+    #: Replay length for *edge-anchored* recording (transitions executed,
+    #: violations, crashes).  Normally equal to ``replay_len`` — the last
+    #: replayed choice point was freshly bumped, so the edge out of it is
+    #: new ground.  On the first execution over a frozen parallel prefix
+    #: nothing is bumped: every prefix edge (including the one *into* the
+    #: frontier state) was already executed and recorded by the
+    #: coordinator, so edge recording starts one choice later.
+    edge_replay_len: int = 0
     ptr: int = 0
     choices: list[Choice] = field(default_factory=list)
     steps: list[TraceStep] = field(default_factory=list)
@@ -385,10 +498,16 @@ class _ExecState:
 
     @property
     def fresh(self) -> bool:
-        """Whether execution has passed the replayed prefix (events and
-        statistics are only recorded on fresh ground, so replays do not
-        double-count)."""
+        """Whether execution has passed the replayed prefix (state-anchored
+        events and statistics are only recorded on fresh ground, so
+        replays do not double-count)."""
         return self.ptr >= self.replay_len
+
+    @property
+    def fresh_edge(self) -> bool:
+        """Like :attr:`fresh`, for recording anchored to the transition
+        just executed rather than to the current global state."""
+        return self.ptr >= self.edge_replay_len
 
     def trace(self) -> Trace:
         return Trace(tuple(self.choices), tuple(self.steps))

@@ -1,0 +1,535 @@
+"""Work-partitioning parallel exploration.
+
+VeriSoft's defining property — the explorer stores *no* states and
+backtracks by deterministic replay from the initial state — means that
+disjoint subtrees of the choice tree can be searched by fully
+independent operating-system processes: a subtree is identified by the
+choice *prefix* leading to its root, and a worker that re-executes the
+prefix owns everything below it with no shared state whatsoever.
+
+The driver has three phases:
+
+1. **Prefix enumeration** (sequential, cheap).  A bounded-depth DFS over
+   the top of the choice tree; every path that survives to
+   ``prefix_depth`` transitions is cut there and its choice stack —
+   including the sleep sets and sibling signatures needed to resume the
+   partial-order reduction exactly — is captured as a
+   :class:`ChoicePrefix`.  Paths that die earlier (deadlock,
+   termination, sleep-set exhaustion) are complete and are accounted to
+   the coordinator's own report.
+
+2. **Fan-out**.  The prefixes are distributed over a
+   :mod:`multiprocessing` pool.  Each worker reconstructs the system
+   (systems are picklable, or rebuilt via ``system_factory``), replays
+   its prefix, and completes the DFS of that subtree with backtracking
+   frozen at the prefix — sleep/persistent sets carry over, so the
+   merged search performs *exactly* the transitions the sequential
+   search would.
+
+3. **Deterministic merge**.  Per-worker reports are merged in prefix
+   enumeration order: counters are summed, events concatenated in
+   stable order and deduplicated by replay trace, distinct-state
+   fingerprints unioned.  ``--jobs 1`` and ``--jobs N`` therefore
+   produce identical reports.
+
+Budget caveat: ``max_paths``/``max_transitions`` are enforced per
+worker and re-checked between worker completions, so a tripped budget
+truncates slightly differently (never *later*) than a sequential run;
+exact parity holds for unbudgeted searches.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..runtime.system import System
+from .explorer import Explorer, _ChoicePoint
+from .por import TransitionSig
+from .results import (
+    AssertionViolationEvent,
+    CrashEvent,
+    DeadlockEvent,
+    DivergenceEvent,
+    ExplorationReport,
+    Trace,
+)
+from .stats import SearchStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .search import SearchOptions
+
+__all__ = [
+    "ChoicePrefix",
+    "PrefixPoint",
+    "enumerate_prefixes",
+    "merge_reports",
+    "parallel_search",
+]
+
+
+# ---------------------------------------------------------------------------
+# Choice prefixes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixPoint:
+    """One pinned decision of a choice prefix (picklable snapshot of the
+    explorer's internal choice point, with the POR context frozen in)."""
+
+    kind: str  # "schedule" | "toss"
+    alternatives: tuple[Any, ...]
+    index: int
+    sleep: frozenset[TransitionSig]
+    sigs: tuple[TransitionSig | None, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ChoicePrefix:
+    """A path from the root of the choice tree to a frontier state.
+
+    Replaying the prefix and freezing backtracking at its length makes a
+    worker explore exactly the subtree rooted at the frontier state.
+    """
+
+    points: tuple[PrefixPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def describe(self) -> str:
+        return " / ".join(
+            f"{p.kind}={p.alternatives[p.index]!r}" for p in self.points
+        )
+
+
+def _snapshot(stack: list[_ChoicePoint]) -> ChoicePrefix:
+    """Deep-copy the live DFS stack (indices mutate as the enumeration
+    backtracks, so the copy must happen at frontier time)."""
+    return ChoicePrefix(
+        tuple(
+            PrefixPoint(
+                kind=point.kind,
+                alternatives=tuple(point.alternatives),
+                index=point.index,
+                sleep=point.sleep,
+                sigs=tuple(point.sigs),
+            )
+            for point in stack
+        )
+    )
+
+
+def _thaw(prefix: ChoicePrefix) -> list[_ChoicePoint]:
+    """Rebuild explorer choice points, pinned to the prefix's decisions.
+
+    The full alternative/signature lists are retained so the replayed
+    sleep-set augmentation sees the same explored siblings the
+    sequential search would.
+    """
+    points = []
+    for frozen in prefix.points:
+        point = _ChoicePoint(
+            kind=frozen.kind,
+            alternatives=list(frozen.alternatives),
+            index=frozen.index,
+            sleep=frozen.sleep,
+            sigs=list(frozen.sigs),
+        )
+        points.append(point)
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: prefix enumeration
+# ---------------------------------------------------------------------------
+
+
+def enumerate_prefixes(
+    system: System,
+    prefix_depth: int,
+    *,
+    max_depth: int = 100,
+    por: bool = True,
+    count_states: bool = False,
+    max_events: int = 25,
+    fingerprint_set: set[Any] | None = None,
+) -> tuple[list[ChoicePrefix], ExplorationReport]:
+    """Enumerate the frontier of the choice tree at ``prefix_depth``.
+
+    Returns the prefixes in deterministic DFS order plus the
+    coordinator's report covering everything *above* the frontier
+    (frontier states themselves are accounted to the workers).  Paths
+    shorter than the frontier are fully explored here.
+    """
+    prefixes: list[ChoicePrefix] = []
+    explorer = Explorer(
+        system,
+        max_depth=max_depth,
+        por=por,
+        count_states=count_states,
+        max_events=max_events,
+        frontier_depth=prefix_depth,
+        on_frontier=lambda stack: prefixes.append(_snapshot(stack)),
+        fingerprint_set=fingerprint_set,
+    )
+    report = explorer.run()
+    return prefixes, report
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: workers
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process cache, populated once by the pool initializer so
+#: the system is unpickled (or rebuilt by the factory) once per worker
+#: instead of once per prefix.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_worker(system_or_factory, worker_kwargs: dict[str, Any]) -> None:
+    if callable(system_or_factory):
+        system = system_or_factory()
+    else:
+        system = system_or_factory
+    _WORKER_STATE["system"] = system
+    _WORKER_STATE["kwargs"] = worker_kwargs
+
+
+def _pool_task(
+    indexed_prefix: tuple[int, ChoicePrefix],
+) -> tuple[int, ExplorationReport, frozenset | None]:
+    index, prefix = indexed_prefix
+    report, fingerprints = explore_subtree(
+        _WORKER_STATE["system"], prefix, **_WORKER_STATE["kwargs"]
+    )
+    return index, report, fingerprints
+
+
+def explore_subtree(
+    system: System,
+    prefix: ChoicePrefix,
+    *,
+    max_depth: int = 100,
+    por: bool = True,
+    count_states: bool = False,
+    stop_on_first: bool = False,
+    max_paths: int | None = None,
+    max_transitions: int | None = None,
+    time_budget: float | None = None,
+    max_events: int = 25,
+) -> tuple[ExplorationReport, frozenset | None]:
+    """Complete the DFS below ``prefix`` (the single-worker unit of work).
+
+    Returns the subtree's report and, with ``count_states``, the set of
+    state fingerprints seen (for cross-worker union — fingerprint
+    duplicates across subtrees cannot be detected locally).
+    """
+    fingerprints: set[Any] | None = set() if count_states else None
+    explorer = Explorer(
+        system,
+        max_depth=max_depth,
+        por=por,
+        count_states=count_states,
+        stop_on_first=stop_on_first,
+        max_paths=max_paths,
+        max_transitions=max_transitions,
+        time_budget=time_budget,
+        max_events=max_events,
+        initial_stack=_thaw(prefix),
+        fingerprint_set=fingerprints,
+    )
+    report = explorer.run()
+    return report, None if fingerprints is None else frozenset(fingerprints)
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: deterministic merge
+# ---------------------------------------------------------------------------
+
+
+def _event_key(event) -> tuple:
+    return (type(event).__name__, event.trace.choices)
+
+
+def _merge_events(
+    merged_list: list, parts: Iterable[list], max_events: int, keep_count: bool
+) -> None:
+    """Concatenate event lists in stable order, dropping duplicate
+    traces.  Beyond ``max_events`` recorded traces, either keep counting
+    with trace-less placeholder events (``keep_count``, matching the
+    sequential explorer's behaviour for violations/crashes/divergences)
+    or stop (deadlocks)."""
+    seen: set = set()
+    for event in list(merged_list):
+        seen.add(_event_key(event))
+    for events in parts:
+        for event in events:
+            key = _event_key(event)
+            if key in seen and event.trace.choices:
+                continue
+            seen.add(key)
+            if len(merged_list) < max_events:
+                merged_list.append(event)
+            elif keep_count:
+                merged_list.append(_strip_trace(event))
+
+
+def _strip_trace(event):
+    empty = Trace((), ())
+    if isinstance(event, AssertionViolationEvent):
+        return AssertionViolationEvent(empty, event.process, event.proc_name, event.node_id)
+    if isinstance(event, CrashEvent):
+        return CrashEvent(empty, event.process, "")
+    if isinstance(event, DivergenceEvent):
+        return DivergenceEvent(empty, event.process)
+    if isinstance(event, DeadlockEvent):
+        return DeadlockEvent(empty, event.blocked, event.waiting)
+    return event
+
+
+def merge_reports(
+    coordinator: ExplorationReport,
+    worker_reports: Iterable[ExplorationReport],
+    *,
+    num_prefixes: int,
+    max_events: int = 25,
+    fingerprints: set[Any] | None = None,
+) -> ExplorationReport:
+    """Deterministically merge the coordinator's above-frontier report
+    with the per-subtree worker reports (in prefix enumeration order).
+
+    Counters sum exactly to the sequential search's values: the
+    coordinator counted everything strictly above the frontier, each
+    worker everything at and below its own frontier state, and the
+    coordinator's frontier-cut pseudo-paths (one per prefix) are
+    subtracted from the path total.
+    """
+    workers = list(worker_reports)
+    merged = ExplorationReport()
+    merged.states_visited = coordinator.states_visited
+    merged.transitions_executed = coordinator.transitions_executed
+    merged.toss_points = coordinator.toss_points
+    merged.paths_explored = coordinator.paths_explored - num_prefixes
+    merged.max_depth_reached = coordinator.max_depth_reached
+    merged.truncated = coordinator.truncated
+    merged.incomplete = coordinator.incomplete
+    merged.deadlocks = list(coordinator.deadlocks)
+    merged.violations = list(coordinator.violations)
+    merged.crashes = list(coordinator.crashes)
+    merged.divergences = list(coordinator.divergences)
+
+    for report in workers:
+        merged.states_visited += report.states_visited
+        merged.transitions_executed += report.transitions_executed
+        merged.toss_points += report.toss_points
+        merged.paths_explored += report.paths_explored
+        merged.max_depth_reached = max(merged.max_depth_reached, report.max_depth_reached)
+        merged.truncated = merged.truncated or report.truncated
+        merged.incomplete = merged.incomplete or report.incomplete
+
+    _merge_events(
+        merged.deadlocks, (r.deadlocks for r in workers), max_events, keep_count=False
+    )
+    _merge_events(
+        merged.violations, (r.violations for r in workers), max_events, keep_count=True
+    )
+    _merge_events(
+        merged.crashes, (r.crashes for r in workers), max_events, keep_count=True
+    )
+    _merge_events(
+        merged.divergences, (r.divergences for r in workers), max_events, keep_count=True
+    )
+
+    if fingerprints is not None:
+        merged.distinct_states = len(fingerprints)
+
+    parts = [r.stats for r in [coordinator, *workers] if r.stats is not None]
+    merged.stats = SearchStats.merged(parts, strategy="parallel")
+    merged.stats.paths_explored = merged.paths_explored
+    merged.stats.prefixes = num_prefixes
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+
+def _auto_prefix_depth(
+    system: System,
+    jobs: int,
+    *,
+    max_depth: int,
+    por: bool,
+    max_events: int,
+) -> tuple[int, list[ChoicePrefix], ExplorationReport]:
+    """Deepen the frontier until it yields enough prefixes to keep the
+    pool busy (≥4 per worker), or the tree runs out."""
+    target = max(4 * jobs, jobs)
+    depth_cap = max(1, min(max_depth - 1, 12))
+    best: tuple[int, list[ChoicePrefix], ExplorationReport] | None = None
+    depth = 1
+    while True:
+        prefixes, report = enumerate_prefixes(
+            system, depth, max_depth=max_depth, por=por, max_events=max_events
+        )
+        best = (depth, prefixes, report)
+        if len(prefixes) >= target or depth >= depth_cap or not prefixes:
+            return best
+        depth += 1
+
+
+def parallel_search(
+    system: System,
+    options: "SearchOptions | None" = None,
+    *,
+    system_factory: Callable[[], System] | None = None,
+    **overrides,
+) -> ExplorationReport:
+    """Explore ``system`` with a pool of stateless worker processes.
+
+    ``options`` is a :class:`~repro.verisoft.search.SearchOptions`
+    (individual fields may be overridden by keyword).  ``jobs=1`` runs
+    the same partition/merge pipeline in-process — useful as the
+    determinism baseline.  For systems that cannot be pickled, pass a
+    top-level ``system_factory`` callable that rebuilds the system
+    inside each worker.
+    """
+    from .search import SearchOptions
+
+    if options is None:
+        options = SearchOptions(strategy="parallel")
+    if overrides:
+        from dataclasses import replace
+
+        options = replace(options, **overrides)
+
+    jobs = options.jobs or os.cpu_count() or 1
+    started = time.monotonic()
+    deadline = None if options.time_budget is None else started + options.time_budget
+
+    fingerprints: set[Any] | None = set() if options.count_states else None
+
+    if options.prefix_depth is not None:
+        prefix_depth = options.prefix_depth
+        prefixes, coordinator = enumerate_prefixes(
+            system,
+            prefix_depth,
+            max_depth=options.max_depth,
+            por=options.por,
+            count_states=options.count_states,
+            max_events=options.max_events,
+            fingerprint_set=fingerprints,
+        )
+    else:
+        prefix_depth, prefixes, coordinator = _auto_prefix_depth(
+            system,
+            jobs,
+            max_depth=options.max_depth,
+            por=options.por,
+            max_events=options.max_events,
+        )
+        if options.count_states:
+            # Re-enumerate once at the chosen depth to collect the
+            # coordinator's fingerprints (auto-probing skips them).
+            prefixes, coordinator = enumerate_prefixes(
+                system,
+                prefix_depth,
+                max_depth=options.max_depth,
+                por=options.por,
+                count_states=True,
+                max_events=options.max_events,
+                fingerprint_set=fingerprints,
+            )
+
+    worker_kwargs = dict(
+        max_depth=options.max_depth,
+        por=options.por,
+        count_states=options.count_states,
+        stop_on_first=options.stop_on_first,
+        max_paths=options.max_paths,
+        max_transitions=options.max_transitions,
+        time_budget=None if deadline is None else max(0.0, deadline - time.monotonic()),
+        max_events=options.max_events,
+    )
+
+    indexed = list(enumerate(prefixes))
+    results: list[tuple[ExplorationReport, frozenset | None]] = []
+    stop_early = False  # first-event stop requested and hit
+    expired = False  # wall-clock budget ran out mid-fan-out
+
+    def note_result(report: ExplorationReport, prints: frozenset | None) -> None:
+        results.append((report, prints))
+        if fingerprints is not None and prints is not None:
+            fingerprints.update(prints)
+        if options.progress is not None:
+            live = SearchStats.merged(
+                [r.stats for r, _ in results if r.stats is not None]
+                + ([coordinator.stats] if coordinator.stats else []),
+                strategy="parallel",
+                jobs=jobs,
+                prefixes=len(prefixes),
+            )
+            live.wall_time = time.monotonic() - started
+            options.progress(live)
+
+    if jobs <= 1 or len(indexed) <= 1:
+        target_system = system_factory() if system_factory is not None else system
+        for _, prefix in indexed:
+            report, prints = explore_subtree(target_system, prefix, **worker_kwargs)
+            note_result(report, prints)
+            if options.stop_on_first and not report.ok:
+                stop_early = True
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                expired = True
+                break
+    else:
+        ordered: dict[int, tuple[ExplorationReport, frozenset | None]] = {}
+        pool = multiprocessing.Pool(
+            processes=min(jobs, len(indexed)),
+            initializer=_init_worker,
+            initargs=(system_factory if system_factory is not None else system, worker_kwargs),
+        )
+        try:
+            for index, report, prints in pool.imap_unordered(_pool_task, indexed):
+                ordered[index] = (report, prints)
+                if options.stop_on_first and not report.ok:
+                    stop_early = True
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    expired = True
+                    break
+        finally:
+            if stop_early or expired:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        # Deterministic merge order regardless of completion order.
+        for index in sorted(ordered):
+            note_result(*ordered[index])
+
+    merged = merge_reports(
+        coordinator,
+        [report for report, _ in results],
+        num_prefixes=len(prefixes),
+        max_events=options.max_events,
+        fingerprints=fingerprints,
+    )
+    if expired:
+        # The budget cut the fan-out short: some subtrees were never
+        # searched, matching the sequential explorer's incomplete flag.
+        merged.incomplete = True
+        merged.truncated = True
+
+    merged.stats.strategy = "parallel"
+    merged.stats.jobs = jobs
+    merged.stats.prefixes = len(prefixes)
+    merged.stats.wall_time = time.monotonic() - started
+    return merged

@@ -14,9 +14,12 @@ randomness is the seeded PRNG), so a failing walk can be re-run exactly.
 from __future__ import annotations
 
 import random
+import time
+from typing import Callable
 
 from ..runtime.process import ProcessStatus
 from ..runtime.system import System
+from .stats import SearchStats
 from .results import (
     AssertionViolationEvent,
     CrashEvent,
@@ -37,17 +40,42 @@ def random_walks(
     seed: int = 0,
     max_events: int = 25,
     stop_on_first: bool = False,
+    time_budget: float | None = None,
+    progress: Callable[[SearchStats], None] | None = None,
+    progress_interval: float = 0.5,
 ) -> ExplorationReport:
     """Run ``walks`` independent random executions of ``system``.
 
     Returns an :class:`ExplorationReport`; ``paths_explored`` counts the
     walks.  Unlike the exhaustive explorer, revisited states are neither
-    detected nor avoided.
+    detected nor avoided.  A ``time_budget`` (seconds of wall clock,
+    checked between walks) flags the report ``incomplete`` when it
+    expires; ``progress`` receives the live
+    :class:`~repro.verisoft.stats.SearchStats` every
+    ``progress_interval`` seconds.
     """
     rng = random.Random(seed)
     report = ExplorationReport()
+    stats = report.stats = SearchStats(strategy="random")
+    started = time.monotonic()
+    cpu_started = time.process_time()
+    deadline = None if time_budget is None else started + time_budget
+    next_tick = started + progress_interval
+
+    def sync_stats() -> None:
+        stats.states_visited = report.states_visited
+        stats.transitions_executed = report.transitions_executed
+        stats.toss_points = report.toss_points
+        stats.paths_explored = report.paths_explored
+        stats.max_depth_reached = report.max_depth_reached
+        stats.wall_time = time.monotonic() - started
+        stats.cpu_time = time.process_time() - cpu_started
 
     for _ in range(walks):
+        if deadline is not None and time.monotonic() > deadline:
+            report.incomplete = True
+            report.truncated = True
+            break
         run = system.start()
         run.start_processes()
         choices: list = []
@@ -82,6 +110,7 @@ def random_walks(
         while depth < max_depth:
             tossing = run.toss_pending()
             if tossing is not None:
+                report.toss_points += 1
                 value = rng.randint(0, tossing.toss_request.bound)
                 choices.append(TossChoice(tossing.name, value))
                 run.answer_toss(tossing, value)
@@ -128,7 +157,14 @@ def random_walks(
 
         report.max_depth_reached = max(report.max_depth_reached, depth)
         report.paths_explored += 1
+        if progress is not None:
+            now = time.monotonic()
+            if now >= next_tick:
+                sync_stats()
+                progress(stats)
+                next_tick = now + progress_interval
         if stop_on_first and not report.ok:
             break
 
+    sync_stats()
     return report

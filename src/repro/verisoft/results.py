@@ -10,6 +10,10 @@ back through the deterministic runtime replays the buggy execution
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .stats import SearchStats
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,6 +137,13 @@ class ExplorationReport:
     max_depth_reached: int = 0
     #: True when a depth/path/transition bound cut the search short.
     truncated: bool = False
+    #: True when a wall-clock ``time_budget`` expired before the search
+    #: covered its whole tree: the report describes *part* of the state
+    #: space, not all of it.
+    incomplete: bool = False
+    #: Telemetry of the search that produced this report
+    #: (:class:`~repro.verisoft.stats.SearchStats`), when collected.
+    stats: "SearchStats | None" = field(default=None, repr=False, compare=False)
 
     deadlocks: list[DeadlockEvent] = field(default_factory=list)
     violations: list[AssertionViolationEvent] = field(default_factory=list)
@@ -160,4 +171,6 @@ class ExplorationReport:
             parts.append(f"divergences={len(self.divergences)}")
         if self.truncated:
             parts.append("TRUNCATED")
+        if self.incomplete:
+            parts.append("INCOMPLETE")
         return " ".join(parts)

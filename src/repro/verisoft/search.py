@@ -1,0 +1,170 @@
+"""The unified search API: one options object, one entry point.
+
+Historically the package grew three entry points with overlapping knob
+sets — ``Explorer(...)``/``explore()`` for exhaustive DFS,
+``random_walks()`` for testing mode, and the parallel driver.
+:class:`SearchOptions` puts every depth/budget/POR/telemetry knob in one
+dataclass and :func:`run_search` dispatches on ``options.strategy``:
+
+    from repro import SearchOptions, run_search
+
+    report = run_search(system, SearchOptions(strategy="parallel", jobs=4))
+    print(report.summary())
+    print(report.stats.describe())
+
+``explore()`` and ``random_walks()`` remain as thin backward-compatible
+wrappers; new code should use :func:`run_search`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from ..runtime.system import Run, System
+from .results import ExplorationReport, Trace
+from .stats import SearchStats
+
+#: The strategies :func:`run_search` understands.
+STRATEGIES = ("dfs", "random", "parallel")
+
+
+@dataclass
+class SearchOptions:
+    """Every knob of every search strategy, in one place.
+
+    Only the fields relevant to the selected :attr:`strategy` are used;
+    the rest are ignored (e.g. ``walks`` by ``"dfs"``, ``jobs`` by
+    ``"random"``).
+    """
+
+    #: ``"dfs"`` (exhaustive, bounded-depth, stateless),
+    #: ``"random"`` (independent random walks), or
+    #: ``"parallel"`` (prefix-partitioned multi-process DFS).
+    strategy: str = "dfs"
+
+    # -- shared bounds and budgets -----------------------------------------
+    #: Transitions per path; exploration is complete up to this depth.
+    max_depth: int = 100
+    #: Persistent-set + sleep-set partial-order reduction (dfs/parallel).
+    por: bool = True
+    #: Additionally hash every visited state to count distinct states.
+    count_states: bool = False
+    #: Stop at the first deadlock/violation/crash/divergence.
+    stop_on_first: bool = False
+    #: Budgets; ``truncated`` is set when one trips.
+    max_paths: int | None = None
+    max_transitions: int | None = None
+    #: Wall-clock budget (seconds).  When it expires the report is
+    #: flagged ``incomplete=True`` instead of the search running on.
+    time_budget: float | None = None
+    #: Cap on recorded events of each kind (counting continues).
+    max_events: int = 25
+
+    # -- random-walk strategy ----------------------------------------------
+    walks: int = 100
+    seed: int = 0
+
+    # -- parallel strategy --------------------------------------------------
+    #: Worker processes; 0 means ``os.cpu_count()``.  ``jobs=1`` runs the
+    #: partition/merge pipeline in-process (the determinism baseline).
+    jobs: int = 0
+    #: Depth of the sequential prefix enumeration; ``None`` auto-tunes
+    #: until there are enough prefixes to keep the pool busy.
+    prefix_depth: int | None = None
+
+    # -- telemetry -----------------------------------------------------------
+    #: Periodic callback receiving the live :class:`SearchStats`
+    #: (e.g. :class:`~repro.verisoft.stats.ProgressPrinter`).
+    progress: Callable[[SearchStats], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    progress_interval: float = 0.5
+
+    # -- dfs-only extension hooks (not picklable; rejected by "parallel") ----
+    on_leaf: Callable[[Run, Trace], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    stop_when: Callable[[ExplorationReport], bool] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def validate(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown search strategy {self.strategy!r}; "
+                f"expected one of {', '.join(STRATEGIES)}"
+            )
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.strategy == "parallel":
+            if self.on_leaf is not None or self.stop_when is not None:
+                raise ValueError(
+                    "on_leaf/stop_when callbacks cannot cross process "
+                    "boundaries; use strategy='dfs' or drop the callback"
+                )
+            if self.prefix_depth is not None and self.prefix_depth < 0:
+                raise ValueError("prefix_depth must be >= 0")
+            if self.jobs < 0:
+                raise ValueError("jobs must be >= 0 (0 = all cores)")
+
+
+def run_search(
+    system: System,
+    options: SearchOptions | None = None,
+    *,
+    system_factory: Callable[[], System] | None = None,
+    **overrides: Any,
+) -> ExplorationReport:
+    """Search ``system`` according to ``options`` and return the report.
+
+    Field overrides may be given as keywords::
+
+        run_search(system, strategy="parallel", jobs=4, max_depth=60)
+
+    ``system_factory`` (parallel only) rebuilds the system inside each
+    worker for systems that cannot be pickled.
+    """
+    if options is None:
+        options = SearchOptions()
+    if overrides:
+        options = replace(options, **overrides)
+    options.validate()
+
+    if options.strategy == "dfs":
+        from .explorer import Explorer
+
+        return Explorer(
+            system,
+            max_depth=options.max_depth,
+            por=options.por,
+            count_states=options.count_states,
+            stop_on_first=options.stop_on_first,
+            max_paths=options.max_paths,
+            max_transitions=options.max_transitions,
+            time_budget=options.time_budget,
+            max_events=options.max_events,
+            on_leaf=options.on_leaf,
+            stop_when=options.stop_when,
+            progress=options.progress,
+            progress_interval=options.progress_interval,
+        ).run()
+
+    if options.strategy == "random":
+        from .random_walk import random_walks
+
+        return random_walks(
+            system,
+            walks=options.walks,
+            max_depth=options.max_depth,
+            seed=options.seed,
+            max_events=options.max_events,
+            stop_on_first=options.stop_on_first,
+            time_budget=options.time_budget,
+            progress=options.progress,
+            progress_interval=options.progress_interval,
+        )
+
+    from .parallel import parallel_search
+
+    return parallel_search(system, options, system_factory=system_factory)

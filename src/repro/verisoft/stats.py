@@ -1,0 +1,194 @@
+"""Search telemetry: live counters for every exploration strategy.
+
+VeriSoft-style stateless search spends almost all of its time
+re-executing the system; without instrumentation it is a black box that
+either terminates or does not.  :class:`SearchStats` is the one place
+every counter lives — states, transitions, toss points, partial-order
+reduction effectiveness, replay overhead, throughput — threaded through
+:class:`~repro.verisoft.explorer.Explorer`,
+:func:`~repro.verisoft.random_walk.random_walks` and the parallel
+driver (:mod:`repro.verisoft.parallel`), and surfaced on every
+:class:`~repro.verisoft.results.ExplorationReport` as ``report.stats``.
+
+A periodic progress callback (see
+:attr:`~repro.verisoft.search.SearchOptions.progress`) receives the
+live :class:`SearchStats`; :class:`ProgressPrinter` is the stock
+consumer behind the CLI's ``--progress`` flag, printing a one-line
+ticker that overwrites itself.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, fields
+from typing import IO, Iterable
+
+
+@dataclass
+class SearchStats:
+    """Aggregate counters of one search (or one merged parallel search).
+
+    Counter semantics match :class:`ExplorationReport` where the names
+    overlap; the extra fields instrument the machinery itself:
+
+    * ``replays`` / ``replayed_transitions`` — how many re-executions
+      the stateless backtracking performed and how many transitions were
+      spent merely reconstructing a known prefix (the paper's price for
+      storing no states).
+    * ``enabled_transitions`` / ``persistent_transitions`` — summed over
+      every fresh global state; their ratio
+      (:attr:`reduction_ratio`) measures how hard the persistent-set
+      reduction is working (1.0 = no reduction).
+    * ``sleep_prunes`` — transitions skipped because their signature was
+      asleep.
+    * ``prefixes`` / ``jobs`` — parallel-driver shape (0/1 for
+      sequential strategies).
+    """
+
+    strategy: str = "dfs"
+    states_visited: int = 0
+    transitions_executed: int = 0
+    toss_points: int = 0
+    paths_explored: int = 0
+    max_depth_reached: int = 0
+    replays: int = 0
+    replayed_transitions: int = 0
+    enabled_transitions: int = 0
+    persistent_transitions: int = 0
+    sleep_prunes: int = 0
+    wall_time: float = 0.0
+    cpu_time: float = 0.0
+    jobs: int = 1
+    prefixes: int = 0
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def reduction_ratio(self) -> float | None:
+        """``persistent / enabled`` over all fresh states (lower is a
+        stronger partial-order reduction); ``None`` before any state."""
+        if not self.enabled_transitions:
+            return None
+        return self.persistent_transitions / self.enabled_transitions
+
+    @property
+    def states_per_second(self) -> float:
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.states_visited / self.wall_time
+
+    @property
+    def replay_overhead(self) -> float | None:
+        """Fraction of executed transitions spent replaying prefixes."""
+        total = self.transitions_executed + self.replayed_transitions
+        if not total:
+            return None
+        return self.replayed_transitions / total
+
+    # -- aggregation --------------------------------------------------------
+
+    _SUMMED = (
+        "states_visited",
+        "transitions_executed",
+        "toss_points",
+        "paths_explored",
+        "replays",
+        "replayed_transitions",
+        "enabled_transitions",
+        "persistent_transitions",
+        "sleep_prunes",
+        "cpu_time",
+    )
+
+    def add(self, other: "SearchStats") -> None:
+        """Fold ``other``'s counters into this one (wall time is the
+        coordinator's concern and is *not* summed; CPU time is)."""
+        for name in self._SUMMED:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.max_depth_reached = max(self.max_depth_reached, other.max_depth_reached)
+
+    @classmethod
+    def merged(cls, parts: Iterable["SearchStats"], **overrides) -> "SearchStats":
+        out = cls(**overrides)
+        for part in parts:
+            out.add(part)
+        return out
+
+    # -- presentation -------------------------------------------------------
+
+    def ticker_line(self) -> str:
+        """The live one-line progress ticker."""
+        bits = [
+            f"[{self.strategy}]",
+            f"paths={self.paths_explored}",
+            f"states={self.states_visited}",
+            f"depth<={self.max_depth_reached}",
+            f"{self.states_per_second:,.0f} states/s",
+        ]
+        ratio = self.reduction_ratio
+        if ratio is not None:
+            bits.append(f"por={ratio:.2f}")
+        if self.sleep_prunes:
+            bits.append(f"sleep-prunes={self.sleep_prunes}")
+        if self.jobs > 1:
+            bits.append(f"jobs={self.jobs}")
+        return " ".join(bits)
+
+    def describe(self) -> str:
+        """Multi-line post-run summary (CLI, benchmark tables)."""
+        lines = [
+            f"strategy:        {self.strategy}"
+            + (f" (jobs={self.jobs}, prefixes={self.prefixes})" if self.jobs > 1 else ""),
+            f"states visited:  {self.states_visited}",
+            f"transitions:     {self.transitions_executed}",
+            f"toss points:     {self.toss_points}",
+            f"paths explored:  {self.paths_explored}",
+            f"max depth:       {self.max_depth_reached}",
+            f"replays:         {self.replays}"
+            + (
+                f" ({self.replay_overhead:.0%} of executed transitions)"
+                if self.replay_overhead is not None
+                else ""
+            ),
+            f"sleep prunes:    {self.sleep_prunes}",
+        ]
+        ratio = self.reduction_ratio
+        if ratio is not None:
+            lines.append(f"POR ratio:       {ratio:.3f} (persistent/enabled)")
+        lines.append(
+            f"time:            {self.wall_time:.3f}s wall, {self.cpu_time:.3f}s cpu"
+        )
+        lines.append(f"throughput:      {self.states_per_second:,.0f} states/s")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ProgressPrinter:
+    """Stock progress consumer: a self-overwriting one-line ticker.
+
+    Use as the ``progress`` callback of any search; call :meth:`finish`
+    (or use as a context manager) to terminate the line cleanly.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._dirty = False
+
+    def __call__(self, stats: SearchStats) -> None:
+        self._stream.write("\r\x1b[2K" + stats.ticker_line())
+        self._stream.flush()
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self._dirty:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._dirty = False
+
+    def __enter__(self) -> "ProgressPrinter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()

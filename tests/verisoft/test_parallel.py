@@ -1,0 +1,286 @@
+"""Tests for parallel stateless exploration (repro.verisoft.parallel).
+
+The partition scheme must be *exact*: enumerating prefixes, completing
+each subtree independently and merging the reports has to reproduce the
+sequential DFS report counter for counter and event for event.  The
+determinism tests pin that guarantee on the paper's Figure 2/3 programs.
+"""
+
+import pickle
+
+import pytest
+
+from repro import SearchOptions, System, close_program, explore, run_search
+from repro.verisoft import (
+    ChoicePrefix,
+    enumerate_prefixes,
+    merge_reports,
+    parallel_search,
+)
+from repro.verisoft.parallel import explore_subtree
+
+P_SRC = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 4) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        cnt = cnt + 1;
+    }
+}
+"""
+
+Q_SRC = """
+proc q(x) {
+    var cnt = 0;
+    while (cnt < 4) {
+        var y = x % 2;
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); }
+        x = x / 2;
+        cnt = cnt + 1;
+    }
+}
+"""
+
+
+def toss_system(bound=3):
+    system = System(
+        f"proc main() {{ var t; t = VS_toss({bound}); send(out, t); }}"
+    )
+    system.add_env_sink("out")
+    system.add_process("p", "main", [])
+    return system
+
+
+def closed_figure_system(source, proc):
+    closed = close_program(source, env_params={proc: ["x"]})
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", proc, [])
+    return system
+
+
+def racing_system():
+    """Two producers racing into one consumer: scheduling nondeterminism."""
+    src = """
+    proc producer(id) { send(c, id); }
+    proc consumer() { var a; var b; a = recv(c); b = recv(c); send(out, a * 10 + b); }
+    """
+    system = System(src)
+    system.add_env_sink("out")
+    system.add_channel("c", capacity=1)
+    system.add_process("p1", "producer", [1])
+    system.add_process("p2", "producer", [2])
+    system.add_process("con", "consumer", [])
+    return system
+
+
+def deadlock_system():
+    src = """
+    proc grab(first, second) {
+        sem_p(first);
+        sem_p(second);
+        sem_v(second);
+        sem_v(first);
+    }
+    """
+    system = System(src)
+    s1 = system.add_semaphore("s1", 1)
+    s2 = system.add_semaphore("s2", 1)
+    system.add_process("a", "grab", [s1, s2])
+    system.add_process("b", "grab", [s2, s1])
+    return system
+
+
+class TestPrefixEnumeration:
+    def test_prefixes_are_deterministic(self):
+        first, _ = enumerate_prefixes(toss_system(9), 1, max_depth=20)
+        second, _ = enumerate_prefixes(toss_system(9), 1, max_depth=20)
+        assert first == second
+        assert all(isinstance(p, ChoicePrefix) for p in first)
+
+    def test_toss_fanout_reflected_in_prefix_count(self):
+        # VS_toss(9) at the root: cutting below the toss must yield one
+        # prefix per chosen value (10 of them).
+        prefixes, _ = enumerate_prefixes(toss_system(9), 1, max_depth=20)
+        assert len(prefixes) == 10
+
+    def test_prefix_pins_every_decision(self):
+        prefixes, _ = enumerate_prefixes(toss_system(3), 1, max_depth=20)
+        indices = [tuple(pt.index for pt in p.points) for p in prefixes]
+        # All distinct, in DFS order.
+        assert len(set(indices)) == len(indices)
+        assert indices == sorted(indices)
+
+    def test_describe_is_readable(self):
+        prefixes, _ = enumerate_prefixes(toss_system(3), 1, max_depth=20)
+        text = prefixes[0].describe()
+        assert "toss=0" in text
+        assert "schedule='p'" in text
+
+    def test_coordinator_counts_only_above_frontier(self):
+        sequential = explore(racing_system(), max_depth=30)
+        _, coordinator = enumerate_prefixes(racing_system(), 2, max_depth=30)
+        assert coordinator.transitions_executed < sequential.transitions_executed
+
+    def test_deep_frontier_yields_no_prefixes(self):
+        # Frontier beyond every path: plain sequential search, no cuts.
+        prefixes, coordinator = enumerate_prefixes(
+            toss_system(3), 50, max_depth=20
+        )
+        assert prefixes == []
+        assert coordinator.summary() == explore(toss_system(3), max_depth=20).summary()
+
+
+class TestManualMerge:
+    """Drive the partition pipeline by hand (no pool) and demand parity."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_merge_matches_sequential(self, depth):
+        sequential = explore(toss_system(9), max_depth=20, max_events=1000)
+        prefixes, coordinator = enumerate_prefixes(
+            toss_system(9), depth, max_depth=20, max_events=1000
+        )
+        workers = [
+            explore_subtree(toss_system(9), p, max_depth=20, max_events=1000)[0]
+            for p in prefixes
+        ]
+        merged = merge_reports(
+            coordinator, workers, num_prefixes=len(prefixes), max_events=1000
+        )
+        assert merged.summary() == sequential.summary()
+
+    def test_merge_deduplicates_shared_events(self):
+        # Events found above the frontier appear only in the coordinator;
+        # feeding the coordinator itself in twice must not double-count.
+        sequential = explore(deadlock_system(), max_depth=20, max_events=1000)
+        prefixes, coordinator = enumerate_prefixes(
+            deadlock_system(), 2, max_depth=20, max_events=1000
+        )
+        workers = [
+            explore_subtree(deadlock_system(), p, max_depth=20, max_events=1000)[0]
+            for p in prefixes
+        ]
+        merged = merge_reports(
+            coordinator, workers, num_prefixes=len(prefixes), max_events=1000
+        )
+        assert len(merged.deadlocks) == len(sequential.deadlocks)
+        keys = [d.trace.choices for d in merged.deadlocks]
+        assert len(set(keys)) == len(keys)
+
+    def test_merge_respects_event_cap(self):
+        prefixes, coordinator = enumerate_prefixes(
+            deadlock_system(), 2, max_depth=20, max_events=1
+        )
+        workers = [
+            explore_subtree(deadlock_system(), p, max_depth=20, max_events=1)[0]
+            for p in prefixes
+        ]
+        merged = merge_reports(
+            coordinator, workers, num_prefixes=len(prefixes), max_events=1
+        )
+        assert len(merged.deadlocks) == 1
+
+    def test_merged_stats_aggregate_workers(self):
+        prefixes, coordinator = enumerate_prefixes(toss_system(9), 2, max_depth=20)
+        workers = [
+            explore_subtree(toss_system(9), p, max_depth=20)[0] for p in prefixes
+        ]
+        merged = merge_reports(
+            coordinator, workers, num_prefixes=len(prefixes), max_events=25
+        )
+        assert merged.stats is not None
+        assert merged.stats.states_visited == merged.states_visited
+        assert merged.stats.replays == sum(
+            r.stats.replays for r in [coordinator, *workers]
+        )
+
+
+class TestParallelSearch:
+    @pytest.mark.parametrize(
+        "make_system",
+        [toss_system, racing_system, deadlock_system],
+        ids=["toss", "racing", "deadlock"],
+    )
+    def test_matches_sequential_dfs(self, make_system):
+        options = SearchOptions(max_depth=30, max_events=1000)
+        sequential = run_search(make_system(), options)
+        for jobs in (1, 2):
+            parallel = run_search(
+                make_system(),
+                options,
+                strategy="parallel",
+                jobs=jobs,
+            )
+            assert parallel.summary() == sequential.summary(), f"jobs={jobs}"
+
+    @pytest.mark.parametrize(
+        "source,proc", [(P_SRC, "p"), (Q_SRC, "q")], ids=["figure2", "figure3"]
+    )
+    def test_jobs_1_and_4_identical_on_figures(self, source, proc):
+        """The satellite determinism requirement: closed Figure 2/3
+        programs searched with --jobs 1 and --jobs 4 merge identically."""
+        options = SearchOptions(
+            strategy="parallel", max_depth=40, max_events=1000, count_states=True
+        )
+        one = run_search(closed_figure_system(source, proc), options, jobs=1)
+        four = run_search(closed_figure_system(source, proc), options, jobs=4)
+        assert one.summary() == four.summary()
+        assert one.paths_explored > 1  # the closing introduced real branching
+        # And both equal the plain sequential DFS.
+        sequential = run_search(
+            closed_figure_system(source, proc),
+            SearchOptions(max_depth=40, max_events=1000, count_states=True),
+        )
+        assert one.summary() == sequential.summary()
+
+    def test_count_states_unions_fingerprints(self):
+        options = SearchOptions(max_depth=30, count_states=True, max_events=1000)
+        sequential = run_search(racing_system(), options)
+        parallel = run_search(racing_system(), options, strategy="parallel", jobs=2)
+        assert parallel.states_visited == sequential.states_visited
+
+    def test_explicit_prefix_depth(self):
+        report = parallel_search(
+            toss_system(9),
+            SearchOptions(strategy="parallel", jobs=2, prefix_depth=1, max_depth=20),
+        )
+        assert report.stats.prefixes == 10
+        assert report.summary() == explore(toss_system(9), max_depth=20).summary()
+
+    def test_stop_on_first_reports_an_event(self):
+        report = parallel_search(
+            deadlock_system(),
+            SearchOptions(strategy="parallel", jobs=2, stop_on_first=True, max_depth=20),
+        )
+        assert report.deadlocks
+        assert not report.ok
+
+    def test_stats_record_jobs_and_prefixes(self):
+        report = parallel_search(
+            toss_system(9), SearchOptions(strategy="parallel", jobs=2, max_depth=20)
+        )
+        assert report.stats.strategy == "parallel"
+        assert report.stats.jobs == 2
+        assert report.stats.prefixes >= 1
+        assert report.stats.wall_time > 0
+
+    def test_system_factory_escape_hatch(self):
+        report = parallel_search(
+            toss_system(9),
+            SearchOptions(strategy="parallel", jobs=2, max_depth=20),
+            system_factory=lambda: toss_system(9),
+        )
+        assert report.summary() == explore(toss_system(9), max_depth=20).summary()
+
+
+class TestPicklability:
+    def test_system_roundtrips_through_pickle(self):
+        system = toss_system(3)
+        clone = pickle.loads(pickle.dumps(system))
+        assert explore(clone).summary() == explore(toss_system(3)).summary()
+
+    def test_run_refuses_to_pickle(self):
+        run = toss_system(3).start()
+        with pytest.raises(TypeError, match="cannot be pickled"):
+            pickle.dumps(run)

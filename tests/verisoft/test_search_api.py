@@ -1,0 +1,142 @@
+"""Tests for the unified search API (SearchOptions + run_search)."""
+
+import pytest
+
+import repro
+from repro import SearchOptions, System, explore, run_search
+from repro.verisoft import STRATEGIES, random_walks, replay
+
+
+def toss_system(bound=3):
+    system = System(
+        f"proc main() {{ var t; t = VS_toss({bound}); send(out, t); }}"
+    )
+    system.add_env_sink("out")
+    system.add_process("p", "main", [])
+    return system
+
+
+def deadlock_system():
+    src = """
+    proc main() {
+        recv(never);
+    }
+    """
+    system = System(src)
+    system.add_channel("never", capacity=1)
+    system.add_process("p", "main", [])
+    return system
+
+
+class TestDispatch:
+    def test_default_strategy_is_dfs(self):
+        report = run_search(toss_system())
+        assert report.stats.strategy == "dfs"
+        assert report.paths_explored == 4
+
+    def test_dfs_matches_legacy_explore(self):
+        assert (
+            run_search(toss_system(), SearchOptions(strategy="dfs")).summary()
+            == explore(toss_system()).summary()
+        )
+
+    def test_random_matches_legacy_random_walks(self):
+        via_api = run_search(
+            toss_system(9), SearchOptions(strategy="random", walks=11, seed=42)
+        )
+        legacy = random_walks(toss_system(9), walks=11, seed=42)
+        assert via_api.summary() == legacy.summary()
+
+    def test_parallel_strategy_dispatches(self):
+        report = run_search(
+            toss_system(9), SearchOptions(strategy="parallel", jobs=1)
+        )
+        assert report.stats.strategy == "parallel"
+        assert report.summary() == explore(toss_system(9)).summary()
+
+    def test_keyword_overrides(self):
+        report = run_search(toss_system(9), max_paths=2)
+        assert report.paths_explored == 2
+        assert report.truncated
+
+    def test_overrides_do_not_mutate_options(self):
+        options = SearchOptions()
+        run_search(toss_system(), options, max_paths=1)
+        assert options.max_paths is None
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            run_search(toss_system(), SearchOptions(strategy="bfs"))
+
+    def test_strategies_constant(self):
+        assert set(STRATEGIES) == {"dfs", "random", "parallel"}
+
+    def test_parallel_rejects_callbacks(self):
+        with pytest.raises(ValueError, match="cannot cross process"):
+            run_search(
+                toss_system(),
+                SearchOptions(strategy="parallel", stop_when=lambda r: True),
+            )
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            run_search(toss_system(), SearchOptions(max_depth=0))
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_search(toss_system(), SearchOptions(strategy="parallel", jobs=-1))
+
+
+class TestTimeBudget:
+    def test_zero_budget_marks_incomplete(self):
+        report = run_search(toss_system(9), SearchOptions(time_budget=0.0))
+        assert report.incomplete
+        assert report.truncated
+        assert "INCOMPLETE" in report.summary()
+
+    def test_generous_budget_completes(self):
+        report = run_search(toss_system(3), SearchOptions(time_budget=60.0))
+        assert not report.incomplete
+        assert not report.truncated
+        assert report.paths_explored == 4
+
+    def test_budget_checked_within_a_path(self):
+        # max_seconds was only checked between paths; time_budget must
+        # interrupt even the first execution.
+        report = run_search(
+            toss_system(9), SearchOptions(time_budget=0.0, max_depth=50)
+        )
+        assert report.paths_explored == 1
+        assert report.incomplete
+
+    def test_legacy_max_seconds_still_truncates_without_incomplete(self):
+        report = explore(toss_system(9), max_seconds=0.0, por=False)
+        assert report.truncated
+        assert not report.incomplete
+
+
+class TestBackCompat:
+    def test_legacy_names_still_exported(self):
+        for name in ("explore", "replay", "Explorer", "collect_output_traces"):
+            assert hasattr(repro, name) or hasattr(repro.verisoft, name)
+
+    def test_new_names_reexported_from_top_level(self):
+        for name in (
+            "run_search",
+            "SearchOptions",
+            "SearchStats",
+            "ProgressPrinter",
+            "parallel_search",
+            "random_walks",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_replay_wrapper_roundtrip(self):
+        system = deadlock_system()
+        report = run_search(system, SearchOptions(max_depth=10))
+        assert report.deadlocks
+        run = replay(deadlock_system(), report.deadlocks[0].trace)
+        assert not run.enabled_processes()

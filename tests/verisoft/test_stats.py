@@ -1,0 +1,160 @@
+"""Tests for the search-telemetry layer (repro.verisoft.stats)."""
+
+import io
+
+from repro import System
+from repro.verisoft import (
+    Explorer,
+    ProgressPrinter,
+    SearchOptions,
+    SearchStats,
+    random_walks,
+    run_search,
+)
+
+
+def toss_system(bound=3):
+    system = System(
+        f"proc main() {{ var t; t = VS_toss({bound}); send(out, t); }}"
+    )
+    system.add_env_sink("out")
+    system.add_process("p", "main", [])
+    return system
+
+
+def two_proc_system():
+    src = """
+    proc main(id) {
+        send(c, id);
+        send(out, id);
+    }
+    """
+    system = System(src)
+    system.add_env_sink("out")
+    system.add_channel("c", capacity=4)
+    system.add_process("p1", "main", [1])
+    system.add_process("p2", "main", [2])
+    return system
+
+
+class TestExplorerStats:
+    def test_report_carries_stats(self):
+        report = Explorer(toss_system()).run()
+        stats = report.stats
+        assert stats is not None
+        assert stats.strategy == "dfs"
+        assert stats.states_visited == report.states_visited
+        assert stats.transitions_executed == report.transitions_executed
+        assert stats.toss_points == report.toss_points
+        assert stats.paths_explored == report.paths_explored
+        assert stats.max_depth_reached == report.max_depth_reached
+
+    def test_replays_count_backtracking(self):
+        report = Explorer(toss_system(bound=3)).run()
+        # 4 paths: the first execution is not a replay, the other 3 are.
+        assert report.paths_explored == 4
+        assert report.stats.replays == 3
+
+    def test_replayed_transitions_counted(self):
+        report = Explorer(two_proc_system(), por=False).run()
+        assert report.stats.replayed_transitions > 0
+        assert report.stats.replay_overhead is not None
+        assert 0 < report.stats.replay_overhead < 1
+
+    def test_wall_and_cpu_time_populated(self):
+        stats = Explorer(toss_system()).run().stats
+        assert stats.wall_time > 0.0
+        assert stats.cpu_time >= 0.0
+        assert stats.states_per_second > 0.0
+
+    def test_por_reduction_ratio(self):
+        # Independent processes: the persistent sets are singletons, so
+        # the ratio must show a strict reduction.
+        with_por = Explorer(two_proc_system(), por=True).run().stats
+        without = Explorer(two_proc_system(), por=False).run().stats
+        assert with_por.reduction_ratio is not None
+        assert with_por.reduction_ratio < 1.0
+        assert without.reduction_ratio == 1.0
+
+    def test_fresh_ratio_none_before_any_state(self):
+        assert SearchStats().reduction_ratio is None
+        assert SearchStats().replay_overhead is None
+
+
+class TestRandomWalkStats:
+    def test_stats_threaded_through(self):
+        report = random_walks(toss_system(), walks=7, seed=1)
+        stats = report.stats
+        assert stats is not None
+        assert stats.strategy == "random"
+        assert stats.paths_explored == 7
+        assert stats.states_visited == report.states_visited
+        assert report.toss_points == 7  # one toss per walk
+
+    def test_time_budget_flags_incomplete(self):
+        report = random_walks(toss_system(), walks=10_000, time_budget=0.0)
+        assert report.incomplete
+        assert report.truncated
+
+
+class TestProgress:
+    def test_progress_callback_invoked(self):
+        ticks = []
+        run_search(
+            toss_system(9),
+            SearchOptions(progress=ticks.append, progress_interval=0.0),
+        )
+        assert ticks
+        assert all(isinstance(t, SearchStats) for t in ticks)
+        # Monotonic path counts: the callback sees a live object.
+        paths = [t.paths_explored for t in ticks]
+        assert paths == sorted(paths)
+
+    def test_progress_printer_ticker(self):
+        buffer = io.StringIO()
+        printer = ProgressPrinter(stream=buffer)
+        stats = SearchStats(states_visited=12, paths_explored=3, wall_time=1.0)
+        printer(stats)
+        printer.finish()
+        text = buffer.getvalue()
+        assert "states=12" in text
+        assert "paths=3" in text
+        assert text.endswith("\n")
+
+    def test_printer_finish_idempotent(self):
+        buffer = io.StringIO()
+        printer = ProgressPrinter(stream=buffer)
+        printer.finish()
+        assert buffer.getvalue() == ""
+
+
+class TestAggregation:
+    def test_merged_sums_counters(self):
+        a = SearchStats(states_visited=10, transitions_executed=9, cpu_time=1.0,
+                        max_depth_reached=5, sleep_prunes=2)
+        b = SearchStats(states_visited=5, transitions_executed=4, cpu_time=0.5,
+                        max_depth_reached=8, sleep_prunes=1)
+        merged = SearchStats.merged([a, b], strategy="parallel", jobs=2)
+        assert merged.states_visited == 15
+        assert merged.transitions_executed == 13
+        assert merged.cpu_time == 1.5
+        assert merged.max_depth_reached == 8
+        assert merged.sleep_prunes == 3
+        assert merged.strategy == "parallel"
+        assert merged.jobs == 2
+
+    def test_describe_and_ticker(self):
+        stats = SearchStats(
+            states_visited=100,
+            enabled_transitions=50,
+            persistent_transitions=25,
+            wall_time=2.0,
+        )
+        assert "POR ratio:       0.500" in stats.describe()
+        assert "por=0.50" in stats.ticker_line()
+        assert "50 states/s" in stats.ticker_line()
+
+    def test_as_dict_roundtrip(self):
+        stats = SearchStats(states_visited=3)
+        assert stats.as_dict()["states_visited"] == 3
+        assert SearchStats(**stats.as_dict()) == stats
