@@ -59,6 +59,16 @@ from .verisoft import (
     run_search,
 )
 
+from .counterex import (
+    ShrinkResult,
+    TraceFile,
+    group_events,
+    load_trace,
+    save_trace,
+    shrink,
+    verify_trace,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -72,15 +82,19 @@ __all__ = [
     "ProgressPrinter",
     "SearchOptions",
     "SearchStats",
+    "ShrinkResult",
     "System",
     "SystemConfig",
     "Trace",
+    "TraceFile",
     "build_cfg",
     "build_cfgs",
     "close_naively",
     "close_program",
     "collect_output_traces",
     "explore",
+    "group_events",
+    "load_trace",
     "normalize_program",
     "parallel_search",
     "parse_program",
@@ -88,5 +102,7 @@ __all__ = [
     "random_walks",
     "replay",
     "run_search",
-    "to_dot",
+    "save_trace",
+    "shrink",
+    "verify_trace",
 ]

@@ -25,6 +25,24 @@ Subcommands
 
         repro search system.json --strategy parallel --jobs 4 --progress
 
+    ``--save-traces DIR`` persists every violation as a replayable JSON
+    trace; ``--stats-json FILE`` dumps machine-readable telemetry.
+    Exit code 3 signals "violations found" (0 = clean), so CI jobs can
+    gate on it.
+
+``replay``
+    Re-execute a saved trace (``repro replay trace.json``), verify the
+    recorded violation reproduces, and diagnose divergence (fingerprint
+    mismatch, disabled choice, different violation) when the program
+    has changed.  The system is rebuilt from the trace's embedded
+    description, ``--system desc.json`` or ``--module pkg.mod:factory``.
+
+``shrink``
+    Minimize a saved trace to its smallest reproducer (ddmin over the
+    choice sequence + toss-value minimization)::
+
+        repro shrink trace.json -o minimal.json
+
 ``explore`` / ``walk``
     Deprecated shims for ``search --strategy dfs`` and
     ``search --strategy random``; they forward to the same machinery.
@@ -162,13 +180,38 @@ def cmd_graph(args) -> int:
     return 0
 
 
-def _build_system(description_path: pathlib.Path) -> System:
+def _read_description(description_path: pathlib.Path) -> dict:
     try:
-        description = json.loads(description_path.read_text())
+        return json.loads(description_path.read_text())
     except json.JSONDecodeError as err:
         raise SystemExit(f"bad system description: {err}\n\n{_SYSTEM_SCHEMA}")
-    program_path = description_path.parent / description["program"]
-    program = _load_program(program_path)
+
+
+def _program_from_source(name: str, text: str):
+    if name.endswith(".c"):
+        from .lang.cfront import c_to_program
+
+        return c_to_program(text)
+    return parse_program(text)
+
+
+def _system_from_description(
+    description: dict,
+    base_dir: pathlib.Path | None,
+    program_source: str | None = None,
+) -> System:
+    """Build a :class:`System` from a parsed description dict.
+
+    ``program_source`` (used when replaying a self-contained trace
+    file) supplies the program text directly; otherwise the
+    description's ``program`` path is resolved against ``base_dir``.
+    """
+    if program_source is not None:
+        program = _program_from_source(description.get("program", ""), program_source)
+    else:
+        if base_dir is None:
+            raise SystemExit("system description has no embedded program source")
+        program = _load_program(base_dir / description["program"])
 
     close_cfg = description.get("close")
     if close_cfg is not None:
@@ -211,8 +254,17 @@ def _build_system(description_path: pathlib.Path) -> System:
     return system
 
 
+def _build_system(description_path: pathlib.Path) -> System:
+    description = _read_description(description_path)
+    return _system_from_description(description, description_path.parent)
+
+
 def _print_report(report) -> None:
     print(report.summary())
+    if not report.ok:
+        from .counterex import describe_groups
+
+        print(describe_groups(report.triage()))
     for event in report.deadlocks[:5]:
         print("\n" + event.describe())
     for event in report.violations[:5]:
@@ -242,9 +294,15 @@ def _options_from_args(args) -> SearchOptions:
     )
 
 
+#: ``repro search`` exit code when violations were found (see
+#: docs/search.md); 0 = clean search, 2 = usage/input error.
+EXIT_VIOLATIONS = 3
+
+
 def cmd_search(args) -> int:
     """The ``search`` subcommand: the unified search front end."""
-    system = _build_system(args.system)
+    description = _read_description(args.system)
+    system = _system_from_description(description, args.system.parent)
     options = _options_from_args(args)
     ticker = ProgressPrinter() if args.progress else None
     if ticker is not None:
@@ -257,7 +315,124 @@ def cmd_search(args) -> int:
     _print_report(report)
     if args.stats and report.stats is not None:
         print("\n" + report.stats.describe(), file=sys.stderr)
-    return 0 if report.ok else 1
+    if args.stats_json is not None and report.stats is not None:
+        args.stats_json.write_text(
+            json.dumps(report.stats.json_dict(), indent=2) + "\n"
+        )
+        print(f"wrote stats to {args.stats_json}", file=sys.stderr)
+    if args.save_traces is not None:
+        from .counterex import save_report_traces
+
+        program_text = (args.system.parent / description["program"]).read_text()
+        written = save_report_traces(
+            args.save_traces,
+            report,
+            system=system,
+            system_payload={
+                "description": description,
+                "program_source": program_text,
+            },
+        )
+        print(f"wrote {len(written)} trace file(s) to {args.save_traces}")
+    return 0 if report.ok else EXIT_VIOLATIONS
+
+
+def _system_for_trace(args, trace_file) -> System:
+    """Rebuild the system a trace file talks about.
+
+    Resolution order: ``--module pkg.mod:factory`` (a zero-argument
+    callable returning a :class:`System`), ``--system description.json``,
+    then the trace file's own embedded system payload.
+    """
+    if getattr(args, "module", None):
+        import importlib
+
+        target = args.module
+        if ":" not in target:
+            raise SystemExit(f"--module expects MODULE:FACTORY, got {target!r}")
+        module_name, attr = target.split(":", 1)
+        module = importlib.import_module(module_name)
+        factory = getattr(module, attr, None)
+        if factory is None:
+            raise SystemExit(f"module {module_name!r} has no attribute {attr!r}")
+        system = factory()
+        if not isinstance(system, System):
+            raise SystemExit(f"{target} did not return a System")
+        return system
+    if getattr(args, "system", None):
+        return _build_system(args.system)
+    if trace_file.system is not None:
+        return _system_from_description(
+            trace_file.system["description"],
+            base_dir=None,
+            program_source=trace_file.system.get("program_source"),
+        )
+    raise SystemExit(
+        "trace file has no embedded system description; "
+        "pass --system description.json or --module pkg.mod:factory"
+    )
+
+
+def cmd_replay(args) -> int:
+    """The ``replay`` subcommand: re-execute a saved trace and verify
+    that the recorded violation reproduces."""
+    from .counterex import TraceFormatError, load_trace, verify_trace
+
+    try:
+        trace_file = load_trace(args.trace)
+    except TraceFormatError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    system = _system_for_trace(args, trace_file)
+    verdict = verify_trace(system, trace_file)
+    print(verdict.detail)
+    if args.show_trace and verdict.outcome.trace.steps:
+        print("\nscenario:")
+        print(verdict.outcome.trace.describe())
+    return 0 if verdict.ok else 1
+
+
+def cmd_shrink(args) -> int:
+    """The ``shrink`` subcommand: minimize a saved trace with ddmin +
+    toss-value minimization and write the minimal reproducer."""
+    from .counterex import (
+        ShrinkError,
+        TraceFormatError,
+        load_trace,
+        save_trace,
+        shrink,
+    )
+
+    try:
+        trace_file = load_trace(args.trace)
+    except TraceFormatError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    system = _system_for_trace(args, trace_file)
+    try:
+        result = shrink(system, trace_file.event(), max_oracle_runs=args.max_runs)
+    except ShrinkError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(result.describe())
+    shrunk = type(trace_file)(
+        violation=trace_file.violation,
+        trace=result.trace,
+        fingerprint=system.fingerprint(),
+        search=trace_file.search,
+        system=trace_file.system,
+        shrink={
+            "original_choices": result.original_length,
+            "oracle_runs": result.oracle_runs,
+        },
+    )
+    output = args.output or args.trace
+    save_trace(output, shrunk)
+    print(f"wrote {output}")
+    if args.show_trace:
+        print("\nminimal scenario:")
+        print(result.trace.describe())
+    return 0
 
 
 def _forward_to_search(args, strategy: str, old_name: str) -> int:
@@ -394,7 +569,86 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full search-telemetry summary after the run",
     )
+    search_parser.add_argument(
+        "--stats-json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="dump the SearchStats telemetry as machine-readable JSON",
+    )
+    search_parser.add_argument(
+        "--save-traces",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="write one replayable JSON trace file per violation to DIR "
+        "(replay with 'repro replay', minimize with 'repro shrink')",
+    )
     search_parser.set_defaults(func=cmd_search)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-execute a saved counterexample trace and verify it reproduces",
+    )
+    replay_parser.add_argument("trace", type=pathlib.Path, help="trace JSON file")
+    replay_parser.add_argument(
+        "--system",
+        type=pathlib.Path,
+        default=None,
+        help="rebuild the system from this description instead of the "
+        "trace's embedded payload",
+    )
+    replay_parser.add_argument(
+        "--module",
+        default=None,
+        metavar="MODULE:FACTORY",
+        help="rebuild the system by calling a zero-argument factory, "
+        "e.g. repro.fiveess.app:demo_system",
+    )
+    replay_parser.add_argument(
+        "--show-trace",
+        action="store_true",
+        help="also print the replayed scenario's visible operations",
+    )
+    replay_parser.set_defaults(func=cmd_replay)
+
+    shrink_parser = sub.add_parser(
+        "shrink",
+        help="minimize a saved trace (ddmin + toss minimization)",
+    )
+    shrink_parser.add_argument("trace", type=pathlib.Path, help="trace JSON file")
+    shrink_parser.add_argument(
+        "-o",
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="where to write the minimal trace (default: overwrite input)",
+    )
+    shrink_parser.add_argument(
+        "--system",
+        type=pathlib.Path,
+        default=None,
+        help="rebuild the system from this description instead of the "
+        "trace's embedded payload",
+    )
+    shrink_parser.add_argument(
+        "--module",
+        default=None,
+        metavar="MODULE:FACTORY",
+        help="rebuild the system by calling a zero-argument factory",
+    )
+    shrink_parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=100_000,
+        help="budget of oracle re-executions (default: 100000)",
+    )
+    shrink_parser.add_argument(
+        "--show-trace",
+        action="store_true",
+        help="also print the minimal scenario's visible operations",
+    )
+    shrink_parser.set_defaults(func=cmd_shrink)
 
     explore_parser = sub.add_parser(
         "explore",
@@ -419,6 +673,8 @@ def build_parser() -> argparse.ArgumentParser:
         jobs=0,
         prefix_depth=None,
         stats=False,
+        stats_json=None,
+        save_traces=None,
     )
 
     walk_parser = sub.add_parser(
@@ -441,6 +697,8 @@ def build_parser() -> argparse.ArgumentParser:
         jobs=0,
         prefix_depth=None,
         stats=False,
+        stats_json=None,
+        save_traces=None,
     )
     return parser
 

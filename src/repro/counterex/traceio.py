@@ -1,0 +1,332 @@
+"""The versioned on-disk counterexample trace format.
+
+A :class:`~repro.verisoft.results.Trace` dies with the Python process;
+this module gives it a life on disk.  A **trace file** is a single JSON
+document carrying everything needed to reproduce, minimize and triage a
+violation long after the search that found it:
+
+* the **choice sequence** — schedule and ``VS_toss`` decisions, the
+  exact replay recipe (the runtime is deterministic, so choices are a
+  complete encoding of the execution);
+* the recorded **steps** — the human-readable visible operations, kept
+  so a trace is inspectable without re-execution;
+* the **violation** — kind, location fields and the stable triage
+  signature (:mod:`repro.counterex.triage`);
+* the **system fingerprint** (:meth:`repro.runtime.system.System.fingerprint`)
+  — detects that the program changed since capture;
+* **search metadata** — strategy, PRNG seed and the full
+  :class:`~repro.verisoft.search.SearchOptions` snapshot, so the file
+  also records *how* it was found;
+* optionally the **system payload** — the JSON system description and
+  program source, making the file fully self-contained for
+  ``repro replay trace.json`` with no other artifacts.
+
+Version policy (also recorded in DESIGN.md): ``version`` is a single
+integer, bumped on any change that older readers would misinterpret.
+Readers accept exactly the versions they know; unknown versions raise
+:class:`TraceFormatError` instead of guessing.  New *optional* keys may
+be added without a bump — readers must ignore unknown keys.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..verisoft.results import (
+    AssertionViolationEvent,
+    Choice,
+    CrashEvent,
+    DeadlockEvent,
+    DivergenceEvent,
+    ExplorationReport,
+    ScheduleChoice,
+    TossChoice,
+    Trace,
+    TraceStep,
+)
+from .triage import (
+    Signature,
+    event_kind,
+    event_signature,
+    signature_from_json,
+    signature_to_json,
+)
+
+#: Magic format tag of every trace file.
+FORMAT = "repro-trace"
+#: Current (and only) trace-format version this build reads and writes.
+VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file is malformed or of an unsupported version."""
+
+
+# ---------------------------------------------------------------------------
+# Choice / step (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def choices_to_json(choices: tuple[Choice, ...]) -> list:
+    """Choices as compact JSON: ``["s", proc]`` / ``["t", proc, value]``."""
+    out: list = []
+    for choice in choices:
+        if isinstance(choice, TossChoice):
+            out.append(["t", choice.process, choice.value])
+        else:
+            out.append(["s", choice.process])
+    return out
+
+
+def choices_from_json(payload: list) -> tuple[Choice, ...]:
+    """Inverse of :func:`choices_to_json`."""
+    choices: list[Choice] = []
+    for entry in payload:
+        tag = entry[0]
+        if tag == "s":
+            choices.append(ScheduleChoice(entry[1]))
+        elif tag == "t":
+            choices.append(TossChoice(entry[1], entry[2]))
+        else:
+            raise TraceFormatError(f"unknown choice tag {tag!r}")
+    return tuple(choices)
+
+
+def steps_to_json(steps: tuple[TraceStep, ...]) -> list:
+    """Steps as JSON: ``[process, op, obj_or_null, detail]``."""
+    return [[s.process, s.op, s.obj, s.detail] for s in steps]
+
+
+def steps_from_json(payload: list) -> tuple[TraceStep, ...]:
+    """Inverse of :func:`steps_to_json`."""
+    return tuple(TraceStep(p, op, obj, detail) for p, op, obj, detail in payload)
+
+
+# ---------------------------------------------------------------------------
+# Violation payloads
+# ---------------------------------------------------------------------------
+
+
+def violation_to_json(event: Any) -> dict:
+    """The trace-less event fields plus kind and triage signature."""
+    kind = event_kind(event)
+    payload: dict[str, Any] = {
+        "kind": kind,
+        "signature": signature_to_json(event_signature(event)),
+    }
+    if isinstance(event, DeadlockEvent):
+        payload["blocked"] = list(event.blocked)
+        payload["waiting"] = [list(entry) for entry in event.waiting]
+    elif isinstance(event, AssertionViolationEvent):
+        payload["process"] = event.process
+        payload["proc_name"] = event.proc_name
+        payload["node_id"] = event.node_id
+    elif isinstance(event, CrashEvent):
+        payload["process"] = event.process
+        payload["message"] = event.message
+    else:  # DivergenceEvent
+        payload["process"] = event.process
+    return payload
+
+
+def violation_from_json(payload: dict, trace: Trace) -> Any:
+    """Rebuild the typed event object carrying ``trace``."""
+    kind = payload.get("kind")
+    if kind == "deadlock":
+        return DeadlockEvent(
+            trace,
+            tuple(payload.get("blocked", ())),
+            tuple(tuple(entry) for entry in payload.get("waiting", ())),
+        )
+    if kind == "assertion":
+        return AssertionViolationEvent(
+            trace, payload["process"], payload["proc_name"], payload["node_id"]
+        )
+    if kind == "crash":
+        return CrashEvent(trace, payload["process"], payload.get("message", ""))
+    if kind == "divergence":
+        return DivergenceEvent(trace, payload["process"])
+    raise TraceFormatError(f"unknown violation kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The trace file
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceFile:
+    """In-memory form of one persisted counterexample."""
+
+    #: Violation payload: kind, location fields, triage signature.
+    violation: dict
+    #: The replayable trace (choices + recorded steps).
+    trace: Trace
+    #: System fingerprint at capture time (``None`` if unrecorded).
+    fingerprint: str | None = None
+    #: Search metadata: ``strategy``, ``seed``, ``options`` snapshot.
+    search: dict = field(default_factory=dict)
+    #: Self-contained rebuild payload:
+    #: ``{"description": <system JSON>, "program_source": <text>}``.
+    system: dict | None = None
+    #: Shrink provenance, set by ``repro shrink``:
+    #: ``{"original_choices": N, "oracle_runs": R}``.
+    shrink: dict | None = None
+    version: int = VERSION
+
+    def event(self) -> Any:
+        """The typed violation event, trace attached."""
+        return violation_from_json(self.violation, self.trace)
+
+    def signature(self) -> Signature:
+        """The hashable triage signature recorded in the file."""
+        return signature_from_json(self.violation["signature"])
+
+    @property
+    def kind(self) -> str:
+        """The violation kind string."""
+        return self.violation.get("kind", "?")
+
+    def to_json(self) -> dict:
+        """The complete JSON document (dict form)."""
+        doc: dict[str, Any] = {
+            "format": FORMAT,
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "violation": self.violation,
+            "choices": choices_to_json(self.trace.choices),
+            "steps": steps_to_json(self.trace.steps),
+            "search": self.search,
+        }
+        if self.system is not None:
+            doc["system"] = self.system
+        if self.shrink is not None:
+            doc["shrink"] = self.shrink
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "TraceFile":
+        """Parse and validate a JSON document."""
+        if not isinstance(doc, dict) or doc.get("format") != FORMAT:
+            raise TraceFormatError(
+                f"not a {FORMAT} file (format tag: {doc.get('format')!r})"
+                if isinstance(doc, dict)
+                else "not a trace file: top level must be a JSON object"
+            )
+        version = doc.get("version")
+        if version != VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version!r} "
+                f"(this build reads version {VERSION})"
+            )
+        if "violation" not in doc or "choices" not in doc:
+            raise TraceFormatError("trace file lacks 'violation' or 'choices'")
+        trace = Trace(
+            choices_from_json(doc["choices"]),
+            steps_from_json(doc.get("steps", [])),
+        )
+        return cls(
+            violation=doc["violation"],
+            trace=trace,
+            fingerprint=doc.get("fingerprint"),
+            search=doc.get("search", {}),
+            system=doc.get("system"),
+            shrink=doc.get("shrink"),
+            version=version,
+        )
+
+
+def search_metadata(report: ExplorationReport | None) -> dict:
+    """The ``search`` block of a trace file, from a report's recorded
+    provenance (strategy, seed, options — see
+    :attr:`~repro.verisoft.results.ExplorationReport.options`)."""
+    if report is None:
+        return {}
+    meta: dict[str, Any] = {}
+    if report.stats is not None:
+        meta["strategy"] = report.stats.strategy
+    if report.seed is not None:
+        meta["seed"] = report.seed
+    if report.options is not None:
+        meta["options"] = report.options.as_dict()
+        meta.setdefault("strategy", report.options.strategy)
+    return meta
+
+
+def trace_file_for_event(
+    event: Any,
+    *,
+    system=None,
+    report: ExplorationReport | None = None,
+    system_payload: dict | None = None,
+) -> TraceFile:
+    """Build a :class:`TraceFile` for one violation event.
+
+    ``system`` (a :class:`~repro.runtime.system.System`) supplies the
+    fingerprint; ``report`` the search metadata; ``system_payload`` the
+    optional self-contained rebuild block.
+    """
+    if not event.trace.choices:
+        raise ValueError(
+            "event carries no trace (recorded past the max_events cap); "
+            "re-run with a higher --max-events to persist it"
+        )
+    return TraceFile(
+        violation=violation_to_json(event),
+        trace=event.trace,
+        fingerprint=system.fingerprint() if system is not None else None,
+        search=search_metadata(report),
+        system=system_payload,
+    )
+
+
+def save_trace(path: str | pathlib.Path, trace_file: TraceFile) -> pathlib.Path:
+    """Write ``trace_file`` as JSON; returns the path written."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(trace_file.to_json(), indent=2) + "\n")
+    return path
+
+
+def load_trace(path: str | pathlib.Path) -> TraceFile:
+    """Read and validate a trace file."""
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise TraceFormatError(f"{path}: not valid JSON: {err}") from err
+    return TraceFile.from_json(doc)
+
+
+def save_report_traces(
+    directory: str | pathlib.Path,
+    report: ExplorationReport,
+    *,
+    system=None,
+    system_payload: dict | None = None,
+) -> list[pathlib.Path]:
+    """Write one trace file per recorded violation of ``report``.
+
+    Files are named ``<kind>-<NNN>.json`` in stable report order;
+    trace-less placeholder events (past the ``max_events`` cap) are
+    skipped.  Returns the paths written.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    counters: dict[str, int] = {}
+    for event in report.all_events():
+        if not event.trace.choices:
+            continue
+        kind = event_kind(event)
+        index = counters.get(kind, 0)
+        counters[kind] = index + 1
+        trace_file = trace_file_for_event(
+            event, system=system, report=report, system_payload=system_payload
+        )
+        written.append(
+            save_trace(directory / f"{kind}-{index:03d}.json", trace_file)
+        )
+    return written

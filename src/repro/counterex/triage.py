@@ -1,0 +1,168 @@
+"""Violation triage: stable signatures, dedup and grouping.
+
+A long search (or a merged parallel search) typically reports the same
+*defect* many times — dozens of interleavings all ending in the same
+lock-order deadlock, the same assertion failing on every path through a
+buggy branch.  Handing a user 25 traces for one bug is noise; triage
+collapses them.
+
+The unit of identity is the **violation signature**: a stable, hashable
+tuple of the event's *kind* and *location* — the sorted blocked set and
+pending operations for a deadlock, the assertion site (procedure +
+node) for an assertion violation, the process and fault message for a
+crash, the process for a divergence.  Crucially the signature does
+*not* include the trace: two different schedules reaching the same bad
+place are the same violation.
+
+:func:`group_events` partitions a report's events into
+:class:`ViolationGroup` buckets in first-seen order (deterministic, so
+``jobs=1`` and ``jobs=N`` parallel searches triage identically — the
+merge is order-stable) and elects the *shortest* trace of each group as
+its representative, the natural starting point for shrinking
+(:mod:`repro.counterex.shrink`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..verisoft.results import (
+    AssertionViolationEvent,
+    CrashEvent,
+    DeadlockEvent,
+    DivergenceEvent,
+)
+
+#: A stable, hashable violation identity: ``(kind, *location)``.
+Signature = tuple
+
+#: Event classes by trace-format kind string (see
+#: :mod:`repro.counterex.traceio`).
+EVENT_KINDS = {
+    "deadlock": DeadlockEvent,
+    "assertion": AssertionViolationEvent,
+    "crash": CrashEvent,
+    "divergence": DivergenceEvent,
+}
+
+
+def event_kind(event: Any) -> str:
+    """The trace-format kind string of an event (``"deadlock"``,
+    ``"assertion"``, ``"crash"`` or ``"divergence"``)."""
+    for kind, cls in EVENT_KINDS.items():
+        if isinstance(event, cls):
+            return kind
+    raise TypeError(f"not a violation event: {event!r}")
+
+
+def event_signature(event: Any) -> Signature:
+    """The stable identity of a violation, independent of its trace.
+
+    * deadlock — the sorted blocked-process set with each process's
+      pending operation (the *shape* of the stuck state);
+    * assertion — the assertion site: procedure name + CFG node id;
+    * crash — the crashing process and fault message;
+    * divergence — the diverging process.
+    """
+    if isinstance(event, DeadlockEvent):
+        if event.waiting:
+            stuck = tuple(sorted(event.waiting))
+        else:
+            stuck = tuple((name, "?", None) for name in sorted(event.blocked))
+        return ("deadlock", stuck)
+    if isinstance(event, AssertionViolationEvent):
+        return ("assertion", event.proc_name, event.node_id)
+    if isinstance(event, CrashEvent):
+        return ("crash", event.process, event.message)
+    if isinstance(event, DivergenceEvent):
+        return ("divergence", event.process)
+    raise TypeError(f"not a violation event: {event!r}")
+
+
+def signature_to_json(signature: Signature) -> list:
+    """Signature as JSON-serializable nested lists (tuples become
+    lists; the inverse of :func:`signature_from_json`)."""
+
+    def convert(value):
+        if isinstance(value, tuple):
+            return [convert(item) for item in value]
+        return value
+
+    return convert(signature)
+
+
+def signature_from_json(payload: list) -> Signature:
+    """Rebuild a hashable signature tuple from its JSON list form."""
+
+    def convert(value):
+        if isinstance(value, list):
+            return tuple(convert(item) for item in value)
+        return value
+
+    return convert(payload)
+
+
+@dataclass
+class ViolationGroup:
+    """All recorded events sharing one violation signature."""
+
+    signature: Signature
+    events: list = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        """The kind string of the group's signature."""
+        return self.signature[0]
+
+    @property
+    def count(self) -> int:
+        """How many recorded events fell into this group."""
+        return len(self.events)
+
+    @property
+    def representative(self):
+        """The event with the shortest non-empty trace (ties broken by
+        report order); the best candidate for saving and shrinking.
+        Falls back to the first event when every trace is empty (events
+        past the ``max_events`` cap are recorded trace-less)."""
+        traced = [e for e in self.events if e.trace.choices]
+        if not traced:
+            return self.events[0]
+        return min(traced, key=lambda e: len(e.trace.choices))
+
+    def describe(self) -> str:
+        """One-line rendering: kind, location, multiplicity."""
+        loc = ", ".join(str(part) for part in signature_to_json(self.signature)[1:])
+        times = "once" if self.count == 1 else f"{self.count} times"
+        return f"{self.kind} at [{loc}] seen {times}"
+
+
+def group_events(events: Iterable[Any]) -> list[ViolationGroup]:
+    """Partition events into signature groups, in first-seen order.
+
+    The ordering is deterministic for a deterministic event list, and
+    the parallel driver's merge is order-stable, so sequential and
+    merged parallel reports of the same search produce byte-identical
+    groupings.
+    """
+    groups: dict[Signature, ViolationGroup] = {}
+    for event in events:
+        signature = event_signature(event)
+        group = groups.get(signature)
+        if group is None:
+            group = groups[signature] = ViolationGroup(signature)
+        group.events.append(event)
+    return list(groups.values())
+
+
+def describe_groups(groups: list[ViolationGroup]) -> str:
+    """The triage report: ``"N violations in K distinct groups"`` plus
+    one line per group (the CLI's post-search rendering)."""
+    total = sum(group.count for group in groups)
+    noun = "violation" if total == 1 else "violations"
+    group_noun = "group" if len(groups) == 1 else "groups"
+    lines = [f"{total} {noun} in {len(groups)} distinct {group_noun}"]
+    for index, group in enumerate(groups):
+        lines.append(f"  [{index}] {group.describe()}")
+    return "\n".join(lines)

@@ -183,6 +183,23 @@ def build_app(
         calls_per_line=calls_per_line,
         seed_billing_bug=seed_billing_bug,
     )
+    return _make_app(n_lines, calls_per_line, seed_deadlock, seed_billing_bug, source)
+
+
+def demo_system():
+    """A small closed call-processing system, as a zero-argument factory.
+
+    One line, one call, both seeded defects — the counterexample
+    engine's stock target: ``repro replay trace.json --module
+    repro.fiveess.app:demo_system`` rebuilds exactly this system, so a
+    trace captured on it can be replayed or shrunk without carrying the
+    system description along.
+    """
+    return build_app(n_lines=1, calls_per_line=1).make_system(with_maintenance=False)
+
+
+def _make_app(n_lines, calls_per_line, seed_deadlock, seed_billing_bug, source):
+    """Assemble the :class:`CallProcessingApp` record for ``source``."""
     object_bindings = {
         ("handover_manager", "first_cell"): frozenset({"cell_a", "cell_b"}),
         ("handover_manager", "second_cell"): frozenset({"cell_a", "cell_b"}),

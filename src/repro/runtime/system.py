@@ -11,6 +11,7 @@ the system to explore an alternative path.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -164,6 +165,41 @@ class System:
     @property
     def object_names(self) -> list[str]:
         return list(self._object_specs)
+
+    # -- identity ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of the *static* system description.
+
+        Covers the program (every CFG node and guarded arc, rendered
+        textually), the communication-object specs, the process launch
+        specs and the config — everything that determines the behaviour
+        of :meth:`start`.  Two systems with equal fingerprints replay a
+        choice sequence identically, so persisted counterexample traces
+        (:mod:`repro.counterex`) record it to detect that the program
+        has changed since a trace was captured.
+        """
+        digest = hashlib.sha256()
+
+        def feed(*parts: Any) -> None:
+            digest.update("\x1f".join(str(part) for part in parts).encode())
+            digest.update(b"\x1e")
+
+        for proc_name in sorted(self.cfgs):
+            cfg = self.cfgs[proc_name]
+            feed("proc", proc_name, ",".join(cfg.params))
+            for node_id in sorted(cfg.nodes):
+                node = cfg.nodes[node_id]
+                feed("node", node_id, node.kind.value, node.describe())
+                for arc in cfg.successors(node_id):
+                    feed("arc", arc.src, arc.dst, arc.guard.describe())
+        for name in sorted(self._object_specs):
+            spec = self._object_specs[name]
+            feed("object", spec.kind, spec.name, spec.params)
+        for spec in self._process_specs:
+            feed("process", spec.name, spec.proc, spec.args)
+        feed("config", self.config.divergence_budget, self.config.max_call_depth)
+        return digest.hexdigest()[:16]
 
     # -- instantiation -------------------------------------------------------------
 

@@ -7,7 +7,7 @@ as thin compatibility wrappers around the same machinery.
 """
 
 from .behaviors import behavior_inclusion, matches_with_erasure, missing_behaviors
-from .explorer import Explorer, collect_output_traces, explore, replay
+from .explorer import Explorer, ReplayMismatch, collect_output_traces, explore, replay
 from .parallel import (
     ChoicePrefix,
     PrefixPoint,
@@ -50,6 +50,7 @@ __all__ = [
     "PersistentSetComputer",
     "PrefixPoint",
     "ProgressPrinter",
+    "ReplayMismatch",
     "STRATEGIES",
     "ScheduleChoice",
     "SearchOptions",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..runtime.process import Process, ProcessStatus
 from ..runtime.system import Run, System
@@ -523,20 +523,92 @@ def explore(
     return Explorer(system, max_depth=max_depth, por=por, **kwargs).run()
 
 
-def replay(system: System, trace: Trace) -> Run:
-    """Re-execute ``trace`` on a fresh run of ``system`` and return the
-    resulting :class:`Run` (for inspecting stores, sink outputs, ...)."""
+class ReplayMismatch(RuntimeError):
+    """A recorded choice could not be applied during :func:`replay`.
+
+    On an unchanged system replay is exact (the runtime is
+    deterministic), so a mismatch means the trace and the system have
+    diverged — the program was edited, the system description changed,
+    or the choice sequence was mutated (e.g. by a shrinking candidate).
+    The exception records *where* and *why* for diagnosis
+    (:mod:`repro.counterex.replay` turns it into a human-readable
+    verdict).
+    """
+
+    def __init__(self, index: int, choice: Choice, reason: str):
+        super().__init__(f"replay mismatch at choice {index} ({choice.describe()}): {reason}")
+        self.index = index
+        self.choice = choice
+        self.reason = reason
+
+
+def replay(
+    system: System,
+    trace: Trace | Iterable[Choice],
+    on_step: Callable[[int, Choice, Any, Any], None] | None = None,
+) -> Run:
+    """Re-execute a recorded choice sequence on a fresh run of ``system``.
+
+    ``trace`` is a :class:`Trace` or a bare iterable of choices.  Returns
+    the resulting :class:`Run` (for inspecting stores, sink outputs,
+    final statuses, ...).  ``on_step`` is invoked after every applied
+    choice with ``(index, choice, visible_request_or_None,
+    assertion_outcome_or_None)`` — the hook the counterexample engine
+    uses to rebuild trace steps and observe violations.
+
+    Raises :class:`ReplayMismatch` when a choice does not apply — the
+    named process does not exist, is not at an enabled visible
+    operation, a ``VS_toss`` answer is missing or out of bounds — with
+    the index and reason recorded for diagnosis.
+    """
+    choices = trace.choices if isinstance(trace, Trace) else tuple(trace)
     run = system.start()
     run.start_processes()
-    for choice in trace.choices:
+    for index, choice in enumerate(choices):
+        request = None
+        outcome = None
         if isinstance(choice, TossChoice):
             process = run.toss_pending()
-            if process is None or process.name != choice.process:
-                raise RuntimeError(f"replay mismatch at toss choice {choice}")
+            if process is None:
+                raise ReplayMismatch(index, choice, "no process is awaiting a VS_toss")
+            if process.name != choice.process:
+                raise ReplayMismatch(
+                    index, choice, f"the pending VS_toss belongs to {process.name!r}"
+                )
+            bound = process.toss_request.bound
+            if not (0 <= choice.value <= bound):
+                raise ReplayMismatch(
+                    index, choice, f"toss value {choice.value} outside 0..{bound}"
+                )
             run.answer_toss(process, choice.value)
         else:
-            process = next(p for p in run.processes if p.name == choice.process)
-            run.execute_visible(process)
+            if run.toss_pending() is not None:
+                raise ReplayMismatch(
+                    index,
+                    choice,
+                    f"process {run.toss_pending().name!r} has an unanswered VS_toss",
+                )
+            process = next(
+                (p for p in run.processes if p.name == choice.process), None
+            )
+            if process is None:
+                raise ReplayMismatch(index, choice, "no such process")
+            if process.status is not ProcessStatus.AT_VISIBLE:
+                raise ReplayMismatch(
+                    index,
+                    choice,
+                    f"process is {process.status.value}, not at a visible operation",
+                )
+            if not process.enabled():
+                request = process.visible_request
+                op = request.op if request is not None else "?"
+                raise ReplayMismatch(
+                    index, choice, f"visible operation {op!r} is not enabled"
+                )
+            request = process.visible_request
+            outcome = run.execute_visible(process)
+        if on_step is not None:
+            on_step(index, choice, request, outcome)
     return run
 
 

@@ -532,4 +532,5 @@ def parallel_search(
     merged.stats.jobs = jobs
     merged.stats.prefixes = len(prefixes)
     merged.stats.wall_time = time.monotonic() - started
+    merged.options = options  # self-reproducing, like run_search reports
     return merged

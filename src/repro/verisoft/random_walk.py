@@ -56,6 +56,7 @@ def random_walks(
     """
     rng = random.Random(seed)
     report = ExplorationReport()
+    report.seed = seed  # walks are reproducible from the seed alone
     stats = report.stats = SearchStats(strategy="random")
     started = time.monotonic()
     cpu_started = time.process_time()

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..counterex.triage import ViolationGroup
+    from .search import SearchOptions
     from .stats import SearchStats
 
 
@@ -144,6 +146,14 @@ class ExplorationReport:
     #: Telemetry of the search that produced this report
     #: (:class:`~repro.verisoft.stats.SearchStats`), when collected.
     stats: "SearchStats | None" = field(default=None, repr=False, compare=False)
+    #: The :class:`~repro.verisoft.search.SearchOptions` the search ran
+    #: with, recorded by :func:`~repro.verisoft.search.run_search` so
+    #: every report is self-reproducing without the caller's shell
+    #: history (persisted into saved traces by :mod:`repro.counterex`).
+    options: "SearchOptions | None" = field(default=None, repr=False, compare=False)
+    #: PRNG seed of the random strategy (``None`` for deterministic
+    #: strategies, which need no seed to reproduce).
+    seed: int | None = field(default=None, repr=False, compare=False)
 
     deadlocks: list[DeadlockEvent] = field(default_factory=list)
     violations: list[AssertionViolationEvent] = field(default_factory=list)
@@ -154,6 +164,19 @@ class ExplorationReport:
     def ok(self) -> bool:
         """No deadlock, violation, crash or divergence found."""
         return not (self.deadlocks or self.violations or self.crashes or self.divergences)
+
+    def all_events(self) -> list:
+        """Every recorded event, in stable report order (deadlocks,
+        assertion violations, crashes, divergences)."""
+        return [*self.deadlocks, *self.violations, *self.crashes, *self.divergences]
+
+    def triage(self) -> "list[ViolationGroup]":
+        """Group this report's events by violation signature (see
+        :mod:`repro.counterex.triage`): events with the same kind and
+        location collapse into one group with a representative trace."""
+        from ..counterex.triage import group_events
+
+        return group_events(self.all_events())
 
     def summary(self) -> str:
         parts = [
@@ -169,6 +192,9 @@ class ExplorationReport:
             parts.append(f"crashes={len(self.crashes)}")
         if self.divergences:
             parts.append(f"divergences={len(self.divergences)}")
+        events = self.all_events()
+        if events:
+            parts.append(f"groups={len(self.triage())}")
         if self.truncated:
             parts.append("TRUNCATED")
         if self.incomplete:

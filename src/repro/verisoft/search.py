@@ -18,7 +18,7 @@ wrappers; new code should use :func:`run_search`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable
 
 from ..runtime.system import Run, System
@@ -89,6 +89,23 @@ class SearchOptions:
         default=None, repr=False, compare=False
     )
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the options.
+
+        Callback fields (``progress``, ``on_leaf``, ``stop_when``) are
+        omitted: they cannot be serialized and are irrelevant to
+        reproducing a search.  Round-trips through
+        ``SearchOptions(**d)``; persisted inside saved counterexample
+        traces (:mod:`repro.counterex.traceio`) as the ``search``
+        metadata block.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            if f.name in ("progress", "on_leaf", "stop_when"):
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
     def validate(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ValueError(
@@ -131,6 +148,21 @@ def run_search(
         options = replace(options, **overrides)
     options.validate()
 
+    report = _dispatch(system, options, system_factory)
+    # Every report is self-reproducing: it records how it was produced
+    # (including the PRNG seed for the random strategy), so a saved
+    # trace or a bug report never depends on the caller's shell history.
+    report.options = options
+    if options.strategy == "random":
+        report.seed = options.seed
+    return report
+
+
+def _dispatch(
+    system: System,
+    options: SearchOptions,
+    system_factory: Callable[[], System] | None,
+) -> ExplorationReport:
     if options.strategy == "dfs":
         from .explorer import Explorer
 

@@ -164,6 +164,17 @@ class SearchStats:
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def json_dict(self) -> dict:
+        """:meth:`as_dict` plus the derived metrics, for machine
+        consumption (the CLI's ``--stats-json``).  Unlike
+        :meth:`as_dict` this does *not* round-trip through
+        ``SearchStats(**d)`` — the derived keys are read-only."""
+        out = self.as_dict()
+        out["reduction_ratio"] = self.reduction_ratio
+        out["replay_overhead"] = self.replay_overhead
+        out["states_per_second"] = self.states_per_second
+        return out
+
 
 class ProgressPrinter:
     """Stock progress consumer: a self-overwriting one-line ticker.

@@ -1,0 +1,111 @@
+"""Shared system builders for the counterexample-engine tests.
+
+The Figure 2/3 programs from the paper, seeded with an assertion so the
+closed versions actually *violate* something (the assertion fires only
+on the odd-parity toss), plus the classic lock-order deadlock pair and
+a noisy variant whose irrelevant scheduling ddmin must strip.
+"""
+
+import pytest
+
+from repro import System, close_program
+
+# Figure 2's p, with a seeded assertion on a *concrete* counter (an
+# env-dependent assert argument would be abstracted away by closing).
+# After closing, the branch on y is driven by a VS_toss, so the
+# violation (three odd iterations) depends on toss values — exercising
+# toss round-trip and shrinking.
+FIG2_SRC = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    var odds = 0;
+    while (cnt < 3) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); odds = odds + 1; }
+        cnt = cnt + 1;
+    }
+    VS_assert(odds < 3);
+}
+"""
+
+# Figure 3's q (y recomputed each iteration), seeded the same way but
+# asserting inside the loop.
+FIG3_SRC = """
+proc q(x) {
+    var cnt = 0;
+    var odds = 0;
+    while (cnt < 3) {
+        var y = x % 2;
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); odds = odds + 1; }
+        VS_assert(odds < 2);
+        x = x / 2;
+        cnt = cnt + 1;
+    }
+}
+"""
+
+DEADLOCK_SRC = """
+proc grab(first, second) {
+    sem_p(first);
+    sem_p(second);
+    sem_v(second);
+    sem_v(first);
+}
+"""
+
+# An assertion violation next to a pure-noise bystander.  Noise steps
+# interleaved before the assertion are irrelevant to it, so shrinking
+# must drop them.  (A *deadlock* would not do: the paper's global
+# deadlock needs every process stuck or finished, which makes the
+# bystander's completion part of the counterexample.)
+NOISY_ASSERT_SRC = """
+proc victim() {
+    var t;
+    t = VS_toss(3);
+    VS_assert(t == 0);
+}
+proc noise() {
+    send(out, 'a');
+    send(out, 'b');
+    send(out, 'c');
+}
+"""
+
+
+def figure_system(source, proc):
+    """Close a Figure 2/3 program and wrap it in a runnable system."""
+    closed = close_program(source, env_params={proc: ["x"]})
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", proc, [])
+    return system
+
+
+def deadlock_system():
+    """The classic lock-order deadlock pair."""
+    system = System(DEADLOCK_SRC)
+    s1 = system.add_semaphore("s1", 1)
+    s2 = system.add_semaphore("s2", 1)
+    system.add_process("a", "grab", [s1, s2])
+    system.add_process("b", "grab", [s2, s1])
+    return system
+
+
+def noisy_assert_system():
+    """A tossing victim that can violate, plus an unrelated noise
+    process whose steps shrinking must strip."""
+    system = System(NOISY_ASSERT_SRC)
+    system.add_env_sink("out")
+    system.add_process("v", "victim", [])
+    system.add_process("n", "noise", [])
+    return system
+
+
+@pytest.fixture()
+def fig2_system():
+    return figure_system(FIG2_SRC, "p")
+
+
+@pytest.fixture()
+def fig3_system():
+    return figure_system(FIG3_SRC, "q")

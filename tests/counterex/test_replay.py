@@ -1,0 +1,132 @@
+"""Replay from disk: reproduction, and every divergence diagnosis."""
+
+import pytest
+
+from repro import SearchOptions, System, run_search
+from repro.counterex import (
+    load_trace,
+    run_choices,
+    reproduces,
+    save_trace,
+    trace_file_for_event,
+    verify_trace,
+)
+from repro.counterex.triage import event_signature
+from repro.verisoft import ReplayMismatch
+from repro.verisoft.results import ScheduleChoice, TossChoice
+
+from .conftest import DEADLOCK_SRC, FIG2_SRC, deadlock_system, figure_system
+
+
+def first_event(system, **overrides):
+    options = SearchOptions(max_depth=60, max_events=100)
+    report = run_search(system, options, **overrides)
+    return next(e for e in report.all_events() if e.trace.choices)
+
+
+def no_deadlock_system():
+    """Both processes take the locks in the same order: no deadlock."""
+    system = System(DEADLOCK_SRC)
+    s1 = system.add_semaphore("s1", 1)
+    s2 = system.add_semaphore("s2", 1)
+    system.add_process("a", "grab", [s1, s2])
+    system.add_process("b", "grab", [s1, s2])
+    return system
+
+
+class TestRunChoices:
+    def test_reproduces_explorer_event_exactly(self):
+        event = first_event(deadlock_system())
+        outcome = run_choices(deadlock_system(), event.trace.choices)
+        assert outcome.ok
+        assert event_signature(event) in outcome.signatures()
+        # The reconstructed trace matches the explorer's recording.
+        matching = next(
+            e for e in outcome.events
+            if event_signature(e) == event_signature(event)
+        )
+        assert matching.trace == event.trace
+
+    def test_assertion_events_collected_mid_run(self, fig2_system):
+        event = first_event(fig2_system)
+        outcome = run_choices(figure_system(FIG2_SRC, "p"), event.trace.choices)
+        assert [event_signature(e) for e in outcome.events] == [
+            event_signature(event)
+        ]
+
+    def test_mismatch_never_raises(self):
+        outcome = run_choices(deadlock_system(), (ScheduleChoice("nope"),))
+        assert not outcome.ok
+        assert outcome.applied == 0
+        assert "no such process" in outcome.mismatch.reason
+
+    def test_reproduces_oracle(self):
+        event = first_event(deadlock_system())
+        signature = event_signature(event)
+        assert reproduces(deadlock_system(), event.trace.choices, signature)
+        assert not reproduces(deadlock_system(), (), signature)
+
+
+class TestReplayMismatch:
+    def test_bad_toss_value_diagnosed(self, fig2_system):
+        event = first_event(fig2_system)
+        choices = list(event.trace.choices)
+        index = next(
+            i for i, c in enumerate(choices) if isinstance(c, TossChoice)
+        )
+        choices[index] = TossChoice(choices[index].process, 99)
+        outcome = run_choices(figure_system(FIG2_SRC, "p"), tuple(choices))
+        assert not outcome.ok
+        assert isinstance(outcome.mismatch, ReplayMismatch)
+        assert outcome.mismatch.index == index
+
+
+class TestVerifyTrace:
+    def trace_file(self, tmp_path):
+        system = deadlock_system()
+        event = first_event(system)
+        path = save_trace(
+            tmp_path / "t.json", trace_file_for_event(event, system=system)
+        )
+        return load_trace(path)
+
+    def test_reproduced(self, tmp_path):
+        verdict = verify_trace(deadlock_system(), self.trace_file(tmp_path))
+        assert verdict.status == "reproduced"
+        assert verdict.ok
+        assert verdict.fingerprint_matched is True
+        assert "reproduced" in verdict.detail
+
+    def test_diverged_with_fingerprint_mismatch(self, tmp_path):
+        # Replaying on the *fixed* program: process b's first sem_p now
+        # grabs s1, so the recorded schedule diverges — and the verdict
+        # explains it via the changed fingerprint.
+        verdict = verify_trace(no_deadlock_system(), self.trace_file(tmp_path))
+        assert verdict.status in ("diverged", "no-violation")
+        assert not verdict.ok
+        assert verdict.fingerprint_matched is False
+        assert "fingerprint mismatch" in verdict.detail
+
+    def test_no_violation_when_bug_fixed(self, tmp_path, fig2_system):
+        event = first_event(fig2_system)
+        trace_file = trace_file_for_event(event, system=fig2_system)
+        # Same system shape, but drop the final toss choices: the
+        # prefix replays cleanly and nothing fires.
+        prefix = trace_file.trace.choices[:1]
+        import dataclasses
+
+        from repro.verisoft.results import Trace
+
+        stale = dataclasses.replace(trace_file, trace=Trace(prefix, ()))
+        verdict = verify_trace(figure_system(FIG2_SRC, "p"), stale)
+        assert verdict.status == "no-violation"
+        assert "no violation" in verdict.detail
+
+    def test_different_violation(self, tmp_path):
+        trace_file = self.trace_file(tmp_path)
+        # Tamper with the recorded signature: replay still deadlocks,
+        # but not with the expected identity.
+        trace_file.violation["signature"] = ["deadlock", [["x", "sem_p", "y"]]]
+        verdict = verify_trace(deadlock_system(), trace_file)
+        assert verdict.status == "different-violation"
+        assert "different violation" in verdict.detail

@@ -1,0 +1,140 @@
+"""Minimization: ddmin, toss lowering, idempotence, failure modes."""
+
+import pytest
+
+from repro import SearchOptions, System, run_search
+from repro.counterex import ShrinkError, ddmin, shrink, shrink_choices
+from repro.counterex.replay import run_choices
+from repro.counterex.triage import event_signature
+from repro.verisoft.results import TossChoice
+
+from .conftest import (
+    FIG2_SRC,
+    deadlock_system,
+    figure_system,
+    noisy_assert_system,
+)
+
+
+def first_event(system):
+    report = run_search(system, SearchOptions(max_depth=60, max_events=100))
+    return next(e for e in report.all_events() if e.trace.choices)
+
+
+class TestDdmin:
+    def test_finds_exact_minimal_subset(self):
+        # Only elements {2, 5, 8} matter: ddmin must isolate exactly them.
+        needed = {2, 5, 8}
+        result = ddmin(
+            tuple(range(10)), lambda items: needed <= set(items)
+        )
+        assert set(result) == needed
+
+    def test_keeps_order(self):
+        result = ddmin(tuple(range(8)), lambda items: {1, 6} <= set(items))
+        assert result == (1, 6)
+
+    def test_single_element(self):
+        assert ddmin((7,), lambda items: True) == (7,)
+
+    def test_result_is_one_minimal(self):
+        needed = {0, 3, 4, 9}
+        test = lambda items: needed <= set(items)
+        result = ddmin(tuple(range(12)), test)
+        for index in range(len(result)):
+            assert not test(result[:index] + result[index + 1 :])
+
+
+class TestShrink:
+    def test_noise_stripped_from_violation(self):
+        """The deliverable's headline: shrinking drops irrelevant
+        scheduling, producing a strictly shorter trace."""
+        from repro.verisoft.results import ScheduleChoice
+
+        # A deliberately wasteful reproducer: answer the victim's toss,
+        # then run the noise process to completion before letting the
+        # victim violate.  (Pending tosses must be answered first, so
+        # the padding goes after the toss choice.)
+        padding = (ScheduleChoice("n"),) * 3
+        core = first_event(noisy_assert_system()).trace.choices
+        outcome = run_choices(
+            noisy_assert_system(), core[:1] + padding + core[1:]
+        )
+        assert outcome.ok and outcome.events
+        event = outcome.events[0]
+        assert any(c.process == "n" for c in event.trace.choices)
+        result = shrink(noisy_assert_system(), event)
+        assert result.shrunk_length < result.original_length
+        assert not any(c.process == "n" for c in result.trace.choices)
+        assert event_signature(result.event) == event_signature(event)
+        # The minimal violation: answer the toss, run the victim.
+        assert result.shrunk_length == 2
+
+    def test_shrunk_trace_replays(self, fig2_system):
+        event = first_event(fig2_system)
+        result = shrink(figure_system(FIG2_SRC, "p"), event)
+        outcome = run_choices(
+            figure_system(FIG2_SRC, "p"), result.trace.choices
+        )
+        assert outcome.ok
+        assert event_signature(event) in outcome.signatures()
+
+    def test_idempotent(self, fig2_system):
+        """Deliverable: shrinking a shrunk trace is a no-op."""
+        event = first_event(fig2_system)
+        once = shrink(figure_system(FIG2_SRC, "p"), event)
+        twice = shrink(figure_system(FIG2_SRC, "p"), once.event)
+        assert twice.trace.choices == once.trace.choices
+        assert twice.shrunk_length == twice.original_length
+
+    def toss_system(self):
+        # VS_assert(t == 0) over a toss of 0..3: values 1..3 all violate
+        # with the same signature, so minimization must settle on 1.
+        system = System(
+            "proc main() { var t; t = VS_toss(3); VS_assert(t == 0); }"
+        )
+        system.add_process("p", "main", [])
+        return system
+
+    def test_toss_values_lowered(self):
+        from repro.verisoft.results import ScheduleChoice
+
+        start = (TossChoice("p", 3), ScheduleChoice("p"))
+        first = run_choices(self.toss_system(), start)
+        assert first.events, "toss=3 should violate"
+        signature = event_signature(first.events[0])
+
+        minimal, _ = shrink_choices(self.toss_system(), start, signature)
+        tosses = [c for c in minimal if isinstance(c, TossChoice)]
+        assert [t.value for t in tosses] == [1]
+
+    def test_budget_exhaustion_returns_valid_reproducer(self):
+        system = noisy_assert_system()
+        event = first_event(system)
+        result = shrink(noisy_assert_system(), event, max_oracle_runs=1)
+        # No minimization happened, but the result still reproduces.
+        assert result.shrunk_length == result.original_length
+        assert event_signature(result.event) == event_signature(event)
+
+    def test_non_reproducing_trace_raises(self):
+        event = first_event(deadlock_system())
+        fixed = System(
+            """
+            proc grab(first, second) {
+                sem_p(first); sem_p(second); sem_v(second); sem_v(first);
+            }
+            """
+        )
+        s1 = fixed.add_semaphore("s1", 1)
+        s2 = fixed.add_semaphore("s2", 1)
+        fixed.add_process("a", "grab", [s1, s2])
+        fixed.add_process("b", "grab", [s1, s2])
+        with pytest.raises(ShrinkError, match="does not reproduce"):
+            shrink(fixed, event)
+
+    def test_describe_reports_lengths_and_cost(self):
+        event = first_event(deadlock_system())
+        result = shrink(deadlock_system(), event)
+        text = result.describe()
+        assert f"-> {result.shrunk_length} choices" in text
+        assert "oracle runs" in text

@@ -1,0 +1,129 @@
+"""Triage: signatures, grouping, rendering, and parallel parity."""
+
+import pytest
+
+from repro import SearchOptions, System, run_search
+from repro.counterex import describe_groups, event_signature, group_events
+from repro.counterex.triage import signature_from_json, signature_to_json
+from repro.verisoft.results import (
+    AssertionViolationEvent,
+    CrashEvent,
+    DeadlockEvent,
+    DivergenceEvent,
+    Trace,
+)
+
+from .conftest import FIG3_SRC, deadlock_system, figure_system
+
+
+def t(n=1):
+    from repro.verisoft.results import ScheduleChoice
+
+    return Trace(tuple(ScheduleChoice("p") for _ in range(n)), ())
+
+
+class TestSignatures:
+    def test_signature_ignores_trace(self):
+        a = DeadlockEvent(t(2), ("a", "b"), (("a", "sem_p", "s2"),))
+        b = DeadlockEvent(t(9), ("a", "b"), (("a", "sem_p", "s2"),))
+        assert event_signature(a) == event_signature(b)
+
+    def test_signature_orders_blocked_set(self):
+        a = DeadlockEvent(t(), ("b", "a"), (("b", "x", None), ("a", "y", None)))
+        b = DeadlockEvent(t(), ("a", "b"), (("a", "y", None), ("b", "x", None)))
+        assert event_signature(a) == event_signature(b)
+
+    def test_kinds_are_distinct(self):
+        events = [
+            DeadlockEvent(t(), ("p",), ()),
+            AssertionViolationEvent(t(), "p", "main", 4),
+            CrashEvent(t(), "p", "boom"),
+            DivergenceEvent(t(), "p"),
+        ]
+        assert len({event_signature(e) for e in events}) == 4
+
+    def test_signatures_are_hashable_and_json_stable(self):
+        event = DeadlockEvent(t(), ("a",), (("a", "sem_p", "s1"),))
+        signature = event_signature(event)
+        hash(signature)
+        assert signature_from_json(signature_to_json(signature)) == signature
+
+    def test_search_events_of_one_defect_share_a_signature(self, fig3_system):
+        report = run_search(
+            fig3_system, SearchOptions(max_depth=60, max_events=100)
+        )
+        signatures = {event_signature(e) for e in report.violations}
+        assert len(report.violations) > 1
+        assert len(signatures) == 1
+
+
+class TestGrouping:
+    def test_first_seen_order_and_counts(self):
+        d1 = DeadlockEvent(t(3), ("a",), (("a", "x", None),))
+        v1 = AssertionViolationEvent(t(2), "p", "main", 7)
+        d2 = DeadlockEvent(t(1), ("a",), (("a", "x", None),))
+        groups = group_events([d1, v1, d2])
+        assert [g.kind for g in groups] == ["deadlock", "assertion"]
+        assert [g.count for g in groups] == [2, 1]
+
+    def test_representative_is_shortest_traced_event(self):
+        long = DeadlockEvent(t(5), ("a",), ())
+        short = DeadlockEvent(t(2), ("a",), ())
+        traceless = DeadlockEvent(Trace((), ()), ("a",), ())
+        group = group_events([long, traceless, short])[0]
+        assert group.representative is short
+
+    def test_traceless_fallback(self):
+        only = DeadlockEvent(Trace((), ()), ("a",), ())
+        assert group_events([only])[0].representative is only
+
+    def test_report_triage_and_summary(self, fig3_system):
+        report = run_search(
+            fig3_system, SearchOptions(max_depth=60, max_events=100)
+        )
+        groups = report.triage()
+        assert len(groups) == 1
+        assert "groups=1" in report.summary()
+
+    def test_describe_groups_phrase(self):
+        d = DeadlockEvent(t(1), ("a",), (("a", "x", None),))
+        v = AssertionViolationEvent(t(1), "p", "main", 7)
+        one = describe_groups(group_events([d]))
+        assert one.startswith("1 violation in 1 distinct group")
+        many = describe_groups(group_events([d, d, v]))
+        assert many.startswith("3 violations in 2 distinct groups")
+        assert "seen 2 times" in many
+
+
+class TestParallelParity:
+    def test_jobs_1_and_jobs_4_triage_identically(self):
+        """Deliverable: sequential and parallel searches of the same
+        space produce identical violation groups."""
+        options = SearchOptions(
+            strategy="parallel", max_depth=60, max_events=100
+        )
+
+        def groups_with(jobs):
+            system = figure_system(FIG3_SRC, "q")
+            report = run_search(system, options, jobs=jobs)
+            return report.triage()
+
+        sequential = groups_with(1)
+        parallel = groups_with(4)
+        assert [g.signature for g in sequential] == [
+            g.signature for g in parallel
+        ]
+        assert [g.count for g in sequential] == [g.count for g in parallel]
+        assert describe_groups(sequential) == describe_groups(parallel)
+        # Representatives agree too: same minimal reproducer either way.
+        assert [g.representative.trace for g in sequential] == [
+            g.representative.trace for g in parallel
+        ]
+
+    def test_deadlock_parity(self):
+        options = SearchOptions(
+            strategy="parallel", max_depth=40, max_events=100
+        )
+        sequential = run_search(deadlock_system(), options, jobs=1).triage()
+        parallel = run_search(deadlock_system(), options, jobs=4).triage()
+        assert describe_groups(sequential) == describe_groups(parallel)

@@ -80,7 +80,7 @@ class TestCliCaseStudy:
         out = capsys.readouterr().out
         # stop-on-first halts on the first event: either the quiescent
         # deadlock or the billing violation — both are real findings.
-        assert code == 1
+        assert code == 3
         assert "deadlock" in out or "assertion violated" in out
 
     def test_walk_mode(self, workspace, capsys):
@@ -88,7 +88,7 @@ class TestCliCaseStudy:
         code = main(["walk", str(system), "--walks", "50", "--max-depth", "60"])
         out = capsys.readouterr().out
         assert "paths=50" in out
-        assert code in (0, 1)
+        assert code in (0, 3)
 
     def test_graph_export(self, workspace, tmp_path, capsys):
         _, program, _ = workspace

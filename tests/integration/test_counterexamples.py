@@ -1,0 +1,142 @@
+"""The counterexample engine end-to-end on the closed 5ESS app.
+
+The acceptance path: ``repro search --save-traces`` writes violation
+traces, ``repro shrink`` minimizes one, and ``repro replay`` on the
+shrunk file reproduces the same violation signature — all through the
+CLI surface, with the trace files as the only state passed between
+steps.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.counterex import load_trace
+from repro.fiveess import build_app
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("counterex-5ess")
+    app = build_app(n_lines=2, calls_per_line=1)
+    program = tmp / "switch.rc"
+    program.write_text(app.source)
+    description = {
+        "program": "switch.rc",
+        "close": {},
+        "objects": (
+            [
+                {"kind": "channel", "name": f"setup_{i}", "capacity": 2}
+                for i in range(2)
+            ]
+            + [
+                {"kind": "channel", "name": f"resp_{i}", "capacity": 1}
+                for i in range(2)
+            ]
+            + [
+                {"kind": "channel", "name": f"teardown_{i}", "capacity": 1}
+                for i in range(2)
+            ]
+            + [
+                {"kind": "channel", "name": "billing", "capacity": 4},
+                {"kind": "semaphore", "name": "trunks", "initial": 2},
+                {"kind": "shared", "name": "line_busy", "initial": 0},
+                {"kind": "shared", "name": "fwd_0", "initial": -1},
+                {"kind": "shared", "name": "fwd_1", "initial": -1},
+                {"kind": "sink", "name": "status"},
+            ]
+        ),
+        "processes": [
+            {"name": "line_0", "proc": "line_handler", "args": [0, 1]},
+            {"name": "line_1", "proc": "line_handler", "args": [1, 1]},
+            {"name": "term_0", "proc": "term_handler", "args": [0]},
+            {"name": "term_1", "proc": "term_handler", "args": [1]},
+            {"name": "billing", "proc": "billing_daemon", "args": []},
+        ],
+    }
+    system = tmp / "system.json"
+    system.write_text(json.dumps(description))
+    return tmp, system
+
+
+@pytest.fixture(scope="module")
+def saved_traces(workspace):
+    tmp, system = workspace
+    traces = tmp / "traces"
+    code = main(
+        [
+            "search",
+            str(system),
+            "--max-depth",
+            "60",
+            "--max-paths",
+            "300",
+            "--max-events",
+            "20",
+            "--save-traces",
+            str(traces),
+        ]
+    )
+    return code, traces
+
+
+class TestCounterexamplePipeline:
+    def test_search_finds_and_persists_violations(self, saved_traces, capsys):
+        code, traces = saved_traces
+        capsys.readouterr()
+        assert code == 3
+        files = sorted(traces.glob("*.json"))
+        assert files
+        # The seeded billing bug shows up as assertion traces; the
+        # reactive quiescence deadlock is recorded too.
+        assert any(f.name.startswith("assertion-") for f in files)
+        doc = json.loads(files[0].read_text())
+        assert doc["format"] == "repro-trace"
+        assert doc["fingerprint"]
+        assert doc["search"]["strategy"] == "dfs"
+
+    def test_shrink_is_strictly_shorter_and_replays(
+        self, workspace, saved_traces, capsys
+    ):
+        tmp, _ = workspace
+        _, traces = saved_traces
+        original = sorted(traces.glob("assertion-*.json"))[0]
+        minimal = tmp / "min.json"
+        capsys.readouterr()
+
+        assert main(["shrink", str(original), "-o", str(minimal)]) == 0
+        out = capsys.readouterr().out
+        assert "shrunk" in out
+
+        before = load_trace(original)
+        after = load_trace(minimal)
+        assert len(after.trace.choices) < len(before.trace.choices)
+        assert after.signature() == before.signature()
+        assert after.shrink["original_choices"] == len(before.trace.choices)
+
+        # Replay of the shrunk file reproduces the same signature, from
+        # the embedded system alone.
+        assert main(["replay", str(minimal)]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_shrink_idempotent_via_cli(self, workspace, saved_traces, capsys):
+        tmp, _ = workspace
+        _, traces = saved_traces
+        original = sorted(traces.glob("assertion-*.json"))[0]
+        once = tmp / "once.json"
+        twice = tmp / "twice.json"
+        capsys.readouterr()
+        assert main(["shrink", str(original), "-o", str(once)]) == 0
+        assert main(["shrink", str(once), "-o", str(twice)]) == 0
+        assert (
+            load_trace(twice).trace.choices == load_trace(once).trace.choices
+        )
+
+    def test_deadlock_trace_replays_too(self, saved_traces, capsys):
+        _, traces = saved_traces
+        deadlocks = sorted(traces.glob("deadlock-*.json"))
+        assert deadlocks
+        capsys.readouterr()
+        assert main(["replay", str(deadlocks[0])]) == 0
+        assert "reproduced" in capsys.readouterr().out

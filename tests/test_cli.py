@@ -155,7 +155,7 @@ class TestExplore:
                 ],
             },
         )
-        assert main(["explore", str(system), "--max-depth", "20"]) == 1
+        assert main(["explore", str(system), "--max-depth", "20"]) == 3
         out = capsys.readouterr().out
         assert "deadlock" in out
 
@@ -192,6 +192,125 @@ class TestExplore:
         )
         with pytest.raises(SystemExit):
             main(["explore", str(system)])
+
+
+DEADLOCK_DESCRIPTION = {
+    "objects": [
+        {"kind": "semaphore", "name": "s1", "initial": 1},
+        {"kind": "semaphore", "name": "s2", "initial": 1},
+    ],
+    "processes": [
+        {"name": "a", "proc": "grab", "args": [{"object": "s1"}, {"object": "s2"}]},
+        {"name": "b", "proc": "grab", "args": [{"object": "s2"}, {"object": "s1"}]},
+    ],
+}
+
+
+class TestCounterexampleCommands:
+    """search --save-traces/--stats-json plus replay and shrink."""
+
+    def _deadlock_system(self, tmp_path):
+        program = tmp_path / "prog.rc"
+        program.write_text(DEADLOCK_RC)
+        description = dict(DEADLOCK_DESCRIPTION, program="prog.rc")
+        system = tmp_path / "system.json"
+        system.write_text(json.dumps(description))
+        return system
+
+    def test_search_exit_codes(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        assert main(["search", str(system), "--max-depth", "20"]) == 3
+        out = capsys.readouterr().out
+        assert "distinct group" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        stats = tmp_path / "stats.json"
+        main(["search", str(system), "--max-depth", "20", "--stats-json", str(stats)])
+        payload = json.loads(stats.read_text())
+        assert payload["strategy"] == "dfs"
+        assert payload["paths_explored"] >= 1
+        assert "states_per_second" in payload
+
+    def test_save_traces_writes_replayable_files(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        traces = tmp_path / "traces"
+        assert (
+            main(
+                [
+                    "search",
+                    str(system),
+                    "--max-depth",
+                    "20",
+                    "--save-traces",
+                    str(traces),
+                ]
+            )
+            == 3
+        )
+        files = sorted(traces.glob("*.json"))
+        assert files
+        doc = json.loads(files[0].read_text())
+        assert doc["format"] == "repro-trace"
+        # Traces embed the system: replay needs no extra arguments.
+        capsys.readouterr()
+        assert main(["replay", str(files[0])]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def _saved_trace(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        traces = tmp_path / "traces"
+        main(["search", str(system), "--max-depth", "20", "--save-traces", str(traces)])
+        capsys.readouterr()
+        return sorted(traces.glob("*.json"))[0]
+
+    def test_replay_with_explicit_system(self, tmp_path, capsys):
+        trace = self._saved_trace(tmp_path, capsys)
+        system = tmp_path / "system.json"
+        assert main(["replay", str(trace), "--system", str(system)]) == 0
+
+    def test_replay_show_trace(self, tmp_path, capsys):
+        trace = self._saved_trace(tmp_path, capsys)
+        assert main(["replay", str(trace), "--show-trace"]) == 0
+        assert "sem_p" in capsys.readouterr().out
+
+    def test_replay_not_reproduced_exits_1(self, tmp_path, capsys):
+        trace = self._saved_trace(tmp_path, capsys)
+        doc = json.loads(trace.read_text())
+        # Fixed program: both processes take the locks in one order.
+        doc["system"]["description"]["processes"][1]["args"] = [
+            {"object": "s1"},
+            {"object": "s2"},
+        ]
+        trace.write_text(json.dumps(doc))
+        assert main(["replay", str(trace)]) == 1
+
+    def test_replay_rejects_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "other"}))
+        assert main(["replay", str(bad)]) == 2
+
+    def test_shrink_writes_minimal_trace(self, tmp_path, capsys):
+        trace = self._saved_trace(tmp_path, capsys)
+        out = tmp_path / "min.json"
+        assert main(["shrink", str(trace), "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["shrink"]["original_choices"] >= len(doc["choices"])
+        capsys.readouterr()
+        assert main(["replay", str(out)]) == 0
+
+    def test_shrink_in_place_by_default(self, tmp_path, capsys):
+        trace = self._saved_trace(tmp_path, capsys)
+        assert main(["shrink", str(trace)]) == 0
+        assert "shrink" in json.loads(trace.read_text())
+
+    def test_replay_module_factory(self, tmp_path, capsys):
+        # A factory that doesn't exist is a usage error...
+        trace = self._saved_trace(tmp_path, capsys)
+        with pytest.raises(SystemExit):
+            main(["replay", str(trace), "--module", "repro.fiveess.app:nope"])
+        with pytest.raises(SystemExit):
+            main(["replay", str(trace), "--module", "no-colon"])
 
 
 class TestMisc:

@@ -65,6 +65,40 @@ class TestDispatch:
         assert options.max_paths is None
 
 
+class TestProvenance:
+    """run_search records how a report was produced (deliverable: seed
+    and options inside the report, for trace-file search metadata)."""
+
+    def test_options_recorded_on_report(self):
+        options = SearchOptions(strategy="dfs", max_depth=17)
+        report = run_search(toss_system(), options)
+        assert report.options is options
+        assert report.options.as_dict()["max_depth"] == 17
+
+    def test_seed_recorded_for_random(self):
+        report = run_search(
+            toss_system(), SearchOptions(strategy="random", walks=5, seed=42)
+        )
+        assert report.seed == 42
+
+    def test_seed_none_for_dfs(self):
+        assert run_search(toss_system()).seed is None
+
+    def test_options_recorded_for_parallel(self):
+        report = run_search(
+            toss_system(), SearchOptions(strategy="parallel", jobs=1)
+        )
+        assert report.options is not None
+        assert report.options.strategy == "parallel"
+
+    def test_as_dict_omits_callbacks(self):
+        options = SearchOptions(stop_when=lambda r: True)
+        payload = options.as_dict()
+        assert "stop_when" not in payload
+        assert "on_leaf" not in payload
+        assert "progress" not in payload
+
+
 class TestValidation:
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError, match="unknown search strategy"):
