@@ -1,0 +1,130 @@
+"""Experiment PERF-CACHE — DFS throughput with and without state caching.
+
+The stateless explorer's defining trade (store nothing, re-execute
+everything) meets its SPIN-style counterweight here: a visited-state
+store prunes revisited subtrees at the cost of remembering states.
+This experiment runs the exhaustive DFS over Figure 2, Figure 3 and the
+Section 6 call-processing application, uncached and under each store,
+and records states, transitions, wall time, throughput and the store's
+memory footprint.
+
+Besides the human-readable table, the run writes ``BENCH_search.json``
+at the repository root so the numbers are machine-consumable across
+sessions; the 8x memory-per-state claim of the compacting stores is
+asserted on the 5ESS rows and recorded in the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import SearchOptions, run_search
+from repro.fiveess import build_app
+from tests.statespace.conftest import FIG2_SRC, FIG3_SRC, figure_system
+
+pytestmark = pytest.mark.slow
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_search.json"
+
+#: (label, system factory, SearchOptions bounds).  The 5ESS slice is
+#: bounded to keep the four runs per system inside a couple of minutes.
+CASES = [
+    ("fig2", lambda: figure_system(FIG2_SRC, "p"), dict(max_depth=60)),
+    ("fig3", lambda: figure_system(FIG3_SRC, "q"), dict(max_depth=60)),
+    (
+        "5ess",
+        lambda: _fiveess_system(),
+        dict(max_depth=22, max_events=100_000),
+    ),
+]
+
+CACHES = ("off", "exact", "hashcompact", "bitstate")
+
+
+def _fiveess_system():
+    app = build_app(n_lines=2, calls_per_line=1)
+    return app.make_system(app.close(), with_maintenance=False)
+
+
+def _run_one(build, bounds, cache):
+    system = build()
+    options = SearchOptions(state_cache=cache, cache_bits=20, **bounds)
+    started = time.perf_counter()
+    report = run_search(system, options)
+    elapsed = time.perf_counter() - started
+    stats = report.stats
+    return {
+        "state_cache": cache,
+        "states": stats.states_visited,
+        "transitions": stats.transitions_executed,
+        "paths": stats.paths_explored,
+        "wall_time_s": round(elapsed, 4),
+        "states_per_second": round(stats.states_visited / elapsed) if elapsed else 0,
+        "violation_groups": len(report.triage()),
+        "cache_hits": stats.cache_hits,
+        "cache_stored": stats.cache_stored,
+        "cache_memory_bytes": stats.cache_memory_bytes,
+        "cache_bytes_per_state": stats.cache_bytes_per_state,
+    }
+
+
+def test_bench_search(record_table):
+    results = {}
+    lines = [
+        "DFS with and without state caching (cache_bits=20 for bitstate)",
+        "",
+        f"  {'system':<6} {'cache':<12} {'states':>8} {'trans':>8} "
+        f"{'time':>8} {'states/s':>10} {'B/state':>9} {'groups':>7}",
+    ]
+    for label, build, bounds in CASES:
+        rows = []
+        for cache in CACHES:
+            row = _run_one(build, bounds, cache)
+            rows.append(row)
+            per_state = row["cache_bytes_per_state"]
+            lines.append(
+                f"  {label:<6} {cache:<12} {row['states']:>8} "
+                f"{row['transitions']:>8} {row['wall_time_s']:>7.2f}s "
+                f"{row['states_per_second']:>10,} "
+                f"{per_state if per_state is not None else 0:>9.1f} "
+                f"{row['violation_groups']:>7}"
+            )
+        results[label] = rows
+
+        # The parity contract, for the *sound* stores: caching never
+        # changes what is found.  Bitstate is exempt by design — it
+        # ignores the remaining-depth budget and admits Bloom
+        # collisions, so under a depth bound it may lose coverage (it
+        # does on the 5ESS run); the table records that honestly.
+        sound = {
+            row["violation_groups"]
+            for row in rows
+            if row["state_cache"] in ("off", "exact", "hashcompact")
+        }
+        assert len(sound) == 1, f"{label}: sound caches disagree on groups {sound}"
+
+    # The memory claim: on the 5ESS case study the compacting stores
+    # cost at least 8x less per stored state than full snapshots.
+    by_cache = {row["state_cache"]: row for row in results["5ess"]}
+    exact_per_state = by_cache["exact"]["cache_bytes_per_state"]
+    for compact in ("hashcompact", "bitstate"):
+        compact_per_state = by_cache[compact]["cache_bytes_per_state"]
+        ratio = exact_per_state / compact_per_state
+        assert ratio >= 8, f"{compact}: only {ratio:.1f}x smaller than exact"
+        by_cache[compact]["memory_ratio_vs_exact"] = round(ratio, 1)
+    lines.append("")
+    lines.append(
+        "memory per state vs exact: "
+        + ", ".join(
+            f"{kind} {by_cache[kind]['memory_ratio_vs_exact']}x smaller"
+            for kind in ("hashcompact", "bitstate")
+        )
+    )
+
+    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    lines.append(f"wrote {BENCH_JSON.name}")
+    record_table("bench_search", lines)

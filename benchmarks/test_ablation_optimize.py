@@ -13,7 +13,6 @@ bisimulation-based toss minimization) on the case-study core:
 * findings (the seeded billing violation) must be identical.
 """
 
-import pytest
 
 from repro import SearchOptions, run_search
 from repro.fiveess import build_app

@@ -13,7 +13,6 @@ on the paper's own examples:
   to the exact 2, because the input feeds only `% 2` and guards.
 """
 
-import pytest
 
 from repro import System, close_program, collect_output_traces
 from repro.closing import close_with_partitioning

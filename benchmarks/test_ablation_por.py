@@ -7,7 +7,6 @@ three workloads: independent workers (best case), dining philosophers
 (a deadlock must survive the reduction), and the call-processing core.
 """
 
-import pytest
 
 from repro import SearchOptions, System, run_search
 from repro.fiveess import build_app

@@ -14,7 +14,6 @@ directly measurable on its own examples:
   removes the imprecision.  We measure both path counts.
 """
 
-import pytest
 
 from repro import SearchOptions, System, close_program, run_search
 

@@ -11,7 +11,6 @@ strictly smaller whenever erased branches reconverge.  We run the check
 over a corpus of generated open programs and report the aggregate.
 """
 
-import pytest
 
 from repro import close_program
 from repro.closing.generators import generate_program

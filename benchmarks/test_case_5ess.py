@@ -15,7 +15,6 @@ setup would produce:
   needed to find each.
 """
 
-import pytest
 
 from repro import SearchOptions, run_search
 from repro.fiveess import build_app

@@ -14,7 +14,6 @@ Regenerated rows:
 * |behaviours(p × E_S)| vs |behaviours(p')| and the strictness check.
 """
 
-import pytest
 
 from repro import System, close_program, collect_output_traces
 from repro.cfg import NodeKind

@@ -8,7 +8,6 @@ equivalent to q combined with its most general environment E_S" — an
 optimal translation.
 """
 
-import pytest
 
 from repro import System, close_program, collect_output_traces
 

@@ -18,7 +18,6 @@ separately:
 
 import time
 
-import pytest
 
 from repro import close_program
 from repro.cfg import build_cfgs

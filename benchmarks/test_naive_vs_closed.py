@@ -15,7 +15,6 @@ The crossover shape of the paper holds: naive explodes with |V|, the
 closed system is flat.
 """
 
-import pytest
 
 from repro import SearchOptions, System, close_naively, close_program, run_search
 

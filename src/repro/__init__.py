@@ -16,6 +16,9 @@ The package provides, from the bottom up:
   channels, semaphores, shared variables, ``VS_toss``/``VS_assert``);
 * :mod:`repro.verisoft` — a VeriSoft-style stateless state-space
   explorer with partial-order reduction;
+* :mod:`repro.statespace` — canonical global-state snapshots and
+  pluggable visited-state stores (exact / hash-compact / bitstate)
+  that the explorer can consult to prune revisited subtrees;
 * :mod:`repro.fiveess` — a synthetic multi-process telephone
   call-processing application standing in for the paper's 5ESS case
   study.
@@ -44,6 +47,14 @@ from .closing import (
 )
 from .lang import normalize_program, parse_program, pretty
 from .runtime import System, SystemConfig
+from .statespace import (
+    BitstateStore,
+    ExactStore,
+    HashCompactStore,
+    StateStore,
+    make_store,
+    snapshot,
+)
 from .verisoft import (
     ExplorationReport,
     Explorer,
@@ -72,17 +83,21 @@ from .counterex import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BitstateStore",
     "ClosedProgram",
     "ClosingError",
     "ClosingSpec",
     "ControlFlowGraph",
+    "ExactStore",
     "ExplorationReport",
     "Explorer",
+    "HashCompactStore",
     "NaiveDomains",
     "ProgressPrinter",
     "SearchOptions",
     "SearchStats",
     "ShrinkResult",
+    "StateStore",
     "System",
     "SystemConfig",
     "Trace",
@@ -95,6 +110,7 @@ __all__ = [
     "explore",
     "group_events",
     "load_trace",
+    "make_store",
     "normalize_program",
     "parallel_search",
     "parse_program",
@@ -104,5 +120,6 @@ __all__ = [
     "run_search",
     "save_trace",
     "shrink",
+    "snapshot",
     "verify_trace",
 ]

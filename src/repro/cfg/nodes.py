@@ -22,7 +22,7 @@ Node kinds map onto the paper's four statement types:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..lang import ast
 from ..lang.errors import SYNTHETIC, SourceLocation

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -287,6 +288,9 @@ def _options_from_args(args) -> SearchOptions:
         max_transitions=args.max_transitions,
         time_budget=args.time_budget,
         max_events=args.max_events,
+        state_cache=args.state_cache,
+        cache_bits=args.cache_bits,
+        cache_mode=args.cache_mode,
         walks=args.walks,
         seed=args.seed,
         jobs=args.jobs,
@@ -304,6 +308,13 @@ def cmd_search(args) -> int:
     description = _read_description(args.system)
     system = _system_from_description(description, args.system.parent)
     options = _options_from_args(args)
+    cpus = os.cpu_count() or 1
+    if options.strategy == "parallel" and options.jobs > cpus:
+        print(
+            f"warning: --jobs {options.jobs} exceeds the {cpus} available "
+            "CPU(s); workers will time-slice",
+            file=sys.stderr,
+        )
     ticker = ProgressPrinter() if args.progress else None
     if ticker is not None:
         options.progress = ticker
@@ -539,6 +550,30 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--stop-on-first", action="store_true")
     search_parser.add_argument("--max-events", type=int, default=25)
     search_parser.add_argument(
+        "--state-cache",
+        choices=("off", "exact", "hashcompact", "bitstate"),
+        default="off",
+        help="prune revisited states with a visited-state store: exact "
+        "(full snapshots, sound), hashcompact (64-bit digests) or "
+        "bitstate (Bloom filter; see --cache-bits). Default: off "
+        "(pure stateless search)",
+    )
+    search_parser.add_argument(
+        "--cache-bits",
+        type=int,
+        default=24,
+        metavar="N",
+        help="bitstate store size: 2**N bits (default: 24, i.e. 2 MiB)",
+    )
+    search_parser.add_argument(
+        "--cache-mode",
+        choices=("safe", "unsafe-fast"),
+        default="safe",
+        help="'safe' disables sleep-set pruning while caching (sound); "
+        "'unsafe-fast' keeps it and may miss interleavings "
+        "(default: safe)",
+    )
+    search_parser.add_argument(
         "--walks", type=int, default=100, help="random strategy: number of walks"
     )
     search_parser.add_argument(
@@ -668,6 +703,9 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_explore,
         max_transitions=None,
         max_events=25,
+        state_cache="off",
+        cache_bits=24,
+        cache_mode="safe",
         walks=100,
         seed=0,
         jobs=0,
@@ -694,6 +732,9 @@ def build_parser() -> argparse.ArgumentParser:
         max_transitions=None,
         time_budget=None,
         max_events=25,
+        state_cache="off",
+        cache_bits=24,
+        cache_mode="safe",
         jobs=0,
         prefix_depth=None,
         stats=False,

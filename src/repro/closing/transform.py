@@ -26,7 +26,7 @@ arguments are replaced by the erased-value literal ``top``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.nodes import ALWAYS, Arc, CfgNode, NodeKind, TossGuard

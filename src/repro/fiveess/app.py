@@ -111,7 +111,6 @@ class CallProcessingApp:
         return system
 
     def _original_params(self, proc: str) -> tuple[str, ...]:
-        from ..cfg import build_cfgs
         from ..lang import parse_program
 
         if not hasattr(self, "_param_cache"):

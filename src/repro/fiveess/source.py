@@ -71,7 +71,6 @@ def generate_source(
         raise ValueError("need at least one line")
 
     billing_limit = 1 if seed_billing_bug else n_lines
-    total_events = n_lines * calls_per_line * 3  # answer/release/abandon bound
 
     parts: list[str] = []
     parts.append(
@@ -139,9 +138,9 @@ proc provisioning_daemon(line_id) {{
     )
 
     parts.append(
-        f"""
+        """
 // ---- originating side -----------------------------------------------
-proc originate(line_id, target) {{
+proc originate(line_id, target) {
     sem_p(trunks);
     var call = record();
     call.orig = line_id;
@@ -150,70 +149,70 @@ proc originate(line_id, target) {{
     route_setup(target, line_id * 2);
     var resp;
     resp = await_resp(line_id);
-    if (resp == 1) {{
+    if (resp == 1) {
         send(billing, 'answer');
         route_teardown(target, line_id);
         send(billing, 'release');
-    }} else {{
+    } else {
         send(billing, 'abandon');
-    }}
+    }
     sem_v(trunks);
-}}
+}
 
-proc line_handler(line_id, attempts) {{
+proc line_handler(line_id, attempts) {
     var k = 0;
-    while (k < attempts) {{
+    while (k < attempts) {
         var ev;
         ev = next_subscriber_event();
-        if (ev % 4 == 0) {{
+        if (ev % 4 == 0) {
             send(billing, 'abandon');
-        }} else {{
+        } else {
             var target;
             target = collect_digits();
             originate(line_id, target);
-        }}
+        }
         k = k + 1;
-    }}
+    }
     send(status, 'line-done');
-}}
+}
 """
     )
 
-    term_loop = f"""
+    term_loop = """
 // ---- terminating side (one handler per line) --------------------------
-proc term_handler(line_id) {{
-    while (true) {{
+proc term_handler(line_id) {
+    while (true) {
         var m;
         m = await_setup(line_id);
         var orig = m / 2;
         var hop = m % 2;
         var fwd;
         fwd = read_forward(line_id);
-        if (hop == 0 && fwd >= 0) {{
+        if (hop == 0 && fwd >= 0) {
             // Call forwarding: hand the setup to the forwarded-to line,
             // marking the hop so forwarding chains cannot loop.
             route_setup(fwd, orig * 2 + 1);
-        }} else {{
+        } else {
             var busy;
             busy = read(line_busy);
             var ans;
             ans = answer_decision();
-            if (busy == 1) {{
+            if (busy == 1) {
                 route_resp(orig, 0);
-            }} else {{
-                if (ans % 2 == 1) {{
+            } else {
+                if (ans % 2 == 1) {
                     write(line_busy, 1);
                     route_resp(orig, 1);
                     var t;
                     t = await_teardown(line_id);
                     write(line_busy, 0);
-                }} else {{
+                } else {
                     route_resp(orig, 0);
-                }}
-            }}
-        }}
-    }}
-}}
+                }
+            }
+        }
+    }
+}
 """
     parts.append(_dispatch_recv("await_setup", "setup", n_lines))
     parts.append(_dispatch_recv("await_teardown", "teardown", n_lines))

@@ -1,0 +1,107 @@
+"""Canonical global-state snapshots.
+
+A global state of a run is already captured structurally by
+:meth:`repro.runtime.system.Run.state_fingerprint`: a nested tuple of
+per-process control locations and local stores (built from
+:func:`repro.runtime.values.fingerprint`) plus per-object states.  That
+structure is *hashable* — good enough for an in-process ``set`` — but
+its Python hash is salted per interpreter and its repr is not a stable
+wire format.
+
+:func:`encode_canonical` serializes the structure into a **canonical
+byte string**: type-tagged, length-prefixed, with no dependence on hash
+seeds, dict ordering (the fingerprint layer already sorts record fields
+and frame variables) or interpreter build.  Two runs are in the same
+global state iff their snapshots are byte-for-byte equal, and the same
+state always encodes to the same bytes — in this process, in a parallel
+worker, or in a later session.
+
+:func:`digest64` folds a snapshot to a 64-bit integer (keyed BLAKE2b),
+the unit of storage of the compacting stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any
+
+from ..runtime.system import Run
+
+#: Type tags of the canonical encoding.  One byte each; every composite
+#: is length-prefixed, so the encoding is prefix-free and unambiguous.
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_STR = b"s"
+_TAG_TUPLE = b"("
+
+_LEN = struct.Struct(">I")
+
+
+def _encode_into(value: Any, out: list[bytes]) -> None:
+    # bool must be tested before int (bool is an int subclass) so that
+    # True and 1 — distinct runtime values — stay distinct states.
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        payload = b"%d" % value
+        out.append(_TAG_INT)
+        out.append(_LEN.pack(len(payload)))
+        out.append(payload)
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.append(_LEN.pack(len(payload)))
+        out.append(payload)
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE)
+        out.append(_LEN.pack(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    else:
+        raise TypeError(
+            f"cannot canonically encode value of type {type(value).__name__}; "
+            "state fingerprints are built from None/bool/int/str/tuple only"
+        )
+
+
+def encode_canonical(value: Any) -> bytes:
+    """Serialize a state-fingerprint structure to canonical bytes.
+
+    Injective over the fingerprint value domain (``None``, ``bool``,
+    ``int``, ``str`` and nested tuples thereof): distinct structures
+    always yield distinct byte strings, equal structures always yield
+    equal byte strings.
+    """
+    out: list[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+def snapshot(run: Run) -> bytes:
+    """The canonical byte-string snapshot of ``run``'s global state.
+
+    Covers exactly what :meth:`Run.state_fingerprint` covers: every
+    process's control location and local store (call stack of
+    ``(procedure, node, frame)``) and every communication object's
+    state (queue contents, semaphore counts, shared values; environment
+    sinks only when ``visible_in_state``).
+    """
+    return encode_canonical(run.state_fingerprint())
+
+
+def digest64(key: bytes) -> int:
+    """Fold a snapshot to an unsigned 64-bit digest (BLAKE2b-64).
+
+    The compacting stores keep this instead of the full snapshot:
+    8 bytes per state, with a 2^-64 per-pair collision probability
+    (a collision makes :class:`~repro.statespace.stores.HashCompactStore`
+    prune a genuinely new state — the documented trade-off).
+    """
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")

@@ -16,6 +16,17 @@ methods that [God97] identifies as the key to tractability.  For finite
 acyclic state spaces the search is exhaustive up to the depth bound; it
 "can always guarantee, from a given initial state, complete coverage of
 the state space up to some depth".
+
+Optionally the search is no longer purely stateless: given a
+``state_store`` (:mod:`repro.statespace`), every freshly reached global
+state is looked up before being expanded and the subtree below a state
+that was already expanded is pruned — state-space caching, the standard
+complement to stateless search.  Sleep sets are *path-dependent*, so
+combining them with caching can miss transitions (a state first reached
+with a large sleep set records a smaller subtree than an uncached
+search would explore from it); callers wanting soundness disable sleep
+sets alongside caching via ``sleep_sets=False`` (the search layer's
+``safe`` cache mode).
 """
 
 from __future__ import annotations
@@ -26,6 +37,8 @@ from typing import Any, Callable, Iterable
 
 from ..runtime.process import Process, ProcessStatus
 from ..runtime.system import Run, System
+from ..statespace.snapshot import snapshot
+from ..statespace.stores import StateStore
 from .por import (
     PersistentSetComputer,
     TransitionSig,
@@ -79,6 +92,15 @@ class Explorer:
         max_depth: bound on transitions per path; exploration is complete
             up to this depth.
         por: enable persistent-set + sleep-set reduction.
+        sleep_sets: with ``por``, whether the sleep-set part of the
+            reduction is active (persistent sets always are).  The safe
+            state-caching mode turns sleep sets off — see the module
+            docstring.
+        state_store: a :class:`~repro.statespace.stores.StateStore`
+            consulted at every fresh global state; a state the store has
+            already expanded (at no smaller remaining depth budget) is
+            pruned instead of re-explored.  ``None`` (the default) keeps
+            the search purely stateless.
         count_states: additionally hash every visited global state to
             report the number of *distinct* states (not part of VeriSoft,
             which stores no states; used by the benchmarks to measure
@@ -113,6 +135,8 @@ class Explorer:
         system: System,
         max_depth: int = 100,
         por: bool = True,
+        sleep_sets: bool = True,
+        state_store: StateStore | None = None,
         count_states: bool = False,
         stop_on_first: bool = False,
         max_paths: int | None = None,
@@ -132,6 +156,8 @@ class Explorer:
         self._system = system
         self._max_depth = max_depth
         self._por = por
+        self._sleep_sets = sleep_sets and por
+        self._state_store = state_store
         self._count_states = count_states
         self._stop_on_first = stop_on_first
         self._max_paths = max_paths
@@ -172,6 +198,11 @@ class Explorer:
     def run(self) -> ExplorationReport:
         report = ExplorationReport()
         stats = report.stats = SearchStats(strategy="dfs")
+        if self._state_store is not None:
+            report.state_caching = {
+                **self._state_store.config(),
+                "sleep_sets": self._sleep_sets,
+            }
         if self._count_states:
             report.distinct_states = 0
         stack: list[_ChoicePoint] = list(self._initial_stack or ())
@@ -257,6 +288,12 @@ class Explorer:
         stats.max_depth_reached = report.max_depth_reached
         stats.wall_time = time.monotonic() - started
         stats.cpu_time = time.process_time() - cpu_started
+        if self._state_store is not None:
+            stats.state_cache = self._state_store.kind
+            stats.cache_hits = self._state_store.hits
+            stats.cache_misses = self._state_store.misses
+            stats.cache_stored = self._state_store.states_stored
+            stats.cache_memory_bytes = self._state_store.memory_bytes
 
     # -- one (re-)execution -------------------------------------------------------
 
@@ -314,6 +351,16 @@ class Explorer:
             if self._deadline is not None and time.monotonic() > self._deadline:
                 report.incomplete = True
                 raise _Leaf()
+
+            # State-space caching: prune the subtree below a state that
+            # the store has already expanded.  Only *fresh* states are
+            # consulted — states inside the replayed prefix were entered
+            # into the store when first reached, and pruning them would
+            # cut the very path the replay is reconstructing.
+            if self._state_store is not None and state.fresh:
+                remaining = self._max_depth - depth
+                if not self._state_store.visit(snapshot(run), remaining):
+                    self._leaf(state)
 
             if run.is_deadlock():
                 if state.fresh and len(report.deadlocks) < self._max_events:
@@ -399,7 +446,9 @@ class Explorer:
                 self._leaf(state)
 
             # Sleep set carried into the successor state.
-            if chosen_sig is not None:
+            if not self._sleep_sets:
+                current_sleep = frozenset()
+            elif chosen_sig is not None:
                 explored = [
                     sig
                     for sig in point.sigs[: point.index]

@@ -36,6 +36,15 @@ Budget caveat: ``max_paths``/``max_transitions`` are enforced per
 worker and re-checked between worker completions, so a tripped budget
 truncates slightly differently (never *later*) than a sequential run;
 exact parity holds for unbudgeted searches.
+
+State-caching caveat: with ``state_cache`` enabled every worker owns a
+*private* store (:mod:`repro.statespace`) — nothing is shared across
+process boundaries — so a state reached in two different subtrees is
+expanded once per subtree rather than once globally.  A parallel cached
+search therefore prunes *at most* as much as the sequential cached
+search and its transition counters sit between the sequential-cached
+and uncached values; violation triage groups still match, and the
+merged report sums every worker's hit/miss/memory counters.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from ..runtime.system import System
+from ..statespace.stores import make_store
 from .explorer import Explorer, _ChoicePoint
 from .por import TransitionSig
 from .results import (
@@ -155,8 +165,11 @@ def enumerate_prefixes(
     *,
     max_depth: int = 100,
     por: bool = True,
+    sleep_sets: bool = True,
     count_states: bool = False,
     max_events: int = 25,
+    state_cache: str = "off",
+    cache_bits: int = 24,
     fingerprint_set: set[Any] | None = None,
 ) -> tuple[list[ChoicePrefix], ExplorationReport]:
     """Enumerate the frontier of the choice tree at ``prefix_depth``.
@@ -164,13 +177,17 @@ def enumerate_prefixes(
     Returns the prefixes in deterministic DFS order plus the
     coordinator's report covering everything *above* the frontier
     (frontier states themselves are accounted to the workers).  Paths
-    shorter than the frontier are fully explored here.
+    shorter than the frontier are fully explored here.  With
+    ``state_cache`` the enumeration owns a private, fresh store — its
+    prunes never leak into the workers' subtrees.
     """
     prefixes: list[ChoicePrefix] = []
     explorer = Explorer(
         system,
         max_depth=max_depth,
         por=por,
+        sleep_sets=sleep_sets,
+        state_store=make_store(state_cache, cache_bits=cache_bits),
         count_states=count_states,
         max_events=max_events,
         frontier_depth=prefix_depth,
@@ -216,24 +233,31 @@ def explore_subtree(
     *,
     max_depth: int = 100,
     por: bool = True,
+    sleep_sets: bool = True,
     count_states: bool = False,
     stop_on_first: bool = False,
     max_paths: int | None = None,
     max_transitions: int | None = None,
     time_budget: float | None = None,
     max_events: int = 25,
+    state_cache: str = "off",
+    cache_bits: int = 24,
 ) -> tuple[ExplorationReport, frozenset | None]:
     """Complete the DFS below ``prefix`` (the single-worker unit of work).
 
     Returns the subtree's report and, with ``count_states``, the set of
     state fingerprints seen (for cross-worker union — fingerprint
-    duplicates across subtrees cannot be detected locally).
+    duplicates across subtrees cannot be detected locally).  With
+    ``state_cache`` each call builds its own fresh store: revisits are
+    pruned within the subtree only (see the module caveat).
     """
     fingerprints: set[Any] | None = set() if count_states else None
     explorer = Explorer(
         system,
         max_depth=max_depth,
         por=por,
+        sleep_sets=sleep_sets,
+        state_store=make_store(state_cache, cache_bits=cache_bits),
         count_states=count_states,
         stop_on_first=stop_on_first,
         max_paths=max_paths,
@@ -366,7 +390,10 @@ def _auto_prefix_depth(
     *,
     max_depth: int,
     por: bool,
+    sleep_sets: bool,
     max_events: int,
+    state_cache: str,
+    cache_bits: int,
 ) -> tuple[int, list[ChoicePrefix], ExplorationReport]:
     """Deepen the frontier until it yields enough prefixes to keep the
     pool busy (≥4 per worker), or the tree runs out."""
@@ -376,7 +403,14 @@ def _auto_prefix_depth(
     depth = 1
     while True:
         prefixes, report = enumerate_prefixes(
-            system, depth, max_depth=max_depth, por=por, max_events=max_events
+            system,
+            depth,
+            max_depth=max_depth,
+            por=por,
+            sleep_sets=sleep_sets,
+            max_events=max_events,
+            state_cache=state_cache,
+            cache_bits=cache_bits,
         )
         best = (depth, prefixes, report)
         if len(prefixes) >= target or depth >= depth_cap or not prefixes:
@@ -422,8 +456,11 @@ def parallel_search(
             prefix_depth,
             max_depth=options.max_depth,
             por=options.por,
+            sleep_sets=options.sleep_sets_active,
             count_states=options.count_states,
             max_events=options.max_events,
+            state_cache=options.state_cache,
+            cache_bits=options.cache_bits,
             fingerprint_set=fingerprints,
         )
     else:
@@ -432,7 +469,10 @@ def parallel_search(
             jobs,
             max_depth=options.max_depth,
             por=options.por,
+            sleep_sets=options.sleep_sets_active,
             max_events=options.max_events,
+            state_cache=options.state_cache,
+            cache_bits=options.cache_bits,
         )
         if options.count_states:
             # Re-enumerate once at the chosen depth to collect the
@@ -442,20 +482,26 @@ def parallel_search(
                 prefix_depth,
                 max_depth=options.max_depth,
                 por=options.por,
+                sleep_sets=options.sleep_sets_active,
                 count_states=True,
                 max_events=options.max_events,
+                state_cache=options.state_cache,
+                cache_bits=options.cache_bits,
                 fingerprint_set=fingerprints,
             )
 
     worker_kwargs = dict(
         max_depth=options.max_depth,
         por=options.por,
+        sleep_sets=options.sleep_sets_active,
         count_states=options.count_states,
         stop_on_first=options.stop_on_first,
         max_paths=options.max_paths,
         max_transitions=options.max_transitions,
         time_budget=None if deadline is None else max(0.0, deadline - time.monotonic()),
         max_events=options.max_events,
+        state_cache=options.state_cache,
+        cache_bits=options.cache_bits,
     )
 
     indexed = list(enumerate(prefixes))
@@ -533,4 +579,10 @@ def parallel_search(
     merged.stats.prefixes = len(prefixes)
     merged.stats.wall_time = time.monotonic() - started
     merged.options = options  # self-reproducing, like run_search reports
+    if options.state_cache != "off":
+        merged.stats.state_cache = options.state_cache
+        merged.state_caching = {
+            **(options.state_caching_info() or {}),
+            "per_worker_stores": True,
+        }
     return merged

@@ -154,6 +154,13 @@ class ExplorationReport:
     #: PRNG seed of the random strategy (``None`` for deterministic
     #: strategies, which need no seed to reproduce).
     seed: int | None = field(default=None, repr=False, compare=False)
+    #: State-space caching configuration of the search that produced
+    #: this report (``None`` when caching was off): store kind, store
+    #: shape (``cache_bits`` for bitstate), the cache ``mode`` and
+    #: whether sleep sets stayed active.  A cached report's counters are
+    #: *not* comparable to an uncached one's — revisited subtrees were
+    #: pruned — so the provenance travels with the numbers.
+    state_caching: dict | None = field(default=None, repr=False, compare=False)
 
     deadlocks: list[DeadlockEvent] = field(default_factory=list)
     violations: list[AssertionViolationEvent] = field(default_factory=list)
@@ -186,6 +193,8 @@ class ExplorationReport:
         ]
         if self.distinct_states is not None:
             parts.append(f"distinct={self.distinct_states}")
+        if self.state_caching is not None:
+            parts.append(f"cache={self.state_caching.get('store', '?')}")
         parts.append(f"deadlocks={len(self.deadlocks)}")
         parts.append(f"violations={len(self.violations)}")
         if self.crashes:

@@ -28,6 +28,9 @@ from .stats import SearchStats
 #: The strategies :func:`run_search` understands.
 STRATEGIES = ("dfs", "random", "parallel")
 
+#: The state-cache modes (see :attr:`SearchOptions.cache_mode`).
+CACHE_MODES = ("safe", "unsafe-fast")
+
 
 @dataclass
 class SearchOptions:
@@ -60,6 +63,22 @@ class SearchOptions:
     time_budget: float | None = None
     #: Cap on recorded events of each kind (counting continues).
     max_events: int = 25
+
+    # -- state-space caching (dfs/parallel; see repro.statespace) ------------
+    #: Visited-state store pruning revisited subtrees: ``"off"`` (pure
+    #: stateless search), ``"exact"`` (full snapshots, sound),
+    #: ``"hashcompact"`` (64-bit digests) or ``"bitstate"``
+    #: (SPIN-style Bloom filter).  Ignored by ``"random"``.
+    state_cache: str = "off"
+    #: Bitstate store size: ``2**cache_bits`` bits (exact/hashcompact
+    #: ignore it).
+    cache_bits: int = 24
+    #: ``"safe"`` disables sleep-set pruning while caching (sleep sets
+    #: are path-dependent, and combined with caching they can miss
+    #: transitions); ``"unsafe-fast"`` keeps them for maximum pruning at
+    #: the cost of possibly missing interleavings.  Irrelevant while
+    #: ``state_cache="off"``.
+    cache_mode: str = "safe"
 
     # -- random-walk strategy ----------------------------------------------
     walks: int = 100
@@ -106,6 +125,33 @@ class SearchOptions:
             out[f.name] = getattr(self, f.name)
         return out
 
+    def make_state_store(self):
+        """A fresh :class:`~repro.statespace.stores.StateStore` per the
+        cache configuration (``None`` when caching is off).  Each call
+        returns a *new empty* store: sequential searches own one, the
+        parallel driver builds one per worker."""
+        from ..statespace.stores import make_store
+
+        return make_store(self.state_cache, cache_bits=self.cache_bits)
+
+    @property
+    def sleep_sets_active(self) -> bool:
+        """Whether the explorer keeps sleep-set pruning: always without
+        caching, only in ``unsafe-fast`` mode with it (sleep sets are
+        path-dependent and unsound under revisit pruning)."""
+        return self.state_cache == "off" or self.cache_mode != "safe"
+
+    def state_caching_info(self) -> dict | None:
+        """The ``state_caching`` provenance block recorded on reports
+        (``None`` when caching is off)."""
+        if self.state_cache == "off":
+            return None
+        info: dict[str, Any] = {"store": self.state_cache, "mode": self.cache_mode}
+        if self.state_cache == "bitstate":
+            info["cache_bits"] = self.cache_bits
+        info["sleep_sets"] = self.sleep_sets_active
+        return info
+
     def validate(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ValueError(
@@ -114,6 +160,20 @@ class SearchOptions:
             )
         if self.max_depth < 1:
             raise ValueError("max_depth must be >= 1")
+        from ..statespace.stores import STORE_KINDS
+
+        if self.state_cache not in STORE_KINDS:
+            raise ValueError(
+                f"unknown state cache {self.state_cache!r}; "
+                f"expected one of {', '.join(STORE_KINDS)}"
+            )
+        if self.cache_mode not in CACHE_MODES:
+            raise ValueError(
+                f"unknown cache mode {self.cache_mode!r}; "
+                f"expected one of {', '.join(CACHE_MODES)}"
+            )
+        if self.state_cache == "bitstate" and not (3 <= self.cache_bits <= 40):
+            raise ValueError("cache_bits must be in 3..40")
         if self.strategy == "parallel":
             if self.on_leaf is not None or self.stop_when is not None:
                 raise ValueError(
@@ -155,6 +215,15 @@ def run_search(
     report.options = options
     if options.strategy == "random":
         report.seed = options.seed
+    elif options.state_cache != "off":
+        # Merge the mode into whatever the explorer recorded (store
+        # kind, shape, sleep-set status) — the explorer does not know
+        # the search-layer mode name.
+        report.state_caching = {
+            **(options.state_caching_info() or {}),
+            **(report.state_caching or {}),
+            "mode": options.cache_mode,
+        }
     return report
 
 
@@ -170,6 +239,8 @@ def _dispatch(
             system,
             max_depth=options.max_depth,
             por=options.por,
+            sleep_sets=options.sleep_sets_active,
+            state_store=options.make_state_store(),
             count_states=options.count_states,
             stop_on_first=options.stop_on_first,
             max_paths=options.max_paths,

@@ -43,6 +43,12 @@ class SearchStats:
       asleep.
     * ``prefixes`` / ``jobs`` — parallel-driver shape (0/1 for
       sequential strategies).
+    * ``state_cache`` / ``cache_*`` — state-space caching
+      (:mod:`repro.statespace`): which store was active (``"off"``
+      when none), pruned revisits (``cache_hits``), expanded visits
+      (``cache_misses``), distinct states held (``cache_stored``) and
+      the store's accounting-model footprint (``cache_memory_bytes``).
+      Parallel searches sum the counters over per-worker stores.
     """
 
     strategy: str = "dfs"
@@ -60,6 +66,11 @@ class SearchStats:
     cpu_time: float = 0.0
     jobs: int = 1
     prefixes: int = 0
+    state_cache: str = "off"
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stored: int = 0
+    cache_memory_bytes: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -85,6 +96,23 @@ class SearchStats:
             return None
         return self.replayed_transitions / total
 
+    @property
+    def cache_hit_ratio(self) -> float | None:
+        """Pruned revisits over all store consultations; ``None``
+        before any consultation (or with caching off)."""
+        total = self.cache_hits + self.cache_misses
+        if not total:
+            return None
+        return self.cache_hits / total
+
+    @property
+    def cache_bytes_per_state(self) -> float | None:
+        """Store footprint per distinct stored state (the memory lever
+        of the compacting stores); ``None`` with nothing stored."""
+        if not self.cache_stored:
+            return None
+        return self.cache_memory_bytes / self.cache_stored
+
     # -- aggregation --------------------------------------------------------
 
     _SUMMED = (
@@ -98,6 +126,10 @@ class SearchStats:
         "persistent_transitions",
         "sleep_prunes",
         "cpu_time",
+        "cache_hits",
+        "cache_misses",
+        "cache_stored",
+        "cache_memory_bytes",
     )
 
     def add(self, other: "SearchStats") -> None:
@@ -106,6 +138,8 @@ class SearchStats:
         for name in self._SUMMED:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.max_depth_reached = max(self.max_depth_reached, other.max_depth_reached)
+        if self.state_cache == "off" and other.state_cache != "off":
+            self.state_cache = other.state_cache
 
     @classmethod
     def merged(cls, parts: Iterable["SearchStats"], **overrides) -> "SearchStats":
@@ -130,6 +164,12 @@ class SearchStats:
             bits.append(f"por={ratio:.2f}")
         if self.sleep_prunes:
             bits.append(f"sleep-prunes={self.sleep_prunes}")
+        if self.state_cache != "off":
+            hit = self.cache_hit_ratio
+            bits.append(
+                f"cache={self.state_cache}:{self.cache_hits}"
+                + (f" ({hit:.0%})" if hit is not None else "")
+            )
         if self.jobs > 1:
             bits.append(f"jobs={self.jobs}")
         return " ".join(bits)
@@ -155,6 +195,19 @@ class SearchStats:
         ratio = self.reduction_ratio
         if ratio is not None:
             lines.append(f"POR ratio:       {ratio:.3f} (persistent/enabled)")
+        if self.state_cache != "off":
+            hit = self.cache_hit_ratio
+            per_state = self.cache_bytes_per_state
+            lines.append(
+                f"state cache:     {self.state_cache} — "
+                f"{self.cache_hits} prunes / {self.cache_misses} expansions"
+                + (f" ({hit:.0%} hit ratio)" if hit is not None else "")
+            )
+            lines.append(
+                f"cache memory:    {self.cache_memory_bytes} B, "
+                f"{self.cache_stored} states"
+                + (f" ({per_state:.1f} B/state)" if per_state is not None else "")
+            )
         lines.append(
             f"time:            {self.wall_time:.3f}s wall, {self.cpu_time:.3f}s cpu"
         )
@@ -173,6 +226,8 @@ class SearchStats:
         out["reduction_ratio"] = self.reduction_ratio
         out["replay_overhead"] = self.replay_overhead
         out["states_per_second"] = self.states_per_second
+        out["cache_hit_ratio"] = self.cache_hit_ratio
+        out["cache_bytes_per_state"] = self.cache_bytes_per_state
         return out
 
 

@@ -55,7 +55,7 @@ class TestValidation:
 
     def test_missing_start(self):
         cfg = ControlFlowGraph(proc_name="p")
-        node = cfg.new_node(NodeKind.RETURN)
+        cfg.new_node(NodeKind.RETURN)
         with pytest.raises(CfgError):
             cfg.validate()
 

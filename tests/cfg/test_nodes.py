@@ -1,6 +1,5 @@
 """Unit tests for CFG node and guard descriptions."""
 
-import pytest
 
 from repro.cfg import (
     ALWAYS,

@@ -5,7 +5,7 @@ import pytest
 from tests.helpers import single_process_behaviors
 
 from repro import close_program, parse_program
-from repro.closing.codegen import cfg_to_source, cfgs_to_source
+from repro.closing.codegen import cfgs_to_source
 from repro.closing.generators import generate_program
 
 FIG2 = """

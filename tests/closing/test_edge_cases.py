@@ -5,7 +5,7 @@ import pytest
 
 from tests.helpers import single_process_behaviors
 
-from repro import System, close_program, explore
+from repro import close_program, explore
 from repro.cfg import NodeKind
 
 

@@ -6,7 +6,7 @@ from tests.helpers import single_process_behaviors
 
 from repro import System, close_program, explore
 from repro.closing.generators import generate_program
-from repro.closing.hoist import unswitch_proc, unswitch_program
+from repro.closing.hoist import unswitch_program
 from repro.lang import ast
 from repro.lang.normalize import normalize_program
 from repro.lang.parser import parse_program

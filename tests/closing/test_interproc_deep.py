@@ -1,11 +1,10 @@
 """Deeper interprocedural taint scenarios: diamonds, cross-process
 chains, structured data, combined pointer/channel/return flows."""
 
-import pytest
 
 from tests.helpers import behavior_inclusion, single_process_behaviors
 
-from repro import System, close_naively, close_program, explore
+from repro import System, close_naively, close_program
 from repro.cfg import NodeKind, build_cfgs
 from repro.closing import NaiveDomains, analyze_for_closing
 from repro.lang.parser import parse_program

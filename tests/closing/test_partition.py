@@ -1,6 +1,5 @@
 """Tests for input-domain partitioning (the Section 7 proposal)."""
 
-import pytest
 
 from tests.helpers import single_process_behaviors
 

@@ -5,7 +5,6 @@ the pipeline invariants: normalization, CFG structure, define-use
 consistency, marking rules, and exploration determinism.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import System, close_program, explore

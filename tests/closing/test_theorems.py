@@ -15,7 +15,6 @@ These run both on hand-written programs and on randomly generated ones.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from tests.helpers import behavior_inclusion
 

@@ -3,10 +3,9 @@ parameter/argument removal."""
 
 import pytest
 
-from repro.cfg import NodeKind, TossGuard
+from repro.cfg import NodeKind
 from repro.closing import ClosingError, close_program
 from repro.lang import ast
-from repro.lang.parser import parse_program
 
 FIG2 = """
 proc p(x) {

@@ -1,6 +1,5 @@
 """Replay from disk: reproduction, and every divergence diagnosis."""
 
-import pytest
 
 from repro import SearchOptions, System, run_search
 from repro.counterex import (
@@ -130,3 +129,56 @@ class TestVerifyTrace:
         verdict = verify_trace(deadlock_system(), trace_file)
         assert verdict.status == "different-violation"
         assert "different violation" in verdict.detail
+
+
+class TestFingerprintDiagnosis:
+    """The fingerprint is the trace's provenance anchor; every verdict
+    must cross-check it and say what the combination means."""
+
+    def _trace_file(self, system):
+        event = first_event(system)
+        return trace_file_for_event(event, system=system)
+
+    def test_tampered_fingerprint_but_bug_reproduces(self):
+        # The embedded fingerprint differs, yet replay still finds the
+        # recorded violation: the verdict is "reproduced" (ok), but the
+        # mismatch must be called out — the edit did not affect the bug.
+        import dataclasses
+
+        trace_file = self._trace_file(deadlock_system())
+        tampered = dataclasses.replace(trace_file, fingerprint="0" * 16)
+        verdict = verify_trace(deadlock_system(), tampered)
+        assert verdict.status == "reproduced"
+        assert verdict.ok
+        assert verdict.fingerprint_matched is False
+        assert "fingerprint mismatch" in verdict.detail
+        assert trace_file.fingerprint != "0" * 16  # the tamper took
+
+    def test_matching_fingerprint_with_divergence_is_corruption(self):
+        # Fingerprint says "same system" but the choices do not apply:
+        # the diagnosis must escalate to trace corruption, not blame a
+        # program change.
+        import dataclasses
+
+        from repro.verisoft.results import Trace
+
+        trace_file = self._trace_file(deadlock_system())
+        broken = (ScheduleChoice("ghost-process"), *trace_file.trace.choices)
+        corrupted = dataclasses.replace(
+            trace_file, trace=Trace(broken, ())
+        )
+        verdict = verify_trace(deadlock_system(), corrupted)
+        assert verdict.status == "diverged"
+        assert verdict.fingerprint_matched is True
+        assert "replay diverged at choice 0" in verdict.detail
+        assert "trace corruption" in verdict.detail
+
+    def test_fingerprintless_trace_reports_none(self):
+        trace_file = self._trace_file(deadlock_system())
+        import dataclasses
+
+        bare = dataclasses.replace(trace_file, fingerprint=None)
+        verdict = verify_trace(deadlock_system(), bare)
+        assert verdict.status == "reproduced"
+        assert verdict.fingerprint_matched is None
+        assert "fingerprint" not in verdict.detail

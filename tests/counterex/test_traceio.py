@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro import SearchOptions, System, run_search
+from repro import SearchOptions, run_search
 from repro.counterex import (
     FORMAT,
     VERSION,

@@ -1,8 +1,7 @@
 """Triage: signatures, grouping, rendering, and parallel parity."""
 
-import pytest
 
-from repro import SearchOptions, System, run_search
+from repro import SearchOptions, run_search
 from repro.counterex import describe_groups, event_signature, group_events
 from repro.counterex.triage import signature_from_json, signature_to_json
 from repro.verisoft.results import (

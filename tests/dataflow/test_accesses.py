@@ -1,6 +1,6 @@
 """Tests for per-node use/def computation."""
 
-from repro.cfg import NodeKind, build_cfgs
+from repro.cfg import build_cfgs
 from repro.dataflow.accesses import node_access
 from repro.lang.parser import parse_program
 

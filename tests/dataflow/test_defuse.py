@@ -1,6 +1,6 @@
 """Tests for define-use graph computation (reaching definitions)."""
 
-from repro.cfg import NodeKind, build_cfgs
+from repro.cfg import build_cfgs
 from repro.dataflow.alias import analyze_aliases
 from repro.dataflow.defuse import compute_defuse
 from repro.lang.parser import parse_program

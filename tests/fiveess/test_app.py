@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import System, explore
+from repro import explore
 from repro.cfg import NodeKind
 from repro.fiveess import build_app
 from repro.lang.parser import parse_program

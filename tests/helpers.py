@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro import System, close_program
+from repro import System
 from repro.runtime.system import Run
 from repro.verisoft import collect_output_traces
 

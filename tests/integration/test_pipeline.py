@@ -1,7 +1,6 @@
 """Whole-pipeline integration tests: parse → close → run → explore,
 including multi-process systems mixing closed code with manual stubs."""
 
-import pytest
 
 from repro import (
     System,

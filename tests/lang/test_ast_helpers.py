@@ -1,6 +1,5 @@
 """Unit tests for AST helper functions."""
 
-import pytest
 
 from repro.lang import ast
 from repro.lang.parser import parse_expr, parse_program

@@ -1,12 +1,11 @@
 """Hypothesis fuzzing of the front end: no input may crash the tools
 with anything but a LangError, and several semantic oracles."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lang.errors import LangError
 from repro.lang.lexer import tokenize
-from repro.lang.parser import parse_expr, parse_program
+from repro.lang.parser import parse_program
 
 
 class TestLexerRobustness:

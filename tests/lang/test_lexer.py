@@ -137,7 +137,6 @@ class TestStrings:
 
 class TestComments:
     def test_line_comment(self):
-        tokens = tokenize("x // comment\ny")
         assert values("x // comment\ny") == ["x", "y"]
 
     def test_block_comment(self):

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.lang import ast
 from repro.lang.parser import parse_expr, parse_program
-from repro.lang.pretty import pretty, pretty_expr, pretty_proc
+from repro.lang.pretty import pretty, pretty_expr
 
 
 class TestExprPrinting:

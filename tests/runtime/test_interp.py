@@ -1,6 +1,5 @@
 """Tests for the CFG interpreter (single-process semantics)."""
 
-import pytest
 
 from tests.helpers import outputs_of, run_single
 

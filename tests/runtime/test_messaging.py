@@ -1,10 +1,8 @@
 """End-to-end messaging tests: structured data through objects, poll,
 pointer mailing, kind checking."""
 
-import pytest
 
 from repro import System
-from repro.runtime.errors import ObjectError
 from repro.runtime.process import ProcessStatus
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import System
-from repro.runtime import SystemConfig
 from repro.runtime.errors import ObjectError
 from repro.runtime.process import ProcessStatus
 

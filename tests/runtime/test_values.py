@@ -1,6 +1,5 @@
 """Tests for runtime values, cells, and fingerprinting."""
 
-import pytest
 
 from repro.runtime.values import (
     TOP,

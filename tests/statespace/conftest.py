@@ -1,0 +1,83 @@
+"""Shared builders for the state-space caching tests.
+
+The Figure 2/3 programs (closed, with seeded assertions) have diamond
+structure — different toss orders converge on the same (cnt, odds)
+counter state — so a cached search has genuine revisits to prune, which
+is exactly what the parity tests need.
+"""
+
+import pytest
+
+from repro import System, close_program
+
+FIG2_SRC = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    var odds = 0;
+    while (cnt < 3) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); odds = odds + 1; }
+        cnt = cnt + 1;
+    }
+    VS_assert(odds < 3);
+}
+"""
+
+FIG3_SRC = """
+proc q(x) {
+    var cnt = 0;
+    var odds = 0;
+    while (cnt < 3) {
+        var y = x % 2;
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); odds = odds + 1; }
+        VS_assert(odds < 2);
+        x = x / 2;
+        cnt = cnt + 1;
+    }
+}
+"""
+
+DEADLOCK_SRC = """
+proc grab(first, second) {
+    sem_p(first);
+    sem_p(second);
+    sem_v(second);
+    sem_v(first);
+}
+"""
+
+
+def figure_system(source, proc):
+    """Close a Figure 2/3 program and wrap it in a runnable system."""
+    closed = close_program(source, env_params={proc: ["x"]})
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", proc, [])
+    return system
+
+
+def deadlock_system():
+    """The classic lock-order deadlock pair."""
+    system = System(DEADLOCK_SRC)
+    s1 = system.add_semaphore("s1", 1)
+    s2 = system.add_semaphore("s2", 1)
+    system.add_process("a", "grab", [s1, s2])
+    system.add_process("b", "grab", [s2, s1])
+    return system
+
+
+def triage_signatures(report):
+    """The sorted violation-group signatures of a report — the unit of
+    comparison for cached-vs-uncached parity (counters differ by
+    design; what must not differ is *which bugs* were found)."""
+    return sorted(group.signature for group in report.triage())
+
+
+@pytest.fixture()
+def fig2_system():
+    return figure_system(FIG2_SRC, "p")
+
+
+@pytest.fixture()
+def fig3_system():
+    return figure_system(FIG3_SRC, "q")

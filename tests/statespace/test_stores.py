@@ -1,0 +1,136 @@
+"""The store implementations, independent of any explorer.
+
+Stores see only byte keys and depth budgets, so they can be tested
+exhaustively with synthetic keys; the search-level behaviour lives in
+``test_cached_search.py``.
+"""
+
+import pytest
+
+from repro.statespace import (
+    STORE_KINDS,
+    BitstateStore,
+    ExactStore,
+    HashCompactStore,
+    make_store,
+)
+
+
+class TestExactStore:
+    def test_first_visit_expands_revisit_prunes(self):
+        store = ExactStore()
+        assert store.visit(b"s1", 10) is True
+        assert store.visit(b"s1", 10) is False
+        assert store.visit(b"s1", 5) is False  # smaller budget: still pruned
+        assert (store.hits, store.misses) == (2, 1)
+        assert store.states_stored == 1
+
+    def test_larger_budget_forces_reexpansion(self):
+        # A state first met near the depth bound has an under-explored
+        # subtree; a shallower revisit must be expanded again or the
+        # bound would silently eat coverage.
+        store = ExactStore()
+        assert store.visit(b"s1", 3) is True
+        assert store.visit(b"s1", 8) is True
+        assert store.visit(b"s1", 8) is False  # budget now remembered
+        assert store.misses == 2
+
+    def test_memory_charges_key_bytes(self):
+        store = ExactStore()
+        store.visit(b"x" * 100, 1)
+        store.visit(b"y" * 50, 1)
+        assert store.states_stored == 2
+        assert store.memory_bytes == 100 + 50 + 2 * 8
+        # Re-expanding an existing key must not double-charge it.
+        store.visit(b"x" * 100, 9)
+        assert store.memory_bytes == 100 + 50 + 2 * 8
+
+    def test_distinct_keys_never_collide(self):
+        store = ExactStore()
+        keys = [bytes([i, j]) for i in range(16) for j in range(16)]
+        assert all(store.visit(k, 1) for k in keys)
+        assert store.states_stored == len(keys)
+
+
+class TestHashCompactStore:
+    def test_visit_semantics_match_exact(self):
+        store = HashCompactStore()
+        assert store.visit(b"s1", 10) is True
+        assert store.visit(b"s1", 10) is False
+        assert store.visit(b"s1", 20) is True  # depth-aware, like exact
+        assert store.states_stored == 1
+
+    def test_sixteen_bytes_per_state_regardless_of_key_size(self):
+        store = HashCompactStore()
+        store.visit(b"k" * 10_000, 1)
+        store.visit(b"tiny", 1)
+        assert store.memory_bytes == 32
+        assert store.memory_bytes / store.states_stored == 16.0
+
+
+class TestBitstateStore:
+    def test_visit_and_fixed_footprint(self):
+        store = BitstateStore(bits=10)
+        assert store.visit(b"s1", 10) is True
+        assert store.visit(b"s1", 10) is False
+        assert store.memory_bytes == (1 << 10) // 8  # fixed, not per-state
+        assert store.states_stored == 1
+
+    def test_ignores_depth_budget(self):
+        # Single bits cannot store a budget; a deeper revisit is still
+        # pruned (documented unsoundness under a depth bound).
+        store = BitstateStore(bits=10)
+        store.visit(b"s1", 3)
+        assert store.visit(b"s1", 100) is False
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            BitstateStore(bits=2)
+        with pytest.raises(ValueError):
+            BitstateStore(bits=41)
+        with pytest.raises(ValueError):
+            BitstateStore(bits=10, hashes=0)
+
+    def test_saturation_produces_false_positives(self):
+        # A tiny filter must eventually claim fresh states were seen —
+        # the probabilistic trade-off the docstring advertises.
+        store = BitstateStore(bits=3, hashes=1)  # 8 bits total
+        results = [store.visit(b"key-%d" % i, 1) for i in range(64)]
+        assert not all(results)
+        assert store.hits > 0
+
+    def test_config_records_shape(self):
+        assert BitstateStore(bits=12, hashes=3).config() == {
+            "store": "bitstate",
+            "cache_bits": 12,
+            "hashes": 3,
+        }
+
+
+class TestMakeStore:
+    def test_off_means_no_store(self):
+        assert make_store("off") is None
+
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [("exact", ExactStore), ("hashcompact", HashCompactStore), ("bitstate", BitstateStore)],
+    )
+    def test_dispatch(self, kind, cls):
+        store = make_store(kind, cache_bits=12)
+        assert isinstance(store, cls)
+        assert store.kind == kind
+        assert store.config()["store"] == kind
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown state store"):
+            make_store("lru")
+
+    def test_store_kinds_is_the_cli_vocabulary(self):
+        assert STORE_KINDS == ("off", "exact", "hashcompact", "bitstate")
+
+    def test_describe_mentions_counts(self):
+        store = make_store("exact")
+        store.visit(b"k", 1)
+        store.visit(b"k", 1)
+        text = store.describe()
+        assert "1 states" in text and "1 hits" in text

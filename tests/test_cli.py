@@ -322,3 +322,113 @@ class TestMisc:
     def test_no_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStateCacheFlags:
+    """--state-cache / --cache-bits / --cache-mode and the --jobs
+    oversubscription warning."""
+
+    def _deadlock_system(self, tmp_path):
+        program = tmp_path / "prog.rc"
+        program.write_text(DEADLOCK_RC)
+        description = dict(DEADLOCK_DESCRIPTION, program="prog.rc")
+        system = tmp_path / "system.json"
+        system.write_text(json.dumps(description))
+        return system
+
+    def test_state_cache_exact_end_to_end(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        assert (
+            main(["search", str(system), "--max-depth", "20", "--state-cache", "exact"])
+            == 3
+        )
+        out = capsys.readouterr().out
+        assert "cache=exact" in out
+        assert "deadlock" in out
+
+    def test_cache_stats_reach_the_json_dump(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        stats = tmp_path / "stats.json"
+        main(
+            [
+                "search",
+                str(system),
+                "--max-depth",
+                "20",
+                "--state-cache",
+                "hashcompact",
+                "--stats-json",
+                str(stats),
+            ]
+        )
+        payload = json.loads(stats.read_text())
+        assert payload["state_cache"] == "hashcompact"
+        assert payload["cache_stored"] > 0
+        assert payload["cache_bytes_per_state"] == 16.0
+
+    def test_saved_trace_records_cache_options(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        traces = tmp_path / "traces"
+        main(
+            [
+                "search",
+                str(system),
+                "--max-depth",
+                "20",
+                "--state-cache",
+                "bitstate",
+                "--cache-bits",
+                "12",
+                "--save-traces",
+                str(traces),
+            ]
+        )
+        doc = json.loads(sorted(traces.glob("*.json"))[0].read_text())
+        options = doc["search"]["options"]
+        assert options["state_cache"] == "bitstate"
+        assert options["cache_bits"] == 12
+        assert options["cache_mode"] == "safe"
+
+    def test_bad_cache_choice_rejected_by_argparse(self, tmp_path):
+        system = self._deadlock_system(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["search", str(system), "--state-cache", "lru"])
+
+    def test_jobs_oversubscription_warns_once(self, tmp_path, capsys):
+        import os
+
+        system = self._deadlock_system(tmp_path)
+        too_many = (os.cpu_count() or 1) + 7
+        main(
+            [
+                "search",
+                str(system),
+                "--strategy",
+                "parallel",
+                "--jobs",
+                str(too_many),
+                "--max-depth",
+                "20",
+            ]
+        )
+        err = capsys.readouterr().err
+        warnings = [line for line in err.splitlines() if line.startswith("warning:")]
+        assert len(warnings) == 1
+        assert f"--jobs {too_many} exceeds" in warnings[0]
+        assert "CPU" in warnings[0]
+
+    def test_jobs_within_cpu_count_stays_quiet(self, tmp_path, capsys):
+        system = self._deadlock_system(tmp_path)
+        main(
+            [
+                "search",
+                str(system),
+                "--strategy",
+                "parallel",
+                "--jobs",
+                "1",
+                "--max-depth",
+                "20",
+            ]
+        )
+        assert "warning:" not in capsys.readouterr().err

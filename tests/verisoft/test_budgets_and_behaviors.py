@@ -1,7 +1,6 @@
 """Tests for explorer work budgets, state counting options, and the
 behaviour-matching utilities."""
 
-import pytest
 
 from repro import System, explore
 from repro.runtime.values import TOP

@@ -1,6 +1,5 @@
 """Tests for the stateless explorer."""
 
-import pytest
 
 from repro import System, explore
 from repro.verisoft import Explorer, collect_output_traces, replay
@@ -71,7 +70,7 @@ class TestInterleavings:
         system = System(source)
         system.add_channel("a", capacity=1)
         system.add_channel("b", capacity=1)
-        ref_a = system.add_channel("a2", capacity=1)  # unused, naming check
+        system.add_channel("a2", capacity=1)  # unused by any process: naming check
         system.add_process("p1", "sender", [system.add_channel("c1", capacity=1)])
         system.add_process("p2", "sender", [system.add_channel("c2", capacity=1)])
         report = explore(system, max_depth=10, por=False)

@@ -2,7 +2,6 @@
 persistent sets, sleep sets — and the key soundness property that POR
 does not lose deadlocks or violations."""
 
-import pytest
 
 from repro import System, explore
 from repro.cfg import build_cfgs

@@ -1,6 +1,5 @@
 """Tests for the random-walk exploration mode."""
 
-import pytest
 
 from repro import System
 from repro.verisoft import random_walks, replay

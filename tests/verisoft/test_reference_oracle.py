@@ -58,7 +58,6 @@ def _reference_explore(build_system, max_depth):
 
 
 def _production_explore(build_system, max_depth, por):
-    states: set = set()
     deadlock_states: set = set()
 
     def on_leaf(run: Run, _trace):
