@@ -19,6 +19,9 @@ The package provides, from the bottom up:
 * :mod:`repro.statespace` — canonical global-state snapshots and
   pluggable visited-state stores (exact / hash-compact / bitstate)
   that the explorer can consult to prune revisited subtrees;
+* :mod:`repro.obs` — the observability layer: span/event tracing with
+  Chrome trace-event export, hot-spot profiling, worker heartbeats and
+  structured run manifests;
 * :mod:`repro.fiveess` — a synthetic multi-process telephone
   call-processing application standing in for the paper's 5ESS case
   study.
@@ -46,6 +49,13 @@ from .closing import (
     close_program,
 )
 from .lang import normalize_program, parse_program, pretty
+from .obs import (
+    HotSpotProfiler,
+    Tracer,
+    build_manifest,
+    validate_chrome_trace,
+    write_manifest,
+)
 from .runtime import System, SystemConfig
 from .statespace import (
     BitstateStore,
@@ -92,6 +102,7 @@ __all__ = [
     "ExplorationReport",
     "Explorer",
     "HashCompactStore",
+    "HotSpotProfiler",
     "NaiveDomains",
     "ProgressPrinter",
     "SearchOptions",
@@ -102,8 +113,10 @@ __all__ = [
     "SystemConfig",
     "Trace",
     "TraceFile",
+    "Tracer",
     "build_cfg",
     "build_cfgs",
+    "build_manifest",
     "close_naively",
     "close_program",
     "collect_output_traces",
@@ -121,5 +134,7 @@ __all__ = [
     "save_trace",
     "shrink",
     "snapshot",
+    "validate_chrome_trace",
     "verify_trace",
+    "write_manifest",
 ]

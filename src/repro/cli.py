@@ -30,6 +30,17 @@ Subcommands
     Exit code 3 signals "violations found" (0 = clean), so CI jobs can
     gate on it.
 
+    Observability (see docs/observability.md): ``--trace-out FILE``
+    exports the run as Chrome trace-event JSON (Perfetto-loadable) and
+    writes a ``run.json`` manifest; ``--profile`` prints the hot-spot
+    tables; ``--stall-timeout`` tunes the parallel worker-stall warning.
+
+``profile``
+    ``search`` with profiling-first defaults: run a strategy, print the
+    per-CFG-node / per-toss-point hot-spot tables::
+
+        repro profile system.json --strategy parallel -j 4 --top 15
+
 ``replay``
     Re-execute a saved trace (``repro replay trace.json``), verify the
     recorded violation reproduces, and diagnose divergence (fingerprint
@@ -200,12 +211,14 @@ def _system_from_description(
     description: dict,
     base_dir: pathlib.Path | None,
     program_source: str | None = None,
+    tracer=None,
 ) -> System:
     """Build a :class:`System` from a parsed description dict.
 
     ``program_source`` (used when replaying a self-contained trace
     file) supplies the program text directly; otherwise the
     description's ``program`` path is resolved against ``base_dir``.
+    ``tracer`` records the closing pipeline's phase spans.
     """
     if program_source is not None:
         program = _program_from_source(description.get("program", ""), program_source)
@@ -221,7 +234,12 @@ def _system_from_description(
             env_channels=close_cfg.get("env_channels", ()),
             env_shared=close_cfg.get("env_shared", ()),
         )
-        closed = close_program(program, spec, optimize=close_cfg.get("optimize", False))
+        closed = close_program(
+            program,
+            spec,
+            optimize=close_cfg.get("optimize", False),
+            tracer=tracer,
+        )
         system = System(closed.cfgs)
     else:
         system = System(program)
@@ -295,6 +313,8 @@ def _options_from_args(args) -> SearchOptions:
         seed=args.seed,
         jobs=args.jobs,
         prefix_depth=args.prefix_depth,
+        profile=args.profile,
+        stall_timeout=args.stall_timeout or None,
     )
 
 
@@ -305,9 +325,22 @@ EXIT_VIOLATIONS = 3
 
 def cmd_search(args) -> int:
     """The ``search`` subcommand: the unified search front end."""
+    tracer = None
+    if args.trace_out is not None:
+        from .obs import Tracer
+
+        tracer = Tracer()
+
     description = _read_description(args.system)
-    system = _system_from_description(description, args.system.parent)
+    if tracer is None:
+        system = _system_from_description(description, args.system.parent)
+    else:
+        with tracer.phase("build-system"):
+            system = _system_from_description(
+                description, args.system.parent, tracer=tracer
+            )
     options = _options_from_args(args)
+    options.tracer = tracer
     cpus = os.cpu_count() or 1
     if options.strategy == "parallel" and options.jobs > cpus:
         print(
@@ -319,18 +352,26 @@ def cmd_search(args) -> int:
     if ticker is not None:
         options.progress = ticker
     try:
-        report = run_search(system, options)
+        if tracer is None:
+            report = run_search(system, options)
+        else:
+            with tracer.phase("search", strategy=options.strategy):
+                report = run_search(system, options)
     finally:
         if ticker is not None:
             ticker.finish()
     _print_report(report)
+    if args.profile and report.profile is not None:
+        print("\n" + report.profile.render_table(args.profile_top, system=system))
     if args.stats and report.stats is not None:
         print("\n" + report.stats.describe(), file=sys.stderr)
     if args.stats_json is not None and report.stats is not None:
-        args.stats_json.write_text(
-            json.dumps(report.stats.json_dict(), indent=2) + "\n"
-        )
+        payload = report.stats.json_dict()
+        if report.profile is not None:
+            payload["profile"] = report.profile.as_dict()
+        args.stats_json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote stats to {args.stats_json}", file=sys.stderr)
+    artifacts: list[pathlib.Path] = []
     if args.save_traces is not None:
         from .counterex import save_report_traces
 
@@ -344,7 +385,30 @@ def cmd_search(args) -> int:
                 "program_source": program_text,
             },
         )
+        artifacts.extend(written)
         print(f"wrote {len(written)} trace file(s) to {args.save_traces}")
+    if tracer is not None:
+        artifacts.append(tracer.write(args.trace_out))
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    if args.save_traces is not None or tracer is not None:
+        from .obs import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            argv=sys.argv,
+            options=options,
+            report=report,
+            system=system,
+            phases=tracer.phase_timings() if tracer is not None else None,
+            artifacts=[str(path) for path in artifacts],
+        )
+        if args.save_traces is not None:
+            where = write_manifest(args.save_traces / "run.json", manifest)
+        else:
+            where = write_manifest(
+                args.trace_out.with_name(args.trace_out.stem + ".run.json"),
+                manifest,
+            )
+        print(f"wrote manifest to {where}", file=sys.stderr)
     return 0 if report.ok else EXIT_VIOLATIONS
 
 
@@ -465,6 +529,47 @@ def cmd_explore(args) -> int:
 def cmd_walk(args) -> int:
     """The ``walk`` subcommand (deprecated shim for ``search``)."""
     return _forward_to_search(args, "random", "walk")
+
+
+def cmd_profile(args) -> int:
+    """The ``profile`` subcommand: a search run whose deliverable is the
+    hot-spot table (``repro search --profile`` with profiling-first
+    defaults)."""
+    return cmd_search(args)
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability flags shared by ``search``-style commands."""
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="export the run as Chrome trace-event JSON (load in "
+        "chrome://tracing or https://ui.perfetto.dev); also writes a "
+        "run manifest next to it",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-CFG-node / per-toss-point hot-spot counters "
+        "and print the top-N tables after the run",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per hot-spot table (default: 10)",
+    )
+    parser.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="parallel strategy: warn when a worker makes no progress "
+        "for this long (0 disables; default: 10)",
+    )
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -619,7 +724,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one replayable JSON trace file per violation to DIR "
         "(replay with 'repro replay', minimize with 'repro shrink')",
     )
+    _add_obs_arguments(search_parser)
     search_parser.set_defaults(func=cmd_search)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="search a system and print the hot-spot profile",
+        epilog=_SYSTEM_SCHEMA,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    profile_parser.add_argument("system", type=pathlib.Path, help="system JSON")
+    profile_parser.add_argument(
+        "--strategy",
+        choices=("dfs", "random", "parallel"),
+        default="dfs",
+        help="search strategy to profile (default: dfs)",
+    )
+    profile_parser.add_argument("--max-depth", type=int, default=100)
+    profile_parser.add_argument("--max-paths", type=int, default=None)
+    profile_parser.add_argument("--max-transitions", type=int, default=None)
+    profile_parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS"
+    )
+    profile_parser.add_argument("--walks", type=int, default=100)
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--jobs", "-j", type=int, default=0, metavar="N")
+    profile_parser.add_argument(
+        "--top",
+        dest="profile_top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per hot-spot table (default: 10)",
+    )
+    profile_parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="also export a Chrome trace-event JSON timeline",
+    )
+    profile_parser.add_argument(
+        "--stats-json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="dump telemetry + profile as machine-readable JSON",
+    )
+    profile_parser.add_argument("--progress", action="store_true")
+    profile_parser.set_defaults(
+        func=cmd_profile,
+        no_por=False,
+        count_states=False,
+        stop_on_first=False,
+        max_events=25,
+        state_cache="off",
+        cache_bits=24,
+        cache_mode="safe",
+        prefix_depth=None,
+        stats=False,
+        save_traces=None,
+        profile=True,
+        stall_timeout=10.0,
+    )
 
     replay_parser = sub.add_parser(
         "replay",
@@ -713,6 +880,10 @@ def build_parser() -> argparse.ArgumentParser:
         stats=False,
         stats_json=None,
         save_traces=None,
+        trace_out=None,
+        profile=False,
+        profile_top=10,
+        stall_timeout=10.0,
     )
 
     walk_parser = sub.add_parser(
@@ -740,6 +911,10 @@ def build_parser() -> argparse.ArgumentParser:
         stats=False,
         stats_json=None,
         save_traces=None,
+        trace_out=None,
+        profile=False,
+        profile_top=10,
+        stall_timeout=10.0,
     )
     return parser
 

@@ -127,6 +127,7 @@ def close_program(
     env_shared: Iterable[str] = (),
     object_bindings: Mapping[tuple[str, str], Iterable[str]] | None = None,
     optimize: bool = False,
+    tracer=None,
 ) -> ClosedProgram:
     """Close an open program with its most general environment.
 
@@ -138,6 +139,11 @@ def close_program(
     Returns a :class:`ClosedProgram`.  Feed its ``cfgs`` straight into
     :class:`repro.runtime.System`, remembering that parameters listed in
     ``removed_params`` no longer exist.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) records the
+    pipeline as phase spans — ``parse``, ``analyze``, ``transform``,
+    ``optimize`` — so closing time is visible on the same timeline as
+    the search it feeds.
     """
     if spec is None:
         spec = ClosingSpec.make(
@@ -150,15 +156,25 @@ def close_program(
         raise ValueError("pass either a ClosingSpec or keyword arguments, not both")
 
     if isinstance(source, str):
-        source = parse_program(source)
+        if tracer is None:
+            source = parse_program(source)
+        else:
+            with tracer.phase("parse"):
+                source = parse_program(source)
     if isinstance(source, ast.Program):
         cfgs = build_cfgs(source)
     else:
         cfgs = dict(source)
 
     started = time.perf_counter()
-    analysis = analyze_for_closing(cfgs, spec)
-    closed_cfgs, stats = transform_program(analysis)
+    if tracer is None:
+        analysis = analyze_for_closing(cfgs, spec)
+        closed_cfgs, stats = transform_program(analysis)
+    else:
+        with tracer.phase("analyze", procs=len(cfgs)):
+            analysis = analyze_for_closing(cfgs, spec)
+        with tracer.phase("transform", procs=len(cfgs)):
+            closed_cfgs, stats = transform_program(analysis, tracer=tracer)
     elapsed = time.perf_counter() - started
     closed = ClosedProgram(
         cfgs=closed_cfgs,
@@ -167,7 +183,11 @@ def close_program(
         elapsed_seconds=elapsed,
     )
     if optimize:
-        optimized = closed.optimize()
+        if tracer is None:
+            optimized = closed.optimize()
+        else:
+            with tracer.phase("optimize"):
+                optimized = closed.optimize()
         optimized.elapsed_seconds = time.perf_counter() - started
         return optimized
     return closed

@@ -282,12 +282,22 @@ class ProcTransformer:
 
 def transform_program(
     analysis: ClosingAnalysis,
+    tracer=None,
 ) -> tuple[dict[str, ControlFlowGraph], dict[str, ProcTransformStats]]:
-    """Apply Steps 4–5 to every procedure of the analysed program."""
+    """Apply Steps 4–5 to every procedure of the analysed program.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) records one span
+    per transformed procedure (category ``"closing"``), so per-proc
+    transform cost is visible on the run timeline.
+    """
     cfgs: dict[str, ControlFlowGraph] = {}
     stats: dict[str, ProcTransformStats] = {}
     for proc, pa in analysis.procs.items():
-        transformed, proc_stats = ProcTransformer(pa, analysis).run()
+        if tracer is None:
+            transformed, proc_stats = ProcTransformer(pa, analysis).run()
+        else:
+            with tracer.span("transform-proc", cat="closing", proc=proc):
+                transformed, proc_stats = ProcTransformer(pa, analysis).run()
         cfgs[proc] = transformed
         stats[proc] = proc_stats
     return cfgs, stats

@@ -74,13 +74,24 @@ class ReplayOutcome:
         return [event_signature(event) for event in self.events]
 
 
-def run_choices(system: System, choices: tuple[Choice, ...] | list) -> ReplayOutcome:
+def run_choices(
+    system: System,
+    choices: tuple[Choice, ...] | list,
+    tracer: Any | None = None,
+) -> ReplayOutcome:
     """Deterministically re-execute ``choices`` and observe violations.
 
     Never raises on divergence — a failed choice yields an outcome with
     ``ok=False`` and the mismatch recorded, which is exactly the "this
     candidate does not reproduce" answer the shrinking oracle needs.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`), when given,
+    records the whole re-execution as one ``"replay"`` span carrying
+    the prefix length — replay prefixes show up on the run timeline.
     """
+    if tracer is not None:
+        with tracer.span("replay", cat="replay", n_choices=len(choices)):
+            return run_choices(system, choices)
     choices = tuple(choices)
     steps: list[TraceStep] = []
     events: list[Any] = []

@@ -1,0 +1,54 @@
+"""repro.obs — the observability layer: tracing, profiling, health.
+
+VeriSoft-style stateless search spends nearly all of its time
+re-executing the program; this package is the measurement layer over
+that machinery, threaded through the whole pipeline (parse → dataflow →
+closing transform → search/replay/shrink):
+
+* :mod:`repro.obs.tracer` — a lightweight span/event tracer with
+  Chrome trace-event JSON export (``chrome://tracing`` / Perfetto):
+  pipeline phases, per-path DFS spans, replay prefixes, per-worker
+  parallel timelines;
+* :mod:`repro.obs.profile` — a hot-spot profiler riding the explorer's
+  ``on_step`` observer: per-CFG-node / per-operation / per-toss-point
+  execution counts plus depth and branching histograms, rendered as
+  top-N tables (``repro search --profile`` / ``repro profile``);
+* :mod:`repro.obs.heartbeat` — worker heartbeats and stall detection
+  for the parallel search: per-worker progress lines in the ticker and
+  warnings when a worker stops making progress;
+* :mod:`repro.obs.manifest` — structured ``run.json`` manifests
+  (options, system fingerprint, git version, host, phase timings,
+  final stats) written next to saved artifacts.
+
+Every hook is **zero-cost when disabled**: instrumentation sites are
+guarded by a single ``if tracer is not None`` / ``if on_step is not
+None`` and nothing is constructed unless requested (overhead measured
+by ``benchmarks/bench_obs.py``).
+"""
+
+from .heartbeat import Heartbeat, HeartbeatMonitor, WorkerHealth
+from .manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    build_manifest,
+    git_info,
+    host_info,
+    write_manifest,
+)
+from .profile import HotSpotProfiler
+from .tracer import Tracer, validate_chrome_trace
+
+__all__ = [
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "HotSpotProfiler",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "Tracer",
+    "WorkerHealth",
+    "build_manifest",
+    "git_info",
+    "host_info",
+    "validate_chrome_trace",
+    "write_manifest",
+]

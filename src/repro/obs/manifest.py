@@ -1,0 +1,159 @@
+"""Structured run manifests: every exploration is reconstructable.
+
+A saved trace answers "what went wrong"; the manifest answers "what ran
+at all" — the exact options, the system fingerprint, the code version,
+the host, the phase timings and the final telemetry, written as
+``run.json`` next to whatever artifacts the run produced (saved traces,
+Chrome trace exports).  Two runs whose manifests agree on
+``options``/``fingerprint``/``git`` are replays of each other; two that
+do not explain *why* their numbers differ.
+
+Everything here degrades gracefully: no git checkout, no problem (the
+``git`` block is ``None``); the manifest never fails a run.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import platform
+import socket
+import subprocess
+import sys
+from typing import Any
+
+#: Schema version of the manifest file.
+MANIFEST_VERSION = 1
+
+#: Default file name, written next to run artifacts.
+MANIFEST_NAME = "run.json"
+
+
+def git_info(cwd: str | pathlib.Path | None = None) -> dict[str, str] | None:
+    """``git describe`` + commit hash of the working tree (``None``
+    when not in a git checkout, or git is unavailable)."""
+    def run(*args: str) -> str | None:
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout.strip()
+
+    commit = run("rev-parse", "HEAD")
+    if not commit:
+        return None
+    info: dict[str, str] = {"commit": commit}
+    describe = run("describe", "--always", "--dirty")
+    if describe:
+        info["describe"] = describe
+    return info
+
+
+def host_info() -> dict[str, Any]:
+    """A fingerprint of the machine the run executed on."""
+    import os
+
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_manifest(
+    *,
+    argv: list[str] | None = None,
+    options: Any = None,
+    report: Any = None,
+    system: Any = None,
+    phases: dict[str, float] | None = None,
+    artifacts: list[str] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the ``run.json`` dictionary.
+
+    Arguments (all optional — the manifest records what it is given):
+
+    * ``argv`` — the command line that launched the run;
+    * ``options`` — a :class:`~repro.verisoft.search.SearchOptions`
+      (serialized via its ``as_dict``);
+    * ``report`` — the final
+      :class:`~repro.verisoft.results.ExplorationReport` (summary line,
+      stats, triage group count, profile when collected);
+    * ``system`` — the explored :class:`~repro.runtime.System` (its
+      structural fingerprint is recorded);
+    * ``phases`` — phase-name → seconds (see
+      :meth:`repro.obs.tracer.Tracer.phase_timings`);
+    * ``artifacts`` — paths of files the run wrote (trace JSONs, saved
+      counterexample traces);
+    * ``extra`` — any additional JSON-serializable block.
+    """
+    from .. import __version__
+
+    manifest: dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "tool": {"name": "repro", "version": __version__},
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "argv": list(argv) if argv is not None else list(sys.argv),
+        "host": host_info(),
+        "git": git_info(),
+    }
+    if options is not None:
+        manifest["options"] = options.as_dict()
+    if system is not None:
+        try:
+            manifest["system_fingerprint"] = system.fingerprint()
+        except Exception:  # fingerprinting must never sink a run
+            manifest["system_fingerprint"] = None
+    if report is not None:
+        block: dict[str, Any] = {
+            "summary": report.summary(),
+            "ok": report.ok,
+            "paths_explored": report.paths_explored,
+            "states_visited": report.states_visited,
+            "transitions_executed": report.transitions_executed,
+            "truncated": report.truncated,
+            "incomplete": report.incomplete,
+            "violation_groups": len(report.triage()) if not report.ok else 0,
+        }
+        if report.stats is not None:
+            block["stats"] = report.stats.json_dict()
+        profile = getattr(report, "profile", None)
+        if profile is not None:
+            block["profile"] = profile.as_dict()
+        manifest["report"] = block
+    if phases:
+        manifest["phases"] = {
+            name: round(seconds, 6) for name, seconds in phases.items()
+        }
+    if artifacts:
+        manifest["artifacts"] = [str(path) for path in artifacts]
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(
+    directory_or_path: str | pathlib.Path, manifest: dict[str, Any]
+) -> pathlib.Path:
+    """Write ``manifest`` as JSON.  A directory argument gets the
+    default ``run.json`` name inside it; a file path is used verbatim.
+    Returns the path written."""
+    path = pathlib.Path(directory_or_path)
+    if path.is_dir():
+        path = path / MANIFEST_NAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    return path

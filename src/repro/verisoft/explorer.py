@@ -128,6 +128,19 @@ class Explorer:
             union worker sets).
         progress / progress_interval: periodic live-telemetry callback
             receiving the running :class:`~repro.verisoft.stats.SearchStats`.
+        on_step: per-step observer (the hot-spot profiler's hook,
+            :class:`repro.obs.profile.HotSpotProfiler`), invoked as
+            ``on_step(kind, process, request, depth, fanout, created)``
+            — on every *fresh-edge* visible transition
+            (``kind="schedule"``) and on every freshly created
+            ``VS_toss`` choice point (``kind="toss"``).  Anchored
+            exactly like ``transitions_executed``/``toss_points``, so
+            observer totals match the report and parallel merges are
+            exact.  ``None`` (default) costs one branch per transition.
+        tracer: a :class:`repro.obs.tracer.Tracer`; when given, the
+            explorer records one span per DFS path (category ``"dfs"``)
+            and an instant event per recorded deadlock/violation.
+            ``None`` (default) costs one branch per path.
     """
 
     def __init__(
@@ -152,6 +165,8 @@ class Explorer:
         fingerprint_set: set[Any] | None = None,
         progress: Callable[[SearchStats], None] | None = None,
         progress_interval: float = 0.5,
+        on_step: Callable[..., None] | None = None,
+        tracer: Any | None = None,
     ):
         self._system = system
         self._max_depth = max_depth
@@ -173,6 +188,8 @@ class Explorer:
         self._fingerprint_set = fingerprint_set
         self._progress = progress
         self._progress_interval = progress_interval
+        self._on_step = on_step
+        self._tracer = tracer
         self._deadline: float | None = None
         self._persistent: PersistentSetComputer | None = None
         if por:
@@ -226,7 +243,13 @@ class Explorer:
                 # been bumped: the prefix's edges were all executed (and
                 # recorded) by the coordinator that produced it.
                 frozen_replay = executions == 0 and base > 0
-                self._execute(stack, report, seen_states, stats, frozen_replay)
+                if self._tracer is None:
+                    self._execute(stack, report, seen_states, stats, frozen_replay)
+                else:
+                    with self._tracer.span("path", cat="dfs", path=executions):
+                        self._execute(
+                            stack, report, seen_states, stats, frozen_replay
+                        )
             except _Leaf:
                 pass
             report.paths_explored += 1
@@ -326,9 +349,14 @@ class Explorer:
                 if tossing is None:
                     break
                 request = tossing.toss_request
+                before = len(state.stack)
                 point = self._choice(
                     state, "toss", list(range(request.bound + 1)), frozenset(), []
                 )
+                if self._on_step is not None and len(state.stack) > before:
+                    self._on_step(
+                        "toss", tossing.name, request, depth, request.bound + 1, True
+                    )
                 value = point.chosen
                 state.choices.append(TossChoice(tossing.name, value))
                 run.answer_toss(tossing, value)
@@ -367,6 +395,8 @@ class Explorer:
                     report.deadlocks.append(
                         DeadlockEvent(state.trace(), *_blocked_info(run))
                     )
+                    if self._tracer is not None:
+                        self._tracer.instant("deadlock", cat="event", depth=depth)
                 self._leaf(state)
             if run.all_terminated():
                 self._leaf(state)
@@ -401,6 +431,7 @@ class Explorer:
                 # All moves are asleep: this subtree is covered elsewhere.
                 self._leaf(state)
 
+            before = len(state.stack)
             point = self._choice(
                 state,
                 "schedule",
@@ -408,6 +439,7 @@ class Explorer:
                 current_sleep,
                 filtered_sigs,
             )
+            created = len(state.stack) > before
             chosen_name = point.chosen
             chosen = next(p for p in run.processes if p.name == chosen_name)
             chosen_sig = point.sigs[point.index] if point.sigs else signature_of(chosen)
@@ -419,6 +451,10 @@ class Explorer:
             outcome = run.execute_visible(chosen)
             if state.fresh_edge:
                 report.transitions_executed += 1
+                if self._on_step is not None:
+                    self._on_step(
+                        "schedule", chosen_name, request, depth, len(filtered), created
+                    )
             else:
                 stats.replayed_transitions += 1
             state.steps.append(
@@ -426,6 +462,13 @@ class Explorer:
             )
             depth += 1
             if outcome is not None and outcome.violated and state.fresh_edge:
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "assertion-violation",
+                        cat="event",
+                        process=outcome.proc_name,
+                        depth=depth,
+                    )
                 if len(report.violations) < self._max_events:
                     report.violations.append(
                         AssertionViolationEvent(

@@ -49,8 +49,10 @@ merged report sums every worker's hit/miss/memory counters.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
+import sys
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable
@@ -171,6 +173,8 @@ def enumerate_prefixes(
     state_cache: str = "off",
     cache_bits: int = 24,
     fingerprint_set: set[Any] | None = None,
+    profile: bool = False,
+    tracer: Any | None = None,
 ) -> tuple[list[ChoicePrefix], ExplorationReport]:
     """Enumerate the frontier of the choice tree at ``prefix_depth``.
 
@@ -179,9 +183,16 @@ def enumerate_prefixes(
     (frontier states themselves are accounted to the workers).  Paths
     shorter than the frontier are fully explored here.  With
     ``state_cache`` the enumeration owns a private, fresh store — its
-    prunes never leak into the workers' subtrees.
+    prunes never leak into the workers' subtrees.  With ``profile`` the
+    above-frontier transitions are profiled into ``report.profile``
+    (exactly the fresh edges the sequential search would count there).
     """
     prefixes: list[ChoicePrefix] = []
+    profiler = None
+    if profile:
+        from ..obs import HotSpotProfiler
+
+        profiler = HotSpotProfiler()
     explorer = Explorer(
         system,
         max_depth=max_depth,
@@ -193,8 +204,11 @@ def enumerate_prefixes(
         frontier_depth=prefix_depth,
         on_frontier=lambda stack: prefixes.append(_snapshot(stack)),
         fingerprint_set=fingerprint_set,
+        on_step=profiler,
+        tracer=tracer,
     )
     report = explorer.run()
+    report.profile = profiler
     return prefixes, report
 
 
@@ -208,13 +222,16 @@ def enumerate_prefixes(
 _WORKER_STATE: dict[str, Any] = {}
 
 
-def _init_worker(system_or_factory, worker_kwargs: dict[str, Any]) -> None:
+def _init_worker(
+    system_or_factory, worker_kwargs: dict[str, Any], heartbeat_queue: Any = None
+) -> None:
     if callable(system_or_factory):
         system = system_or_factory()
     else:
         system = system_or_factory
     _WORKER_STATE["system"] = system
     _WORKER_STATE["kwargs"] = worker_kwargs
+    _WORKER_STATE["heartbeats"] = heartbeat_queue
 
 
 def _pool_task(
@@ -222,7 +239,11 @@ def _pool_task(
 ) -> tuple[int, ExplorationReport, frozenset | None]:
     index, prefix = indexed_prefix
     report, fingerprints = explore_subtree(
-        _WORKER_STATE["system"], prefix, **_WORKER_STATE["kwargs"]
+        _WORKER_STATE["system"],
+        prefix,
+        prefix_index=index,
+        heartbeat_queue=_WORKER_STATE.get("heartbeats"),
+        **_WORKER_STATE["kwargs"],
     )
     return index, report, fingerprints
 
@@ -242,6 +263,12 @@ def explore_subtree(
     max_events: int = 25,
     state_cache: str = "off",
     cache_bits: int = 24,
+    profile: bool = False,
+    trace: bool = False,
+    tracer: Any | None = None,
+    heartbeat_interval: float = 0.5,
+    prefix_index: int = 0,
+    heartbeat_queue: Any | None = None,
 ) -> tuple[ExplorationReport, frozenset | None]:
     """Complete the DFS below ``prefix`` (the single-worker unit of work).
 
@@ -250,7 +277,55 @@ def explore_subtree(
     duplicates across subtrees cannot be detected locally).  With
     ``state_cache`` each call builds its own fresh store: revisits are
     pruned within the subtree only (see the module caveat).
+
+    Observability (:mod:`repro.obs`): ``profile`` attaches a
+    :class:`~repro.obs.profile.HotSpotProfiler` as ``report.profile``;
+    ``tracer`` records spans directly into an in-process tracer, while
+    ``trace`` (used across process boundaries, where a live tracer
+    cannot travel) builds a private one and ships its buffer back as
+    ``report.trace_payload``.  ``heartbeat_queue``, when given, receives
+    :class:`~repro.obs.heartbeat.Heartbeat` messages: ``start``/``done``
+    around the subtree and a ``beat`` every ``heartbeat_interval``
+    seconds (piggybacking on the explorer's progress callback).
     """
+    profiler = None
+    if profile:
+        from ..obs import HotSpotProfiler
+
+        profiler = HotSpotProfiler()
+    export_trace = False
+    if tracer is None and trace:
+        from ..obs import Tracer
+
+        tracer = Tracer()
+        export_trace = True
+
+    progress = None
+    send = None
+    if heartbeat_queue is not None:
+        from ..obs import Heartbeat
+
+        pid = os.getpid()
+
+        def send(kind: str, states: int, transitions: int) -> None:
+            try:  # a closed/full queue must never sink the worker
+                heartbeat_queue.put_nowait(
+                    Heartbeat(
+                        kind, pid, prefix_index, states, transitions, time.time()
+                    )
+                )
+            except Exception:
+                pass
+
+        def progress(stats: SearchStats) -> None:
+            send(
+                "beat",
+                stats.states_visited,
+                stats.transitions_executed + stats.replayed_transitions,
+            )
+
+        send("start", 0, 0)
+
     fingerprints: set[Any] | None = set() if count_states else None
     explorer = Explorer(
         system,
@@ -266,8 +341,26 @@ def explore_subtree(
         max_events=max_events,
         initial_stack=_thaw(prefix),
         fingerprint_set=fingerprints,
+        progress=progress,
+        progress_interval=heartbeat_interval,
+        on_step=profiler,
+        tracer=tracer,
     )
-    report = explorer.run()
+    if tracer is None:
+        report = explorer.run()
+    else:
+        with tracer.span("subtree", cat="parallel", prefix=prefix_index):
+            report = explorer.run()
+    if send is not None:
+        replayed = report.stats.replayed_transitions if report.stats else 0
+        send(
+            "done",
+            report.states_visited,
+            report.transitions_executed + replayed,
+        )
+    report.profile = profiler
+    if export_trace:
+        report.trace_payload = tracer.export(label=f"worker-{os.getpid()}")
     return report, None if fingerprints is None else frozenset(fingerprints)
 
 
@@ -372,6 +465,17 @@ def merge_reports(
     if fingerprints is not None:
         merged.distinct_states = len(fingerprints)
 
+    profiles = [
+        r.profile for r in [coordinator, *workers] if r.profile is not None
+    ]
+    if profiles:
+        from ..obs import HotSpotProfiler
+
+        # Counter-for-counter identical to a sequential profile: the
+        # coordinator profiled everything above the frontier, each
+        # worker its own subtree, and the partitions are disjoint.
+        merged.profile = HotSpotProfiler.merged(profiles)
+
     parts = [r.stats for r in [coordinator, *workers] if r.stats is not None]
     merged.stats = SearchStats.merged(parts, strategy="parallel")
     merged.stats.paths_explored = merged.paths_explored
@@ -394,9 +498,12 @@ def _auto_prefix_depth(
     max_events: int,
     state_cache: str,
     cache_bits: int,
+    profile: bool = False,
 ) -> tuple[int, list[ChoicePrefix], ExplorationReport]:
     """Deepen the frontier until it yields enough prefixes to keep the
-    pool busy (≥4 per worker), or the tree runs out."""
+    pool busy (≥4 per worker), or the tree runs out.  Only the kept
+    (deepest) enumeration's profile survives, so probe passes never
+    double-count."""
     target = max(4 * jobs, jobs)
     depth_cap = max(1, min(max_depth - 1, 12))
     best: tuple[int, list[ChoicePrefix], ExplorationReport] | None = None
@@ -411,6 +518,7 @@ def _auto_prefix_depth(
             max_events=max_events,
             state_cache=state_cache,
             cache_bits=cache_bits,
+            profile=profile,
         )
         best = (depth, prefixes, report)
         if len(prefixes) >= target or depth >= depth_cap or not prefixes:
@@ -444,51 +552,63 @@ def parallel_search(
         options = replace(options, **overrides)
 
     jobs = options.jobs or os.cpu_count() or 1
+    tracer = options.tracer
     started = time.monotonic()
     deadline = None if options.time_budget is None else started + options.time_budget
 
     fingerprints: set[Any] | None = set() if options.count_states else None
 
-    if options.prefix_depth is not None:
-        prefix_depth = options.prefix_depth
-        prefixes, coordinator = enumerate_prefixes(
-            system,
-            prefix_depth,
-            max_depth=options.max_depth,
-            por=options.por,
-            sleep_sets=options.sleep_sets_active,
-            count_states=options.count_states,
-            max_events=options.max_events,
-            state_cache=options.state_cache,
-            cache_bits=options.cache_bits,
-            fingerprint_set=fingerprints,
-        )
-    else:
-        prefix_depth, prefixes, coordinator = _auto_prefix_depth(
-            system,
-            jobs,
-            max_depth=options.max_depth,
-            por=options.por,
-            sleep_sets=options.sleep_sets_active,
-            max_events=options.max_events,
-            state_cache=options.state_cache,
-            cache_bits=options.cache_bits,
-        )
-        if options.count_states:
-            # Re-enumerate once at the chosen depth to collect the
-            # coordinator's fingerprints (auto-probing skips them).
+    enumerate_phase = (
+        contextlib.nullcontext()
+        if tracer is None
+        else tracer.phase("enumerate-prefixes")
+    )
+    with enumerate_phase:
+        if options.prefix_depth is not None:
+            prefix_depth = options.prefix_depth
             prefixes, coordinator = enumerate_prefixes(
                 system,
                 prefix_depth,
                 max_depth=options.max_depth,
                 por=options.por,
                 sleep_sets=options.sleep_sets_active,
-                count_states=True,
+                count_states=options.count_states,
                 max_events=options.max_events,
                 state_cache=options.state_cache,
                 cache_bits=options.cache_bits,
                 fingerprint_set=fingerprints,
+                profile=options.profile,
+                tracer=tracer,
             )
+        else:
+            prefix_depth, prefixes, coordinator = _auto_prefix_depth(
+                system,
+                jobs,
+                max_depth=options.max_depth,
+                por=options.por,
+                sleep_sets=options.sleep_sets_active,
+                max_events=options.max_events,
+                state_cache=options.state_cache,
+                cache_bits=options.cache_bits,
+                profile=options.profile,
+            )
+            if options.count_states:
+                # Re-enumerate once at the chosen depth to collect the
+                # coordinator's fingerprints (auto-probing skips them).
+                prefixes, coordinator = enumerate_prefixes(
+                    system,
+                    prefix_depth,
+                    max_depth=options.max_depth,
+                    por=options.por,
+                    sleep_sets=options.sleep_sets_active,
+                    count_states=True,
+                    max_events=options.max_events,
+                    state_cache=options.state_cache,
+                    cache_bits=options.cache_bits,
+                    fingerprint_set=fingerprints,
+                    profile=options.profile,
+                    tracer=tracer,
+                )
 
     worker_kwargs = dict(
         max_depth=options.max_depth,
@@ -502,7 +622,20 @@ def parallel_search(
         max_events=options.max_events,
         state_cache=options.state_cache,
         cache_bits=options.cache_bits,
+        profile=options.profile,
+        trace=tracer is not None,
+        heartbeat_interval=options.progress_interval,
     )
+
+    def _warn(message: str) -> None:
+        # Route through the progress printer when it knows how (keeps
+        # the warning from colliding with the self-overwriting ticker),
+        # else fall back to stderr.
+        warn = getattr(options.progress, "warn", None)
+        if warn is not None:
+            warn(message)
+        else:
+            print(f"repro: warning: {message}", file=sys.stderr)
 
     indexed = list(enumerate(prefixes))
     results: list[tuple[ExplorationReport, frozenset | None]] = []
@@ -524,50 +657,134 @@ def parallel_search(
             live.wall_time = time.monotonic() - started
             options.progress(live)
 
-    if jobs <= 1 or len(indexed) <= 1:
-        target_system = system_factory() if system_factory is not None else system
-        for _, prefix in indexed:
-            report, prints = explore_subtree(target_system, prefix, **worker_kwargs)
-            note_result(report, prints)
-            if options.stop_on_first and not report.ok:
-                stop_early = True
-                break
-            if deadline is not None and time.monotonic() > deadline:
-                expired = True
-                break
-    else:
-        ordered: dict[int, tuple[ExplorationReport, frozenset | None]] = {}
-        pool = multiprocessing.Pool(
-            processes=min(jobs, len(indexed)),
-            initializer=_init_worker,
-            initargs=(system_factory if system_factory is not None else system, worker_kwargs),
-        )
-        try:
-            for index, report, prints in pool.imap_unordered(_pool_task, indexed):
-                ordered[index] = (report, prints)
+    fanout_phase = (
+        contextlib.nullcontext()
+        if tracer is None
+        else tracer.phase("fan-out", prefixes=len(prefixes), jobs=jobs)
+    )
+    with fanout_phase:
+        if jobs <= 1 or len(indexed) <= 1:
+            target_system = system_factory() if system_factory is not None else system
+            for index, prefix in indexed:
+                report, prints = explore_subtree(
+                    target_system,
+                    prefix,
+                    prefix_index=index,
+                    tracer=tracer,
+                    **worker_kwargs,
+                )
+                note_result(report, prints)
                 if options.stop_on_first and not report.ok:
                     stop_early = True
                     break
                 if deadline is not None and time.monotonic() > deadline:
                     expired = True
                     break
-        finally:
-            if stop_early or expired:
-                pool.terminate()
-            else:
-                pool.close()
-            pool.join()
-        # Deterministic merge order regardless of completion order.
-        for index in sorted(ordered):
-            note_result(*ordered[index])
+        else:
+            ordered: dict[int, tuple[ExplorationReport, frozenset | None]] = {}
 
-    merged = merge_reports(
-        coordinator,
-        [report for report, _ in results],
-        num_prefixes=len(prefixes),
-        max_events=options.max_events,
-        fingerprints=fingerprints,
+            monitor = None
+            heartbeat_queue = None
+            if options.progress is not None or options.stall_timeout is not None:
+                from ..obs import HeartbeatMonitor
+
+                heartbeat_queue = multiprocessing.Queue()
+                monitor = HeartbeatMonitor(
+                    stall_timeout=options.stall_timeout, on_warn=_warn
+                )
+
+            def fanout_tick() -> None:
+                """Between completions: fold in heartbeats, surface
+                per-worker health, refresh the live ticker."""
+                if monitor is None:
+                    return
+                monitor.drain(heartbeat_queue)
+                monitor.check_stalls()
+                if options.progress is None:
+                    return
+                worker_lines = getattr(options.progress, "worker_lines", None)
+                if worker_lines is not None:
+                    worker_lines(monitor.lines())
+                live = SearchStats.merged(
+                    [r.stats for r, _ in ordered.values() if r.stats is not None]
+                    + ([coordinator.stats] if coordinator.stats else []),
+                    strategy="parallel",
+                    jobs=jobs,
+                    prefixes=len(prefixes),
+                )
+                inflight_states, inflight_transitions = monitor.inflight()
+                live.states_visited += inflight_states
+                live.transitions_executed += inflight_transitions
+                live.wall_time = time.monotonic() - started
+                options.progress(live)
+
+            pool = multiprocessing.Pool(
+                processes=min(jobs, len(indexed)),
+                initializer=_init_worker,
+                initargs=(
+                    system_factory if system_factory is not None else system,
+                    worker_kwargs,
+                    heartbeat_queue,
+                ),
+            )
+            try:
+                completions = pool.imap_unordered(_pool_task, indexed)
+                tick = max(0.05, min(options.progress_interval, 1.0))
+                remaining = len(indexed)
+                while remaining:
+                    try:
+                        index, report, prints = completions.next(timeout=tick)
+                    except multiprocessing.TimeoutError:
+                        # No completion this tick — service heartbeats so
+                        # stalls surface while workers are busy.
+                        fanout_tick()
+                        if deadline is not None and time.monotonic() > deadline:
+                            expired = True
+                            break
+                        continue
+                    except StopIteration:  # pragma: no cover - defensive
+                        break
+                    remaining -= 1
+                    ordered[index] = (report, prints)
+                    fanout_tick()
+                    if options.stop_on_first and not report.ok:
+                        stop_early = True
+                        break
+                    if deadline is not None and time.monotonic() > deadline:
+                        expired = True
+                        break
+            finally:
+                if stop_early or expired:
+                    pool.terminate()
+                else:
+                    pool.close()
+                pool.join()
+                if monitor is not None:
+                    monitor.drain(heartbeat_queue)
+                if heartbeat_queue is not None:
+                    heartbeat_queue.close()
+            # Deterministic merge order regardless of completion order.
+            for index in sorted(ordered):
+                note_result(*ordered[index])
+
+    merge_phase = (
+        contextlib.nullcontext() if tracer is None else tracer.phase("merge")
     )
+    with merge_phase:
+        if tracer is not None:
+            # Splice the worker timelines (shipped back as plain-dict
+            # payloads) onto the coordinator's trace, in prefix order.
+            for report, _ in results:
+                if report.trace_payload is not None:
+                    tracer.merge(report.trace_payload)
+                    report.trace_payload = None
+        merged = merge_reports(
+            coordinator,
+            [report for report, _ in results],
+            num_prefixes=len(prefixes),
+            max_events=options.max_events,
+            fingerprints=fingerprints,
+        )
     if expired:
         # The budget cut the fan-out short: some subtrees were never
         # searched, matching the sequential explorer's incomplete flag.

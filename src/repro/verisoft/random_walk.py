@@ -13,9 +13,10 @@ randomness is the seeded PRNG), so a failing walk can be re-run exactly.
 
 from __future__ import annotations
 
+import contextlib
 import random
 import time
-from typing import Callable
+from typing import Any, Callable
 
 from ..runtime.process import ProcessStatus
 from ..runtime.system import System
@@ -43,6 +44,8 @@ def random_walks(
     time_budget: float | None = None,
     progress: Callable[[SearchStats], None] | None = None,
     progress_interval: float = 0.5,
+    on_step: Callable[..., None] | None = None,
+    tracer: Any | None = None,
 ) -> ExplorationReport:
     """Run ``walks`` independent random executions of ``system``.
 
@@ -53,6 +56,11 @@ def random_walks(
     expires; ``progress`` receives the live
     :class:`~repro.verisoft.stats.SearchStats` every
     ``progress_interval`` seconds.
+
+    ``on_step`` is the explorer's hot-spot observer protocol (see
+    :class:`~repro.obs.profile.HotSpotProfiler`); every walk transition
+    is fresh, so ``created`` is always ``True``.  ``tracer`` (a
+    :class:`~repro.obs.tracer.Tracer`) gets one span per walk.
     """
     rng = random.Random(seed)
     report = ExplorationReport()
@@ -108,53 +116,70 @@ def random_walks(
                         )
 
         note_broken()
-        while depth < max_depth:
-            tossing = run.toss_pending()
-            if tossing is not None:
-                report.toss_points += 1
-                value = rng.randint(0, tossing.toss_request.bound)
-                choices.append(TossChoice(tossing.name, value))
-                run.answer_toss(tossing, value)
+        walk_span = (
+            contextlib.nullcontext()
+            if tracer is None
+            else tracer.span("walk", cat="walk", walk=report.paths_explored)
+        )
+        with walk_span:
+            while depth < max_depth:
+                tossing = run.toss_pending()
+                if tossing is not None:
+                    report.toss_points += 1
+                    request = tossing.toss_request
+                    if on_step is not None:
+                        on_step(
+                            "toss", tossing.name, request, depth,
+                            request.bound + 1, True,
+                        )
+                    value = rng.randint(0, request.bound)
+                    choices.append(TossChoice(tossing.name, value))
+                    run.answer_toss(tossing, value)
+                    note_broken()
+                    continue
+
+                report.states_visited += 1
+                if run.is_deadlock():
+                    if len(report.deadlocks) < max_events:
+                        from .explorer import _blocked_info
+
+                        blocked, waiting = _blocked_info(run)
+                        report.deadlocks.append(
+                            DeadlockEvent(
+                                Trace(tuple(choices), tuple(steps)), blocked, waiting
+                            )
+                        )
+                    break
+                enabled = run.enabled_processes()
+                if not enabled:
+                    break
+
+                chosen = rng.choice(enabled)
+                request = chosen.visible_request
+                choices.append(ScheduleChoice(chosen.name))
+                obj_name = request.obj.name if request.obj is not None else None
+                outcome = run.execute_visible(chosen)
+                steps.append(TraceStep(chosen.name, request.op, obj_name))
+                report.transitions_executed += 1
+                if on_step is not None:
+                    on_step(
+                        "schedule", chosen.name, request, depth,
+                        len(enabled), True,
+                    )
+                depth += 1
+                if outcome is not None and outcome.violated:
+                    if len(report.violations) < max_events:
+                        report.violations.append(
+                            AssertionViolationEvent(
+                                Trace(tuple(choices), tuple(steps)),
+                                outcome.process,
+                                outcome.proc_name,
+                                outcome.node_id,
+                            )
+                        )
                 note_broken()
-                continue
-
-            report.states_visited += 1
-            if run.is_deadlock():
-                if len(report.deadlocks) < max_events:
-                    from .explorer import _blocked_info
-
-                    blocked, waiting = _blocked_info(run)
-                    report.deadlocks.append(
-                        DeadlockEvent(
-                            Trace(tuple(choices), tuple(steps)), blocked, waiting
-                        )
-                    )
-                break
-            enabled = run.enabled_processes()
-            if not enabled:
-                break
-
-            chosen = rng.choice(enabled)
-            request = chosen.visible_request
-            choices.append(ScheduleChoice(chosen.name))
-            obj_name = request.obj.name if request.obj is not None else None
-            outcome = run.execute_visible(chosen)
-            steps.append(TraceStep(chosen.name, request.op, obj_name))
-            report.transitions_executed += 1
-            depth += 1
-            if outcome is not None and outcome.violated:
-                if len(report.violations) < max_events:
-                    report.violations.append(
-                        AssertionViolationEvent(
-                            Trace(tuple(choices), tuple(steps)),
-                            outcome.process,
-                            outcome.proc_name,
-                            outcome.node_id,
-                        )
-                    )
-            note_broken()
-        else:
-            report.truncated = True
+            else:
+                report.truncated = True
 
         report.max_depth_reached = max(report.max_depth_reached, depth)
         report.paths_explored += 1

@@ -10,7 +10,7 @@ back through the deterministic runtime replays the buggy execution
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..counterex.triage import ViolationGroup
@@ -161,6 +161,15 @@ class ExplorationReport:
     #: *not* comparable to an uncached one's — revisited subtrees were
     #: pruned — so the provenance travels with the numbers.
     state_caching: dict | None = field(default=None, repr=False, compare=False)
+    #: Hot-spot profile of the search
+    #: (:class:`~repro.obs.profile.HotSpotProfiler`), attached when the
+    #: search ran with ``profile=True``; parallel runs merge the
+    #: per-worker profiles here.
+    profile: Any = field(default=None, repr=False, compare=False)
+    #: Portable trace-event payload (``Tracer.export()`` dict) carried
+    #: back from a worker process so the coordinator can merge it into
+    #: its own timeline; ``None`` everywhere else.
+    trace_payload: dict | None = field(default=None, repr=False, compare=False)
 
     deadlocks: list[DeadlockEvent] = field(default_factory=list)
     violations: list[AssertionViolationEvent] = field(default_factory=list)

@@ -100,6 +100,22 @@ class SearchOptions:
     )
     progress_interval: float = 0.5
 
+    # -- observability (repro.obs) -------------------------------------------
+    #: Collect a hot-spot profile (:class:`~repro.obs.profile.
+    #: HotSpotProfiler`) and attach it as ``report.profile``.  Parallel
+    #: runs merge per-worker profiles; the merged counts equal a
+    #: sequential run's.
+    profile: bool = False
+    #: A :class:`~repro.obs.tracer.Tracer` receiving span/instant events
+    #: (pipeline phases, per-path DFS spans, worker timelines).  Not
+    #: serialized; the parallel driver builds a fresh tracer inside each
+    #: worker and merges the payloads into this one.
+    tracer: Any = field(default=None, repr=False, compare=False)
+    #: Parallel only: warn when a worker reports no progress for this
+    #: many seconds (``None`` disables stall detection; heartbeats still
+    #: feed the per-worker ticker lines).
+    stall_timeout: float | None = 10.0
+
     # -- dfs-only extension hooks (not picklable; rejected by "parallel") ----
     on_leaf: Callable[[Run, Trace], None] | None = field(
         default=None, repr=False, compare=False
@@ -111,16 +127,16 @@ class SearchOptions:
     def as_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot of the options.
 
-        Callback fields (``progress``, ``on_leaf``, ``stop_when``) are
-        omitted: they cannot be serialized and are irrelevant to
-        reproducing a search.  Round-trips through
-        ``SearchOptions(**d)``; persisted inside saved counterexample
-        traces (:mod:`repro.counterex.traceio`) as the ``search``
-        metadata block.
+        Callback/handle fields (``progress``, ``on_leaf``,
+        ``stop_when``, ``tracer``) are omitted: they cannot be
+        serialized and are irrelevant to reproducing a search.
+        Round-trips through ``SearchOptions(**d)``; persisted inside
+        saved counterexample traces (:mod:`repro.counterex.traceio`) as
+        the ``search`` metadata block.
         """
         out: dict[str, Any] = {}
         for f in fields(self):
-            if f.name in ("progress", "on_leaf", "stop_when"):
+            if f.name in ("progress", "on_leaf", "stop_when", "tracer"):
                 continue
             out[f.name] = getattr(self, f.name)
         return out
@@ -232,10 +248,16 @@ def _dispatch(
     options: SearchOptions,
     system_factory: Callable[[], System] | None,
 ) -> ExplorationReport:
+    profiler = None
+    if options.profile:
+        from ..obs import HotSpotProfiler
+
+        profiler = HotSpotProfiler()
+
     if options.strategy == "dfs":
         from .explorer import Explorer
 
-        return Explorer(
+        report = Explorer(
             system,
             max_depth=options.max_depth,
             por=options.por,
@@ -251,12 +273,16 @@ def _dispatch(
             stop_when=options.stop_when,
             progress=options.progress,
             progress_interval=options.progress_interval,
+            on_step=profiler,
+            tracer=options.tracer,
         ).run()
+        report.profile = profiler
+        return report
 
     if options.strategy == "random":
         from .random_walk import random_walks
 
-        return random_walks(
+        report = random_walks(
             system,
             walks=options.walks,
             max_depth=options.max_depth,
@@ -266,7 +292,11 @@ def _dispatch(
             time_budget=options.time_budget,
             progress=options.progress,
             progress_interval=options.progress_interval,
+            on_step=profiler,
+            tracer=options.tracer,
         )
+        report.profile = profiler
+        return report
 
     from .parallel import parallel_search
 

@@ -20,6 +20,7 @@ ticker that overwrites itself.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass, fields
 from typing import IO, Iterable
 
@@ -133,8 +134,31 @@ class SearchStats:
     )
 
     def add(self, other: "SearchStats") -> None:
-        """Fold ``other``'s counters into this one (wall time is the
-        coordinator's concern and is *not* summed; CPU time is)."""
+        """Fold ``other``'s counters into this one.
+
+        Merge semantics (the parallel driver folds per-worker stats with
+        this; relied on by :meth:`merged`):
+
+        * every counter in ``_SUMMED`` is a plain sum — including
+          ``cpu_time``, which totals over processes and may therefore
+          exceed ``wall_time``;
+        * ``wall_time`` is **not** summed: elapsed time is the
+          coordinator's concern and is overwritten by the driver after
+          merging;
+        * ``max_depth_reached`` is the maximum, not the sum;
+        * the *receiver* keeps its identity fields — ``strategy``,
+          ``jobs`` and ``prefixes`` describe the merged search, not any
+          one part, so ``other``'s values are ignored;
+        * ``state_cache`` is adopted from ``other`` only when the
+          receiver has none (``"off"``) — mixed-store merges keep the
+          first kind seen;
+        * caveat: ``cache_stored``/``cache_memory_bytes`` are summed
+          over *private* per-worker stores, so a state whose digest is
+          held by several workers (reached in several subtrees) is
+          counted once per store.  The sums are exact for sequential
+          searches and an upper bound on distinct storage for parallel
+          ones.
+        """
         for name in self._SUMMED:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.max_depth_reached = max(self.max_depth_reached, other.max_depth_reached)
@@ -232,26 +256,81 @@ class SearchStats:
 
 
 class ProgressPrinter:
-    """Stock progress consumer: a self-overwriting one-line ticker.
+    """Stock progress consumer: a self-overwriting ticker block.
 
     Use as the ``progress`` callback of any search; call :meth:`finish`
-    (or use as a context manager) to terminate the line cleanly.
+    (or use as a context manager) to terminate the output cleanly.
+
+    On a TTY the printer redraws in place: the one-line ticker plus any
+    per-worker health lines (fed by the parallel driver through
+    :meth:`worker_lines`) form a block that is erased and rewritten on
+    every tick.  On a non-TTY stream (a file, a pipe, a CI log — decided
+    once via ``stream.isatty()``) ANSI erase sequences would be garbage,
+    so the printer falls back to plain newline-separated lines at a
+    reduced rate: at most one update per ``plain_interval`` seconds
+    (the first update always prints).
     """
 
-    def __init__(self, stream: IO[str] | None = None):
+    def __init__(
+        self, stream: IO[str] | None = None, plain_interval: float = 5.0
+    ):
         self._stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self._stream, "isatty", None)
+        self._tty = bool(isatty()) if callable(isatty) else False
+        self._plain_interval = plain_interval
+        self._last_plain = 0.0  # 0.0 == never printed: first tick always prints
         self._dirty = False
+        self._lines_drawn = 0
+        self._worker_lines: list[str] = []
+
+    def worker_lines(self, lines: Iterable[str]) -> None:
+        """Set the per-worker health lines appended below the ticker
+        (the parallel driver feeds these from its
+        :class:`~repro.obs.heartbeat.HeartbeatMonitor`)."""
+        self._worker_lines = list(lines)
+
+    def warn(self, message: str) -> None:
+        """Print a warning without colliding with the live ticker: the
+        block is erased first, the warning gets its own line, and the
+        next tick redraws the block below it."""
+        self._erase()
+        self._stream.write(f"warning: {message}\n")
+        self._stream.flush()
+
+    def _erase(self) -> None:
+        """Erase the previously drawn block (TTY only)."""
+        if not self._tty or not self._lines_drawn:
+            return
+        self._stream.write("\r\x1b[2K")
+        for _ in range(self._lines_drawn - 1):
+            self._stream.write("\x1b[1A\x1b[2K")
+        self._lines_drawn = 0
 
     def __call__(self, stats: SearchStats) -> None:
-        self._stream.write("\r\x1b[2K" + stats.ticker_line())
-        self._stream.flush()
-        self._dirty = True
+        block = [stats.ticker_line()]
+        block.extend(f"  {line}" for line in self._worker_lines)
+        if self._tty:
+            self._erase()
+            self._stream.write("\n".join(block))
+            self._stream.flush()
+            self._lines_drawn = len(block)
+            self._dirty = True
+        else:
+            now = time.monotonic()
+            if self._last_plain and now - self._last_plain < self._plain_interval:
+                return
+            self._last_plain = now
+            self._stream.write("\n".join(block) + "\n")
+            self._stream.flush()
 
     def finish(self) -> None:
+        """Terminate the live block so subsequent output starts on a
+        fresh line (plain mode already newline-terminates)."""
         if self._dirty:
             self._stream.write("\n")
             self._stream.flush()
             self._dirty = False
+            self._lines_drawn = 0
 
     def __enter__(self) -> "ProgressPrinter":
         return self

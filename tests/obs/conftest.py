@@ -1,0 +1,57 @@
+"""Shared builders for the observability tests.
+
+The Figure 2 program (closed, with a seeded assertion) is the golden
+subject: its search tree is small and fully deterministic, so profiles
+and traces can be compared exactly across strategies and job counts.
+"""
+
+import pytest
+
+from repro import System, close_program
+
+FIG2_SRC = """
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    var odds = 0;
+    while (cnt < 3) {
+        if (y == 0) { send(out, 'even'); } else { send(out, 'odd'); odds = odds + 1; }
+        cnt = cnt + 1;
+    }
+    VS_assert(odds < 3);
+}
+"""
+
+DEADLOCK_SRC = """
+proc grab(first, second) {
+    sem_p(first);
+    sem_p(second);
+    sem_v(second);
+    sem_v(first);
+}
+"""
+
+
+def fig2_system():
+    """Close Figure 2 and wrap it in a runnable single-process system."""
+    closed = close_program(FIG2_SRC, env_params={"p": ["x"]})
+    system = System(closed.cfgs)
+    system.add_env_sink("out")
+    system.add_process("P", "p", [])
+    return system
+
+
+def deadlock_system():
+    """The classic lock-order deadlock pair (two processes, so the
+    parallel driver has prefixes to fan out)."""
+    system = System(DEADLOCK_SRC)
+    s1 = system.add_semaphore("s1", 1)
+    s2 = system.add_semaphore("s2", 1)
+    system.add_process("a", "grab", [s1, s2])
+    system.add_process("b", "grab", [s2, s1])
+    return system
+
+
+@pytest.fixture()
+def fig2():
+    return fig2_system()

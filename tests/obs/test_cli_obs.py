@@ -1,0 +1,114 @@
+"""Golden-file tests for the CLI observability surface: ``repro search
+--trace-out/--profile`` and the ``repro profile`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+
+from .conftest import FIG2_SRC
+
+
+@pytest.fixture()
+def fig2_files(tmp_path):
+    program = tmp_path / "fig2.rc"
+    program.write_text(FIG2_SRC)
+    description = {
+        "program": "fig2.rc",
+        "close": {"env_params": {"p": ["x"]}},
+        "objects": [{"kind": "sink", "name": "out"}],
+        "processes": [{"name": "P", "proc": "p", "args": []}],
+    }
+    system = tmp_path / "fig2.json"
+    system.write_text(json.dumps(description))
+    return system
+
+
+def spans_nest(events):
+    """Within each (pid, tid) track, complete events must nest: any two
+    either disjoint or one containing the other."""
+    tracks = {}
+    for event in events:
+        if event["ph"] == "X":
+            tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+    for spans in tracks.values():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for span in spans:
+            while stack and span["ts"] >= stack[-1]["ts"] + stack[-1]["dur"]:
+                stack.pop()
+            if stack and span["ts"] + span["dur"] > (
+                stack[-1]["ts"] + stack[-1]["dur"] + 1e-6
+            ):
+                return False  # overlaps without nesting
+            stack.append(span)
+    return True
+
+
+class TestTraceExport:
+    def test_fig2_trace_golden(self, fig2_files, tmp_path, capsys):
+        trace_out = tmp_path / "trace.json"
+        rc = main(
+            ["search", str(fig2_files), "--trace-out", str(trace_out), "--profile"]
+        )
+        assert rc == 3  # the seeded assertion violation
+        trace = json.loads(trace_out.read_text())
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        assert spans_nest(events)
+        names = {e["name"] for e in events}
+        # Pipeline phases and per-path DFS spans are all on the timeline
+        # (no "parse" phase: the CLI parses before close_program runs).
+        for expected in ("build-system", "analyze", "transform",
+                        "search", "path"):
+            assert expected in names, expected
+        captured = capsys.readouterr()
+        assert "hot spots" in captured.out
+        assert "wrote trace" in captured.err
+
+    def test_manifest_written_next_to_trace(self, fig2_files, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        main(["search", str(fig2_files), "--trace-out", str(trace_out)])
+        manifest = json.loads((tmp_path / "trace.run.json").read_text())
+        assert manifest["manifest_version"] == 1
+        assert manifest["report"]["transitions_executed"] > 0
+        assert "search" in manifest["phases"]
+        assert str(trace_out) in manifest["artifacts"]
+
+    def test_save_traces_dir_gets_manifest(self, fig2_files, tmp_path):
+        traces = tmp_path / "traces"
+        main(["search", str(fig2_files), "--save-traces", str(traces)])
+        manifest = json.loads((traces / "run.json").read_text())
+        saved = [path for path in manifest["artifacts"] if "traces" in path]
+        assert saved  # the violation trace is recorded as an artifact
+
+
+class TestProfileDeterminism:
+    def _profile(self, fig2_files, tmp_path, jobs, name):
+        stats = tmp_path / name
+        args = ["search", str(fig2_files), "--profile", "--stats-json", str(stats)]
+        if jobs:
+            args += ["--strategy", "parallel", "--jobs", str(jobs)]
+        main(args)
+        return json.loads(stats.read_text())["profile"]
+
+    def test_top_n_identical_sequential_vs_parallel(self, fig2_files, tmp_path):
+        dfs = self._profile(fig2_files, tmp_path, None, "dfs.json")
+        one = self._profile(fig2_files, tmp_path, 1, "one.json")
+        four = self._profile(fig2_files, tmp_path, 4, "four.json")
+        assert dfs == one == four
+        assert dfs["total_transitions"] > 0
+
+    def test_profile_subcommand(self, fig2_files, capsys):
+        rc = main(["profile", str(fig2_files), "--top", "3"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "top 3 CFG nodes" in out
+        assert "toss points" in out
+
+    def test_profile_subcommand_trace_out(self, fig2_files, tmp_path):
+        trace_out = tmp_path / "p.json"
+        main(["profile", str(fig2_files), "--trace-out", str(trace_out)])
+        assert validate_chrome_trace(json.loads(trace_out.read_text())) == []

@@ -1,0 +1,131 @@
+"""Tests for worker heartbeats, stall detection and recovery."""
+
+import queue
+
+from repro.obs import Heartbeat, HeartbeatMonitor, WorkerHealth
+
+
+def beat(kind="beat", worker=100, prefix=0, states=0, transitions=0, at=0.0):
+    return Heartbeat(
+        kind=kind,
+        worker=worker,
+        prefix=prefix,
+        states=states,
+        transitions=transitions,
+        sent_at=at,
+    )
+
+
+class TestWorkerHealth:
+    def test_start_claims_prefix(self):
+        record = WorkerHealth(100, now=0.0)
+        record.note(beat("start", prefix=3, at=1.0))
+        assert record.busy
+        assert record.prefix == 3
+        assert record.last_progress == 1.0
+
+    def test_counters_moving_is_progress(self):
+        record = WorkerHealth(100, now=0.0)
+        record.note(beat("start", at=1.0))
+        record.note(beat(states=5, transitions=9, at=2.0))
+        assert record.last_progress == 2.0
+        # Same counters again: seen, but no progress.
+        record.note(beat(states=5, transitions=9, at=9.0))
+        assert record.last_seen == 9.0
+        assert record.last_progress == 2.0
+
+    def test_done_frees_worker(self):
+        record = WorkerHealth(100, now=0.0)
+        record.note(beat("start", at=1.0))
+        record.note(beat("done", at=2.0))
+        assert not record.busy
+        assert record.completed == 1
+        assert "idle" in record.describe(now=3.0)
+
+    def test_describe_busy_line(self):
+        record = WorkerHealth(100, now=0.0)
+        record.note(beat("start", prefix=2, at=1.0))
+        record.note(beat(prefix=2, states=7, transitions=11, at=2.0))
+        line = record.describe(now=5.0)
+        assert "worker 100" in line
+        assert "prefix 2" in line
+        assert "states=7" in line
+        assert "3.0s ago" in line
+
+
+class TestMonitor:
+    def test_stall_fires_once_then_recovery(self):
+        warnings = []
+        clock = [0.0]
+        monitor = HeartbeatMonitor(
+            stall_timeout=10.0, on_warn=warnings.append, clock=lambda: clock[0]
+        )
+        monitor.note(beat("start", at=0.0))
+        monitor.note(beat(states=3, at=1.0))
+
+        clock[0] = 5.0
+        assert monitor.check_stalls() == []
+        clock[0] = 20.0
+        (stalled,) = monitor.check_stalls()
+        assert stalled.worker == 100
+        assert len(warnings) == 1
+        assert "no progress" in warnings[0]
+        # Stalled stays flagged; no duplicate warning.
+        assert monitor.check_stalls() == []
+        assert len(warnings) == 1
+        assert any("STALLED" in line for line in monitor.lines())
+
+        # Counters move again: recovery announced, flag cleared.
+        monitor.note(beat(states=4, at=21.0))
+        assert len(warnings) == 2
+        assert "recovered" in warnings[1]
+        clock[0] = 22.0
+        assert monitor.check_stalls() == []
+
+    def test_none_timeout_disables_detection(self):
+        monitor = HeartbeatMonitor(stall_timeout=None)
+        monitor.note(beat("start", at=0.0))
+        assert monitor.check_stalls(now=1e9) == []
+
+    def test_idle_workers_never_stall(self):
+        monitor = HeartbeatMonitor(stall_timeout=1.0)
+        monitor.note(beat("start", at=0.0))
+        monitor.note(beat("done", at=1.0))
+        assert monitor.check_stalls(now=100.0) == []
+
+    def test_drain_consumes_queue(self):
+        monitor = HeartbeatMonitor()
+        pending = queue.Queue()
+        pending.put(beat("start", worker=1, at=0.0))
+        pending.put(beat(worker=1, states=2, at=1.0))
+        pending.put(beat("start", worker=2, at=0.5))
+        assert monitor.drain(pending) == 3
+        assert sorted(monitor.workers) == [1, 2]
+
+    def test_inflight_sums_busy_workers_only(self):
+        monitor = HeartbeatMonitor()
+        monitor.note(beat("start", worker=1, at=0.0))
+        monitor.note(beat(worker=1, states=5, transitions=8, at=1.0))
+        monitor.note(beat("start", worker=2, at=0.0))
+        monitor.note(beat(worker=2, states=3, transitions=4, at=1.0))
+        monitor.note(beat("done", worker=2, at=2.0))
+        assert monitor.inflight() == (5, 8)
+
+    def test_summary_snapshot(self):
+        monitor = HeartbeatMonitor()
+        monitor.note(beat("start", worker=1, at=0.0))
+        monitor.note(beat("done", worker=1, at=1.0))
+        summary = monitor.summary()
+        assert summary == {
+            "workers": 1,
+            "stalled": 0,
+            "subtrees_completed": 1,
+        }
+
+    def test_lines_ordered_by_worker(self):
+        monitor = HeartbeatMonitor()
+        monitor.note(beat("start", worker=7, at=0.0))
+        monitor.note(beat("start", worker=3, at=0.0))
+        lines = monitor.lines(now=1.0)
+        assert "worker 3" in lines[0]
+        assert "worker 7" in lines[1]

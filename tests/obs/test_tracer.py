@@ -1,0 +1,165 @@
+"""Tests for the span/event tracer and its Chrome trace export."""
+
+import json
+
+from repro.obs import Tracer, validate_chrome_trace
+from repro.obs.tracer import EXPORT_FORMAT
+
+
+class FakeClock:
+    """A controllable monotonic clock (seconds)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRecording:
+    def test_span_records_complete_event(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work", cat="test", detail=7):
+            clock.advance(0.25)
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["dur"] == 0.25 * 1e6
+        assert event["args"] == {"detail": 7}
+
+    def test_spans_nest(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(0.1)
+            with tracer.span("inner"):
+                clock.advance(0.1)
+            clock.advance(0.1)
+        by_name = {e["name"]: e for e in tracer.events}
+        inner, outer = by_name["inner"], by_name["outer"]
+        # The inner span lies strictly within the outer one.
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_span_recorded_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [e["name"] for e in tracer.events] == ["boom"]
+
+    def test_instant_and_counter(self):
+        tracer = Tracer()
+        tracer.instant("violation", process="P")
+        tracer.counter("search", states=10, paths=2)
+        instant, counter = tracer.events
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert counter["ph"] == "C"
+        assert counter["args"] == {"states": 10, "paths": 2}
+
+    def test_buffer_bounded_and_drops_counted(self):
+        tracer = Tracer(max_events=3)
+        for index in range(10):
+            tracer.instant(f"e{index}")
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 7
+        trace = tracer.chrome_trace()
+        assert trace["otherData"]["dropped_events"] == 7
+
+    def test_phase_timings_aggregate(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.phase("search"):
+            clock.advance(1.0)
+        with tracer.phase("search"):
+            clock.advance(0.5)
+        with tracer.span("path", cat="dfs"):  # not a phase
+            clock.advance(9.0)
+        timings = tracer.phase_timings()
+        assert timings == {"search": 1.5}
+
+
+class TestChromeExport:
+    def test_trace_is_schema_valid(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            tracer.instant("b")
+        tracer.counter("c", n=1)
+        trace = tracer.chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        assert trace["displayTimeUnit"] == "ms"
+        # First event is the process_name metadata record.
+        assert trace["traceEvents"][0]["ph"] == "M"
+
+    def test_events_sorted_by_timestamp(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(2.0)
+        tracer.instant("late")
+        events = tracer.chrome_trace()["traceEvents"]
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_write_round_trips(self, tmp_path):
+        tracer = Tracer()
+        tracer.instant("x")
+        path = tracer.write(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+
+    def test_validator_flags_problems(self):
+        bad = {
+            "traceEvents": [
+                {"ph": "X", "ts": 0, "pid": 1, "tid": 1, "name": "no-dur"},
+                {"ph": "i", "ts": 0, "pid": 1, "tid": 1, "name": "no-scope"},
+                {"ph": "?", "ts": 0, "pid": 1, "tid": 1, "name": "odd"},
+                {"ph": "X", "ts": 0, "pid": 1, "dur": 1},
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 5  # bad dur, no scope, unknown ph, 2 missing keys
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+
+class TestMerge:
+    def test_merge_shifts_by_epoch_delta(self):
+        coordinator = Tracer()
+        worker = Tracer()
+        worker.epoch_unix = coordinator.epoch_unix + 2.0  # started 2s later
+        worker.instant("worker-event")
+        coordinator.merge(worker.export(label="worker-1"))
+        events = coordinator.events
+        meta = events[0]
+        assert meta["ph"] == "M"
+        assert meta["args"] == {"name": "worker-1"}
+        assert meta["pid"] == worker.export()["pid"]
+        shifted = events[1]
+        assert shifted["name"] == "worker-event"
+        assert shifted["ts"] >= 2.0 * 1e6
+
+    def test_merge_accumulates_drops(self):
+        coordinator = Tracer()
+        worker = Tracer(max_events=0)
+        worker.instant("dropped")
+        coordinator.merge(worker.export())
+        assert coordinator.dropped == 1
+
+    def test_merge_rejects_unknown_format(self):
+        tracer = Tracer()
+        try:
+            tracer.merge({"format": "bogus", "events": []})
+        except ValueError as err:
+            assert "bogus" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_export_format_tag(self):
+        assert Tracer().export()["format"] == EXPORT_FORMAT

@@ -127,6 +127,57 @@ class TestProgress:
         printer.finish()
         assert buffer.getvalue() == ""
 
+    def test_plain_mode_rate_limited(self):
+        # StringIO is not a TTY: the printer emits plain newline lines,
+        # at most one per plain_interval — except the very first.
+        buffer = io.StringIO()
+        printer = ProgressPrinter(stream=buffer, plain_interval=3600.0)
+        stats = SearchStats(states_visited=1, wall_time=1.0)
+        printer(stats)
+        printer(stats)
+        printer(stats)
+        lines = [line for line in buffer.getvalue().splitlines() if line]
+        assert len(lines) == 1  # throttled after the first update
+
+    def test_plain_mode_zero_interval_prints_every_tick(self):
+        buffer = io.StringIO()
+        printer = ProgressPrinter(stream=buffer, plain_interval=0.0)
+        stats = SearchStats(states_visited=1, wall_time=1.0)
+        printer(stats)
+        printer(stats)
+        assert buffer.getvalue().count("states=1") == 2
+
+    def test_worker_lines_rendered_below_ticker(self):
+        buffer = io.StringIO()
+        printer = ProgressPrinter(stream=buffer, plain_interval=0.0)
+        printer.worker_lines(["worker 1: busy", "worker 2: idle"])
+        printer(SearchStats(states_visited=5, wall_time=1.0))
+        ticker, first, second = buffer.getvalue().splitlines()
+        assert "states=5" in ticker
+        assert first == "  worker 1: busy"
+        assert second == "  worker 2: idle"
+
+    def test_warn_gets_own_line(self):
+        buffer = io.StringIO()
+        printer = ProgressPrinter(stream=buffer)
+        printer.warn("worker 7 stalled")
+        assert buffer.getvalue() == "warning: worker 7 stalled\n"
+
+    def test_tty_mode_redraws_in_place(self):
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        buffer = FakeTty()
+        printer = ProgressPrinter(stream=buffer)
+        stats = SearchStats(states_visited=2, wall_time=1.0)
+        printer(stats)
+        printer(stats)
+        printer.finish()
+        text = buffer.getvalue()
+        assert "\r\x1b[2K" in text  # erase sequence between redraws
+        assert text.endswith("\n")
+
 
 class TestAggregation:
     def test_merged_sums_counters(self):
@@ -158,3 +209,42 @@ class TestAggregation:
         stats = SearchStats(states_visited=3)
         assert stats.as_dict()["states_visited"] == 3
         assert SearchStats(**stats.as_dict()) == stats
+
+    def test_merged_empty_parts(self):
+        merged = SearchStats.merged([], strategy="parallel", jobs=4)
+        assert merged.states_visited == 0
+        assert merged.strategy == "parallel"
+        assert merged.jobs == 4
+
+    def test_merged_single_part_is_copy(self):
+        part = SearchStats(states_visited=7, max_depth_reached=3)
+        merged = SearchStats.merged([part])
+        assert merged.states_visited == 7
+        merged.states_visited = 99
+        assert part.states_visited == 7  # no aliasing
+
+    def test_add_wall_time_not_summed(self):
+        # Parallel workers overlap in wall time: add() must not turn
+        # N overlapping seconds into N summed seconds (the coordinator
+        # overwrites wall_time with its own measurement).
+        a = SearchStats(wall_time=2.0, cpu_time=2.0)
+        a.add(SearchStats(wall_time=3.0, cpu_time=3.0))
+        assert a.wall_time == 2.0
+        assert a.cpu_time == 5.0
+
+    def test_add_adopts_cache_mode_only_when_off(self):
+        a = SearchStats(state_cache="off")
+        a.add(SearchStats(state_cache="exact", cache_hits=4))
+        assert a.state_cache == "exact"
+        assert a.cache_hits == 4
+        # An already-set mode is kept even if parts disagree.
+        a.add(SearchStats(state_cache="bitstate", cache_hits=1))
+        assert a.state_cache == "exact"
+        assert a.cache_hits == 5
+
+    def test_add_keeps_receiver_identity_fields(self):
+        a = SearchStats(strategy="parallel", jobs=4, prefixes=8)
+        a.add(SearchStats(strategy="dfs", jobs=1, prefixes=0))
+        assert a.strategy == "parallel"
+        assert a.jobs == 4
+        assert a.prefixes == 8
