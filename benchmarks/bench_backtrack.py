@@ -1,0 +1,150 @@
+"""Experiment BENCH-BACKTRACK — replay vs restore backtracking.
+
+The classic VeriSoft explorer is stateless: backtracking re-executes
+the whole path prefix from the initial state, so deep searches spend
+most of their transitions replaying old ground (``replay_fraction``).
+The restore-based mode keeps undo-journal checkpoints at choice points
+and rewinds the live run in O(changes) instead.  This experiment runs
+the identical bounded DFS over Figure 2, Figure 3 and the Section 6
+call-processing application in both modes and records wall time,
+replay fraction and total executed transitions (fresh + replayed).
+
+Asserted here (the modes must differ *only* in how they backtrack):
+
+* states / transitions / paths / violation groups identical;
+* restore performs zero replays (``replayed_transitions == 0``,
+  ``replay_fraction == 0``) in sequential DFS;
+* on the 5ESS case the replay mode executes at least 2x more total
+  transitions than restore — the work the undo journal saves.
+
+Numbers land in the repo-root ``BENCH_backtrack.json`` (CI uploads the
+``BENCH_*.json`` artifacts) with a copy under ``benchmarks/results/``.
+Each parametrized case merges its rows into the JSON, so a filtered run
+(``-k "fig2 or fig3"``) refreshes only its own entries.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import SearchOptions, run_search
+from repro.fiveess import build_app
+from tests.statespace.conftest import FIG2_SRC, FIG3_SRC, figure_system
+
+pytestmark = pytest.mark.slow
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_backtrack.json"
+BENCH_JSON_COPY = pathlib.Path(__file__).parent / "results" / "BENCH_backtrack.json"
+
+MODES = ("replay", "restore")
+
+PARITY_KEYS = ("states", "transitions", "paths", "toss_points", "violation_groups")
+
+
+def _fiveess_system():
+    app = build_app(n_lines=2, calls_per_line=1)
+    return app.make_system(app.close(), with_maintenance=False)
+
+
+CASES = {
+    "fig2": (lambda: figure_system(FIG2_SRC, "p"), dict(max_depth=60)),
+    "fig3": (lambda: figure_system(FIG3_SRC, "q"), dict(max_depth=60)),
+    "5ess": (lambda: _fiveess_system(), dict(max_depth=20, max_events=50_000)),
+}
+
+
+def _run_one(build, bounds, mode):
+    system = build()
+    options = SearchOptions(backtrack=mode, **bounds)
+    started = time.perf_counter()
+    report = run_search(system, options)
+    elapsed = time.perf_counter() - started
+    stats = report.stats
+    total = stats.transitions_executed + stats.replayed_transitions
+    return {
+        "backtrack": stats.backtrack,
+        "states": stats.states_visited,
+        "transitions": stats.transitions_executed,
+        "toss_points": stats.toss_points,
+        "paths": stats.paths_explored,
+        "violation_groups": len(report.triage()),
+        "replays": stats.replays,
+        "replayed_transitions": stats.replayed_transitions,
+        "total_transitions": total,
+        "replay_fraction": round(stats.replay_fraction or 0.0, 4),
+        "restores": stats.restores,
+        "undo_entries": stats.undo_entries,
+        "checkpoint_memory_bytes": stats.checkpoint_memory_bytes,
+        "wall_time_s": round(elapsed, 4),
+        "states_per_second": round(stats.states_per_second),
+    }
+
+
+def _merge_json(label, rows):
+    """Merge this case's rows into the shared JSON (root + results copy),
+    preserving entries a filtered run did not regenerate."""
+    results = {}
+    if BENCH_JSON.exists():
+        try:
+            results = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            results = {}
+    results[label] = rows
+    text = json.dumps(results, indent=2) + "\n"
+    BENCH_JSON.write_text(text)
+    BENCH_JSON_COPY.parent.mkdir(exist_ok=True)
+    BENCH_JSON_COPY.write_text(text)
+
+
+@pytest.mark.parametrize("label", list(CASES))
+def test_bench_backtrack(label, record_table):
+    build, bounds = CASES[label]
+    rows = {mode: _run_one(build, bounds, mode) for mode in MODES}
+    replay_row, restore_row = rows["replay"], rows["restore"]
+
+    # Identical search, different backtracking cost — nothing else.
+    for key in PARITY_KEYS:
+        assert replay_row[key] == restore_row[key], (
+            f"{label}: {key} differs between modes: "
+            f"{replay_row[key]} vs {restore_row[key]}"
+        )
+    assert restore_row["replays"] == 0
+    assert restore_row["replayed_transitions"] == 0
+    assert restore_row["replay_fraction"] == 0.0
+    assert restore_row["restores"] > 0
+
+    if label == "5ess":
+        ratio = replay_row["total_transitions"] / restore_row["total_transitions"]
+        restore_row["transition_ratio_vs_replay"] = round(ratio, 2)
+        assert ratio >= 2.0, (
+            f"5ess: replay executed only {ratio:.2f}x the transitions of "
+            "restore (expected >= 2x)"
+        )
+
+    _merge_json(label, rows)
+
+    lines = [
+        f"Backtracking modes on {label} (bounds {bounds})",
+        "",
+        f"  {'mode':<8} {'states':>7} {'total-trans':>12} {'replayed':>9} "
+        f"{'replay%':>8} {'time':>8} {'states/s':>10}",
+    ]
+    for mode in MODES:
+        row = rows[mode]
+        lines.append(
+            f"  {mode:<8} {row['states']:>7} {row['total_transitions']:>12} "
+            f"{row['replayed_transitions']:>9} {row['replay_fraction']:>8.1%} "
+            f"{row['wall_time_s']:>7.2f}s {row['states_per_second']:>10,}"
+        )
+    if "transition_ratio_vs_replay" in restore_row:
+        lines.append(
+            "  restore executes "
+            f"{restore_row['transition_ratio_vs_replay']}x fewer total "
+            "transitions than replay"
+        )
+    lines.append(f"wrote {BENCH_JSON.name}")
+    record_table(f"BENCH_backtrack_{label}", lines)

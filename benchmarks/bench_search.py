@@ -125,6 +125,8 @@ def test_bench_search(record_table):
         )
     )
 
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    text = json.dumps(results, indent=2) + "\n"
+    BENCH_JSON.write_text(text)
+    (pathlib.Path(__file__).parent / "results" / "BENCH_search.json").write_text(text)
     lines.append(f"wrote {BENCH_JSON.name}")
     record_table("bench_search", lines)

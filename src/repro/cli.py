@@ -306,6 +306,7 @@ def _options_from_args(args) -> SearchOptions:
         max_transitions=args.max_transitions,
         time_budget=args.time_budget,
         max_events=args.max_events,
+        backtrack=args.backtrack,
         state_cache=args.state_cache,
         cache_bits=args.cache_bits,
         cache_mode=args.cache_mode,
@@ -655,6 +656,16 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--stop-on-first", action="store_true")
     search_parser.add_argument("--max-events", type=int, default=25)
     search_parser.add_argument(
+        "--backtrack",
+        choices=("restore", "replay"),
+        default="restore",
+        help="DFS backtracking mode: 'restore' rewinds the live run via "
+        "undo-journal checkpoints (O(changes) per backtrack; falls back "
+        "to replay automatically if an object is not journalable); "
+        "'replay' is classic stateless re-execution. Both report "
+        "identical results (default: restore)",
+    )
+    search_parser.add_argument(
         "--state-cache",
         choices=("off", "exact", "hashcompact", "bitstate"),
         default="off",
@@ -778,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
         count_states=False,
         stop_on_first=False,
         max_events=25,
+        backtrack="restore",
         state_cache="off",
         cache_bits=24,
         cache_mode="safe",
@@ -870,6 +882,7 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_explore,
         max_transitions=None,
         max_events=25,
+        backtrack="restore",
         state_cache="off",
         cache_bits=24,
         cache_mode="safe",
@@ -903,6 +916,7 @@ def build_parser() -> argparse.ArgumentParser:
         max_transitions=None,
         time_budget=None,
         max_events=25,
+        backtrack="restore",
         state_cache="off",
         cache_bits=24,
         cache_mode="safe",

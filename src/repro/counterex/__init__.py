@@ -18,7 +18,14 @@ layers those three concerns on the stateless runtime:
   and grouping across a search's events (``report.triage()``).
 """
 
-from .replay import ReplayOutcome, ReplayVerdict, reproduces, run_choices, verify_trace
+from .replay import (
+    IncrementalReplayer,
+    ReplayOutcome,
+    ReplayVerdict,
+    reproduces,
+    run_choices,
+    verify_trace,
+)
 from .shrink import ShrinkError, ShrinkResult, ddmin, shrink, shrink_choices
 from .traceio import (
     FORMAT,
@@ -41,6 +48,7 @@ from .triage import (
 
 __all__ = [
     "FORMAT",
+    "IncrementalReplayer",
     "ReplayOutcome",
     "ReplayVerdict",
     "ShrinkError",

@@ -129,6 +129,10 @@ def build_manifest(
             "violation_groups": len(report.triage()) if not report.ok else 0,
         }
         if report.stats is not None:
+            # First-class headline metrics (also inside "stats", but
+            # dashboards comparing runs shouldn't have to dig for them).
+            block["replay_fraction"] = report.stats.replay_fraction
+            block["states_per_second"] = report.stats.states_per_second
             block["stats"] = report.stats.json_dict()
         profile = getattr(report, "profile", None)
         if profile is not None:

@@ -16,6 +16,7 @@ from .errors import (
     RuntimeFault,
     TossDomainError,
 )
+from .journal import RunCheckpoint, UndoJournal
 from .objects import CommunicationObject, EnvSink, FifoChannel, Semaphore, SharedVar
 from .ops import BUILTIN_OPERATIONS, OperationSpec
 from .process import Process, ProcessStatus
@@ -37,6 +38,7 @@ __all__ = [
     "ProcessCrash",
     "ProcessStatus",
     "RecordValue",
+    "RunCheckpoint",
     "RuntimeFault",
     "Semaphore",
     "SharedVar",
@@ -44,4 +46,5 @@ __all__ = [
     "SystemConfig",
     "TOP",
     "TossDomainError",
+    "UndoJournal",
 ]

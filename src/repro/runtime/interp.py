@@ -2,27 +2,37 @@
 
 Each process executes its control-flow graphs directly (the closing
 transformation produces CFGs, and executing them natively avoids any
-restructuring step).  The interpreter is a Python generator that *yields*
-at every scheduling point:
+restructuring step).  The interpreter is an *explicit-state stepper*
+that pauses at every scheduling point:
 
 * :class:`VisibleRequest` — the process attempts a visible operation
   (a communication-object operation or ``VS_assert``); the scheduler
-  decides when/whether it proceeds and sends back the operation result;
+  decides when/whether it proceeds and passes the operation result to
+  :meth:`Interpreter.resume`;
 * :class:`TossRequest` — the process executes ``VS_toss(n)``; the
-  scheduler sends back the chosen value in ``[0, n]``.
+  scheduler resumes with the chosen value in ``[0, n]``.
 
-Everything between two yields is *invisible* and deterministic, matching
+Everything between two pauses is *invisible* and deterministic, matching
 the paper's definition of a process transition ("one visible operation
 followed by a finite sequence of invisible operations ... ending just
 before a visible operation").  An invisible-step budget turns runaway
 invisible loops into :class:`DivergenceError` (the paper's footnote-1
 divergence report).
+
+The stepper keeps its whole continuation as plain data — the activation
+stack, the per-activation CFG positions and a pending-resumption tag —
+instead of a suspended Python generator frame.  That is what makes
+processes *checkpointable*: :meth:`Interpreter.snapshot` /
+:meth:`Interpreter.restore` rewind the control state in O(stack depth),
+and the value state is rewound by the
+:class:`~repro.runtime.journal.UndoJournal` the interpreter records its
+mutations into (when the run was started with journaling).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.nodes import (
@@ -75,6 +85,12 @@ Request = VisibleRequest | TossRequest
 _ARITH_OPS = {"+", "-", "*", "/", "%"}
 _ORDER_OPS = {"<", "<=", ">", ">="}
 
+# Pending-resumption tags: what kind of request the interpreter paused
+# on, i.e. how the scheduler's answer must be applied on resume.
+_RESUME_TOSS_NODE = 0  # a NodeKind.TOSS node (closed-away toss branch)
+_RESUME_TOSS_CALL = 1  # VS_toss as a call statement
+_RESUME_VISIBLE = 2  # a visible operation
+
 
 @dataclass(slots=True)
 class _Activation:
@@ -95,8 +111,12 @@ class Interpreter:
         top_proc: name of the process's top-level procedure.
         args: values bound to the top-level procedure's parameters.
         objects: the system's communication-object registry.
-        divergence_budget: max invisible node executions between yields.
+        divergence_budget: max invisible node executions between pauses.
         process_name: for error reporting.
+        journal: an :class:`~repro.runtime.journal.UndoJournal` recording
+            inverse operations for every store mutation (``None`` = no
+            journaling; zero overhead beyond one ``is not None`` branch
+            per mutation).
     """
 
     def __init__(
@@ -108,6 +128,7 @@ class Interpreter:
         divergence_budget: int = 100_000,
         process_name: str = "<process>",
         max_call_depth: int = 512,
+        journal: Any | None = None,
     ):
         if top_proc not in cfgs:
             raise RuntimeFault(f"unknown top-level procedure {top_proc!r}")
@@ -122,26 +143,65 @@ class Interpreter:
         self._budget = divergence_budget
         self._max_call_depth = max_call_depth
         self.process_name = process_name
-        frame = Frame(top_proc)
+        self.journal = journal
+        frame = Frame(top_proc, journal=journal)
         for param, value in zip(top_cfg.params, args):
             frame.declare(param, value)
         self._stack: list[_Activation] = [
             _Activation(cfg=top_cfg, frame=frame, node_id=top_cfg.start_id, result_cell=None)
         ]
+        self._invisible_steps = 0
+        #: The paused continuation: ``(tag, activation, node, spec)`` with
+        #: ``tag`` one of the ``_RESUME_*`` constants, or ``None`` while
+        #: running / after termination.  Plain data, so it snapshots.
+        self._pending: tuple | None = None
 
     # -- public API ------------------------------------------------------------
 
-    def run(self) -> Generator[Request, Any, None]:
-        """The process coroutine.
+    def start(self) -> Request | None:
+        """Run the initial invisible prefix up to the first request.
 
-        Yields requests; the scheduler ``send``s back operation results /
-        toss values.  Returns (``StopIteration``) when the process
-        terminates via a top-level ``return`` or ``exit`` — per the paper,
-        a terminated process is permanently blocking.
+        Returns the request the process paused on, or ``None`` when the
+        process ran to termination without one — per the paper, a
+        terminated process is permanently blocking.
         """
-        invisible_steps = 0
+        return self._advance()
+
+    def resume(self, value: Any) -> Request | None:
+        """Answer the pending request with ``value`` and run on to the
+        next request (or to termination, returning ``None``)."""
+        tag, activation, node, spec = self._pending
+        self._pending = None
+        if tag == _RESUME_VISIBLE:
+            self._invisible_steps = 0
+            if spec.returns_value:
+                self._store_result(activation, node, value)
+            activation.node_id = self._follow_always(activation, node)
+        elif tag == _RESUME_TOSS_NODE:
+            # VS_toss is invisible: it does NOT reset the divergence
+            # budget (a toss-only loop never reaches a visible op and
+            # must be reported as a divergence, like in VeriSoft).
+            self._invisible_steps += 1
+            activation.node_id = self._branch_toss(activation, node, value)
+        else:  # _RESUME_TOSS_CALL
+            self._invisible_steps += 1
+            self._store_result(activation, node, value)
+            activation.node_id = self._follow_always(activation, node)
+        if self._invisible_steps > self._budget:
+            raise DivergenceError(self.process_name, self._budget)
+        return self._advance()
+
+    def _advance(self) -> Request | None:
+        """Execute invisible nodes until the next pause point.
+
+        Returns the request paused on, or ``None`` on termination.  The
+        divergence-budget check runs once per executed node, exactly as
+        the historical generator implementation did (entering a
+        procedure defers the check by one node via ``continue``).
+        """
+        stack = self._stack
         while True:
-            activation = self._stack[-1]
+            activation = stack[-1]
             node = activation.cfg.nodes[activation.node_id]
 
             if node.kind is NodeKind.START:
@@ -150,70 +210,96 @@ class Interpreter:
             elif node.kind is NodeKind.ASSIGN:
                 self._exec_assign(activation, node)
                 activation.node_id = self._follow_always(activation, node)
-                invisible_steps += 1
+                self._invisible_steps += 1
 
             elif node.kind is NodeKind.COND:
                 subject = self._eval(activation, node.expr)
                 activation.node_id = self._branch(activation, node, subject)
-                invisible_steps += 1
+                self._invisible_steps += 1
 
             elif node.kind is NodeKind.TOSS:
-                # VS_toss is invisible: it does NOT reset the divergence
-                # budget (a toss-only loop never reaches a visible op and
-                # must be reported as a divergence, like in VeriSoft).
-                value = yield TossRequest(node.bound, node.id, activation.cfg.proc_name)
-                invisible_steps += 1
-                activation.node_id = self._branch_toss(activation, node, value)
+                self._pending = (_RESUME_TOSS_NODE, activation, node, None)
+                return TossRequest(node.bound, node.id, activation.cfg.proc_name)
 
             elif node.kind is NodeKind.CALL:
-                result = None
                 spec = BUILTIN_OPERATIONS.get(node.callee)
                 if spec is None:
                     self._enter_procedure(activation, node)
-                    invisible_steps += 1
+                    self._invisible_steps += 1
                     continue
                 if spec.nondeterministic:  # VS_toss as a call statement
                     bound = self._toss_bound(activation, node)
-                    value = yield TossRequest(bound, node.id, activation.cfg.proc_name)
-                    invisible_steps += 1
-                    self._store_result(activation, node, value)
-                elif spec.visible:
+                    self._pending = (_RESUME_TOSS_CALL, activation, node, spec)
+                    return TossRequest(bound, node.id, activation.cfg.proc_name)
+                if spec.visible:
                     request = self._visible_request(activation, node, spec)
-                    result = yield request
-                    invisible_steps = 0
-                    if spec.returns_value:
-                        self._store_result(activation, node, result)
-                else:
-                    self._exec_invisible_builtin(activation, node)
-                    invisible_steps += 1
+                    self._pending = (_RESUME_VISIBLE, activation, node, spec)
+                    return request
+                self._exec_invisible_builtin(activation, node)
+                self._invisible_steps += 1
                 activation.node_id = self._follow_always(activation, node)
 
             elif node.kind is NodeKind.RETURN:
                 value = None
                 if node.value is not None:
                     value = self._eval(activation, node.value)
-                self._stack.pop()
-                if not self._stack:
-                    return  # top-level return: the process terminates.
-                caller = self._stack[-1]
+                stack.pop()
+                if not stack:
+                    return None  # top-level return: the process terminates.
+                caller = stack[-1]
                 if activation.result_cell is not None:
                     # A value-less return feeding `x = f()` leaves x abstract:
                     # the closing transformation drops environment-dependent
                     # return values, and TOP makes any lingering use fault
                     # loudly instead of silently computing with garbage.
-                    activation.result_cell.value = value if value is not None else TOP
+                    cell = activation.result_cell
+                    if self.journal is not None:
+                        self.journal.record_cell(cell)
+                    cell.value = value if value is not None else TOP
                 call_node = caller.cfg.nodes[caller.node_id]
                 caller.node_id = self._follow_always(caller, call_node)
-                invisible_steps += 1
+                self._invisible_steps += 1
 
             elif node.kind is NodeKind.EXIT:
-                return  # the process terminates wherever exit appears.
+                return None  # the process terminates wherever exit appears.
 
             else:
                 raise RuntimeFault(f"unknown node kind {node.kind}")
 
-            if invisible_steps > self._budget:
+            if self._invisible_steps > self._budget:
                 raise DivergenceError(self.process_name, self._budget)
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Shallow control-state snapshot: the activation stack (by
+        reference — activations are restored in place), the CFG position
+        of every activation, the invisible-step count and the pending
+        continuation.  Value state (frame cells, records, arrays) is
+        *not* copied: it is rewound by the undo journal.  O(stack depth).
+        """
+        stack = tuple(self._stack)
+        return (
+            stack,
+            tuple(act.node_id for act in stack),
+            self._invisible_steps,
+            self._pending,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Rewind control state to a :meth:`snapshot`.
+
+        Safe to apply repeatedly from the same snapshot (nothing in the
+        snapshot is mutated), and safe after a crash/divergence that
+        left ``_advance`` mid-node: the stack shape, CFG positions and
+        pending continuation are all overwritten wholesale.
+        """
+        stack, node_ids, invisible_steps, pending = snap
+        self._stack[:] = stack
+        for activation, node_id in zip(stack, node_ids):
+            activation.node_id = node_id
+        self._invisible_steps = invisible_steps
+        self._pending = pending
 
     def state_fingerprint(self) -> Any:
         """Hashable snapshot of the whole process state (stack + stores)."""
@@ -287,7 +373,7 @@ class Interpreter:
                 f"{activation.cfg.proc_name}: call depth exceeded "
                 f"{self._max_call_depth} (unbounded recursion?)"
             )
-        frame = Frame(node.callee)
+        frame = Frame(node.callee, journal=self.journal)
         for param, arg in zip(callee_cfg.params, node.args):
             frame.declare(param, self._eval(activation, arg))
         result_cell = None
@@ -381,6 +467,8 @@ class Interpreter:
         if node.result is None:
             return
         cell = self._lvalue_cell(activation, node.result, create=True)
+        if self.journal is not None:
+            self.journal.record_cell(cell)
         cell.value = value
 
     # -- assignment / lvalues -----------------------------------------------------
@@ -398,6 +486,8 @@ class Interpreter:
             return
         value = self._eval(activation, node.value)
         cell = self._lvalue_cell(activation, node.target, create=True)
+        if self.journal is not None:
+            self.journal.record_cell(cell)
         cell.value = value
 
     def _lvalue_cell(self, activation: _Activation, expr: ast.Expr, create: bool) -> Cell:
@@ -423,7 +513,7 @@ class Interpreter:
             base = self._eval(activation, expr.base)
             if not isinstance(base, RecordValue):
                 raise RuntimeFault("field access on a non-record value")
-            cell = base.cell(expr.field, create=create)
+            cell = base.cell(expr.field, create=create, journal=self.journal)
             if cell is None:
                 raise RuntimeFault(f"record has no field {expr.field!r}")
             return cell

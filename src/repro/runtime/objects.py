@@ -27,9 +27,18 @@ class CommunicationObject:
     """Base class: a named object supporting visible operations."""
 
     kind = "object"
+    #: Whether every mutation in :meth:`perform` records its inverse in
+    #: :attr:`journal` — the contract restore-based backtracking needs.
+    #: Subclasses (including user-defined ones) must opt in explicitly;
+    #: the explorer falls back to replay when any object is unjournalable.
+    journalable = False
 
     def __init__(self, name: str):
         self.name = name
+        #: The :class:`~repro.runtime.journal.UndoJournal` mutations are
+        #: recorded into (``None`` = journaling off; set by
+        #: :meth:`System.start`).
+        self.journal = None
 
     def enabled(self, op: str) -> bool:
         """Whether ``op`` may currently be executed (history-only)."""
@@ -56,6 +65,7 @@ class FifoChannel(CommunicationObject):
     """
 
     kind = "channel"
+    journalable = True
 
     def __init__(self, name: str, capacity: int = 1):
         super().__init__(name)
@@ -75,10 +85,15 @@ class FifoChannel(CommunicationObject):
 
     def perform(self, op: str, args: tuple[Any, ...]) -> Any:
         if op == "send":
+            if self.journal is not None:
+                self.journal.record_append(self.queue)
             self.queue.append(copy_value(args[0]))
             return None
         if op == "recv":
-            return self.queue.popleft()
+            value = self.queue.popleft()
+            if self.journal is not None:
+                self.journal.record_popleft(self.queue, value)
+            return value
         if op == "poll":
             return len(self.queue)
         raise ObjectError(f"channel {self.name!r} does not support operation {op!r}")
@@ -100,6 +115,7 @@ class EnvSink(CommunicationObject):
     """
 
     kind = "channel"
+    journalable = True
 
     def __init__(self, name: str, record_outputs: bool = True, visible_in_state: bool = False):
         super().__init__(name)
@@ -122,6 +138,8 @@ class EnvSink(CommunicationObject):
     def perform(self, op: str, args: tuple[Any, ...]) -> Any:
         if op == "send":
             if self.record_outputs:
+                if self.journal is not None:
+                    self.journal.record_append(self.outputs)
                 self.outputs.append(copy_value(args[0]))
             return None
         if op == "poll":
@@ -140,6 +158,7 @@ class Semaphore(CommunicationObject):
     """A counting semaphore.  ``sem_p`` blocks when the count is zero."""
 
     kind = "semaphore"
+    journalable = True
 
     def __init__(self, name: str, initial: int = 1):
         super().__init__(name)
@@ -156,9 +175,13 @@ class Semaphore(CommunicationObject):
 
     def perform(self, op: str, args: tuple[Any, ...]) -> Any:
         if op == "sem_p":
+            if self.journal is not None:
+                self.journal.record_attr(self, "count")
             self.count -= 1
             return None
         if op == "sem_v":
+            if self.journal is not None:
+                self.journal.record_attr(self, "count")
             self.count += 1
             return None
         raise ObjectError(f"semaphore {self.name!r} does not support operation {op!r}")
@@ -171,6 +194,7 @@ class SharedVar(CommunicationObject):
     """A shared variable with always-enabled atomic ``read``/``write``."""
 
     kind = "shared"
+    journalable = True
 
     def __init__(self, name: str, initial: Any = 0):
         super().__init__(name)
@@ -185,6 +209,8 @@ class SharedVar(CommunicationObject):
         if op == "read":
             return copy_value(self.value)
         if op == "write":
+            if self.journal is not None:
+                self.journal.record_attr(self, "value")
             self.value = copy_value(args[0])
             return None
         raise ObjectError(f"shared variable {self.name!r} does not support operation {op!r}")

@@ -1,7 +1,7 @@
 """The :class:`Process` wrapper: one sequential program under scheduler
 control.
 
-A process owns an :class:`~repro.runtime.interp.Interpreter` coroutine
+A process owns an :class:`~repro.runtime.interp.Interpreter` stepper
 and tracks where it currently stands:
 
 * ``AT_VISIBLE`` — stopped just before a visible operation (the paper's
@@ -34,12 +34,11 @@ class ProcessStatus(enum.Enum):
 
 
 class Process:
-    """A running process: coroutine + status + pending request."""
+    """A running process: interpreter stepper + status + pending request."""
 
     def __init__(self, name: str, interpreter: Interpreter):
         self.name = name
         self._interpreter = interpreter
-        self._coroutine = interpreter.run()
         self.status: ProcessStatus | None = None  # None until start()
         self.pending: Request | None = None
         self.crash: Exception | None = None
@@ -48,22 +47,18 @@ class Process:
 
     def start(self) -> None:
         """Run the initial invisible prefix up to the first request."""
-        self._resume(lambda: next(self._coroutine))
+        self._resume(self._interpreter.start)
 
     def resume(self, value: Any = None) -> None:
         """Answer the pending request with ``value`` and run to the next one."""
         if self.status not in (ProcessStatus.AT_VISIBLE, ProcessStatus.NEEDS_TOSS):
             raise RuntimeError(f"cannot resume process {self.name!r} in status {self.status}")
         self.pending = None
-        self._resume(lambda: self._coroutine.send(value))
+        self._resume(lambda: self._interpreter.resume(value))
 
     def _resume(self, step) -> None:
         try:
             request = step()
-        except StopIteration:
-            self.status = ProcessStatus.TERMINATED
-            self.pending = None
-            return
         except DivergenceError as err:
             self.status = ProcessStatus.DIVERGED
             self.pending = None
@@ -74,11 +69,31 @@ class Process:
             self.pending = None
             self.crash = ProcessCrash(self.name, fault)
             return
+        if request is None:
+            self.status = ProcessStatus.TERMINATED
+            self.pending = None
+            return
         self.pending = request
         if isinstance(request, TossRequest):
             self.status = ProcessStatus.NEEDS_TOSS
         else:
             self.status = ProcessStatus.AT_VISIBLE
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Control-state snapshot for restore-based backtracking.
+
+        O(stack depth); pairs the scheduler-facing state (status, pending
+        request, crash record) with the interpreter's own snapshot.  Value
+        state is rewound separately by the undo journal.
+        """
+        return (self.status, self.pending, self.crash, self._interpreter.snapshot())
+
+    def restore(self, snap: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (repeatable; safe after crashes)."""
+        self.status, self.pending, self.crash, interp_snap = snap
+        self._interpreter.restore(interp_snap)
 
     # -- queries -------------------------------------------------------------------
 

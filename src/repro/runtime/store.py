@@ -20,22 +20,27 @@ from .values import ArrayValue, Cell, fingerprint
 class Frame:
     """One procedure activation: name -> memory cell."""
 
-    __slots__ = ("proc_name", "cells")
+    __slots__ = ("proc_name", "cells", "journal")
 
-    def __init__(self, proc_name: str):
+    def __init__(self, proc_name: str, journal: Any | None = None):
         self.proc_name = proc_name
         self.cells: dict[str, Cell] = {}
+        self.journal = journal
 
     def declare(self, name: str, value: Any = 0) -> Cell:
         """Create (or re-initialize) the cell for a local/parameter."""
         cell = self.cells.get(name)
         if cell is None:
+            if self.journal is not None:
+                self.journal.record_new_key(self.cells, name)
             cell = Cell(value)
             self.cells[name] = cell
         else:
             # Re-executing a declaration (loop bodies) resets the cell in
             # place so existing pointers to it stay valid, like C autos
             # reused across iterations.
+            if self.journal is not None:
+                self.journal.record_cell(cell)
             cell.value = value
         return cell
 

@@ -3,10 +3,13 @@
 :class:`System` is the *static* description of a closed concurrent
 system: the program (as CFGs), the communication objects and the process
 launch specs.  Calling :meth:`System.start` instantiates a fresh
-:class:`Run` — fresh objects, fresh process coroutines — which is what
+:class:`Run` — fresh objects, fresh process steppers — which is what
 makes stateless (re-execution based) exploration possible: the explorer
 simply starts a new run per path, exactly like VeriSoft reinitialises
-the system to explore an alternative path.
+the system to explore an alternative path.  A run started with
+``journal=True`` additionally supports :meth:`Run.checkpoint` /
+:meth:`Run.restore`, which is what restore-based backtracking builds on
+(see :mod:`repro.runtime.journal`).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from ..lang import ast
 from ..lang.parser import parse_program
 from .errors import ObjectError
 from .interp import Interpreter
+from .journal import RunCheckpoint, UndoJournal
 from .objects import CommunicationObject, EnvSink, FifoChannel, Semaphore, SharedVar
 from .process import Process, ProcessStatus
 from .values import ObjectRef
@@ -203,11 +207,28 @@ class System:
 
     # -- instantiation -------------------------------------------------------------
 
-    def start(self) -> "Run":
-        """Create a fresh run (fresh objects, fresh process coroutines)."""
+    def journalable(self) -> bool:
+        """Whether every communication object of this system journals its
+        mutations (see :attr:`CommunicationObject.journalable`) — the
+        precondition for restore-based backtracking."""
+        return all(
+            spec.instantiate().journalable for spec in self._object_specs.values()
+        )
+
+    def start(self, journal: bool = False) -> "Run":
+        """Create a fresh run (fresh objects, fresh process steppers).
+
+        With ``journal=True`` the run records an undo entry for every
+        state mutation, enabling :meth:`Run.checkpoint` /
+        :meth:`Run.restore`.
+        """
         if not self._process_specs:
             raise ObjectError("system has no processes")
+        journal_obj = UndoJournal() if journal else None
         objects = {name: spec.instantiate() for name, spec in self._object_specs.items()}
+        if journal_obj is not None:
+            for obj in objects.values():
+                obj.journal = journal_obj
         processes = []
         for spec in self._process_specs:
             interpreter = Interpreter(
@@ -218,9 +239,10 @@ class System:
                 divergence_budget=self.config.divergence_budget,
                 process_name=spec.name,
                 max_call_depth=self.config.max_call_depth,
+                journal=journal_obj,
             )
             processes.append(Process(spec.name, interpreter))
-        return Run(objects, processes)
+        return Run(objects, processes, journal=journal_obj)
 
 
 @dataclass(frozen=True, slots=True)
@@ -236,16 +258,63 @@ class AssertionOutcome:
 class Run:
     """A live instance of a system, driven by a scheduler/explorer."""
 
-    def __init__(self, objects: dict[str, CommunicationObject], processes: list[Process]):
+    def __init__(
+        self,
+        objects: dict[str, CommunicationObject],
+        processes: list[Process],
+        journal: UndoJournal | None = None,
+    ):
         self.objects = objects
         self.processes = processes
+        self.journal = journal
         self._started = False
 
     def __reduce__(self):
         raise TypeError(
-            "Run instances hold live process coroutines and cannot be "
+            "Run instances hold live process state and cannot be "
             "pickled; pickle the System and start a fresh run instead"
         )
+
+    # -- checkpoint / restore ---------------------------------------------------------
+
+    def checkpoint(self) -> RunCheckpoint:
+        """Capture a restorable point of this run.
+
+        Requires the run to have been started with ``journal=True``
+        (:meth:`System.start`).  Cost is O(total stack depth) — one
+        shallow control snapshot per process; value state is covered by
+        the journal mark.
+        """
+        if self.journal is None:
+            raise RuntimeError(
+                "run was not started with journaling; pass journal=True "
+                "to System.start() to enable checkpoints"
+            )
+        snapshots = tuple(process.snapshot() for process in self.processes)
+        # Accounting-model footprint: a checkpoint tuple plus, per
+        # process, its snapshot tuple and one slot per stack entry.
+        approx_bytes = 96 + sum(
+            112 + 56 * len(snap[3][0]) for snap in snapshots
+        )
+        return RunCheckpoint(
+            mark=self.journal.mark(),
+            processes=snapshots,
+            approx_bytes=approx_bytes,
+        )
+
+    def restore(self, checkpoint: RunCheckpoint) -> None:
+        """Rewind this run to a :meth:`checkpoint` taken earlier.
+
+        Value state is rewound by the journal (O(changes since)), then
+        every process's control state is overwritten from its snapshot.
+        The resulting state is bit-identical to re-execution: the same
+        ``state_fingerprint()`` over the same live cell/frame objects.
+        """
+        if self.journal is None:
+            raise RuntimeError("run is not journaled; cannot restore")
+        self.journal.rewind(checkpoint.mark)
+        for process, snap in zip(self.processes, checkpoint.processes):
+            process.restore(snap)
 
     # -- lifecycle ------------------------------------------------------------------
 

@@ -91,9 +91,13 @@ class RecordValue:
     def __init__(self, fields: dict[str, Cell] | None = None):
         self.fields = fields if fields is not None else {}
 
-    def cell(self, name: str, create: bool = False) -> Cell | None:
+    def cell(
+        self, name: str, create: bool = False, journal: Any | None = None
+    ) -> Cell | None:
         existing = self.fields.get(name)
         if existing is None and create:
+            if journal is not None:
+                journal.record_new_key(self.fields, name)
             existing = Cell(0)
             self.fields[name] = existing
         return existing

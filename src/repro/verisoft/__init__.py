@@ -1,5 +1,11 @@
-"""The VeriSoft substrate: stateless systematic state-space exploration
-with partial-order reduction, for closed concurrent systems.
+"""The VeriSoft substrate: systematic state-space exploration with
+partial-order reduction, for closed concurrent systems.
+
+The DFS backtracks in one of two modes (``SearchOptions.backtrack``):
+*restore* (the default) keeps undo-journal checkpoints at choice points
+and rewinds the live run in O(changes), while *replay* is the classic
+VeriSoft stateless mode that re-executes the path prefix from scratch.
+Both explore the identical choice tree and report identical results.
 
 The unified entry point is :func:`run_search` driven by a
 :class:`SearchOptions`; ``explore``/``random_walks``/``replay`` remain
@@ -7,7 +13,14 @@ as thin compatibility wrappers around the same machinery.
 """
 
 from .behaviors import behavior_inclusion, matches_with_erasure, missing_behaviors
-from .explorer import Explorer, ReplayMismatch, collect_output_traces, explore, replay
+from .explorer import (
+    Explorer,
+    ReplayMismatch,
+    apply_choice,
+    collect_output_traces,
+    explore,
+    replay,
+)
 from .parallel import (
     ChoicePrefix,
     PrefixPoint,
@@ -59,6 +72,7 @@ __all__ = [
     "Trace",
     "TraceStep",
     "TransitionSig",
+    "apply_choice",
     "behavior_inclusion",
     "collect_output_traces",
     "enumerate_prefixes",

@@ -1,12 +1,24 @@
 """The VeriSoft-style systematic state-space explorer.
 
-Like VeriSoft [God97], the explorer is *stateless*: it never stores
-global states.  A path through the state space is a sequence of
-**choices** — which process executes its next visible operation at each
-global state, and which value each ``VS_toss`` returns — and the search
-is a depth-first walk over the choice tree that *re-executes the system
-from its initial state* to backtrack (the runtime is deterministic, so
-replay is exact).
+Like VeriSoft [God97], the explorer never stores global states.  A path
+through the state space is a sequence of **choices** — which process
+executes its next visible operation at each global state, and which
+value each ``VS_toss`` returns — and the search is a depth-first walk
+over the choice tree.  *How* it backtracks is selectable
+(``backtrack=``):
+
+* ``"replay"`` — the classic stateless mode: re-execute the system from
+  its initial state along the recorded choice prefix (the runtime is
+  deterministic, so replay is exact).  Always available.
+* ``"restore"`` — incremental backtracking: the runtime keeps an undo
+  journal (:mod:`repro.runtime.journal`), the explorer checkpoints each
+  branching choice point, and backtracking rewinds to the checkpoint in
+  O(changes since) instead of re-executing O(depth) transitions.
+  Requires every communication object to be journalable; the search
+  layer falls back to replay otherwise.  The two modes walk the *same*
+  choice tree — identical states, transitions, events and POR decisions
+  — and differ only in the ``replays``/``replayed_transitions``/
+  ``restores`` telemetry (see ``docs/backtracking.md``).
 
 At every global state the explorer checks for deadlocks, records
 assertion outcomes, process crashes (runtime faults) and divergences,
@@ -71,6 +83,10 @@ class _ChoicePoint:
     sleep: frozenset[TransitionSig] = frozenset()
     #: signature per alternative (schedule points; used for sleep sets).
     sigs: list[TransitionSig | None] = field(default_factory=list)
+    #: Restore-mode bookkeeping (:class:`_ResumeInfo`); ``None`` in
+    #: replay mode and for single-alternative points, which are
+    #: exhausted at creation and can never become a backtrack target.
+    resume: Any = None
 
     @property
     def chosen(self) -> Any:
@@ -80,17 +96,42 @@ class _ChoicePoint:
         return self.index + 1 >= len(self.alternatives)
 
 
+@dataclass(frozen=True, slots=True)
+class _ResumeInfo:
+    """Everything needed to re-enter the DFS at a choice point without
+    re-executing the path prefix: the runtime checkpoint plus the
+    explorer-side execution state (depth, carried sleep set, lengths to
+    truncate the recorded choice/step lists back to, and which processes
+    had already been noted as crashed/diverged).  Captured by
+    :meth:`Explorer._choice` *before* the point's own choice is
+    appended."""
+
+    checkpoint: Any
+    depth: int
+    sleep: frozenset[TransitionSig]
+    choices_len: int
+    steps_len: int
+    noted_broken: frozenset[str]
+
+
 class _Leaf(Exception):
     """Internal: the current execution reached a leaf of the DFS tree."""
 
 
 class Explorer:
-    """Drives the stateless search over a :class:`repro.runtime.System`.
+    """Drives the systematic search over a :class:`repro.runtime.System`.
 
     Arguments:
         system: the (closed) system to explore.
         max_depth: bound on transitions per path; exploration is complete
             up to this depth.
+        backtrack: ``"replay"`` (default; stateless re-execution from the
+            initial state) or ``"restore"`` (undo-journal checkpointing:
+            backtracking rewinds the live run in O(changes) — see the
+            module docstring).  ``"restore"`` silently degrades to
+            replay when the system is not journalable; both modes visit
+            the identical choice tree and report identical counters
+            apart from ``replays``/``replayed_transitions``/``restores``.
         por: enable persistent-set + sleep-set reduction.
         sleep_sets: with ``por``, whether the sleep-set part of the
             reduction is active (persistent sets always are).  The safe
@@ -147,6 +188,7 @@ class Explorer:
         self,
         system: System,
         max_depth: int = 100,
+        backtrack: str = "replay",
         por: bool = True,
         sleep_sets: bool = True,
         state_store: StateStore | None = None,
@@ -168,8 +210,14 @@ class Explorer:
         on_step: Callable[..., None] | None = None,
         tracer: Any | None = None,
     ):
+        if backtrack not in ("replay", "restore"):
+            raise ValueError(f"unknown backtrack mode {backtrack!r}")
         self._system = system
         self._max_depth = max_depth
+        self._restore = backtrack == "restore" and system.journalable()
+        self._live: _ExecState | None = None
+        self._live_checkpoint_bytes = 0
+        self._peak_checkpoint_bytes = 0
         self._por = por
         self._sleep_sets = sleep_sets and por
         self._state_store = state_store
@@ -214,7 +262,9 @@ class Explorer:
 
     def run(self) -> ExplorationReport:
         report = ExplorationReport()
-        stats = report.stats = SearchStats(strategy="dfs")
+        stats = report.stats = SearchStats(
+            strategy="dfs", backtrack="restore" if self._restore else "replay"
+        )
         if self._state_store is not None:
             report.state_caching = {
                 **self._state_store.config(),
@@ -236,6 +286,7 @@ class Explorer:
             self._deadline = started + self._time_budget
         next_tick = started + self._progress_interval
         executions = 0
+        resume_point: _ChoicePoint | None = None
 
         while True:
             try:
@@ -244,16 +295,18 @@ class Explorer:
                 # recorded) by the coordinator that produced it.
                 frozen_replay = executions == 0 and base > 0
                 if self._tracer is None:
-                    self._execute(stack, report, seen_states, stats, frozen_replay)
+                    self._execute(
+                        stack, report, seen_states, stats, frozen_replay, resume_point
+                    )
                 else:
                     with self._tracer.span("path", cat="dfs", path=executions):
                         self._execute(
-                            stack, report, seen_states, stats, frozen_replay
+                            stack, report, seen_states, stats, frozen_replay, resume_point
                         )
             except _Leaf:
                 pass
             report.paths_explored += 1
-            if executions:
+            if executions and not self._restore:
                 stats.replays += 1
             executions += 1
 
@@ -287,10 +340,16 @@ class Explorer:
             # Backtrack to the deepest choice point with untried options,
             # never climbing into a frozen prefix.
             while len(stack) > base and stack[-1].exhausted():
-                stack.pop()
+                popped = stack.pop()
+                if popped.resume is not None:
+                    self._live_checkpoint_bytes -= popped.resume.checkpoint.approx_bytes
             if len(stack) <= base:
                 break
             stack[-1].index += 1
+            if self._restore:
+                # Every bumped point had > 1 alternative, so it carries a
+                # checkpoint: rewind the live run instead of re-executing.
+                resume_point = stack[-1]
 
         if seen_states is not None:
             report.distinct_states = len(seen_states)
@@ -317,6 +376,13 @@ class Explorer:
             stats.cache_misses = self._state_store.misses
             stats.cache_stored = self._state_store.states_stored
             stats.cache_memory_bytes = self._state_store.memory_bytes
+        if self._restore and self._live is not None:
+            journal = self._live.run.journal
+            stats.restores = journal.restores
+            stats.undo_entries = journal.entries_recorded
+            stats.checkpoint_memory_bytes = (
+                journal.peak_memory_bytes() + self._peak_checkpoint_bytes
+            )
 
     # -- one (re-)execution -------------------------------------------------------
 
@@ -327,119 +393,175 @@ class Explorer:
         seen_states: set[Any] | None,
         stats: SearchStats,
         frozen_replay: bool = False,
+        resume_point: _ChoicePoint | None = None,
     ) -> None:
-        run = self._system.start()
-        run.start_processes()
-        replay_len = len(stack)
-        state = _ExecState(
-            run=run,
-            stack=stack,
-            replay_len=replay_len,
-            edge_replay_len=replay_len + 1 if frozen_replay else replay_len,
-            report=report,
-        )
-        self._note_broken_processes(state)
-        current_sleep: frozenset[TransitionSig] = frozenset()
-        depth = 0
-
-        while True:
-            # Resolve pending toss choices (invisible, intra-transition).
-            while True:
+        pending_schedule: _ChoicePoint | None = None
+        if resume_point is None:
+            run = self._system.start(journal=self._restore)
+            run.start_processes()
+            replay_len = len(stack)
+            state = _ExecState(
+                run=run,
+                stack=stack,
+                replay_len=replay_len,
+                edge_replay_len=replay_len + 1 if frozen_replay else replay_len,
+                report=report,
+            )
+            if self._restore:
+                self._live = state
+            self._note_broken_processes(state)
+            current_sleep: frozenset[TransitionSig] = frozenset()
+            depth = 0
+        else:
+            # Restore-mode re-entry: rewind the live run to the bumped
+            # choice point's checkpoint and resume the DFS there.  The
+            # execution state is exactly what a replay would have rebuilt
+            # on reaching the point: choices/steps truncated to the
+            # prefix, ptr past every stacked point (so ``fresh`` /
+            # ``fresh_edge`` hold on all ground below, as they would
+            # after consuming the bumped point during a replay).
+            info = resume_point.resume
+            state = self._live
+            run = state.run
+            run.restore(info.checkpoint)
+            del state.choices[info.choices_len :]
+            del state.steps[info.steps_len :]
+            state.noted_broken = set(info.noted_broken)
+            state.ptr = len(stack)
+            depth = info.depth
+            current_sleep = info.sleep
+            if resume_point.kind == "toss":
+                # Answer the bumped toss and fall into the normal loop —
+                # mirroring a replay's pass over the bumped point (no
+                # on_step, no toss_points increment: both fire at
+                # creation only).
                 tossing = run.toss_pending()
-                if tossing is None:
-                    break
-                request = tossing.toss_request
-                before = len(state.stack)
-                point = self._choice(
-                    state, "toss", list(range(request.bound + 1)), frozenset(), []
-                )
-                if self._on_step is not None and len(state.stack) > before:
-                    self._on_step(
-                        "toss", tossing.name, request, depth, request.bound + 1, True
-                    )
-                value = point.chosen
+                value = resume_point.chosen
                 state.choices.append(TossChoice(tossing.name, value))
                 run.answer_toss(tossing, value)
                 self._note_broken_processes(state)
+            else:
+                pending_schedule = resume_point
 
-            # Frontier cut: hand the subtree below this state to the
-            # parallel driver instead of descending into it.
-            if self._frontier_depth is not None and depth >= self._frontier_depth:
-                if self._on_frontier is not None:
-                    self._on_frontier(state.stack)
-                raise _Leaf()
+        while True:
+            if pending_schedule is None:
+                # Resolve pending toss choices (invisible, intra-transition).
+                while True:
+                    tossing = run.toss_pending()
+                    if tossing is None:
+                        break
+                    request = tossing.toss_request
+                    before = len(state.stack)
+                    point = self._choice(
+                        state,
+                        "toss",
+                        list(range(request.bound + 1)),
+                        frozenset(),
+                        [],
+                        depth,
+                        current_sleep,
+                    )
+                    if self._on_step is not None and len(state.stack) > before:
+                        self._on_step(
+                            "toss", tossing.name, request, depth, request.bound + 1, True
+                        )
+                    value = point.chosen
+                    state.choices.append(TossChoice(tossing.name, value))
+                    run.answer_toss(tossing, value)
+                    self._note_broken_processes(state)
 
-            # A global state.
-            if state.fresh:
-                report.states_visited += 1
-                report.max_depth_reached = max(report.max_depth_reached, depth)
-            if seen_states is not None:
-                seen_states.add(run.state_fingerprint())
+                # Frontier cut: hand the subtree below this state to the
+                # parallel driver instead of descending into it.
+                if self._frontier_depth is not None and depth >= self._frontier_depth:
+                    if self._on_frontier is not None:
+                        self._on_frontier(state.stack)
+                    raise _Leaf()
 
-            if self._deadline is not None and time.monotonic() > self._deadline:
-                report.incomplete = True
-                raise _Leaf()
+                # A global state.
+                if state.fresh:
+                    report.states_visited += 1
+                    report.max_depth_reached = max(report.max_depth_reached, depth)
+                if seen_states is not None:
+                    seen_states.add(run.state_fingerprint())
 
-            # State-space caching: prune the subtree below a state that
-            # the store has already expanded.  Only *fresh* states are
-            # consulted — states inside the replayed prefix were entered
-            # into the store when first reached, and pruning them would
-            # cut the very path the replay is reconstructing.
-            if self._state_store is not None and state.fresh:
-                remaining = self._max_depth - depth
-                if not self._state_store.visit(snapshot(run), remaining):
+                if self._deadline is not None and time.monotonic() > self._deadline:
+                    report.incomplete = True
+                    raise _Leaf()
+
+                # State-space caching: prune the subtree below a state that
+                # the store has already expanded.  Only *fresh* states are
+                # consulted — states inside the replayed prefix were entered
+                # into the store when first reached, and pruning them would
+                # cut the very path the replay is reconstructing.
+                if self._state_store is not None and state.fresh:
+                    remaining = self._max_depth - depth
+                    if not self._state_store.visit(snapshot(run), remaining):
+                        self._leaf(state)
+
+                if run.is_deadlock():
+                    if state.fresh and len(report.deadlocks) < self._max_events:
+                        report.deadlocks.append(
+                            DeadlockEvent(state.trace(), *_blocked_info(run))
+                        )
+                        if self._tracer is not None:
+                            self._tracer.instant("deadlock", cat="event", depth=depth)
+                    self._leaf(state)
+                if run.all_terminated():
+                    self._leaf(state)
+                if depth >= self._max_depth:
+                    report.truncated = True
                     self._leaf(state)
 
-            if run.is_deadlock():
-                if state.fresh and len(report.deadlocks) < self._max_events:
-                    report.deadlocks.append(
-                        DeadlockEvent(state.trace(), *_blocked_info(run))
-                    )
-                    if self._tracer is not None:
-                        self._tracer.instant("deadlock", cat="event", depth=depth)
-                self._leaf(state)
-            if run.all_terminated():
-                self._leaf(state)
-            if depth >= self._max_depth:
-                report.truncated = True
-                self._leaf(state)
+                enabled = run.enabled_processes()
+                if not enabled:
+                    # Every live process is blocked but some processes crashed/
+                    # diverged/terminated: nothing can move.
+                    self._leaf(state)
 
-            enabled = run.enabled_processes()
-            if not enabled:
-                # Every live process is blocked but some processes crashed/
-                # diverged/terminated: nothing can move.
-                self._leaf(state)
+                if self._persistent is not None:
+                    candidates = self._persistent.persistent_choices(run)
+                else:
+                    candidates = enabled
+                if state.fresh:
+                    stats.enabled_transitions += len(enabled)
+                    stats.persistent_transitions += len(candidates)
+                sigs = [signature_of(p) for p in candidates]
+                filtered: list[Process] = []
+                filtered_sigs: list[TransitionSig | None] = []
+                for process, sig in zip(candidates, sigs):
+                    if sig is not None and sig in current_sleep:
+                        if state.fresh:
+                            stats.sleep_prunes += 1
+                        continue
+                    filtered.append(process)
+                    filtered_sigs.append(sig)
+                if not filtered:
+                    # All moves are asleep: this subtree is covered elsewhere.
+                    self._leaf(state)
 
-            if self._persistent is not None:
-                candidates = self._persistent.persistent_choices(run)
+                before = len(state.stack)
+                point = self._choice(
+                    state,
+                    "schedule",
+                    [p.name for p in filtered],
+                    current_sleep,
+                    filtered_sigs,
+                    depth,
+                    current_sleep,
+                )
+                created = len(state.stack) > before
+                fanout = len(filtered)
             else:
-                candidates = enabled
-            if state.fresh:
-                stats.enabled_transitions += len(enabled)
-                stats.persistent_transitions += len(candidates)
-            sigs = [signature_of(p) for p in candidates]
-            filtered: list[Process] = []
-            filtered_sigs: list[TransitionSig | None] = []
-            for process, sig in zip(candidates, sigs):
-                if sig is not None and sig in current_sleep:
-                    if state.fresh:
-                        stats.sleep_prunes += 1
-                    continue
-                filtered.append(process)
-                filtered_sigs.append(sig)
-            if not filtered:
-                # All moves are asleep: this subtree is covered elsewhere.
-                self._leaf(state)
+                # Resuming at a bumped schedule point: the global state was
+                # processed when the point was created (a replay would not
+                # re-count it either — it is not fresh ground on a replay
+                # pass), so go straight to executing the next alternative.
+                # The creation-time fan-out equals len(alternatives).
+                point = pending_schedule
+                pending_schedule = None
+                created = False
+                fanout = len(point.alternatives)
 
-            before = len(state.stack)
-            point = self._choice(
-                state,
-                "schedule",
-                [p.name for p in filtered],
-                current_sleep,
-                filtered_sigs,
-            )
-            created = len(state.stack) > before
             chosen_name = point.chosen
             chosen = next(p for p in run.processes if p.name == chosen_name)
             chosen_sig = point.sigs[point.index] if point.sigs else signature_of(chosen)
@@ -453,7 +575,7 @@ class Explorer:
                 report.transitions_executed += 1
                 if self._on_step is not None:
                     self._on_step(
-                        "schedule", chosen_name, request, depth, len(filtered), created
+                        "schedule", chosen_name, request, depth, fanout, created
                     )
             else:
                 stats.replayed_transitions += 1
@@ -510,6 +632,8 @@ class Explorer:
         alternatives: list[Any],
         sleep: frozenset[TransitionSig],
         sigs: list[TransitionSig | None],
+        depth: int = 0,
+        resume_sleep: frozenset[TransitionSig] = frozenset(),
     ) -> _ChoicePoint:
         if state.ptr < len(state.stack):
             point = state.stack[state.ptr]
@@ -524,6 +648,24 @@ class Explorer:
         if kind == "toss":
             # Counted at creation so replays do not double-count.
             state.report.toss_points += 1
+        if self._restore and len(alternatives) > 1:
+            # Checkpoint *before* the point's own choice/step is appended,
+            # so re-entry truncates back to exactly this prefix.  Points
+            # with a single alternative are exhausted at creation — they
+            # are popped during backtracking without ever being resumed,
+            # so checkpointing them would be pure waste.
+            checkpoint = state.run.checkpoint()
+            point.resume = _ResumeInfo(
+                checkpoint=checkpoint,
+                depth=depth,
+                sleep=resume_sleep,
+                choices_len=len(state.choices),
+                steps_len=len(state.steps),
+                noted_broken=frozenset(state.noted_broken),
+            )
+            self._live_checkpoint_bytes += checkpoint.approx_bytes
+            if self._live_checkpoint_bytes > self._peak_checkpoint_bytes:
+                self._peak_checkpoint_bytes = self._live_checkpoint_bytes
         state.stack.append(point)
         state.ptr += 1
         return point
@@ -634,6 +776,60 @@ class ReplayMismatch(RuntimeError):
         self.reason = reason
 
 
+def apply_choice(run: Run, index: int, choice: Choice) -> tuple[Any, Any]:
+    """Apply one recorded ``choice`` to a live ``run``.
+
+    Returns ``(visible_request_or_None, assertion_outcome_or_None)``.
+    All validation happens *before* any state is mutated, so a
+    :class:`ReplayMismatch` leaves the run exactly as it was — the
+    property the incremental (checkpoint-reusing) replayer relies on to
+    keep its live run valid across rejected shrink candidates.
+    """
+    request = None
+    outcome = None
+    if isinstance(choice, TossChoice):
+        process = run.toss_pending()
+        if process is None:
+            raise ReplayMismatch(index, choice, "no process is awaiting a VS_toss")
+        if process.name != choice.process:
+            raise ReplayMismatch(
+                index, choice, f"the pending VS_toss belongs to {process.name!r}"
+            )
+        bound = process.toss_request.bound
+        if not (0 <= choice.value <= bound):
+            raise ReplayMismatch(
+                index, choice, f"toss value {choice.value} outside 0..{bound}"
+            )
+        run.answer_toss(process, choice.value)
+    else:
+        if run.toss_pending() is not None:
+            raise ReplayMismatch(
+                index,
+                choice,
+                f"process {run.toss_pending().name!r} has an unanswered VS_toss",
+            )
+        process = next(
+            (p for p in run.processes if p.name == choice.process), None
+        )
+        if process is None:
+            raise ReplayMismatch(index, choice, "no such process")
+        if process.status is not ProcessStatus.AT_VISIBLE:
+            raise ReplayMismatch(
+                index,
+                choice,
+                f"process is {process.status.value}, not at a visible operation",
+            )
+        if not process.enabled():
+            request = process.visible_request
+            op = request.op if request is not None else "?"
+            raise ReplayMismatch(
+                index, choice, f"visible operation {op!r} is not enabled"
+            )
+        request = process.visible_request
+        outcome = run.execute_visible(process)
+    return request, outcome
+
+
 def replay(
     system: System,
     trace: Trace | Iterable[Choice],
@@ -657,48 +853,7 @@ def replay(
     run = system.start()
     run.start_processes()
     for index, choice in enumerate(choices):
-        request = None
-        outcome = None
-        if isinstance(choice, TossChoice):
-            process = run.toss_pending()
-            if process is None:
-                raise ReplayMismatch(index, choice, "no process is awaiting a VS_toss")
-            if process.name != choice.process:
-                raise ReplayMismatch(
-                    index, choice, f"the pending VS_toss belongs to {process.name!r}"
-                )
-            bound = process.toss_request.bound
-            if not (0 <= choice.value <= bound):
-                raise ReplayMismatch(
-                    index, choice, f"toss value {choice.value} outside 0..{bound}"
-                )
-            run.answer_toss(process, choice.value)
-        else:
-            if run.toss_pending() is not None:
-                raise ReplayMismatch(
-                    index,
-                    choice,
-                    f"process {run.toss_pending().name!r} has an unanswered VS_toss",
-                )
-            process = next(
-                (p for p in run.processes if p.name == choice.process), None
-            )
-            if process is None:
-                raise ReplayMismatch(index, choice, "no such process")
-            if process.status is not ProcessStatus.AT_VISIBLE:
-                raise ReplayMismatch(
-                    index,
-                    choice,
-                    f"process is {process.status.value}, not at a visible operation",
-                )
-            if not process.enabled():
-                request = process.visible_request
-                op = request.op if request is not None else "?"
-                raise ReplayMismatch(
-                    index, choice, f"visible operation {op!r} is not enabled"
-                )
-            request = process.visible_request
-            outcome = run.execute_visible(process)
+        request, outcome = apply_choice(run, index, choice)
         if on_step is not None:
             on_step(index, choice, request, outcome)
     return run

@@ -166,6 +166,7 @@ def enumerate_prefixes(
     prefix_depth: int,
     *,
     max_depth: int = 100,
+    backtrack: str = "replay",
     por: bool = True,
     sleep_sets: bool = True,
     count_states: bool = False,
@@ -196,6 +197,7 @@ def enumerate_prefixes(
     explorer = Explorer(
         system,
         max_depth=max_depth,
+        backtrack=backtrack,
         por=por,
         sleep_sets=sleep_sets,
         state_store=make_store(state_cache, cache_bits=cache_bits),
@@ -253,6 +255,7 @@ def explore_subtree(
     prefix: ChoicePrefix,
     *,
     max_depth: int = 100,
+    backtrack: str = "replay",
     por: bool = True,
     sleep_sets: bool = True,
     count_states: bool = False,
@@ -330,6 +333,7 @@ def explore_subtree(
     explorer = Explorer(
         system,
         max_depth=max_depth,
+        backtrack=backtrack,
         por=por,
         sleep_sets=sleep_sets,
         state_store=make_store(state_cache, cache_bits=cache_bits),
@@ -493,6 +497,7 @@ def _auto_prefix_depth(
     jobs: int,
     *,
     max_depth: int,
+    backtrack: str,
     por: bool,
     sleep_sets: bool,
     max_events: int,
@@ -513,6 +518,7 @@ def _auto_prefix_depth(
             system,
             depth,
             max_depth=max_depth,
+            backtrack=backtrack,
             por=por,
             sleep_sets=sleep_sets,
             max_events=max_events,
@@ -570,6 +576,7 @@ def parallel_search(
                 system,
                 prefix_depth,
                 max_depth=options.max_depth,
+                backtrack=options.backtrack,
                 por=options.por,
                 sleep_sets=options.sleep_sets_active,
                 count_states=options.count_states,
@@ -585,6 +592,7 @@ def parallel_search(
                 system,
                 jobs,
                 max_depth=options.max_depth,
+                backtrack=options.backtrack,
                 por=options.por,
                 sleep_sets=options.sleep_sets_active,
                 max_events=options.max_events,
@@ -599,6 +607,7 @@ def parallel_search(
                     system,
                     prefix_depth,
                     max_depth=options.max_depth,
+                    backtrack=options.backtrack,
                     por=options.por,
                     sleep_sets=options.sleep_sets_active,
                     count_states=True,
@@ -612,6 +621,7 @@ def parallel_search(
 
     worker_kwargs = dict(
         max_depth=options.max_depth,
+        backtrack=options.backtrack,
         por=options.por,
         sleep_sets=options.sleep_sets_active,
         count_states=options.count_states,
@@ -792,6 +802,10 @@ def parallel_search(
         merged.truncated = True
 
     merged.stats.strategy = "parallel"
+    # Report the *effective* mode: the coordinator's explorer already
+    # resolved any journalability fallback, identically to the workers.
+    if coordinator.stats is not None:
+        merged.stats.backtrack = coordinator.stats.backtrack
     merged.stats.jobs = jobs
     merged.stats.prefixes = len(prefixes)
     merged.stats.wall_time = time.monotonic() - started

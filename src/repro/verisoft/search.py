@@ -31,6 +31,9 @@ STRATEGIES = ("dfs", "random", "parallel")
 #: The state-cache modes (see :attr:`SearchOptions.cache_mode`).
 CACHE_MODES = ("safe", "unsafe-fast")
 
+#: The DFS backtracking modes (see :attr:`SearchOptions.backtrack`).
+BACKTRACK_MODES = ("restore", "replay")
+
 
 @dataclass
 class SearchOptions:
@@ -51,6 +54,15 @@ class SearchOptions:
     max_depth: int = 100
     #: Persistent-set + sleep-set partial-order reduction (dfs/parallel).
     por: bool = True
+    #: How the DFS backtracks (dfs/parallel): ``"restore"`` (default;
+    #: undo-journal checkpointing — backtracking rewinds the live run in
+    #: O(changes) instead of re-executing the path prefix) or
+    #: ``"replay"`` (classic VeriSoft stateless re-execution).  Restore
+    #: automatically falls back to replay when any communication object
+    #: is not journalable.  Both modes explore the identical choice tree
+    #: and report identical counters apart from
+    #: ``replays``/``replayed_transitions``/``restores``.
+    backtrack: str = "restore"
     #: Additionally hash every visited state to count distinct states.
     count_states: bool = False
     #: Stop at the first deadlock/violation/crash/divergence.
@@ -190,6 +202,11 @@ class SearchOptions:
             )
         if self.state_cache == "bitstate" and not (3 <= self.cache_bits <= 40):
             raise ValueError("cache_bits must be in 3..40")
+        if self.backtrack not in BACKTRACK_MODES:
+            raise ValueError(
+                f"unknown backtrack mode {self.backtrack!r}; "
+                f"expected one of {', '.join(BACKTRACK_MODES)}"
+            )
         if self.strategy == "parallel":
             if self.on_leaf is not None or self.stop_when is not None:
                 raise ValueError(
@@ -260,6 +277,7 @@ def _dispatch(
         report = Explorer(
             system,
             max_depth=options.max_depth,
+            backtrack=options.backtrack,
             por=options.por,
             sleep_sets=options.sleep_sets_active,
             state_store=options.make_state_store(),

@@ -32,10 +32,18 @@ class SearchStats:
     Counter semantics match :class:`ExplorationReport` where the names
     overlap; the extra fields instrument the machinery itself:
 
+    * ``backtrack`` — how the DFS backtracked: ``"replay"`` (stateless
+      re-execution) or ``"restore"`` (undo-journal checkpointing; see
+      :mod:`repro.runtime.journal`).
     * ``replays`` / ``replayed_transitions`` — how many re-executions
       the stateless backtracking performed and how many transitions were
       spent merely reconstructing a known prefix (the paper's price for
-      storing no states).
+      storing no states).  Both ``0`` in restore mode, except that
+      parallel workers still replay their frozen prefix once.
+    * ``restores`` / ``undo_entries`` / ``checkpoint_memory_bytes`` —
+      restore-mode telemetry: journal rewinds performed, undo entries
+      recorded, and the accounting-model peak footprint of the journal
+      plus the live checkpoints (all ``0`` in replay mode).
     * ``enabled_transitions`` / ``persistent_transitions`` — summed over
       every fresh global state; their ratio
       (:attr:`reduction_ratio`) measures how hard the persistent-set
@@ -53,6 +61,7 @@ class SearchStats:
     """
 
     strategy: str = "dfs"
+    backtrack: str = "replay"
     states_visited: int = 0
     transitions_executed: int = 0
     toss_points: int = 0
@@ -60,6 +69,9 @@ class SearchStats:
     max_depth_reached: int = 0
     replays: int = 0
     replayed_transitions: int = 0
+    restores: int = 0
+    undo_entries: int = 0
+    checkpoint_memory_bytes: int = 0
     enabled_transitions: int = 0
     persistent_transitions: int = 0
     sleep_prunes: int = 0
@@ -98,6 +110,12 @@ class SearchStats:
         return self.replayed_transitions / total
 
     @property
+    def replay_fraction(self) -> float | None:
+        """Alias for :attr:`replay_overhead` — the headline number of
+        the backtracking benchmarks (≈0 in restore mode)."""
+        return self.replay_overhead
+
+    @property
     def cache_hit_ratio(self) -> float | None:
         """Pruned revisits over all store consultations; ``None``
         before any consultation (or with caching off)."""
@@ -123,6 +141,9 @@ class SearchStats:
         "paths_explored",
         "replays",
         "replayed_transitions",
+        "restores",
+        "undo_entries",
+        "checkpoint_memory_bytes",
         "enabled_transitions",
         "persistent_transitions",
         "sleep_prunes",
@@ -147,8 +168,10 @@ class SearchStats:
           merging;
         * ``max_depth_reached`` is the maximum, not the sum;
         * the *receiver* keeps its identity fields — ``strategy``,
-          ``jobs`` and ``prefixes`` describe the merged search, not any
-          one part, so ``other``'s values are ignored;
+          ``backtrack``, ``jobs`` and ``prefixes`` describe the merged
+          search, not any one part, so ``other``'s values are ignored
+          (the parallel driver sets ``backtrack`` on the merged stats
+          explicitly);
         * ``state_cache`` is adopted from ``other`` only when the
           receiver has none (``"off"``) — mixed-store merges keep the
           first kind seen;
@@ -208,11 +231,19 @@ class SearchStats:
             f"toss points:     {self.toss_points}",
             f"paths explored:  {self.paths_explored}",
             f"max depth:       {self.max_depth_reached}",
-            f"replays:         {self.replays}"
+            f"backtracking:    {self.backtrack}"
             + (
-                f" ({self.replay_overhead:.0%} of executed transitions)"
-                if self.replay_overhead is not None
+                f" ({self.restores} restores, {self.undo_entries} undo entries, "
+                f"{self.checkpoint_memory_bytes} B checkpoints)"
+                if self.backtrack == "restore"
                 else ""
+            ),
+            f"replays:         {self.replays}",
+            f"replay fraction: "
+            + (
+                f"{self.replay_fraction:.1%} of executed transitions"
+                if self.replay_fraction is not None
+                else "—"
             ),
             f"sleep prunes:    {self.sleep_prunes}",
         ]
@@ -249,6 +280,7 @@ class SearchStats:
         out = self.as_dict()
         out["reduction_ratio"] = self.reduction_ratio
         out["replay_overhead"] = self.replay_overhead
+        out["replay_fraction"] = self.replay_fraction
         out["states_per_second"] = self.states_per_second
         out["cache_hit_ratio"] = self.cache_hit_ratio
         out["cache_bytes_per_state"] = self.cache_bytes_per_state
