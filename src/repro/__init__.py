@@ -13,7 +13,11 @@ The package provides, from the bottom up:
   Figure 1 that closes an open program with its most general
   environment, plus the naive explicit-environment baseline;
 * :mod:`repro.runtime` — the concurrent execution substrate (processes,
-  channels, semaphores, shared variables, ``VS_toss``/``VS_assert``);
+  channels, semaphores, shared variables, ``VS_toss``/``VS_assert``),
+  with two interchangeable execution engines behind one stepper
+  contract (:mod:`repro.runtime.engine`): the reference tree-walking
+  interpreter and a compiled closure engine
+  (:mod:`repro.runtime.compile`);
 * :mod:`repro.verisoft` — a VeriSoft-style stateless state-space
   explorer with partial-order reduction;
 * :mod:`repro.statespace` — canonical global-state snapshots and
@@ -73,9 +77,7 @@ from .verisoft import (
     SearchStats,
     Trace,
     collect_output_traces,
-    explore,
     parallel_search,
-    random_walks,
     replay,
     run_search,
 )
@@ -120,7 +122,6 @@ __all__ = [
     "close_naively",
     "close_program",
     "collect_output_traces",
-    "explore",
     "group_events",
     "load_trace",
     "make_store",
@@ -128,7 +129,6 @@ __all__ = [
     "parallel_search",
     "parse_program",
     "pretty",
-    "random_walks",
     "replay",
     "run_search",
     "save_trace",

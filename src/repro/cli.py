@@ -54,9 +54,10 @@ Subcommands
 
         repro shrink trace.json -o minimal.json
 
-``explore`` / ``walk``
-    Deprecated shims for ``search --strategy dfs`` and
-    ``search --strategy random``; they forward to the same machinery.
+Every search-style command takes ``--engine walk|compiled`` to pick
+the execution engine (see docs/engine.md); ``compiled`` translates the
+CFGs to Python closures for throughput and falls back to the reference
+walking interpreter when the program is not compilable.
 """
 
 from __future__ import annotations
@@ -307,6 +308,7 @@ def _options_from_args(args) -> SearchOptions:
         time_budget=args.time_budget,
         max_events=args.max_events,
         backtrack=args.backtrack,
+        engine=args.engine,
         state_cache=args.state_cache,
         cache_bits=args.cache_bits,
         cache_mode=args.cache_mode,
@@ -460,7 +462,7 @@ def cmd_replay(args) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
     system = _system_for_trace(args, trace_file)
-    verdict = verify_trace(system, trace_file)
+    verdict = verify_trace(system, trace_file, engine=args.engine)
     print(verdict.detail)
     if args.show_trace and verdict.outcome.trace.steps:
         print("\nscenario:")
@@ -509,27 +511,6 @@ def cmd_shrink(args) -> int:
         print("\nminimal scenario:")
         print(result.trace.describe())
     return 0
-
-
-def _forward_to_search(args, strategy: str, old_name: str) -> int:
-    print(
-        f"note: 'repro {old_name}' is deprecated; use "
-        f"'repro search --strategy {strategy}'",
-        file=sys.stderr,
-    )
-    args.strategy = strategy
-    return cmd_search(args)
-
-
-def cmd_explore(args) -> int:
-    """The ``explore`` subcommand (deprecated shim for ``search``)."""
-    args.time_budget = args.max_seconds
-    return _forward_to_search(args, "dfs", "explore")
-
-
-def cmd_walk(args) -> int:
-    """The ``walk`` subcommand (deprecated shim for ``search``)."""
-    return _forward_to_search(args, "random", "walk")
 
 
 def cmd_profile(args) -> int:
@@ -666,6 +647,16 @@ def build_parser() -> argparse.ArgumentParser:
         "identical results (default: restore)",
     )
     search_parser.add_argument(
+        "--engine",
+        choices=("walk", "compiled"),
+        default="walk",
+        help="execution engine: 'walk' is the reference tree-walking "
+        "interpreter; 'compiled' translates the CFGs to Python closures "
+        "for throughput, reporting identical results, and falls back to "
+        "'walk' when the program uses an uncompilable construct "
+        "(default: walk)",
+    )
+    search_parser.add_argument(
         "--state-cache",
         choices=("off", "exact", "hashcompact", "bitstate"),
         default="off",
@@ -761,6 +752,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--seed", type=int, default=0)
     profile_parser.add_argument("--jobs", "-j", type=int, default=0, metavar="N")
     profile_parser.add_argument(
+        "--engine",
+        choices=("walk", "compiled"),
+        default="walk",
+        help="execution engine to profile (default: walk)",
+    )
+    profile_parser.add_argument(
         "--top",
         dest="profile_top",
         type=int,
@@ -824,6 +821,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the replayed scenario's visible operations",
     )
+    replay_parser.add_argument(
+        "--engine",
+        choices=("walk", "compiled"),
+        default="walk",
+        help="execution engine for the re-execution; a note is printed "
+        "when it differs from the engine the trace was found under "
+        "(default: walk)",
+    )
     replay_parser.set_defaults(func=cmd_replay)
 
     shrink_parser = sub.add_parser(
@@ -863,73 +868,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the minimal scenario's visible operations",
     )
     shrink_parser.set_defaults(func=cmd_shrink)
-
-    explore_parser = sub.add_parser(
-        "explore",
-        help="DEPRECATED: use 'search --strategy dfs'",
-        epilog=_SYSTEM_SCHEMA,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    explore_parser.add_argument("system", type=pathlib.Path, help="system JSON")
-    explore_parser.add_argument("--max-depth", type=int, default=100)
-    explore_parser.add_argument("--max-paths", type=int, default=None)
-    explore_parser.add_argument("--max-seconds", type=float, default=None)
-    explore_parser.add_argument("--no-por", action="store_true")
-    explore_parser.add_argument("--count-states", action="store_true")
-    explore_parser.add_argument("--stop-on-first", action="store_true")
-    explore_parser.add_argument("--progress", action="store_true")
-    explore_parser.set_defaults(
-        func=cmd_explore,
-        max_transitions=None,
-        max_events=25,
-        backtrack="restore",
-        state_cache="off",
-        cache_bits=24,
-        cache_mode="safe",
-        walks=100,
-        seed=0,
-        jobs=0,
-        prefix_depth=None,
-        stats=False,
-        stats_json=None,
-        save_traces=None,
-        trace_out=None,
-        profile=False,
-        profile_top=10,
-        stall_timeout=10.0,
-    )
-
-    walk_parser = sub.add_parser(
-        "walk", help="DEPRECATED: use 'search --strategy random'"
-    )
-    walk_parser.add_argument("system", type=pathlib.Path)
-    walk_parser.add_argument("--walks", type=int, default=100)
-    walk_parser.add_argument("--max-depth", type=int, default=1000)
-    walk_parser.add_argument("--seed", type=int, default=0)
-    walk_parser.add_argument("--stop-on-first", action="store_true")
-    walk_parser.add_argument("--progress", action="store_true")
-    walk_parser.set_defaults(
-        func=cmd_walk,
-        no_por=False,
-        count_states=False,
-        max_paths=None,
-        max_transitions=None,
-        time_budget=None,
-        max_events=25,
-        backtrack="restore",
-        state_cache="off",
-        cache_bits=24,
-        cache_mode="safe",
-        jobs=0,
-        prefix_depth=None,
-        stats=False,
-        stats_json=None,
-        save_traces=None,
-        trace_out=None,
-        profile=False,
-        profile_top=10,
-        stall_timeout=10.0,
-    )
     return parser
 
 

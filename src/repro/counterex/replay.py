@@ -82,6 +82,7 @@ def run_choices(
     system: System,
     choices: tuple[Choice, ...] | list,
     tracer: Any | None = None,
+    engine: str = "walk",
 ) -> ReplayOutcome:
     """Deterministically re-execute ``choices`` and observe violations.
 
@@ -92,10 +93,12 @@ def run_choices(
     ``tracer`` (a :class:`~repro.obs.tracer.Tracer`), when given,
     records the whole re-execution as one ``"replay"`` span carrying
     the prefix length — replay prefixes show up on the run timeline.
+    ``engine`` picks the execution engine; both engines replay any
+    trace identically (the choice tree is engine-independent).
     """
     if tracer is not None:
         with tracer.span("replay", cat="replay", n_choices=len(choices)):
-            return run_choices(system, choices)
+            return run_choices(system, choices, engine=engine)
     choices = tuple(choices)
     steps: list[TraceStep] = []
     events: list[Any] = []
@@ -118,7 +121,7 @@ def run_choices(
             )
 
     try:
-        run = replay(system, choices, on_step=on_step)
+        run = replay(system, choices, on_step=on_step, engine=engine)
     except ReplayMismatch as mismatch:
         return ReplayOutcome(
             applied=applied,
@@ -172,13 +175,13 @@ class IncrementalReplayer:
     :func:`run_choices`.
     """
 
-    def __init__(self, system: System):
+    def __init__(self, system: System, engine: str = "walk"):
         if not system.journalable():
             raise ValueError(
                 "system has non-journalable communication objects; "
                 "use run_choices() instead"
             )
-        self._run = system.start(journal=True)
+        self._run = system.start(journal=True, engine=engine)
         self._run.start_processes()
         #: Choices currently applied to the live run.
         self._applied: list[Choice] = []
@@ -306,14 +309,30 @@ class ReplayVerdict:
         return self.status == "reproduced"
 
 
-def verify_trace(system: System, trace_file: TraceFile) -> ReplayVerdict:
+def verify_trace(
+    system: System, trace_file: TraceFile, engine: str = "walk"
+) -> ReplayVerdict:
     """Replay a loaded trace file against ``system`` and diagnose.
 
-    See the module docstring for the verdict taxonomy.
+    See the module docstring for the verdict taxonomy.  ``engine``
+    picks the execution engine for the re-execution; when it differs
+    from the engine recorded in the trace's search metadata a note is
+    attached (the engines are observationally identical, so this never
+    changes the verdict — the note is provenance, not a warning about
+    correctness).
     """
     target = trace_file.signature()
     fingerprint_matched: bool | None = None
     notes: list[str] = []
+    recorded_engine = trace_file.search.get("engine") or trace_file.search.get(
+        "options", {}
+    ).get("engine")
+    if recorded_engine is not None and recorded_engine != engine:
+        notes.append(
+            f"engine mismatch: trace was found under the {recorded_engine!r} "
+            f"engine, replaying under {engine!r} (engines are "
+            "observationally identical; result is unaffected)"
+        )
     if trace_file.fingerprint:
         current = system.fingerprint()
         fingerprint_matched = current == trace_file.fingerprint
@@ -324,7 +343,7 @@ def verify_trace(system: System, trace_file: TraceFile) -> ReplayVerdict:
                 "the program or system description has changed"
             )
 
-    outcome = run_choices(system, trace_file.trace.choices)
+    outcome = run_choices(system, trace_file.trace.choices, engine=engine)
 
     if not outcome.ok:
         mismatch = outcome.mismatch

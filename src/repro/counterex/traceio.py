@@ -248,6 +248,9 @@ def search_metadata(report: ExplorationReport | None) -> dict:
     meta: dict[str, Any] = {}
     if report.stats is not None:
         meta["strategy"] = report.stats.strategy
+        # The *resolved* engine (after any compilability fallback), so a
+        # replay can warn when re-executing under a different one.
+        meta["engine"] = report.stats.engine
     if report.seed is not None:
         meta["seed"] = report.seed
     if report.options is not None:

@@ -1,9 +1,15 @@
-"""The deterministic CFG interpreter.
+"""The deterministic CFG interpreter — the *reference* execution engine.
 
 Each process executes its control-flow graphs directly (the closing
 transformation produces CFGs, and executing them natively avoids any
-restructuring step).  The interpreter is an *explicit-state stepper*
-that pauses at every scheduling point:
+restructuring step).  Of the two implementations of the
+:class:`~repro.runtime.engine.ExecutionEngine` contract this is the
+walking one (``engine="walk"``): maximally direct, handling every
+construct (including pointers), and serving as the differential-testing
+oracle that the compiled engine (:mod:`repro.runtime.compile`,
+``engine="compiled"``) is held equivalent to — same requests, same
+counters, same faults, same fingerprints.  The interpreter is an
+*explicit-state stepper* that pauses at every scheduling point:
 
 * :class:`VisibleRequest` — the process attempts a visible operation
   (a communication-object operation or ``VS_assert``); the scheduler

@@ -37,7 +37,13 @@ ATTR       (obj, attr name, old value)  ``setattr(obj, name, old)``
 DICT_NEW   (mapping, new key)           ``del mapping[key]``
 APPEND     (sequence,)                  ``sequence.pop()``
 POPLEFT    (deque, popped value)        ``deque.appendleft(value)``
+SLOT       (slot list, index)           ``slots[index] = None``
 ========== ============================ ===========================
+
+``SLOT`` is the slot-frame counterpart of ``DICT_NEW``: the compiled
+engine's :class:`~repro.runtime.compile.SlotFrame` packs a frame's cells
+into a flat array, so declaring a variable fills a slot (undone by
+clearing it) instead of inserting a dict key.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ _ATTR = 1
 _DICT_NEW = 2
 _APPEND = 3
 _POPLEFT = 4
+_SLOT = 5
 
 #: Accounting-model cost of one journal entry (a small tuple plus its
 #: references), used for the ``checkpoint_memory_bytes`` telemetry —
@@ -112,6 +119,11 @@ class UndoJournal:
         self._entries.append((_POPLEFT, queue, value))
         self.entries_recorded += 1
 
+    def record_slot(self, slots: list, index: int) -> None:
+        """Slot ``index`` (currently empty) is about to be filled."""
+        self._entries.append((_SLOT, slots, index))
+        self.entries_recorded += 1
+
     # -- checkpoints ---------------------------------------------------------
 
     def mark(self) -> int:
@@ -145,8 +157,10 @@ class UndoJournal:
                 del entry[1][entry[2]]
             elif tag == _APPEND:
                 entry[1].pop()
-            else:  # _POPLEFT
+            elif tag == _POPLEFT:
                 entry[1].appendleft(entry[2])
+            else:  # _SLOT
+                entry[1][entry[2]] = None
         self.entries_undone += undone
 
     # -- telemetry -----------------------------------------------------------

@@ -1,8 +1,11 @@
 """The :class:`Process` wrapper: one sequential program under scheduler
 control.
 
-A process owns an :class:`~repro.runtime.interp.Interpreter` stepper
-and tracks where it currently stands:
+A process owns an execution engine — any implementation of the
+:class:`~repro.runtime.engine.ExecutionEngine` stepper contract, the
+tree-walking :class:`~repro.runtime.interp.Interpreter` or the
+:class:`~repro.runtime.compile.CompiledEngine` — and tracks where it
+currently stands:
 
 * ``AT_VISIBLE`` — stopped just before a visible operation (the paper's
   global-state condition is "the next operation of every process is
@@ -18,10 +21,13 @@ and tracks where it currently stands:
 from __future__ import annotations
 
 import enum
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from .errors import DivergenceError, ProcessCrash, RuntimeFault
-from .interp import Interpreter, Request, TossRequest, VisibleRequest
+from .interp import Request, TossRequest, VisibleRequest
+
+if TYPE_CHECKING:
+    from .engine import ExecutionEngine
 
 
 class ProcessStatus(enum.Enum):
@@ -34,14 +40,19 @@ class ProcessStatus(enum.Enum):
 
 
 class Process:
-    """A running process: interpreter stepper + status + pending request."""
+    """A running process: engine stepper + status + pending request."""
 
-    def __init__(self, name: str, interpreter: Interpreter):
+    def __init__(self, name: str, interpreter: "ExecutionEngine"):
         self.name = name
         self._interpreter = interpreter
         self.status: ProcessStatus | None = None  # None until start()
         self.pending: Request | None = None
         self.crash: Exception | None = None
+
+    @property
+    def engine(self) -> "ExecutionEngine":
+        """The execution engine stepping this process."""
+        return self._interpreter
 
     # -- lifecycle --------------------------------------------------------------
 

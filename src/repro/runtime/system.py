@@ -22,6 +22,13 @@ from ..cfg.builder import build_cfgs
 from ..cfg.graph import ControlFlowGraph
 from ..lang import ast
 from ..lang.parser import parse_program
+from .compile import (
+    CompiledEngine,
+    CompiledProgram,
+    CompileUnsupported,
+    compile_program,
+)
+from .engine import validate_engine
 from .errors import ObjectError
 from .interp import Interpreter
 from .journal import RunCheckpoint, UndoJournal
@@ -96,6 +103,10 @@ class System:
         self.config = config or SystemConfig()
         self._object_specs: dict[str, _ObjectSpec] = {}
         self._process_specs: list[_ProcessSpec] = []
+        # Compiled-engine cache: None = not yet attempted, False =
+        # compilation unsupported (fall back to the walking engine).
+        # Per-instance and excluded from pickling — workers recompile.
+        self._compiled: CompiledProgram | bool | None = None
 
     # -- pickling (parallel worker fan-out) ---------------------------------------
 
@@ -112,6 +123,7 @@ class System:
         self.config = state["config"]
         self._object_specs = state["object_specs"]
         self._process_specs = state["process_specs"]
+        self._compiled = None
 
     # -- declaration API ---------------------------------------------------------
 
@@ -215,15 +227,42 @@ class System:
             spec.instantiate().journalable for spec in self._object_specs.values()
         )
 
-    def start(self, journal: bool = False) -> "Run":
+    def compiled_program(self) -> CompiledProgram | None:
+        """The program compiled for the ``"compiled"`` engine, or
+        ``None`` when compilation is unsupported (pointer programs fall
+        back to the walking engine).  Compiled once per ``System`` and
+        cached — compiled procedures are immutable and shared by every
+        run and process.
+        """
+        if self._compiled is None:
+            try:
+                self._compiled = compile_program(self.cfgs)
+            except CompileUnsupported:
+                self._compiled = False
+        return self._compiled or None
+
+    def start(self, journal: bool = False, engine: str = "walk") -> "Run":
         """Create a fresh run (fresh objects, fresh process steppers).
 
         With ``journal=True`` the run records an undo entry for every
         state mutation, enabling :meth:`Run.checkpoint` /
         :meth:`Run.restore`.
+
+        ``engine`` selects the process stepper (see
+        :mod:`repro.runtime.engine`): ``"walk"`` (the tree-walking
+        reference engine) or ``"compiled"`` (CFGs pre-translated to
+        Python closures).  When the program cannot be compiled the run
+        falls back to the walking engine; :attr:`Run.engine` records
+        which engine the run actually uses.
         """
+        validate_engine(engine)
         if not self._process_specs:
             raise ObjectError("system has no processes")
+        program = None
+        if engine == "compiled":
+            program = self.compiled_program()
+            if program is None:
+                engine = "walk"
         journal_obj = UndoJournal() if journal else None
         objects = {name: spec.instantiate() for name, spec in self._object_specs.items()}
         if journal_obj is not None:
@@ -231,18 +270,30 @@ class System:
                 obj.journal = journal_obj
         processes = []
         for spec in self._process_specs:
-            interpreter = Interpreter(
-                self.cfgs,
-                spec.proc,
-                spec.args,
-                objects,
-                divergence_budget=self.config.divergence_budget,
-                process_name=spec.name,
-                max_call_depth=self.config.max_call_depth,
-                journal=journal_obj,
-            )
-            processes.append(Process(spec.name, interpreter))
-        return Run(objects, processes, journal=journal_obj)
+            if program is not None:
+                stepper = CompiledEngine(
+                    program,
+                    spec.proc,
+                    spec.args,
+                    objects,
+                    divergence_budget=self.config.divergence_budget,
+                    process_name=spec.name,
+                    max_call_depth=self.config.max_call_depth,
+                    journal=journal_obj,
+                )
+            else:
+                stepper = Interpreter(
+                    self.cfgs,
+                    spec.proc,
+                    spec.args,
+                    objects,
+                    divergence_budget=self.config.divergence_budget,
+                    process_name=spec.name,
+                    max_call_depth=self.config.max_call_depth,
+                    journal=journal_obj,
+                )
+            processes.append(Process(spec.name, stepper))
+        return Run(objects, processes, journal=journal_obj, engine=engine)
 
 
 @dataclass(frozen=True, slots=True)
@@ -263,10 +314,15 @@ class Run:
         objects: dict[str, CommunicationObject],
         processes: list[Process],
         journal: UndoJournal | None = None,
+        engine: str = "walk",
     ):
         self.objects = objects
         self.processes = processes
         self.journal = journal
+        #: The execution engine actually driving this run's processes —
+        #: ``"walk"`` even when ``"compiled"`` was requested but the
+        #: program could not be compiled (see :mod:`repro.runtime.engine`).
+        self.engine = engine
         self._started = False
 
     def __reduce__(self):

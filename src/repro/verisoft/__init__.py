@@ -8,8 +8,9 @@ VeriSoft stateless mode that re-executes the path prefix from scratch.
 Both explore the identical choice tree and report identical results.
 
 The unified entry point is :func:`run_search` driven by a
-:class:`SearchOptions`; ``explore``/``random_walks``/``replay`` remain
-as thin compatibility wrappers around the same machinery.
+:class:`SearchOptions` (``strategy`` picks DFS vs random walks,
+``engine`` picks the walking vs compiled execution engine);
+:func:`replay` re-executes a recorded trace.
 """
 
 from .behaviors import behavior_inclusion, matches_with_erasure, missing_behaviors
@@ -18,7 +19,6 @@ from .explorer import (
     ReplayMismatch,
     apply_choice,
     collect_output_traces,
-    explore,
     replay,
 )
 from .parallel import (
@@ -28,8 +28,7 @@ from .parallel import (
     merge_reports,
     parallel_search,
 )
-from .random_walk import random_walks
-from .search import STRATEGIES, SearchOptions, run_search
+from .search import ENGINES, STRATEGIES, SearchOptions, run_search
 from .stats import ProgressPrinter, SearchStats
 from .por import (
     PersistentSetComputer,
@@ -58,6 +57,7 @@ __all__ = [
     "CrashEvent",
     "DeadlockEvent",
     "DivergenceEvent",
+    "ENGINES",
     "ExplorationReport",
     "Explorer",
     "PersistentSetComputer",
@@ -76,14 +76,12 @@ __all__ = [
     "behavior_inclusion",
     "collect_output_traces",
     "enumerate_prefixes",
-    "explore",
     "independent",
     "matches_with_erasure",
     "merge_reports",
     "missing_behaviors",
     "parallel_search",
     "process_footprint",
-    "random_walks",
     "replay",
     "run_search",
     "signature_of",

@@ -47,6 +47,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from ..runtime.engine import validate_engine
 from ..runtime.process import Process, ProcessStatus
 from ..runtime.system import Run, System
 from ..statespace.snapshot import snapshot
@@ -132,6 +133,13 @@ class Explorer:
             replay when the system is not journalable; both modes visit
             the identical choice tree and report identical counters
             apart from ``replays``/``replayed_transitions``/``restores``.
+        engine: the process stepper (see :mod:`repro.runtime.engine`):
+            ``"walk"`` (default; the tree-walking reference engine) or
+            ``"compiled"`` (CFGs pre-translated to Python closures).
+            ``"compiled"`` silently degrades to ``"walk"`` when the
+            program cannot be compiled (pointer programs); both engines
+            explore the identical choice tree and report identical
+            counters.
         por: enable persistent-set + sleep-set reduction.
         sleep_sets: with ``por``, whether the sleep-set part of the
             reduction is active (persistent sets always are).  The safe
@@ -189,6 +197,7 @@ class Explorer:
         system: System,
         max_depth: int = 100,
         backtrack: str = "replay",
+        engine: str = "walk",
         por: bool = True,
         sleep_sets: bool = True,
         state_store: StateStore | None = None,
@@ -212,9 +221,16 @@ class Explorer:
     ):
         if backtrack not in ("replay", "restore"):
             raise ValueError(f"unknown backtrack mode {backtrack!r}")
+        validate_engine(engine)
         self._system = system
         self._max_depth = max_depth
         self._restore = backtrack == "restore" and system.journalable()
+        # The engine actually used may degrade to "walk" when the
+        # program cannot be compiled; resolve it once so telemetry and
+        # every run agree.
+        if engine == "compiled" and system.compiled_program() is None:
+            engine = "walk"
+        self._engine = engine
         self._live: _ExecState | None = None
         self._live_checkpoint_bytes = 0
         self._peak_checkpoint_bytes = 0
@@ -263,7 +279,9 @@ class Explorer:
     def run(self) -> ExplorationReport:
         report = ExplorationReport()
         stats = report.stats = SearchStats(
-            strategy="dfs", backtrack="restore" if self._restore else "replay"
+            strategy="dfs",
+            backtrack="restore" if self._restore else "replay",
+            engine=self._engine,
         )
         if self._state_store is not None:
             report.state_caching = {
@@ -397,7 +415,7 @@ class Explorer:
     ) -> None:
         pending_schedule: _ChoicePoint | None = None
         if resume_point is None:
-            run = self._system.start(journal=self._restore)
+            run = self._system.start(journal=self._restore, engine=self._engine)
             run.start_processes()
             replay_len = len(stack)
             state = _ExecState(
@@ -747,16 +765,6 @@ class _ExecState:
         return Trace(tuple(self.choices), tuple(self.steps))
 
 
-def explore(
-    system: System,
-    max_depth: int = 100,
-    por: bool = True,
-    **kwargs,
-) -> ExplorationReport:
-    """One-call exploration of a closed system."""
-    return Explorer(system, max_depth=max_depth, por=por, **kwargs).run()
-
-
 class ReplayMismatch(RuntimeError):
     """A recorded choice could not be applied during :func:`replay`.
 
@@ -834,6 +842,7 @@ def replay(
     system: System,
     trace: Trace | Iterable[Choice],
     on_step: Callable[[int, Choice, Any, Any], None] | None = None,
+    engine: str = "walk",
 ) -> Run:
     """Re-execute a recorded choice sequence on a fresh run of ``system``.
 
@@ -842,7 +851,9 @@ def replay(
     final statuses, ...).  ``on_step`` is invoked after every applied
     choice with ``(index, choice, visible_request_or_None,
     assertion_outcome_or_None)`` — the hook the counterexample engine
-    uses to rebuild trace steps and observe violations.
+    uses to rebuild trace steps and observe violations.  ``engine``
+    selects the execution engine (both replay identically; see
+    :mod:`repro.runtime.engine`).
 
     Raises :class:`ReplayMismatch` when a choice does not apply — the
     named process does not exist, is not at an enabled visible
@@ -850,7 +861,7 @@ def replay(
     the index and reason recorded for diagnosis.
     """
     choices = trace.choices if isinstance(trace, Trace) else tuple(trace)
-    run = system.start()
+    run = system.start(engine=engine)
     run.start_processes()
     for index, choice in enumerate(choices):
         request, outcome = apply_choice(run, index, choice)

@@ -167,6 +167,7 @@ def enumerate_prefixes(
     *,
     max_depth: int = 100,
     backtrack: str = "replay",
+    engine: str = "walk",
     por: bool = True,
     sleep_sets: bool = True,
     count_states: bool = False,
@@ -198,6 +199,7 @@ def enumerate_prefixes(
         system,
         max_depth=max_depth,
         backtrack=backtrack,
+        engine=engine,
         por=por,
         sleep_sets=sleep_sets,
         state_store=make_store(state_cache, cache_bits=cache_bits),
@@ -256,6 +258,7 @@ def explore_subtree(
     *,
     max_depth: int = 100,
     backtrack: str = "replay",
+    engine: str = "walk",
     por: bool = True,
     sleep_sets: bool = True,
     count_states: bool = False,
@@ -334,6 +337,7 @@ def explore_subtree(
         system,
         max_depth=max_depth,
         backtrack=backtrack,
+        engine=engine,
         por=por,
         sleep_sets=sleep_sets,
         state_store=make_store(state_cache, cache_bits=cache_bits),
@@ -498,6 +502,7 @@ def _auto_prefix_depth(
     *,
     max_depth: int,
     backtrack: str,
+    engine: str,
     por: bool,
     sleep_sets: bool,
     max_events: int,
@@ -519,6 +524,7 @@ def _auto_prefix_depth(
             depth,
             max_depth=max_depth,
             backtrack=backtrack,
+            engine=engine,
             por=por,
             sleep_sets=sleep_sets,
             max_events=max_events,
@@ -577,6 +583,7 @@ def parallel_search(
                 prefix_depth,
                 max_depth=options.max_depth,
                 backtrack=options.backtrack,
+                engine=options.engine,
                 por=options.por,
                 sleep_sets=options.sleep_sets_active,
                 count_states=options.count_states,
@@ -593,6 +600,7 @@ def parallel_search(
                 jobs,
                 max_depth=options.max_depth,
                 backtrack=options.backtrack,
+                engine=options.engine,
                 por=options.por,
                 sleep_sets=options.sleep_sets_active,
                 max_events=options.max_events,
@@ -608,6 +616,7 @@ def parallel_search(
                     prefix_depth,
                     max_depth=options.max_depth,
                     backtrack=options.backtrack,
+                    engine=options.engine,
                     por=options.por,
                     sleep_sets=options.sleep_sets_active,
                     count_states=True,
@@ -622,6 +631,7 @@ def parallel_search(
     worker_kwargs = dict(
         max_depth=options.max_depth,
         backtrack=options.backtrack,
+        engine=options.engine,
         por=options.por,
         sleep_sets=options.sleep_sets_active,
         count_states=options.count_states,
@@ -802,10 +812,12 @@ def parallel_search(
         merged.truncated = True
 
     merged.stats.strategy = "parallel"
-    # Report the *effective* mode: the coordinator's explorer already
-    # resolved any journalability fallback, identically to the workers.
+    # Report the *effective* modes: the coordinator's explorer already
+    # resolved any journalability/compilability fallback, identically to
+    # the workers.
     if coordinator.stats is not None:
         merged.stats.backtrack = coordinator.stats.backtrack
+        merged.stats.engine = coordinator.stats.engine
     merged.stats.jobs = jobs
     merged.stats.prefixes = len(prefixes)
     merged.stats.wall_time = time.monotonic() - started

@@ -18,6 +18,7 @@ import random
 import time
 from typing import Any, Callable
 
+from ..runtime.engine import validate_engine
 from ..runtime.process import ProcessStatus
 from ..runtime.system import System
 from .stats import SearchStats
@@ -46,6 +47,7 @@ def random_walks(
     progress_interval: float = 0.5,
     on_step: Callable[..., None] | None = None,
     tracer: Any | None = None,
+    engine: str = "walk",
 ) -> ExplorationReport:
     """Run ``walks`` independent random executions of ``system``.
 
@@ -61,11 +63,19 @@ def random_walks(
     :class:`~repro.obs.profile.HotSpotProfiler`); every walk transition
     is fresh, so ``created`` is always ``True``.  ``tracer`` (a
     :class:`~repro.obs.tracer.Tracer`) gets one span per walk.
+
+    ``engine`` selects the execution engine driving each walk (see
+    :data:`~repro.runtime.engine.ENGINES`); ``"compiled"`` falls back
+    to ``"walk"`` when the program is not compilable, and the resolved
+    engine is recorded in ``report.stats.engine``.
     """
+    validate_engine(engine)
+    if engine == "compiled" and system.compiled_program() is None:
+        engine = "walk"
     rng = random.Random(seed)
     report = ExplorationReport()
     report.seed = seed  # walks are reproducible from the seed alone
-    stats = report.stats = SearchStats(strategy="random")
+    stats = report.stats = SearchStats(strategy="random", engine=engine)
     started = time.monotonic()
     cpu_started = time.process_time()
     deadline = None if time_budget is None else started + time_budget
@@ -85,7 +95,7 @@ def random_walks(
             report.incomplete = True
             report.truncated = True
             break
-        run = system.start()
+        run = system.start(engine=engine)
         run.start_processes()
         choices: list = []
         steps: list[TraceStep] = []

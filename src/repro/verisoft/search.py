@@ -12,8 +12,8 @@ dataclass and :func:`run_search` dispatches on ``options.strategy``:
     print(report.summary())
     print(report.stats.describe())
 
-``explore()`` and ``random_walks()`` remain as thin backward-compatible
-wrappers; new code should use :func:`run_search`.
+:func:`run_search` is the only entry point — the historical
+``explore()``/``random_walks()`` wrappers have been removed.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable
 
+from ..runtime.engine import ENGINES
 from ..runtime.system import Run, System
 from .results import ExplorationReport, Trace
 from .stats import SearchStats
@@ -33,6 +34,18 @@ CACHE_MODES = ("safe", "unsafe-fast")
 
 #: The DFS backtracking modes (see :attr:`SearchOptions.backtrack`).
 BACKTRACK_MODES = ("restore", "replay")
+
+# Re-exported from :mod:`repro.runtime.engine` so the search layer's
+# mode tuples (STRATEGIES, CACHE_MODES, BACKTRACK_MODES, ENGINES) live
+# side by side for CLI/choice wiring.
+__all__ = [
+    "BACKTRACK_MODES",
+    "CACHE_MODES",
+    "ENGINES",
+    "STRATEGIES",
+    "SearchOptions",
+    "run_search",
+]
 
 
 @dataclass
@@ -63,6 +76,17 @@ class SearchOptions:
     #: and report identical counters apart from
     #: ``replays``/``replayed_transitions``/``restores``.
     backtrack: str = "restore"
+    #: Which execution engine steps each process (all strategies):
+    #: ``"walk"`` (the reference tree-walking interpreter,
+    #: :mod:`repro.runtime.interp`) or ``"compiled"`` (CFGs translated
+    #: to Python closures with slab-packed frames,
+    #: :mod:`repro.runtime.compile`).  Both engines are observationally
+    #: identical — same choice trees, counters and triage groups — so
+    #: ``"compiled"`` is purely a throughput lever.  When the program
+    #: uses a construct the compiler does not support (pointers, for
+    #: one) the search silently falls back to ``"walk"``; the resolved
+    #: engine is recorded in ``report.stats.engine``.
+    engine: str = "walk"
     #: Additionally hash every visited state to count distinct states.
     count_states: bool = False
     #: Stop at the first deadlock/violation/crash/divergence.
@@ -207,6 +231,11 @@ class SearchOptions:
                 f"unknown backtrack mode {self.backtrack!r}; "
                 f"expected one of {', '.join(BACKTRACK_MODES)}"
             )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown execution engine {self.engine!r}; "
+                f"expected one of {', '.join(ENGINES)}"
+            )
         if self.strategy == "parallel":
             if self.on_leaf is not None or self.stop_when is not None:
                 raise ValueError(
@@ -278,6 +307,7 @@ def _dispatch(
             system,
             max_depth=options.max_depth,
             backtrack=options.backtrack,
+            engine=options.engine,
             por=options.por,
             sleep_sets=options.sleep_sets_active,
             state_store=options.make_state_store(),
@@ -305,6 +335,7 @@ def _dispatch(
             walks=options.walks,
             max_depth=options.max_depth,
             seed=options.seed,
+            engine=options.engine,
             max_events=options.max_events,
             stop_on_first=options.stop_on_first,
             time_budget=options.time_budget,

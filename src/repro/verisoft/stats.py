@@ -35,6 +35,12 @@ class SearchStats:
     * ``backtrack`` — how the DFS backtracked: ``"replay"`` (stateless
       re-execution) or ``"restore"`` (undo-journal checkpointing; see
       :mod:`repro.runtime.journal`).
+    * ``engine`` — which execution engine actually drove the runs:
+      ``"walk"`` (the reference tree-walking interpreter) or
+      ``"compiled"`` (:mod:`repro.runtime.compile`).  Records the
+      *resolved* engine: a ``"compiled"`` request that fell back (the
+      program uses a construct the compiler does not support) reports
+      ``"walk"``.
     * ``replays`` / ``replayed_transitions`` — how many re-executions
       the stateless backtracking performed and how many transitions were
       spent merely reconstructing a known prefix (the paper's price for
@@ -62,6 +68,7 @@ class SearchStats:
 
     strategy: str = "dfs"
     backtrack: str = "replay"
+    engine: str = "walk"
     states_visited: int = 0
     transitions_executed: int = 0
     toss_points: int = 0
@@ -168,10 +175,10 @@ class SearchStats:
           merging;
         * ``max_depth_reached`` is the maximum, not the sum;
         * the *receiver* keeps its identity fields — ``strategy``,
-          ``backtrack``, ``jobs`` and ``prefixes`` describe the merged
-          search, not any one part, so ``other``'s values are ignored
-          (the parallel driver sets ``backtrack`` on the merged stats
-          explicitly);
+          ``backtrack``, ``engine``, ``jobs`` and ``prefixes`` describe
+          the merged search, not any one part, so ``other``'s values are
+          ignored (the parallel driver sets ``backtrack`` and ``engine``
+          on the merged stats explicitly);
         * ``state_cache`` is adopted from ``other`` only when the
           receiver has none (``"off"``) — mixed-store merges keep the
           first kind seen;
@@ -231,6 +238,7 @@ class SearchStats:
             f"toss points:     {self.toss_points}",
             f"paths explored:  {self.paths_explored}",
             f"max depth:       {self.max_depth_reached}",
+            f"engine:          {self.engine}",
             f"backtracking:    {self.backtrack}"
             + (
                 f" ({self.restores} restores, {self.undo_entries} undo entries, "

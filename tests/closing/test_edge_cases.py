@@ -3,9 +3,9 @@ records, optimize on the full case study."""
 
 import pytest
 
-from tests.helpers import single_process_behaviors
+from tests.helpers import dfs_search, single_process_behaviors
 
-from repro import close_program, explore
+from repro import close_program
 from repro.cfg import NodeKind
 
 
@@ -184,7 +184,7 @@ class TestOptimizedCaseStudy:
         for cfg in closed.cfgs.values():
             cfg.validate()
         system = app.make_system(closed, with_maintenance=False)
-        report = explore(
+        report = dfs_search(
             system,
             max_depth=40,
             por=True,

@@ -2,9 +2,9 @@
 
 import pytest
 
-from tests.helpers import single_process_behaviors
+from tests.helpers import dfs_search, single_process_behaviors
 
-from repro import System, close_program, explore
+from repro import System, close_program
 from repro.closing.generators import generate_program
 from repro.closing.hoist import unswitch_program
 from repro.lang import ast
@@ -35,7 +35,7 @@ def paths_of(cfgs, proc="main"):
     system = System(cfgs)
     system.add_env_sink("out")
     system.add_process("P", proc, [])
-    return explore(system, max_depth=60, por=False).paths_explored
+    return dfs_search(system, max_depth=60, por=False).paths_explored
 
 
 class TestUnswitching:

@@ -2,9 +2,9 @@
 
 import pytest
 
-from tests.helpers import single_process_behaviors
+from tests.helpers import dfs_search, single_process_behaviors
 
-from repro import System, close_program, explore
+from repro import System, close_program
 from repro.cfg import ALWAYS, ControlFlowGraph, NodeKind, TossGuard, build_cfgs
 from repro.closing.generators import generate_program
 from repro.closing.minimize import bisimulation_classes, eliminate_redundant_toss
@@ -114,7 +114,7 @@ class TestTossElimination:
             system = System({"p": graph})
             system.add_env_sink("out")
             system.add_process("P", "p", [])
-            return explore(system, max_depth=10, por=False).paths_explored
+            return dfs_search(system, max_depth=10, por=False).paths_explored
 
         assert paths(cfg) == 4
         assert paths(pruned) == 1

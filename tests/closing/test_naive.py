@@ -2,9 +2,9 @@
 
 import pytest
 
-from tests.helpers import single_process_behaviors
+from tests.helpers import dfs_search, single_process_behaviors
 
-from repro import System, close_naively, explore
+from repro import System, close_naively
 from repro.closing import ClosingError, ClosingSpec
 from repro.closing.naive import NaiveDomains
 
@@ -54,7 +54,7 @@ class TestRewriting:
         system = System(naive.cfgs)
         system.add_env_sink("out")
         system.add_process("m", "main", [])
-        report = explore(system, max_depth=20, por=False)
+        report = dfs_search(system, max_depth=20, por=False)
         assert report.paths_explored == 5
 
     def test_discarded_input_not_branched(self):
@@ -63,7 +63,7 @@ class TestRewriting:
         system = System(naive.cfgs)
         system.add_env_sink("out")
         system.add_process("m", "main", [])
-        report = explore(system, max_depth=20, por=False)
+        report = dfs_search(system, max_depth=20, por=False)
         assert report.paths_explored == 1
 
     def test_multiple_input_points_multiply(self):

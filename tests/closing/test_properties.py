@@ -7,7 +7,8 @@ consistency, marking rules, and exploration determinism.
 
 from hypothesis import given, settings, strategies as st
 
-from repro import System, close_program, explore
+from tests.helpers import dfs_search
+from repro import System, close_program
 from repro.cfg import NodeKind, build_cfgs
 from repro.closing import analyze_for_closing
 from repro.closing.generators import GeneratorConfig, generate_program
@@ -88,7 +89,7 @@ class TestExplorationDeterminism:
             system = System(closed.cfgs)
             system.add_env_sink("out")
             system.add_process("P", "main", [])
-            return explore(system, max_depth=60, por=False)
+            return dfs_search(system, max_depth=60, por=False)
 
         a, b = run_once(), run_once()
         assert a.paths_explored == b.paths_explored
@@ -106,7 +107,7 @@ class TestExplorationDeterminism:
             system = System(closed.cfgs)
             system.add_env_sink("out")
             system.add_process("P", "main", [])
-            return explore(system, max_depth=60, por=por)
+            return dfs_search(system, max_depth=60, por=por)
 
         full, reduced = run(False), run(True)
         assert full.paths_explored == reduced.paths_explored

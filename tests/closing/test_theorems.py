@@ -16,9 +16,9 @@ These run both on hand-written programs and on randomly generated ones.
 
 import pytest
 
-from tests.helpers import behavior_inclusion
+from tests.helpers import dfs_search, behavior_inclusion
 
-from repro import System, close_naively, close_program, explore
+from repro import System, close_naively, close_program
 from repro.closing import analyze_for_closing
 from repro.closing.generators import GeneratorConfig, generate_program
 from repro.closing.naive import NaiveDomains
@@ -202,8 +202,8 @@ class TestTheorem7Preservation:
 
         naive = close_naively(source, NaiveDomains(default=[0, 1]))
         auto = close_program(source)
-        open_report = explore(build(naive.cfgs), max_depth=30)
-        closed_report = explore(build(auto.cfgs), max_depth=30)
+        open_report = dfs_search(build(naive.cfgs), max_depth=30)
+        closed_report = dfs_search(build(auto.cfgs), max_depth=30)
         assert open_report.deadlocks  # ground truth: reachable in S x Es
         assert closed_report.deadlocks  # preserved in S'
 
@@ -227,8 +227,8 @@ class TestTheorem7Preservation:
 
         naive = close_naively(source, NaiveDomains(default=list(range(7))))
         auto = close_program(source)
-        open_report = explore(build(naive.cfgs), max_depth=30)
-        closed_report = explore(build(auto.cfgs), max_depth=30)
+        open_report = dfs_search(build(naive.cfgs), max_depth=30)
+        closed_report = dfs_search(build(auto.cfgs), max_depth=30)
         assert open_report.violations  # x = 6 violates in S x Es
         assert closed_report.violations
 
@@ -247,7 +247,7 @@ class TestTheorem7Preservation:
         system = System(auto.cfgs)
         system.add_env_sink("out")
         system.add_process("m", "main", [])
-        report = explore(system, max_depth=20)
+        report = dfs_search(system, max_depth=20)
         assert not report.violations
         assert report.ok
 

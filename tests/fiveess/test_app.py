@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import explore
+from tests.helpers import dfs_search
 from repro.cfg import NodeKind
 from repro.fiveess import build_app
 from repro.lang.parser import parse_program
@@ -104,12 +104,12 @@ class TestClosing:
 class TestExploration:
     def test_system_builds_and_explores(self, app, closed):
         system = app.make_system(closed)
-        report = explore(system, max_depth=30, por=True, max_paths=300)
+        report = dfs_search(system, max_depth=30, por=True, max_paths=300)
         assert report.states_visited > 0
 
     def test_seeded_deadlock_found(self, app, closed):
         system = app.make_system(closed, with_maintenance=False)
-        report = explore(
+        report = dfs_search(
             system,
             max_depth=40,
             por=True,
@@ -126,18 +126,18 @@ class TestExploration:
         safe = build_app(n_lines=2, seed_deadlock=False)
         closed = safe.close()
         system = safe.make_system(closed, with_maintenance=False)
-        report = explore(system, max_depth=40, por=True, max_paths=4000)
+        report = dfs_search(system, max_depth=40, por=True, max_paths=4000)
         classes = {safe.classify_deadlock(d.blocked) for d in report.deadlocks}
         assert "seeded-lock-order" not in classes
 
     def test_billing_violation_found_in_core_flow(self, app, closed):
         system = app.make_system(closed, with_mobility=False, with_maintenance=False)
-        report = explore(
+        report = dfs_search(
             system,
             max_depth=60,
             por=True,
             max_paths=50_000,
-            max_seconds=60,
+            time_budget=60,
             stop_when=lambda r: bool(r.violations),
         )
         assert report.violations
@@ -146,8 +146,8 @@ class TestExploration:
         safe = build_app(n_lines=2, seed_billing_bug=False)
         closed = safe.close()
         system = safe.make_system(closed, with_mobility=False, with_maintenance=False)
-        report = explore(
-            system, max_depth=60, por=True, max_paths=8_000, max_seconds=40
+        report = dfs_search(
+            system, max_depth=60, por=True, max_paths=8_000, time_budget=40
         )
         assert not report.violations
 
@@ -173,12 +173,12 @@ class TestCallForwarding:
             with_maintenance=False,
             with_forwarding=True,
         )
-        report = explore(
+        report = dfs_search(
             system,
             max_depth=70,
             por=True,
             max_paths=20_000,
-            max_seconds=90,
+            time_budget=90,
             stop_when=lambda r: any(
                 app.classify_event(d) == "forwarding-teardown-leak"
                 for d in r.deadlocks
@@ -194,7 +194,7 @@ class TestCallForwarding:
             with_maintenance=False,
             with_forwarding=False,
         )
-        report = explore(system, max_depth=70, por=True, max_paths=8_000, max_seconds=60)
+        report = dfs_search(system, max_depth=70, por=True, max_paths=8_000, time_budget=60)
         classes = {app.classify_event(d) for d in report.deadlocks}
         assert "forwarding-teardown-leak" not in classes
 

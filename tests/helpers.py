@@ -4,9 +4,18 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro import System
+from repro import System, run_search
 from repro.runtime.system import Run
 from repro.verisoft import collect_output_traces
+
+
+def dfs_search(system, **kwargs):
+    """Exhaustive DFS through the unified entry point.
+
+    A thin test-side shorthand for ``run_search(system, strategy="dfs",
+    **kwargs)``; every keyword is a :class:`repro.SearchOptions` field.
+    """
+    return run_search(system, strategy="dfs", **kwargs)
 
 
 def run_single(

@@ -5,7 +5,8 @@ import pytest
 
 pytest.importorskip("pycparser")
 
-from repro import System, close_program, collect_output_traces, explore
+from tests.helpers import dfs_search
+from repro import System, close_program, collect_output_traces
 from repro.lang.cfront import c_to_program
 
 C_SOURCE = """
@@ -82,7 +83,7 @@ class TestCCaseStudy:
         assert closed.removed_params.get("classify") == ("v",)
 
     def test_all_event_patterns_explored(self, closed):
-        report = explore(build(closed), max_depth=40)
+        report = dfs_search(build(closed), max_depth=40)
         assert report.ok  # the bookkeeping assertion is preserved & holds
         # Ground truth: 4 outcomes per cycle (idle | high | low |
         # maintenance).  The closed system explores at least those; the
@@ -104,5 +105,5 @@ class TestCCaseStudy:
     def test_struct_counts_preserved(self, closed):
         # The stats struct is system data fed by env-dependent *choices*
         # but constant increments: the preserved assertion never fires.
-        report = explore(build(closed, cycles=3), max_depth=60)
+        report = dfs_search(build(closed, cycles=3), max_depth=60)
         assert not report.violations

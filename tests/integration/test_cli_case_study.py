@@ -62,17 +62,17 @@ class TestCliCaseStudy:
         out = capsys.readouterr().out
         assert "proc line_handler" in out
 
-    def test_explore_finds_billing_violation(self, workspace, capsys):
+    def test_search_finds_billing_violation(self, workspace, capsys):
         _, _, system = workspace
         code = main(
             [
-                "explore",
+                "search",
                 str(system),
                 "--max-depth",
                 "60",
                 "--max-paths",
                 "20000",
-                "--max-seconds",
+                "--time-budget",
                 "60",
                 "--stop-on-first",
             ]
@@ -85,7 +85,12 @@ class TestCliCaseStudy:
 
     def test_walk_mode(self, workspace, capsys):
         _, _, system = workspace
-        code = main(["walk", str(system), "--walks", "50", "--max-depth", "60"])
+        code = main(
+            [
+                "search", str(system), "--strategy", "random",
+                "--walks", "50", "--max-depth", "60",
+            ]
+        )
         out = capsys.readouterr().out
         assert "paths=50" in out
         assert code in (0, 3)

@@ -2,11 +2,11 @@
 including multi-process systems mixing closed code with manual stubs."""
 
 
+from tests.helpers import dfs_search
 from repro import (
     System,
     close_program,
     collect_output_traces,
-    explore,
     parse_program,
 )
 from repro.verisoft import replay
@@ -58,16 +58,16 @@ class TestOpenProducerConsumer:
         assert traces == {(2, 0), (1, 1), (0, 2)}
 
     def test_assertion_violated_beyond_capacity(self):
-        report = explore(self.build(3), max_depth=60)
+        report = dfs_search(self.build(3), max_depth=60)
         assert report.violations
 
     def test_assertion_holds_at_capacity(self):
-        report = explore(self.build(2), max_depth=60)
+        report = dfs_search(self.build(2), max_depth=60)
         assert not report.violations
 
     def test_violation_trace_replays_deterministically(self):
         system = self.build(3)
-        report = explore(system, max_depth=60, stop_when=lambda r: bool(r.violations))
+        report = dfs_search(system, max_depth=60, stop_when=lambda r: bool(r.violations))
         trace = report.violations[0].trace
         run = replay(system, trace)
         # After replay the consumer has just failed its assertion.
@@ -118,7 +118,7 @@ class TestManualStubPlusAutoClosing:
         system.add_env_sink("out")
         system.add_process("stub", "subscriber_model", [])
         system.add_process("srv", "server", [])
-        report = explore(system, max_depth=30, por=True)
+        report = dfs_search(system, max_depth=30, por=True)
         # 2 stub choices x 2 noise choices.
         assert report.paths_explored == 4
 
@@ -172,7 +172,7 @@ class TestDivergenceElimination:
         system = System(closed.cfgs, config=SystemConfig(divergence_budget=2000))
         system.add_env_sink("out")
         system.add_process("m", "main", [])
-        report = explore(system, max_depth=20)
+        report = dfs_search(system, max_depth=20)
         # The tainted loop was erased: no divergence, output preserved.
         assert not report.divergences
         assert report.ok

@@ -3,7 +3,8 @@ general lossy link (the examples/stop_and_wait.py scenario, pinned)."""
 
 import pytest
 
-from repro import System, close_program, collect_output_traces, explore
+from tests.helpers import dfs_search
+from repro import System, close_program, collect_output_traces
 
 PROTOCOL = """
 extern proc link_quality();
@@ -95,7 +96,7 @@ class TestStopAndWait:
 
     def test_ordering_assertion_holds_under_all_loss(self):
         _, system = build()
-        report = explore(system, max_depth=80, por=True)
+        report = dfs_search(system, max_depth=80, por=True)
         assert not report.violations
         assert not report.crashes
 

@@ -1,0 +1,217 @@
+"""Unit tests for the compiled execution engine (repro.runtime.compile).
+
+The observational parity between the compiled and walking engines is
+held by tests/verisoft/test_engine_parity.py; this file covers the
+compiler's own moving parts — slot frames, journaling, the
+CompileUnsupported fallback, and the engine-selection plumbing.
+"""
+
+import pytest
+
+from repro import System
+from repro.lang import parse_program
+from repro.lang.normalize import normalize_program
+from repro.cfg import build_cfgs
+from repro.runtime.compile import (
+    CompiledEngine,
+    CompileUnsupported,
+    SlotFrame,
+    compile_program,
+    _SlotLayout,
+)
+from repro.runtime.engine import ENGINES, validate_engine
+from repro.runtime.interp import Interpreter, TossRequest
+from repro.runtime.journal import UndoJournal
+from repro.runtime.objects import EnvSink
+from repro.runtime.store import Frame
+
+
+def cfgs_of(source):
+    return build_cfgs(normalize_program(parse_program(source)))
+
+
+POINTER_SOURCE = """
+proc main() {
+    var x;
+    x = 1;
+    var p;
+    p = &x;
+    *p = 42;
+    send(out, x);
+}
+"""
+
+STRAIGHT_LINE = """
+proc main() {
+    var a;
+    a = 1;
+    var b;
+    b = a + 2;
+    var c;
+    c = b * 3;
+    send(out, c);
+}
+"""
+
+
+class TestSlotFrame:
+    def layout(self):
+        return _SlotLayout("p", ["x", "y"])
+
+    def test_declare_and_fingerprint_match_dict_frame(self):
+        slot_frame = SlotFrame(self.layout())
+        slot_frame.declare_idx(0, 7)
+        slot_frame.declare_idx(1, True)
+        dict_frame = Frame("p")
+        dict_frame.declare("x", 7)
+        dict_frame.declare("y", True)
+        assert slot_frame.state_fingerprint() == dict_frame.state_fingerprint()
+
+    def test_undeclared_slots_absent_from_fingerprint(self):
+        slot_frame = SlotFrame(self.layout())
+        slot_frame.declare_idx(1, 3)
+        dict_frame = Frame("p")
+        dict_frame.declare("y", 3)
+        assert slot_frame.state_fingerprint() == dict_frame.state_fingerprint()
+
+    def test_fresh_declare_journals_one_slot_entry(self):
+        journal = UndoJournal()
+        frame = SlotFrame(self.layout(), journal=journal)
+        frame.declare_idx(0, 5)
+        assert journal.entries_recorded == 1
+
+    def test_redeclare_journals_cell_and_keeps_identity(self):
+        journal = UndoJournal()
+        frame = SlotFrame(self.layout(), journal=journal)
+        cell = frame.declare_idx(0, 5)
+        again = frame.declare_idx(0, 9)
+        assert again is cell  # in-place reset, like Frame.declare
+        assert cell.value == 9
+        assert journal.entries_recorded == 2
+
+    def test_rewind_empties_fresh_slot(self):
+        journal = UndoJournal()
+        frame = SlotFrame(self.layout(), journal=journal)
+        mark = journal.mark()
+        frame.declare_idx(0, 5)
+        journal.rewind(mark)
+        assert frame.slots[0] is None
+        assert frame.state_fingerprint() == SlotFrame(self.layout()).state_fingerprint()
+
+
+class TestCompileUnsupported:
+    def test_pointer_program_raises(self):
+        with pytest.raises(CompileUnsupported):
+            compile_program(cfgs_of(POINTER_SOURCE))
+
+    def test_system_caches_unsupported_as_none(self):
+        system = System(POINTER_SOURCE)
+        assert system.compiled_program() is None
+        assert system.compiled_program() is None  # cached, no re-raise
+
+    def test_start_falls_back_to_walking_engine(self):
+        system = System(POINTER_SOURCE)
+        system.add_env_sink("out")
+        system.add_process("p", "main", [])
+        run = system.start(engine="compiled")
+        assert run.engine == "walk"
+        run.start_processes()
+        while run.enabled_processes():
+            run.execute_visible(run.enabled_processes()[0])
+        assert run.env_outputs("out") == [42]
+
+    def test_supported_program_compiles_and_caches(self):
+        system = System(STRAIGHT_LINE)
+        program = system.compiled_program()
+        assert program is not None
+        assert system.compiled_program() is program
+
+
+class TestEngineSelection:
+    def test_engines_constant(self):
+        assert ENGINES == ("walk", "compiled")
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            validate_engine("jit")
+
+    def test_run_records_requested_engine(self):
+        system = System(STRAIGHT_LINE)
+        system.add_env_sink("out")
+        system.add_process("p", "main", [])
+        assert system.start(engine="compiled").engine == "compiled"
+        assert system.start(engine="walk").engine == "walk"
+
+
+class TestCompiledEngineStepper:
+    def engines(self, source, proc="main", args=()):
+        cfgs = cfgs_of(source)
+        program = compile_program(cfgs)
+        objects = {"out": EnvSink("out")}
+        compiled = CompiledEngine(program, proc, tuple(args), objects, process_name="p")
+        walking = Interpreter(cfgs, proc, tuple(args), objects, process_name="p")
+        return walking, compiled
+
+    def test_straight_line_requests_and_fingerprints_match(self):
+        walking, compiled = self.engines(STRAIGHT_LINE)
+        req_w, req_c = walking.start(), compiled.start()
+        assert req_w.op == req_c.op == "send"
+        assert req_w.args == req_c.args == (9,)
+        assert walking.state_fingerprint() == compiled.state_fingerprint()
+
+    def test_toss_requests_carry_static_site_identity(self):
+        source = """
+        proc main() {
+            var i;
+            i = 0;
+            while (i < 2) {
+                var t;
+                t = VS_toss(1);
+                i = i + 1;
+            }
+            VS_assert(i == 2);
+        }
+        """
+        _, compiled = self.engines(source)
+        first = compiled.start()
+        assert isinstance(first, TossRequest)
+        second = compiled.resume(0)
+        # Two executions of one toss site report the same static identity.
+        assert (second.bound, second.node_id, second.proc_name) == (
+            first.bound,
+            first.node_id,
+            first.proc_name,
+        )
+
+    def test_snapshot_restore_roundtrip_with_journal(self):
+        source = """
+        proc main() {
+            var t;
+            t = VS_toss(1);
+            send(out, t);
+            send(out, t + 1);
+        }
+        """
+        cfgs = cfgs_of(source)
+        journal = UndoJournal()
+        compiled = CompiledEngine(
+            compile_program(cfgs),
+            "main",
+            (),
+            {"out": EnvSink("out")},
+            process_name="p",
+            journal=journal,
+        )
+        compiled.start()
+        snap = compiled.snapshot()
+        mark = journal.mark()
+        before = compiled.state_fingerprint()
+        compiled.resume(1)  # answer the toss, advance to the send
+        assert compiled.state_fingerprint() != before
+        # Engine snapshots cover control state; the journal undoes data.
+        journal.rewind(mark)
+        compiled.restore(snap)
+        assert compiled.state_fingerprint() == before
+        request = compiled.resume(0)  # the restored engine re-answers
+        assert request.op == "send"
+        assert request.args == (0,)

@@ -110,7 +110,7 @@ class TestAnalyzeAndGraph:
             main(["graph", str(open_file), "--proc", "nope"])
 
 
-class TestExplore:
+class TestSearchFrontEnd:
     def _write_system(self, tmp_path, program_text, description):
         program = tmp_path / "prog.rc"
         program.write_text(program_text)
@@ -119,7 +119,7 @@ class TestExplore:
         system.write_text(json.dumps(description))
         return system
 
-    def test_explore_clean_system(self, tmp_path, capsys):
+    def test_search_clean_system(self, tmp_path, capsys):
         system = self._write_system(
             tmp_path,
             OPEN_RC,
@@ -129,10 +129,10 @@ class TestExplore:
                 "processes": [{"name": "m", "proc": "main", "args": []}],
             },
         )
-        assert main(["explore", str(system)]) == 0
+        assert main(["search", str(system)]) == 0
         assert "paths=2" in capsys.readouterr().out
 
-    def test_explore_finds_deadlock_exit_code(self, tmp_path, capsys):
+    def test_search_finds_deadlock_exit_code(self, tmp_path, capsys):
         system = self._write_system(
             tmp_path,
             DEADLOCK_RC,
@@ -155,11 +155,11 @@ class TestExplore:
                 ],
             },
         )
-        assert main(["explore", str(system), "--max-depth", "20"]) == 3
+        assert main(["search", str(system), "--max-depth", "20"]) == 3
         out = capsys.readouterr().out
         assert "deadlock" in out
 
-    def test_walk_command(self, tmp_path, capsys):
+    def test_random_strategy(self, tmp_path, capsys):
         system = self._write_system(
             tmp_path,
             OPEN_RC,
@@ -169,14 +169,14 @@ class TestExplore:
                 "processes": [{"name": "m", "proc": "main", "args": []}],
             },
         )
-        assert main(["walk", str(system), "--walks", "5"]) == 0
+        assert main(["search", str(system), "--strategy", "random", "--walks", "5"]) == 0
         assert "paths=5" in capsys.readouterr().out
 
     def test_bad_json_reports_schema(self, tmp_path):
         system = tmp_path / "system.json"
         system.write_text("{not json")
         with pytest.raises(SystemExit) as err:
-            main(["explore", str(system)])
+            main(["search", str(system)])
         assert "schema" in str(err.value)
 
     def test_unknown_object_reference(self, tmp_path):
@@ -191,7 +191,7 @@ class TestExplore:
             },
         )
         with pytest.raises(SystemExit):
-            main(["explore", str(system)])
+            main(["search", str(system)])
 
 
 DEADLOCK_DESCRIPTION = {

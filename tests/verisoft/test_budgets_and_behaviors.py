@@ -2,7 +2,8 @@
 behaviour-matching utilities."""
 
 
-from repro import System, explore
+from tests.helpers import dfs_search
+from repro import System
 from repro.runtime.values import TOP
 from repro.verisoft import (
     behavior_inclusion,
@@ -23,12 +24,14 @@ def toss_system(bound=9):
 
 class TestBudgets:
     def test_max_transitions(self):
-        report = explore(toss_system(), max_depth=10, max_transitions=4, por=False)
+        report = dfs_search(toss_system(), max_depth=10, max_transitions=4, por=False)
         assert report.truncated
         assert report.transitions_executed <= 5
 
     def test_max_seconds_zero_truncates(self):
-        report = explore(toss_system(), max_depth=10, max_seconds=0.0, por=False)
+        from repro.verisoft import Explorer
+
+        report = Explorer(toss_system(), max_depth=10, max_seconds=0.0, por=False).run()
         assert report.truncated
         assert report.paths_explored >= 1
 
@@ -39,12 +42,12 @@ class TestBudgets:
             calls.append(r.paths_explored)
             return r.paths_explored >= 2
 
-        report = explore(toss_system(), max_depth=10, stop_when=predicate, por=False)
+        report = dfs_search(toss_system(), max_depth=10, stop_when=predicate, por=False)
         assert report.paths_explored == 2
         assert calls
 
     def test_unbudgeted_run_completes(self):
-        report = explore(toss_system(3), max_depth=10, por=False)
+        report = dfs_search(toss_system(3), max_depth=10, por=False)
         assert not report.truncated
         assert report.paths_explored == 4
 
@@ -58,10 +61,10 @@ class TestStateCounting:
         return system
 
     def test_sink_hidden_by_default_merges_states(self):
-        hidden = explore(
+        hidden = dfs_search(
             self._two_senders(False), max_depth=10, por=False, count_states=True
         )
-        visible = explore(
+        visible = dfs_search(
             self._two_senders(True), max_depth=10, por=False, count_states=True
         )
         # With the sink outputs in the fingerprint, interleavings stay
@@ -69,7 +72,7 @@ class TestStateCounting:
         assert visible.distinct_states > hidden.distinct_states
 
     def test_distinct_at_most_visited(self):
-        report = explore(toss_system(), max_depth=10, por=False, count_states=True)
+        report = dfs_search(toss_system(), max_depth=10, por=False, count_states=True)
         assert report.distinct_states <= report.states_visited
 
 

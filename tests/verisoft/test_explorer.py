@@ -1,7 +1,8 @@
 """Tests for the stateless explorer."""
 
 
-from repro import System, explore
+from tests.helpers import dfs_search
+from repro import System
 from repro.verisoft import Explorer, collect_output_traces, replay
 
 
@@ -25,7 +26,7 @@ class TestTossEnumeration:
             "proc main() { var t; t = VS_toss(3); send(out, t); }",
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=10, por=False)
+        report = dfs_search(system, max_depth=10, por=False)
         assert report.paths_explored == 4
         assert report.ok
 
@@ -42,7 +43,7 @@ class TestTossEnumeration:
             """,
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=10, por=False)
+        report = dfs_search(system, max_depth=10, por=False)
         assert report.paths_explored == 6
 
     def test_toss_values_all_observed(self):
@@ -58,7 +59,7 @@ class TestTossEnumeration:
             "proc main() { var t; t = VS_toss(0); send(out, t); }",
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=10)
+        report = dfs_search(system, max_depth=10)
         assert report.paths_explored == 1
 
 
@@ -73,7 +74,7 @@ class TestInterleavings:
         system.add_channel("a2", capacity=1)  # unused by any process: naming check
         system.add_process("p1", "sender", [system.add_channel("c1", capacity=1)])
         system.add_process("p2", "sender", [system.add_channel("c2", capacity=1)])
-        report = explore(system, max_depth=10, por=False)
+        report = dfs_search(system, max_depth=10, por=False)
         # two interleavings of two independent sends
         assert report.paths_explored == 2
 
@@ -82,7 +83,7 @@ class TestInterleavings:
         system = System(source)
         system.add_process("p1", "sender", [system.add_channel("c1", capacity=1)])
         system.add_process("p2", "sender", [system.add_channel("c2", capacity=1)])
-        report = explore(system, max_depth=10, por=True)
+        report = dfs_search(system, max_depth=10, por=True)
         assert report.paths_explored == 1
 
     def test_conflicting_ops_not_pruned(self):
@@ -121,7 +122,7 @@ class TestDeadlocks:
         s2 = system.add_semaphore("s2", 1)
         system.add_process("a", "grab", [s1, s2])
         system.add_process("b", "grab", [s2, s1])
-        report = explore(system, max_depth=20)
+        report = dfs_search(system, max_depth=20)
         assert report.deadlocks
         assert set(report.deadlocks[0].blocked) == {"a", "b"}
 
@@ -140,14 +141,14 @@ class TestDeadlocks:
             s2 = system.add_semaphore("s2", 1)
             system.add_process("a", "grab", [s1, s2])
             system.add_process("b", "grab", [s2, s1])
-            report = explore(system, max_depth=20, por=por)
+            report = dfs_search(system, max_depth=20, por=por)
             assert report.deadlocks, f"por={por}"
 
     def test_no_false_deadlock_on_clean_termination(self):
         system = make_system(
             "proc main() { send(out, 1); }", processes=[("p", "main", [])]
         )
-        report = explore(system, max_depth=10)
+        report = dfs_search(system, max_depth=10)
         assert not report.deadlocks
 
     def test_deadlock_trace_replays(self):
@@ -164,7 +165,7 @@ class TestDeadlocks:
         s2 = system.add_semaphore("s2", 1)
         system.add_process("a", "grab", [s1, s2])
         system.add_process("b", "grab", [s2, s1])
-        report = explore(system, max_depth=20)
+        report = dfs_search(system, max_depth=20)
         run = replay(system, report.deadlocks[0].trace)
         assert run.is_deadlock()
 
@@ -189,7 +190,7 @@ class TestAssertionViolations:
             shared=[("counter", 0)],
             processes=[("i1", "incr", []), ("i2", "incr", []), ("c", "checker", [])],
         )
-        report = explore(system, max_depth=20, por=False)
+        report = dfs_search(system, max_depth=20, por=False)
         assert report.violations
 
     def test_lost_update_both_outcomes_seen(self):
@@ -222,7 +223,7 @@ class TestAssertionViolations:
             "proc main() { VS_assert(false); VS_assert(false); }",
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=10, stop_on_first=True)
+        report = dfs_search(system, max_depth=10, stop_on_first=True)
         assert len(report.violations) == 1
         assert report.paths_explored == 1
 
@@ -232,7 +233,7 @@ class TestEventsAndBudgets:
         system = make_system(
             "proc main() { var x = 1 / 0; }", processes=[("p", "main", [])]
         )
-        report = explore(system, max_depth=10)
+        report = dfs_search(system, max_depth=10)
         assert len(report.crashes) == 1
         assert "division by zero" in report.crashes[0].message
 
@@ -244,7 +245,7 @@ class TestEventsAndBudgets:
             config=SystemConfig(divergence_budget=200),
         )
         system.add_process("p", "main")
-        report = explore(system, max_depth=10)
+        report = dfs_search(system, max_depth=10)
         assert len(report.divergences) == 1
 
     def test_max_depth_truncates(self):
@@ -252,7 +253,7 @@ class TestEventsAndBudgets:
             "proc main() { while (true) { send(out, 1); } }",
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=5)
+        report = dfs_search(system, max_depth=5)
         assert report.truncated
         assert report.max_depth_reached == 5
 
@@ -261,7 +262,7 @@ class TestEventsAndBudgets:
             "proc main() { var t; t = VS_toss(9); send(out, t); }",
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=10, max_paths=3)
+        report = dfs_search(system, max_depth=10, max_paths=3)
         assert report.paths_explored == 3
         assert report.truncated
 
@@ -271,7 +272,7 @@ class TestEventsAndBudgets:
             "proc main() { var t; t = VS_toss(3); send(out, t); }",
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=10, por=False)
+        report = dfs_search(system, max_depth=10, por=False)
         assert report.toss_points == 1
         assert report.transitions_executed == 4
 
@@ -280,7 +281,7 @@ class TestEventsAndBudgets:
             "proc main() { var t; t = VS_toss(1); send(out, 0); }",
             processes=[("p", "main", [])],
         )
-        report = explore(system, max_depth=10, count_states=True, por=False)
+        report = dfs_search(system, max_depth=10, count_states=True, por=False)
         assert report.distinct_states is not None
         # Both toss branches produce bisimilar but distinct stores (t=0/1).
         assert report.distinct_states >= 3

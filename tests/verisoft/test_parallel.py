@@ -10,7 +10,8 @@ import pickle
 
 import pytest
 
-from repro import SearchOptions, System, close_program, explore, run_search
+from tests.helpers import dfs_search
+from repro import SearchOptions, System, close_program, run_search
 from repro.verisoft import (
     ChoicePrefix,
     enumerate_prefixes,
@@ -119,7 +120,7 @@ class TestPrefixEnumeration:
         assert "schedule='p'" in text
 
     def test_coordinator_counts_only_above_frontier(self):
-        sequential = explore(racing_system(), max_depth=30)
+        sequential = dfs_search(racing_system(), max_depth=30)
         _, coordinator = enumerate_prefixes(racing_system(), 2, max_depth=30)
         assert coordinator.transitions_executed < sequential.transitions_executed
 
@@ -129,7 +130,7 @@ class TestPrefixEnumeration:
             toss_system(3), 50, max_depth=20
         )
         assert prefixes == []
-        assert coordinator.summary() == explore(toss_system(3), max_depth=20).summary()
+        assert coordinator.summary() == dfs_search(toss_system(3), max_depth=20).summary()
 
 
 class TestManualMerge:
@@ -137,7 +138,7 @@ class TestManualMerge:
 
     @pytest.mark.parametrize("depth", [1, 2, 3])
     def test_merge_matches_sequential(self, depth):
-        sequential = explore(toss_system(9), max_depth=20, max_events=1000)
+        sequential = dfs_search(toss_system(9), max_depth=20, max_events=1000)
         prefixes, coordinator = enumerate_prefixes(
             toss_system(9), depth, max_depth=20, max_events=1000
         )
@@ -153,7 +154,7 @@ class TestManualMerge:
     def test_merge_deduplicates_shared_events(self):
         # Events found above the frontier appear only in the coordinator;
         # feeding the coordinator itself in twice must not double-count.
-        sequential = explore(deadlock_system(), max_depth=20, max_events=1000)
+        sequential = dfs_search(deadlock_system(), max_depth=20, max_events=1000)
         prefixes, coordinator = enumerate_prefixes(
             deadlock_system(), 2, max_depth=20, max_events=1000
         )
@@ -246,7 +247,7 @@ class TestParallelSearch:
             SearchOptions(strategy="parallel", jobs=2, prefix_depth=1, max_depth=20),
         )
         assert report.stats.prefixes == 10
-        assert report.summary() == explore(toss_system(9), max_depth=20).summary()
+        assert report.summary() == dfs_search(toss_system(9), max_depth=20).summary()
 
     def test_stop_on_first_reports_an_event(self):
         report = parallel_search(
@@ -271,14 +272,14 @@ class TestParallelSearch:
             SearchOptions(strategy="parallel", jobs=2, max_depth=20),
             system_factory=lambda: toss_system(9),
         )
-        assert report.summary() == explore(toss_system(9), max_depth=20).summary()
+        assert report.summary() == dfs_search(toss_system(9), max_depth=20).summary()
 
 
 class TestPicklability:
     def test_system_roundtrips_through_pickle(self):
         system = toss_system(3)
         clone = pickle.loads(pickle.dumps(system))
-        assert explore(clone).summary() == explore(toss_system(3)).summary()
+        assert dfs_search(clone).summary() == dfs_search(toss_system(3)).summary()
 
     def test_run_refuses_to_pickle(self):
         run = toss_system(3).start()

@@ -3,7 +3,8 @@ persistent sets, sleep sets — and the key soundness property that POR
 does not lose deadlocks or violations."""
 
 
-from repro import System, explore
+from tests.helpers import dfs_search
+from repro import System
 from repro.cfg import build_cfgs
 from repro.lang.parser import parse_program
 from repro.verisoft.por import (
@@ -89,7 +90,7 @@ class TestFootprints:
         system.add_channel("c1", capacity=1)
         system.add_process("w0", "worker0", [])
         system.add_process("w1", "worker1", [])
-        report = explore(system, max_depth=10, por=True)
+        report = dfs_search(system, max_depth=10, por=True)
         assert report.paths_explored == 1
 
 
@@ -198,21 +199,21 @@ class TestReductionSoundness:
                 system.add_process(f"w{i}", "worker", [ref, 3])
             return system
 
-        full = explore(build(), max_depth=30, por=False)
-        reduced = explore(build(), max_depth=30, por=True)
+        full = dfs_search(build(), max_depth=30, por=False)
+        reduced = dfs_search(build(), max_depth=30, por=True)
         assert reduced.ok and full.ok
         assert reduced.paths_explored < full.paths_explored
         assert reduced.paths_explored == 1  # fully independent
 
     def test_por_preserves_dining_philosopher_deadlock(self):
-        full = explore(_philosophers(3), max_depth=40, por=False)
-        reduced = explore(_philosophers(3), max_depth=40, por=True)
+        full = dfs_search(_philosophers(3), max_depth=40, por=False)
+        reduced = dfs_search(_philosophers(3), max_depth=40, por=True)
         assert full.deadlocks and reduced.deadlocks
         assert reduced.transitions_executed <= full.transitions_executed
 
     def test_por_preserves_distinct_states_on_ring(self):
-        full = explore(_ring_system(3, False), max_depth=40, por=False, count_states=True)
-        reduced = explore(_ring_system(3, True), max_depth=40, por=True, count_states=True)
+        full = dfs_search(_ring_system(3, False), max_depth=40, por=False, count_states=True)
+        reduced = dfs_search(_ring_system(3, True), max_depth=40, por=True, count_states=True)
         assert full.ok and reduced.ok
         # Reduction may visit fewer states but must not invent any.
         assert reduced.states_visited <= full.states_visited
@@ -239,8 +240,8 @@ class TestReductionSoundness:
             system.add_process("c", "checker", [])
             return system
 
-        full = explore(build(), max_depth=20, por=False)
-        reduced = explore(build(), max_depth=20, por=True)
+        full = dfs_search(build(), max_depth=20, por=False)
+        reduced = dfs_search(build(), max_depth=20, por=True)
         assert bool(full.violations) == bool(reduced.violations) == True  # noqa: E712
 
     def test_local_assert_forms_singleton_persistent_set(self):
@@ -264,7 +265,7 @@ class TestReductionSoundness:
             system.add_process("s", "sender", [ref, 4])
             return system
 
-        full = explore(build(), max_depth=30, por=False)
-        reduced = explore(build(), max_depth=30, por=True)
+        full = dfs_search(build(), max_depth=30, por=False)
+        reduced = dfs_search(build(), max_depth=30, por=True)
         assert reduced.paths_explored == 1
         assert full.paths_explored > 1

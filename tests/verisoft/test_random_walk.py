@@ -2,7 +2,8 @@
 
 
 from repro import System
-from repro.verisoft import random_walks, replay
+from repro.verisoft import replay
+from repro.verisoft.random_walk import random_walks
 
 
 def toss_system():

@@ -11,7 +11,8 @@ deadlock states, and whether a violation exists.
 
 import pytest
 
-from repro import System, explore
+from tests.helpers import dfs_search
+from repro import System
 from repro.runtime.system import Run
 
 
@@ -64,7 +65,7 @@ def _production_explore(build_system, max_depth, por):
         if run.is_deadlock():
             deadlock_states.add(run.state_fingerprint())
 
-    report = explore(
+    report = dfs_search(
         build_system(),
         max_depth=max_depth,
         por=por,

@@ -3,8 +3,10 @@
 import pytest
 
 import repro
-from repro import SearchOptions, System, explore, run_search
-from repro.verisoft import STRATEGIES, random_walks, replay
+from tests.helpers import dfs_search
+from repro import SearchOptions, System, run_search
+from repro.verisoft import STRATEGIES, replay
+from repro.verisoft.random_walk import random_walks
 
 
 def toss_system(bound=3):
@@ -34,13 +36,15 @@ class TestDispatch:
         assert report.stats.strategy == "dfs"
         assert report.paths_explored == 4
 
-    def test_dfs_matches_legacy_explore(self):
+    def test_dfs_matches_direct_explorer(self):
+        from repro.verisoft import Explorer
+
         assert (
             run_search(toss_system(), SearchOptions(strategy="dfs")).summary()
-            == explore(toss_system()).summary()
+            == Explorer(toss_system()).run().summary()
         )
 
-    def test_random_matches_legacy_random_walks(self):
+    def test_random_matches_internal_random_walks(self):
         via_api = run_search(
             toss_system(9), SearchOptions(strategy="random", walks=11, seed=42)
         )
@@ -52,7 +56,7 @@ class TestDispatch:
             toss_system(9), SearchOptions(strategy="parallel", jobs=1)
         )
         assert report.stats.strategy == "parallel"
-        assert report.summary() == explore(toss_system(9)).summary()
+        assert report.summary() == dfs_search(toss_system(9)).summary()
 
     def test_keyword_overrides(self):
         report = run_search(toss_system(9), max_paths=2)
@@ -145,16 +149,26 @@ class TestTimeBudget:
         assert report.paths_explored == 1
         assert report.incomplete
 
-    def test_legacy_max_seconds_still_truncates_without_incomplete(self):
-        report = explore(toss_system(9), max_seconds=0.0, por=False)
+    def test_explorer_max_seconds_still_truncates_without_incomplete(self):
+        from repro.verisoft import Explorer
+
+        report = Explorer(toss_system(9), max_seconds=0.0, por=False).run()
         assert report.truncated
         assert not report.incomplete
 
 
-class TestBackCompat:
-    def test_legacy_names_still_exported(self):
-        for name in ("explore", "replay", "Explorer", "collect_output_traces"):
+class TestExports:
+    def test_machinery_names_still_exported(self):
+        for name in ("replay", "Explorer", "collect_output_traces"):
             assert hasattr(repro, name) or hasattr(repro.verisoft, name)
+
+    def test_legacy_wrappers_are_gone(self):
+        # Removed after a five-release deprecation: the unified
+        # run_search() / `repro search` front end replaces them.
+        assert not hasattr(repro, "explore")
+        assert not hasattr(repro, "random_walks")
+        assert "explore" not in repro.__all__
+        assert "random_walks" not in repro.__all__
 
     def test_new_names_reexported_from_top_level(self):
         for name in (
@@ -163,7 +177,6 @@ class TestBackCompat:
             "SearchStats",
             "ProgressPrinter",
             "parallel_search",
-            "random_walks",
         ):
             assert name in repro.__all__
             assert hasattr(repro, name)

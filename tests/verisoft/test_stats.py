@@ -8,9 +8,9 @@ from repro.verisoft import (
     ProgressPrinter,
     SearchOptions,
     SearchStats,
-    random_walks,
     run_search,
 )
+from repro.verisoft.random_walk import random_walks
 
 
 def toss_system(bound=3):
