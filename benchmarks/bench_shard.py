@@ -1,0 +1,182 @@
+"""Experiment BENCH-SHARD — static partitioning vs work stealing.
+
+The static parallel scheduler cuts the choice tree at a fixed frontier
+depth and assigns each prefix to a worker up front; a skewed tree —
+one giant subtree among trivial siblings — leaves one worker holding
+almost all the work while the rest idle.  The work-stealing scheduler
+(:mod:`repro.service.scheduler`) hands out subtree *leases* and lets
+idle workers steal unexplored siblings from the busy one, so skew is
+dissolved at runtime instead of being baked in at partition time.
+
+This experiment runs the identical bounded search three ways — the
+sequential DFS baseline, ``--scheduler static`` and ``--scheduler
+steal`` — over Figure 2, Figure 3 and a deliberately skewed toss tree,
+and records wall time plus the lease/steal telemetry.
+
+Asserted unconditionally (the schedulers must differ *only* in how
+work is distributed):
+
+* states / transitions / paths / toss points / violation groups all
+  identical to sequential DFS for both schedulers;
+* on the skewed tree, stealing actually happens (``steals > 0``) and
+  the work is split across leases (``leases > jobs``).
+
+Asserted only on hosts with >= 4 CPUs (the container CI box has one
+core, where every scheduler time-slices): steal beats static on the
+skewed workload by at least 20%.
+
+Numbers land in the repo-root ``BENCH_shard.json`` (CI uploads the
+``BENCH_*.json`` artifacts) with a copy under ``benchmarks/results/``.
+Each parametrized case merges its rows into the JSON, so a filtered run
+(``-k "fig2 or fig3"``) refreshes only its own entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro import SearchOptions, System, run_search
+from tests.statespace.conftest import FIG2_SRC, FIG3_SRC, figure_system
+
+pytestmark = pytest.mark.slow
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_shard.json"
+BENCH_JSON_COPY = pathlib.Path(__file__).parent / "results" / "BENCH_shard.json"
+
+JOBS = 4
+
+PARITY_KEYS = ("states", "transitions", "paths", "toss_points", "violation_groups")
+
+SKEWED_SRC = """
+proc main() {
+    var which;
+    which = VS_toss(3);
+    if (which == 0) {
+        var i = 0;
+        while (i < 8) {
+            var t;
+            t = VS_toss(1);
+            i = i + 1;
+        }
+        send(out, i);
+    } else {
+        send(out, which);
+    }
+}
+"""
+
+
+def _skewed_system():
+    """One subtree holds 2**8 paths, its three siblings one each — the
+    static partition's worst case."""
+    system = System(SKEWED_SRC)
+    system.add_env_sink("out")
+    system.add_process("p", "main", [])
+    return system
+
+
+CASES = {
+    "fig2": (lambda: figure_system(FIG2_SRC, "p"), dict(max_depth=60)),
+    "fig3": (lambda: figure_system(FIG3_SRC, "q"), dict(max_depth=60)),
+    "skewed": (lambda: _skewed_system(), dict(max_depth=60)),
+}
+
+
+def _run_one(build, bounds, *, strategy, scheduler="static", jobs=0):
+    system = build()
+    options = SearchOptions(
+        strategy=strategy, scheduler=scheduler, jobs=jobs, **bounds
+    )
+    started = time.perf_counter()
+    report = run_search(system, options)
+    elapsed = time.perf_counter() - started
+    stats = report.stats
+    return {
+        "strategy": stats.strategy,
+        "scheduler": scheduler if strategy == "parallel" else None,
+        "jobs": stats.jobs,
+        "states": stats.states_visited,
+        "transitions": stats.transitions_executed,
+        "toss_points": stats.toss_points,
+        "paths": stats.paths_explored,
+        "violation_groups": len(report.triage()),
+        "leases": stats.leases,
+        "steals": stats.steals,
+        "leases_requeued": stats.leases_requeued,
+        "wall_time_s": round(elapsed, 4),
+        "states_per_second": round(stats.states_per_second),
+    }
+
+
+def _merge_json(label, rows):
+    """Merge this case's rows into the shared JSON (root + results copy),
+    preserving entries a filtered run did not regenerate."""
+    results = {}
+    if BENCH_JSON.exists():
+        try:
+            results = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            results = {}
+    results[label] = rows
+    text = json.dumps(results, indent=2) + "\n"
+    BENCH_JSON.write_text(text)
+    BENCH_JSON_COPY.parent.mkdir(exist_ok=True)
+    BENCH_JSON_COPY.write_text(text)
+
+
+@pytest.mark.parametrize("label", list(CASES))
+def test_bench_shard(label, record_table):
+    build, bounds = CASES[label]
+    rows = {
+        "dfs": _run_one(build, bounds, strategy="dfs"),
+        "static": _run_one(
+            build, bounds, strategy="parallel", scheduler="static", jobs=JOBS
+        ),
+        "steal": _run_one(
+            build, bounds, strategy="parallel", scheduler="steal", jobs=JOBS
+        ),
+    }
+
+    # Identical search, different distribution cost — nothing else.
+    for variant in ("static", "steal"):
+        for key in PARITY_KEYS:
+            assert rows[variant][key] == rows["dfs"][key], (
+                f"{label}: {key} differs between {variant} and dfs: "
+                f"{rows[variant][key]} vs {rows['dfs'][key]}"
+            )
+
+    if label == "skewed":
+        assert rows["steal"]["steals"] > 0, "skewed tree must trigger steals"
+        assert rows["steal"]["leases"] > JOBS, (
+            "stealing must split the heavy subtree into more leases "
+            "than there are workers"
+        )
+        ratio = rows["static"]["wall_time_s"] / max(
+            rows["steal"]["wall_time_s"], 1e-9
+        )
+        rows["steal"]["speedup_vs_static"] = round(ratio, 2)
+        if (os.cpu_count() or 1) >= 4:
+            assert ratio >= 1.2, (
+                f"skewed: steal was only {ratio:.2f}x static "
+                "(expected >= 1.2x with >= 4 real cores)"
+            )
+
+    _merge_json(label, rows)
+
+    lines = [
+        f"Schedulers on {label} (bounds {bounds}, jobs {JOBS})",
+        "",
+        f"  {'variant':<8} {'paths':>6} {'states':>7} {'leases':>7} "
+        f"{'steals':>7} {'time':>9}",
+    ]
+    for variant, row in rows.items():
+        lines.append(
+            f"  {variant:<8} {row['paths']:>6} {row['states']:>7} "
+            f"{row['leases']:>7} {row['steals']:>7} {row['wall_time_s']:>8.3f}s"
+        )
+    record_table(f"bench_shard_{label}", lines)

@@ -54,6 +54,19 @@ Subcommands
 
         repro shrink trace.json -o minimal.json
 
+``submit`` / ``serve`` / ``jobs`` / ``stop`` / ``resume``
+    The durable job service (see docs/service.md): ``submit`` enqueues
+    a search as a self-contained job in an on-disk store, ``serve``
+    claims and runs queued jobs under the work-stealing scheduler,
+    ``jobs`` lists live status from the streamed heartbeats, ``stop``
+    checkpoints a running job's frontier and suspends it, and
+    ``resume`` re-queues it to continue exactly where it left off —
+    across process restarts and machines::
+
+        repro submit system.json --jobs-dir jobs -j 4
+        repro serve --jobs-dir jobs --once
+        repro jobs --jobs-dir jobs
+
 Every search-style command takes ``--engine walk|compiled`` to pick
 the execution engine (see docs/engine.md); ``compiled`` translates the
 CFGs to Python closures for throughput and falls back to the reference
@@ -64,48 +77,28 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
 import sys
 
 from . import __version__
 from .cfg import build_cfgs, to_dot
 from .closing import ClosingSpec, close_program
-from .lang import parse_program
 from .lang.errors import LangError
 from .runtime import System
-from .verisoft import ProgressPrinter, SearchOptions, run_search
-
-_SYSTEM_SCHEMA = """\
-System description JSON schema:
-{
-  "program": "path/to/program.rc",
-  "close": {                         // optional: close before running
-    "env_params": {"main": ["x"]},
-    "env_channels": ["inbox"],
-    "env_shared": [],
-    "optimize": true
-  },
-  "objects": [
-    {"kind": "channel",   "name": "c",   "capacity": 2},
-    {"kind": "semaphore", "name": "s",   "initial": 1},
-    {"kind": "shared",    "name": "v",   "initial": 0},
-    {"kind": "sink",      "name": "out"}
-  ],
-  "processes": [
-    {"name": "p1", "proc": "main", "args": [3, {"object": "c"}]}
-  ]
-}
-"""
+from .sysdesc import (
+    SYSTEM_SCHEMA as _SYSTEM_SCHEMA,
+)
+from .sysdesc import (
+    DescriptionError,
+    load_description,
+    load_program,
+    system_from_description,
+)
+from .verisoft import SCHEDULERS, ProgressPrinter, SearchOptions, run_search
 
 
 def _load_program(path: pathlib.Path):
-    text = path.read_text()
-    if path.suffix == ".c":
-        from .lang.cfront import c_to_program
-
-        return c_to_program(text)
-    return parse_program(text)
+    return load_program(path)
 
 
 def _parse_env_params(pairs: list[str]) -> dict[str, list[str]]:
@@ -193,19 +186,15 @@ def cmd_graph(args) -> int:
     return 0
 
 
+# The description machinery lives in repro.sysdesc (shared with the job
+# service); the CLI's job is converting DescriptionError to a clean exit.
+
+
 def _read_description(description_path: pathlib.Path) -> dict:
     try:
-        return json.loads(description_path.read_text())
-    except json.JSONDecodeError as err:
-        raise SystemExit(f"bad system description: {err}\n\n{_SYSTEM_SCHEMA}")
-
-
-def _program_from_source(name: str, text: str):
-    if name.endswith(".c"):
-        from .lang.cfront import c_to_program
-
-        return c_to_program(text)
-    return parse_program(text)
+        return load_description(description_path)
+    except DescriptionError as err:
+        raise SystemExit(str(err))
 
 
 def _system_from_description(
@@ -214,64 +203,12 @@ def _system_from_description(
     program_source: str | None = None,
     tracer=None,
 ) -> System:
-    """Build a :class:`System` from a parsed description dict.
-
-    ``program_source`` (used when replaying a self-contained trace
-    file) supplies the program text directly; otherwise the
-    description's ``program`` path is resolved against ``base_dir``.
-    ``tracer`` records the closing pipeline's phase spans.
-    """
-    if program_source is not None:
-        program = _program_from_source(description.get("program", ""), program_source)
-    else:
-        if base_dir is None:
-            raise SystemExit("system description has no embedded program source")
-        program = _load_program(base_dir / description["program"])
-
-    close_cfg = description.get("close")
-    if close_cfg is not None:
-        spec = ClosingSpec.make(
-            env_params=close_cfg.get("env_params", {}),
-            env_channels=close_cfg.get("env_channels", ()),
-            env_shared=close_cfg.get("env_shared", ()),
+    try:
+        return system_from_description(
+            description, base_dir, program_source=program_source, tracer=tracer
         )
-        closed = close_program(
-            program,
-            spec,
-            optimize=close_cfg.get("optimize", False),
-            tracer=tracer,
-        )
-        system = System(closed.cfgs)
-    else:
-        system = System(program)
-
-    refs = {}
-    for obj in description.get("objects", []):
-        kind = obj["kind"]
-        name = obj["name"]
-        if kind == "channel":
-            refs[name] = system.add_channel(name, capacity=obj.get("capacity", 1))
-        elif kind == "semaphore":
-            refs[name] = system.add_semaphore(name, initial=obj.get("initial", 1))
-        elif kind == "shared":
-            refs[name] = system.add_shared(name, initial=obj.get("initial", 0))
-        elif kind == "sink":
-            refs[name] = system.add_env_sink(name)
-        else:
-            raise SystemExit(f"unknown object kind {kind!r}")
-
-    for proc in description.get("processes", []):
-        proc_args = []
-        for arg in proc.get("args", []):
-            if isinstance(arg, dict) and "object" in arg:
-                ref = refs.get(arg["object"])
-                if ref is None:
-                    raise SystemExit(f"process argument references unknown object {arg['object']!r}")
-                proc_args.append(ref)
-            else:
-                proc_args.append(arg)
-        system.add_process(proc["name"], proc["proc"], proc_args)
-    return system
+    except DescriptionError as err:
+        raise SystemExit(str(err))
 
 
 def _build_system(description_path: pathlib.Path) -> System:
@@ -315,6 +252,7 @@ def _options_from_args(args) -> SearchOptions:
         walks=args.walks,
         seed=args.seed,
         jobs=args.jobs,
+        scheduler=getattr(args, "scheduler", "static"),
         prefix_depth=args.prefix_depth,
         profile=args.profile,
         stall_timeout=args.stall_timeout or None,
@@ -344,13 +282,8 @@ def cmd_search(args) -> int:
             )
     options = _options_from_args(args)
     options.tracer = tracer
-    cpus = os.cpu_count() or 1
-    if options.strategy == "parallel" and options.jobs > cpus:
-        print(
-            f"warning: --jobs {options.jobs} exceeds the {cpus} available "
-            "CPU(s); workers will time-slice",
-            file=sys.stderr,
-        )
+    # Oversubscription warnings are emitted (once) by the search
+    # drivers themselves — see repro.verisoft.parallel.warn_oversubscription.
     ticker = ProgressPrinter() if args.progress else None
     if ticker is not None:
         options.progress = ticker
@@ -518,6 +451,123 @@ def cmd_profile(args) -> int:
     hot-spot table (``repro search --profile`` with profiling-first
     defaults)."""
     return cmd_search(args)
+
+
+# ---------------------------------------------------------------------------
+# The job service: submit / serve / jobs / stop / resume
+# ---------------------------------------------------------------------------
+
+
+def _job_store(args):
+    from .service import JobStore
+
+    return JobStore(args.jobs_dir)
+
+
+def cmd_submit(args) -> int:
+    """The ``submit`` subcommand: enqueue a search as a durable job."""
+    description = _read_description(args.system)
+    options = _options_from_args(args)
+    options.strategy = "parallel"
+    options.scheduler = "steal"
+    store = _job_store(args)
+    try:
+        job = store.submit(
+            description,
+            options,
+            base_dir=args.system.parent,
+            name=args.name or args.system.stem,
+        )
+    except (OSError, KeyError, ValueError) as err:
+        raise SystemExit(f"submit failed: {err}")
+    print(job.id)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """The ``serve`` subcommand: run queued jobs from a store."""
+    from .service.jobs import serve
+
+    store = _job_store(args)
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    ran = serve(
+        store,
+        once=args.once,
+        poll_interval=args.poll,
+        log=log,
+        max_jobs=args.max_jobs,
+    )
+    print(f"ran {ran} job(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """The ``jobs`` subcommand: list the store, or show one job."""
+    store = _job_store(args)
+    if args.job_id:
+        try:
+            job = store.get(args.job_id)
+        except KeyError as err:
+            raise SystemExit(str(err.args[0]))
+        print(job.describe())
+        if args.json:
+            beat = job.latest_stats()
+            doc = {
+                "id": job.id,
+                "name": job.name,
+                "state": job.state,
+                "error": job.error,
+                "stats": beat.get("stats") if beat else None,
+                "has_frontier": job.frontier_path.exists(),
+                "has_result": job.result_path.exists(),
+                "has_manifest": job.manifest_path.exists(),
+            }
+            print(json.dumps(doc, indent=2))
+        return 0
+    jobs = store.jobs()
+    if not jobs:
+        print("no jobs", file=sys.stderr)
+        return 0
+    for job in jobs:
+        print(job.describe())
+    return 0
+
+
+def cmd_stop(args) -> int:
+    """The ``stop`` subcommand: ask a running job to checkpoint and
+    suspend (honoured at its next path boundary)."""
+    store = _job_store(args)
+    try:
+        job = store.request_stop(args.job_id)
+    except KeyError as err:
+        raise SystemExit(str(err.args[0]))
+    print(f"stop requested for {job.id} (state: {job.state})")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """The ``resume`` subcommand: re-queue a stopped/failed job; its
+    frontier checkpoint (if any) picks up where the search left off."""
+    store = _job_store(args)
+    try:
+        job = store.resume(args.job_id)
+    except (KeyError, ValueError) as err:
+        raise SystemExit(str(err.args[0]) if err.args else str(err))
+    print(f"{job.id} re-queued")
+    return 0
+
+
+def _add_jobs_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs-dir",
+        type=pathlib.Path,
+        default=pathlib.Path("jobs"),
+        metavar="DIR",
+        help="the on-disk job store (default: ./jobs)",
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -695,6 +745,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel strategy: worker processes (0 = all cores)",
     )
     search_parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS,
+        default="static",
+        help="parallel strategy: 'static' partitions the tree up front "
+        "into fixed prefixes; 'steal' hands out subtree leases "
+        "dynamically and lets idle workers steal from busy ones "
+        "(identical reports either way; default: static)",
+    )
+    search_parser.add_argument(
         "--prefix-depth",
         type=int,
         default=None,
@@ -751,6 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--walks", type=int, default=100)
     profile_parser.add_argument("--seed", type=int, default=0)
     profile_parser.add_argument("--jobs", "-j", type=int, default=0, metavar="N")
+    profile_parser.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="static"
+    )
     profile_parser.add_argument(
         "--engine",
         choices=("walk", "compiled"),
@@ -868,6 +930,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the minimal scenario's visible operations",
     )
     shrink_parser.set_defaults(func=cmd_shrink)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="enqueue a search as a durable job (run it with 'repro serve')",
+        epilog=_SYSTEM_SCHEMA,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    submit_parser.add_argument("system", type=pathlib.Path, help="system JSON")
+    _add_jobs_dir_argument(submit_parser)
+    submit_parser.add_argument("--name", default=None, help="job display name")
+    submit_parser.add_argument("--max-depth", type=int, default=100)
+    submit_parser.add_argument("--max-paths", type=int, default=None)
+    submit_parser.add_argument("--max-transitions", type=int, default=None)
+    submit_parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS"
+    )
+    submit_parser.add_argument("--no-por", action="store_true")
+    submit_parser.add_argument("--count-states", action="store_true")
+    submit_parser.add_argument("--stop-on-first", action="store_true")
+    submit_parser.add_argument("--max-events", type=int, default=25)
+    submit_parser.add_argument(
+        "--backtrack", choices=("restore", "replay"), default="restore"
+    )
+    submit_parser.add_argument(
+        "--engine", choices=("walk", "compiled"), default="walk"
+    )
+    submit_parser.add_argument(
+        "--state-cache",
+        choices=("off", "exact", "hashcompact", "bitstate"),
+        default="off",
+    )
+    submit_parser.add_argument("--cache-bits", type=int, default=24, metavar="N")
+    submit_parser.add_argument(
+        "--cache-mode", choices=("safe", "unsafe-fast"), default="safe"
+    )
+    submit_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes per job (0 = all cores)",
+    )
+    submit_parser.set_defaults(
+        func=cmd_submit,
+        strategy="parallel",
+        scheduler="steal",
+        walks=100,
+        seed=0,
+        prefix_depth=None,
+        profile=False,
+        stall_timeout=10.0,
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="run queued jobs from an on-disk job store"
+    )
+    _add_jobs_dir_argument(serve_parser)
+    serve_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="drain the queue and exit instead of polling forever",
+    )
+    serve_parser.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="idle polling interval (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after running N jobs",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    jobs_parser = sub.add_parser("jobs", help="list jobs (or show one)")
+    _add_jobs_dir_argument(jobs_parser)
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None, help="show just this job"
+    )
+    jobs_parser.add_argument(
+        "--json", action="store_true", help="with a job id: dump status as JSON"
+    )
+    jobs_parser.set_defaults(func=cmd_jobs)
+
+    stop_parser = sub.add_parser(
+        "stop", help="ask a running job to checkpoint its frontier and suspend"
+    )
+    _add_jobs_dir_argument(stop_parser)
+    stop_parser.add_argument("job_id")
+    stop_parser.set_defaults(func=cmd_stop)
+
+    resume_parser = sub.add_parser(
+        "resume", help="re-queue a stopped job to resume from its frontier"
+    )
+    _add_jobs_dir_argument(resume_parser)
+    resume_parser.add_argument("job_id")
+    resume_parser.set_defaults(func=cmd_resume)
     return parser
 
 
@@ -883,6 +1047,9 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); exit quietly.
+        return 0
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

@@ -137,6 +137,10 @@ def build_manifest(
         profile = getattr(report, "profile", None)
         if profile is not None:
             block["profile"] = profile.as_dict()
+        workers = getattr(report, "worker_summary", None)
+        if workers is not None:
+            # Work-stealing runs: per-worker lease counts and liveness.
+            block["workers"] = workers
         manifest["report"] = block
     if phases:
         manifest["phases"] = {

@@ -1,0 +1,161 @@
+"""System descriptions: the JSON recipe for building a runnable system.
+
+A *system description* names the program file, the optional closing
+step, the communication objects and the processes — everything needed
+to rebuild a :class:`~repro.runtime.system.System` from scratch.  It is
+the lingua franca of every front end: the ``repro search`` CLI takes
+one, saved counterexample traces embed one (self-contained replay,
+:mod:`repro.counterex.traceio`), and the job service
+(:mod:`repro.service.jobs`) persists one per job so a worker process —
+possibly on another machine, possibly days later — can reconstruct the
+exact system a job talks about.
+
+Errors raise :class:`DescriptionError` (a ``ValueError``): library
+callers handle it; the CLI converts it to a clean exit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .closing import ClosingSpec, close_program
+from .lang import parse_program
+from .runtime import System
+
+__all__ = [
+    "SYSTEM_SCHEMA",
+    "DescriptionError",
+    "load_description",
+    "load_program",
+    "program_from_source",
+    "system_from_description",
+]
+
+SYSTEM_SCHEMA = """\
+System description JSON schema:
+{
+  "program": "path/to/program.rc",
+  "close": {                         // optional: close before running
+    "env_params": {"main": ["x"]},
+    "env_channels": ["inbox"],
+    "env_shared": [],
+    "optimize": true
+  },
+  "objects": [
+    {"kind": "channel",   "name": "c",   "capacity": 2},
+    {"kind": "semaphore", "name": "s",   "initial": 1},
+    {"kind": "shared",    "name": "v",   "initial": 0},
+    {"kind": "sink",      "name": "out"}
+  ],
+  "processes": [
+    {"name": "p1", "proc": "main", "args": [3, {"object": "c"}]}
+  ]
+}
+"""
+
+
+class DescriptionError(ValueError):
+    """A system description is malformed or references missing pieces."""
+
+
+def load_program(path: pathlib.Path):
+    """Parse the program file at ``path`` (RC source, or C via the
+    ``.c`` front end)."""
+    text = path.read_text()
+    if path.suffix == ".c":
+        from .lang.cfront import c_to_program
+
+        return c_to_program(text)
+    return parse_program(text)
+
+
+def program_from_source(name: str, text: str):
+    """Parse program ``text`` directly; ``name`` picks the front end
+    (a ``.c`` suffix routes through the C front end)."""
+    if name.endswith(".c"):
+        from .lang.cfront import c_to_program
+
+        return c_to_program(text)
+    return parse_program(text)
+
+
+def load_description(description_path: pathlib.Path) -> dict:
+    """Read and JSON-parse a system description file."""
+    try:
+        return json.loads(pathlib.Path(description_path).read_text())
+    except json.JSONDecodeError as err:
+        raise DescriptionError(
+            f"bad system description: {err}\n\n{SYSTEM_SCHEMA}"
+        ) from err
+
+
+def system_from_description(
+    description: dict,
+    base_dir: pathlib.Path | None,
+    program_source: str | None = None,
+    tracer=None,
+) -> System:
+    """Build a :class:`System` from a parsed description dict.
+
+    ``program_source`` (used when replaying a self-contained trace file
+    or running a self-contained job) supplies the program text
+    directly; otherwise the description's ``program`` path is resolved
+    against ``base_dir``.  ``tracer`` records the closing pipeline's
+    phase spans.
+    """
+    if program_source is not None:
+        program = program_from_source(description.get("program", ""), program_source)
+    else:
+        if base_dir is None:
+            raise DescriptionError(
+                "system description has no embedded program source"
+            )
+        program = load_program(pathlib.Path(base_dir) / description["program"])
+
+    close_cfg = description.get("close")
+    if close_cfg is not None:
+        spec = ClosingSpec.make(
+            env_params=close_cfg.get("env_params", {}),
+            env_channels=close_cfg.get("env_channels", ()),
+            env_shared=close_cfg.get("env_shared", ()),
+        )
+        closed = close_program(
+            program,
+            spec,
+            optimize=close_cfg.get("optimize", False),
+            tracer=tracer,
+        )
+        system = System(closed.cfgs)
+    else:
+        system = System(program)
+
+    refs = {}
+    for obj in description.get("objects", []):
+        kind = obj["kind"]
+        name = obj["name"]
+        if kind == "channel":
+            refs[name] = system.add_channel(name, capacity=obj.get("capacity", 1))
+        elif kind == "semaphore":
+            refs[name] = system.add_semaphore(name, initial=obj.get("initial", 1))
+        elif kind == "shared":
+            refs[name] = system.add_shared(name, initial=obj.get("initial", 0))
+        elif kind == "sink":
+            refs[name] = system.add_env_sink(name)
+        else:
+            raise DescriptionError(f"unknown object kind {kind!r}")
+
+    for proc in description.get("processes", []):
+        proc_args = []
+        for arg in proc.get("args", []):
+            if isinstance(arg, dict) and "object" in arg:
+                ref = refs.get(arg["object"])
+                if ref is None:
+                    raise DescriptionError(
+                        f"process argument references unknown object {arg['object']!r}"
+                    )
+                proc_args.append(ref)
+            else:
+                proc_args.append(arg)
+        system.add_process(proc["name"], proc["proc"], proc_args)
+    return system

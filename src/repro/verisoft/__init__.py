@@ -25,10 +25,13 @@ from .parallel import (
     ChoicePrefix,
     PrefixPoint,
     enumerate_prefixes,
+    harvest_residual,
     merge_reports,
     parallel_search,
+    prefix_key,
+    warn_oversubscription,
 )
-from .search import ENGINES, STRATEGIES, SearchOptions, run_search
+from .search import ENGINES, SCHEDULERS, STRATEGIES, SearchOptions, run_search
 from .stats import ProgressPrinter, SearchStats
 from .por import (
     PersistentSetComputer,
@@ -64,6 +67,7 @@ __all__ = [
     "PrefixPoint",
     "ProgressPrinter",
     "ReplayMismatch",
+    "SCHEDULERS",
     "STRATEGIES",
     "ScheduleChoice",
     "SearchOptions",
@@ -76,13 +80,16 @@ __all__ = [
     "behavior_inclusion",
     "collect_output_traces",
     "enumerate_prefixes",
+    "harvest_residual",
     "independent",
     "matches_with_erasure",
     "merge_reports",
     "missing_behaviors",
     "parallel_search",
+    "prefix_key",
     "process_footprint",
     "replay",
     "run_search",
     "signature_of",
+    "warn_oversubscription",
 ]

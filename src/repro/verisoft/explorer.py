@@ -168,6 +168,28 @@ class Explorer:
             explores only the subtree below — backtracking never climbs
             above the prefix.  Prefix states/transitions are not
             re-counted.
+        prefix_mode: how the *last* pinned decision of ``initial_stack``
+            is accounted.  ``"frontier"`` (default; the static parallel
+            partition): the edge into the frontier state was already
+            executed and counted by the coordinator that enumerated the
+            prefix, so the first replay does not re-count it.
+            ``"resume"`` (work-stealing leases and suspended-search
+            resumption, :mod:`repro.service`): the last pinned decision
+            was *never executed* — it is an untried sibling harvested
+            from a suspended DFS stack — so its out-edge and everything
+            below it is fresh ground and is counted, exactly as the
+            sequential search would count it after bumping that choice
+            point.
+        yield_check: cooperative suspension hook, polled between paths.
+            When it returns true *and* untried alternatives remain above
+            the frozen prefix, the DFS stops cleanly: :attr:`suspended`
+            is set and :attr:`final_stack`/:attr:`final_base` expose the
+            live choice stack so the caller can harvest the remaining
+            subtrees (see :func:`repro.verisoft.parallel.harvest_residual`).
+            The report returned covers exactly the paths completed so
+            far — every counter and event is final for the explored
+            region, so a partial report plus the residual prefixes
+            partitions the subtree losslessly.
         frontier_depth / on_frontier: cut every path at this depth and
             hand the current choice stack to ``on_frontier`` instead of
             descending — the prefix-enumeration mode of the parallel
@@ -211,6 +233,8 @@ class Explorer:
         on_leaf: Callable[[Run, Trace], None] | None = None,
         stop_when: Callable[[ExplorationReport], bool] | None = None,
         initial_stack: list[_ChoicePoint] | None = None,
+        prefix_mode: str = "frontier",
+        yield_check: Callable[[], bool] | None = None,
         frontier_depth: int | None = None,
         on_frontier: Callable[[list[_ChoicePoint]], None] | None = None,
         fingerprint_set: set[Any] | None = None,
@@ -221,6 +245,8 @@ class Explorer:
     ):
         if backtrack not in ("replay", "restore"):
             raise ValueError(f"unknown backtrack mode {backtrack!r}")
+        if prefix_mode not in ("frontier", "resume"):
+            raise ValueError(f"unknown prefix mode {prefix_mode!r}")
         validate_engine(engine)
         self._system = system
         self._max_depth = max_depth
@@ -247,6 +273,14 @@ class Explorer:
         self._on_leaf = on_leaf
         self._stop_when = stop_when
         self._initial_stack = initial_stack
+        self._prefix_mode = prefix_mode
+        self._yield_check = yield_check
+        #: Set when ``yield_check`` stopped the DFS before exhaustion;
+        #: :attr:`final_stack`/:attr:`final_base` then hold the live
+        #: choice stack for residual harvesting.
+        self.suspended = False
+        self.final_stack: list[_ChoicePoint] | None = None
+        self.final_base = 0
         self._frontier_depth = frontier_depth
         self._on_frontier = on_frontier
         self._fingerprint_set = fingerprint_set
@@ -308,10 +342,15 @@ class Explorer:
 
         while True:
             try:
-                # On the very first pass over a frozen prefix nothing has
-                # been bumped: the prefix's edges were all executed (and
-                # recorded) by the coordinator that produced it.
-                frozen_replay = executions == 0 and base > 0
+                # On the very first pass over a frozen frontier prefix
+                # nothing has been bumped: the prefix's edges were all
+                # executed (and recorded) by the coordinator that
+                # produced it.  A "resume" prefix instead pins an
+                # *untried* decision at its tip, whose out-edge is fresh
+                # ground (see the ``prefix_mode`` argument).
+                frozen_replay = (
+                    executions == 0 and base > 0 and self._prefix_mode == "frontier"
+                )
                 if self._tracer is None:
                     self._execute(
                         stack, report, seen_states, stats, frozen_replay, resume_point
@@ -353,6 +392,20 @@ class Explorer:
                 break
             if self._max_seconds is not None and time.monotonic() - started > self._max_seconds:
                 report.truncated = True
+                break
+
+            # Cooperative suspension: a steal request or a stop request
+            # arrived between paths.  Only worth honouring while untried
+            # alternatives remain above the frozen prefix — otherwise the
+            # search is one pop-loop away from finishing anyway.
+            if (
+                self._yield_check is not None
+                and self._yield_check()
+                and any(not stack[j].exhausted() for j in range(base, len(stack)))
+            ):
+                self.suspended = True
+                self.final_stack = stack
+                self.final_base = base
                 break
 
             # Backtrack to the deepest choice point with untried options,

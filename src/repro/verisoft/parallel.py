@@ -78,8 +78,11 @@ __all__ = [
     "ChoicePrefix",
     "PrefixPoint",
     "enumerate_prefixes",
+    "harvest_residual",
     "merge_reports",
     "parallel_search",
+    "prefix_key",
+    "warn_oversubscription",
 ]
 
 
@@ -119,21 +122,72 @@ class ChoicePrefix:
         )
 
 
+def prefix_key(prefix: ChoicePrefix) -> tuple[int, ...]:
+    """The prefix's position in DFS order: the tuple of chosen-alternative
+    indices along its path.
+
+    Two disjoint subtree prefixes compare exactly as the sequential DFS
+    would visit them (lexicographic on index tuples), and a prefix that
+    extends another — a split lease's residual extending the suspended
+    lease's own prefix — sorts directly after it.  The work-stealing
+    merge (:mod:`repro.service.scheduler`) sorts completed lease reports
+    by this key so event order (and therefore ``max_events`` truncation)
+    is identical to the sequential search, regardless of which worker
+    finished what when.
+    """
+    return tuple(point.index for point in prefix.points)
+
+
+def _freeze_point(point: _ChoicePoint, index: int | None = None) -> PrefixPoint:
+    """A picklable snapshot of one live choice point, optionally pinned
+    to a different alternative ``index`` (residual harvesting)."""
+    return PrefixPoint(
+        kind=point.kind,
+        alternatives=tuple(point.alternatives),
+        index=point.index if index is None else index,
+        sleep=point.sleep,
+        sigs=tuple(point.sigs),
+    )
+
+
 def _snapshot(stack: list[_ChoicePoint]) -> ChoicePrefix:
     """Deep-copy the live DFS stack (indices mutate as the enumeration
     backtracks, so the copy must happen at frontier time)."""
-    return ChoicePrefix(
-        tuple(
-            PrefixPoint(
-                kind=point.kind,
-                alternatives=tuple(point.alternatives),
-                index=point.index,
-                sleep=point.sleep,
-                sigs=tuple(point.sigs),
-            )
-            for point in stack
-        )
-    )
+    return ChoicePrefix(tuple(_freeze_point(point) for point in stack))
+
+
+def harvest_residual(
+    stack: list[_ChoicePoint], base: int = 0
+) -> list[ChoicePrefix]:
+    """Decompose the unexplored remainder of a suspended DFS into
+    disjoint, fully pinned subtree prefixes.
+
+    After a path completes, everything the DFS has left to do is "the
+    subtree below alternative ``i`` of stack point ``j``" for every
+    untried ``(j, i)`` with ``j >= base`` (points inside a frozen prefix
+    are never bumped).  Each such subtree is captured as a
+    :class:`ChoicePrefix` pinning ``stack[:j]`` at its current decisions
+    and point ``j`` at alternative ``i`` — the full alternative and
+    signature lists are retained, so resuming the prefix reconstructs
+    the exact sleep-set context the sequential search would have had on
+    bumping that choice point.  Resumption must use the explorer's
+    ``prefix_mode="resume"`` accounting: the pinned tip decision was
+    never executed, so its out-edge is fresh, countable ground.
+
+    The prefixes come back in sequential DFS visit order (deepest point
+    first, ascending alternative index within a point); their union is
+    exactly the suspended search's remaining work and they are pairwise
+    disjoint, so a partial report plus these prefixes partitions the
+    subtree losslessly.
+    """
+    out: list[ChoicePrefix] = []
+    for j in range(len(stack) - 1, base - 1, -1):
+        point = stack[j]
+        for i in range(point.index + 1, len(point.alternatives)):
+            points = [_freeze_point(p) for p in stack[:j]]
+            points.append(_freeze_point(point, index=i))
+            out.append(ChoicePrefix(tuple(points)))
+    return out
 
 
 def _thaw(prefix: ChoicePrefix) -> list[_ChoicePoint]:
@@ -496,6 +550,34 @@ def merge_reports(
 # ---------------------------------------------------------------------------
 
 
+def warn_oversubscription(
+    jobs: int,
+    warn: Callable[[str], None],
+    *,
+    cpus: int | None = None,
+) -> bool:
+    """Warn when the worker pool *plus the coordinator process* exceed
+    the machine's CPUs.
+
+    Lives in the drivers — emitted exactly once per search, before any
+    fan-out, never per round — so multi-round schedulers (work stealing
+    hands out leases continuously) cannot repeat it.  ``jobs <= 1`` runs
+    in-process with no pool and no separate coordinator, so it never
+    warns.  Returns whether a warning was emitted (for the tests).
+    """
+    if jobs <= 1:
+        return False
+    if cpus is None:
+        cpus = os.cpu_count() or 1
+    if jobs + 1 <= cpus:
+        return False
+    warn(
+        f"--jobs {jobs} exceeds the {cpus} available CPU(s) once the "
+        "coordinator process is counted; workers will time-slice"
+    )
+    return True
+
+
 def _auto_prefix_depth(
     system: System,
     jobs: int,
@@ -565,6 +647,21 @@ def parallel_search(
 
     jobs = options.jobs or os.cpu_count() or 1
     tracer = options.tracer
+
+    def _warn(message: str) -> None:
+        # Route through the progress printer when it knows how (keeps
+        # the warning from colliding with the self-overwriting ticker),
+        # else fall back to stderr.
+        warn = getattr(options.progress, "warn", None)
+        if warn is not None:
+            warn(message)
+        else:
+            print(f"warning: {message}", file=sys.stderr)
+
+    # Judge oversubscription on the *requested* job count: an explicit
+    # --jobs beyond what the machine can co-schedule alongside the
+    # coordinator warns; the jobs=0 "all cores" default never does.
+    warn_oversubscription(options.jobs, _warn)
     started = time.monotonic()
     deadline = None if options.time_budget is None else started + options.time_budget
 
@@ -646,16 +743,6 @@ def parallel_search(
         trace=tracer is not None,
         heartbeat_interval=options.progress_interval,
     )
-
-    def _warn(message: str) -> None:
-        # Route through the progress printer when it knows how (keeps
-        # the warning from colliding with the self-overwriting ticker),
-        # else fall back to stderr.
-        warn = getattr(options.progress, "warn", None)
-        if warn is not None:
-            warn(message)
-        else:
-            print(f"repro: warning: {message}", file=sys.stderr)
 
     indexed = list(enumerate(prefixes))
     results: list[tuple[ExplorationReport, frozenset | None]] = []

@@ -170,6 +170,18 @@ class ExplorationReport:
     #: back from a worker process so the coordinator can merge it into
     #: its own timeline; ``None`` everywhere else.
     trace_payload: dict | None = field(default=None, repr=False, compare=False)
+    #: Work-stealing scheduler only: per-worker accounting (leases
+    #: completed, steals donated, final liveness) keyed by worker label,
+    #: recorded into run manifests.  Timing-dependent — not part of the
+    #: counter-parity contract.  ``None`` for every other driver.
+    worker_summary: dict | None = field(default=None, repr=False, compare=False)
+    #: Work-stealing scheduler only: when a search was suspended (stop
+    #: request, checkpoint request) rather than run to exhaustion, the
+    #: :class:`~repro.service.frontier.SearchCheckpoint` capturing the
+    #: partial results and the pending subtree leases; resuming it
+    #: completes the search with a final report identical to an
+    #: uninterrupted run.  ``None`` when the search completed.
+    checkpoint: Any = field(default=None, repr=False, compare=False)
 
     deadlocks: list[DeadlockEvent] = field(default_factory=list)
     violations: list[AssertionViolationEvent] = field(default_factory=list)

@@ -35,6 +35,9 @@ CACHE_MODES = ("safe", "unsafe-fast")
 #: The DFS backtracking modes (see :attr:`SearchOptions.backtrack`).
 BACKTRACK_MODES = ("restore", "replay")
 
+#: The parallel scheduling modes (see :attr:`SearchOptions.scheduler`).
+SCHEDULERS = ("static", "steal")
+
 # Re-exported from :mod:`repro.runtime.engine` so the search layer's
 # mode tuples (STRATEGIES, CACHE_MODES, BACKTRACK_MODES, ENGINES) live
 # side by side for CLI/choice wiring.
@@ -42,6 +45,7 @@ __all__ = [
     "BACKTRACK_MODES",
     "CACHE_MODES",
     "ENGINES",
+    "SCHEDULERS",
     "STRATEGIES",
     "SearchOptions",
     "run_search",
@@ -127,6 +131,17 @@ class SearchOptions:
     #: Depth of the sequential prefix enumeration; ``None`` auto-tunes
     #: until there are enough prefixes to keep the pool busy.
     prefix_depth: int | None = None
+    #: How the parallel strategy schedules subtrees over the pool:
+    #: ``"static"`` (default; one up-front prefix partition at
+    #: ``prefix_depth``, :mod:`repro.verisoft.parallel`) or ``"steal"``
+    #: (work stealing over serialized subtree leases,
+    #: :mod:`repro.service.scheduler` — idle workers split running ones,
+    #: dead workers' leases are re-queued, and the whole search can be
+    #: suspended to a frontier checkpoint and resumed later).  Both
+    #: produce reports counter-for-counter identical to sequential
+    #: search, modulo the backtracking-cost group.  ``prefix_depth`` is
+    #: ignored by ``"steal"`` (the partition is adaptive).
+    scheduler: str = "static"
 
     # -- telemetry -----------------------------------------------------------
     #: Periodic callback receiving the live :class:`SearchStats`
@@ -235,6 +250,11 @@ class SearchOptions:
             raise ValueError(
                 f"unknown execution engine {self.engine!r}; "
                 f"expected one of {', '.join(ENGINES)}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown parallel scheduler {self.scheduler!r}; "
+                f"expected one of {', '.join(SCHEDULERS)}"
             )
         if self.strategy == "parallel":
             if self.on_leaf is not None or self.stop_when is not None:
@@ -346,6 +366,11 @@ def _dispatch(
         )
         report.profile = profiler
         return report
+
+    if options.scheduler == "steal":
+        from ..service.scheduler import work_stealing_search
+
+        return work_stealing_search(system, options, system_factory=system_factory)
 
     from .parallel import parallel_search
 

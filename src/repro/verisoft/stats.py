@@ -57,7 +57,17 @@ class SearchStats:
     * ``sleep_prunes`` — transitions skipped because their signature was
       asleep.
     * ``prefixes`` / ``jobs`` — parallel-driver shape (0/1 for
-      sequential strategies).
+      sequential strategies).  The work-stealing scheduler
+      (:mod:`repro.service.scheduler`) reports its total lease count as
+      ``prefixes``.
+    * ``leases`` / ``steals`` / ``leases_requeued`` — work-stealing
+      telemetry (all 0 under the static partition and the sequential
+      strategies): subtree leases issued over the search's lifetime,
+      how many of them were split off a busy worker by a steal request,
+      and how many were re-queued because the worker holding them died.
+      Timing-dependent — two runs of the same search may steal
+      differently — so these live with the backtracking-cost group,
+      outside the counter-parity contract.
     * ``state_cache`` / ``cache_*`` — state-space caching
       (:mod:`repro.statespace`): which store was active (``"off"``
       when none), pruned revisits (``cache_hits``), expanded visits
@@ -86,6 +96,9 @@ class SearchStats:
     cpu_time: float = 0.0
     jobs: int = 1
     prefixes: int = 0
+    leases: int = 0
+    steals: int = 0
+    leases_requeued: int = 0
     state_cache: str = "off"
     cache_hits: int = 0
     cache_misses: int = 0
@@ -175,9 +188,10 @@ class SearchStats:
           merging;
         * ``max_depth_reached`` is the maximum, not the sum;
         * the *receiver* keeps its identity fields — ``strategy``,
-          ``backtrack``, ``engine``, ``jobs`` and ``prefixes`` describe
-          the merged search, not any one part, so ``other``'s values are
-          ignored (the parallel driver sets ``backtrack`` and ``engine``
+          ``backtrack``, ``engine``, ``jobs``, ``prefixes`` and the
+          work-stealing counters (``leases``/``steals``/
+          ``leases_requeued``) describe the merged search, not any one
+          part, so ``other``'s values are ignored (the drivers set them
           on the merged stats explicitly);
         * ``state_cache`` is adopted from ``other`` only when the
           receiver has none (``"off"``) — mixed-store merges keep the
@@ -226,6 +240,10 @@ class SearchStats:
             )
         if self.jobs > 1:
             bits.append(f"jobs={self.jobs}")
+        if self.steals or self.leases_requeued:
+            bits.append(f"steals={self.steals}")
+            if self.leases_requeued:
+                bits.append(f"requeued={self.leases_requeued}")
         return " ".join(bits)
 
     def describe(self) -> str:
@@ -255,6 +273,11 @@ class SearchStats:
             ),
             f"sleep prunes:    {self.sleep_prunes}",
         ]
+        if self.leases:
+            lines.append(
+                f"work stealing:   {self.leases} leases, {self.steals} steals, "
+                f"{self.leases_requeued} requeued"
+            )
         ratio = self.reduction_ratio
         if ratio is not None:
             lines.append(f"POR ratio:       {ratio:.3f} (persistent/enabled)")
