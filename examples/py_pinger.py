@@ -1,0 +1,58 @@
+"""An open heartbeat monitor: a pinger probing the environment.
+
+Each round the pinger asks the environment whether the probed service
+answered (``env.probe()`` — the open interface) and reports ``"up"`` or
+``"down"`` to the monitor, which tracks *consecutive* failures.  Run it
+directly and the stub environment always answers up::
+
+    python examples/py_pinger.py
+
+Under ``repro search`` the closed program's environment chooses every
+probe result, so it can fail all rounds in a row and break the
+monitor's assertion that the service never looks dead::
+
+    repro search examples/py_pinger.py         # exit code 3, seeded violation
+
+Unlike py_worker_pool.py (tainted *data* flowing through the queue),
+the queue here carries concrete atoms — only the pinger's *control* is
+environment-chosen, exercising the other half of the closing analysis.
+"""
+
+from repro.pyruntime import Queue, env, join_all, log, spawn
+
+ROUNDS = 3
+reports = Queue(1)
+
+
+def pinger(out, rounds):
+    sent = 0
+    while sent < rounds:
+        status = env.probe()
+        if status == 0:
+            out.put("up")
+        else:
+            out.put("down")
+        sent += 1
+
+
+def monitor(inbox, rounds):
+    streak = 0
+    seen = 0
+    while seen < rounds:
+        report = inbox.get()
+        if report == "down":
+            streak += 1
+        else:
+            streak = 0
+        seen += 1
+        log(streak)
+    # Seeded violation: the environment can fail every probe, so the
+    # down-streak can cover all rounds.
+    assert streak < ROUNDS
+
+
+spawn(pinger, reports, ROUNDS)
+spawn(monitor, reports, ROUNDS)
+
+if __name__ == "__main__":
+    join_all()

@@ -1,0 +1,54 @@
+"""An open worker pool: one producer feeding two workers over a queue.
+
+The producer pulls jobs from the **environment** (``env.next_job()`` —
+the open interface); the workers validate them and count rejects.  Run
+it directly and the stub environment supplies well-formed jobs::
+
+    python examples/py_worker_pool.py
+
+Close and search it, and the most general environment is free to answer
+``env.next_job()`` with anything — including a burst of malformed jobs
+that drives a worker's reject counter past its assertion::
+
+    repro close examples/py_worker_pool.py
+    repro search examples/py_worker_pool.py    # exit code 3, seeded violation
+
+The front end lifts this file as-is: the module prelude below (Queue /
+spawn calls) *is* the system description — see docs/python_frontend.md.
+"""
+
+from repro.pyruntime import Queue, env, join_all, log, spawn
+
+JOBS_PER_WORKER = 2
+jobs = Queue(2)
+
+
+def producer(out, total):
+    sent = 0
+    while sent < total:
+        job = env.next_job()
+        if job < 0:
+            log("malformed")
+        out.put(job)
+        sent += 1
+
+
+def worker(inbox, quota):
+    done = 0
+    rejected = 0
+    while done < quota:
+        job = inbox.get()
+        if job < 0:
+            rejected += 1
+        done += 1
+    # Seeded violation: the environment can make every job malformed,
+    # so a worker can see its whole quota rejected.
+    assert rejected < JOBS_PER_WORKER
+
+
+spawn(producer, jobs, 2 * JOBS_PER_WORKER)
+spawn(worker, jobs, JOBS_PER_WORKER)
+spawn(worker, jobs, JOBS_PER_WORKER)
+
+if __name__ == "__main__":
+    join_all()

@@ -90,6 +90,7 @@ from .sysdesc import (
 )
 from .sysdesc import (
     DescriptionError,
+    description_language,
     load_description,
     load_program,
     system_from_description,
@@ -216,12 +217,12 @@ def _build_system(description_path: pathlib.Path) -> System:
     return _system_from_description(description, description_path.parent)
 
 
-def _print_report(report) -> None:
+def _print_report(report, system=None, program: str | None = None) -> None:
     print(report.summary())
     if not report.ok:
         from .counterex import describe_groups
 
-        print(describe_groups(report.triage()))
+        print(describe_groups(report.triage(), system=system, program=program))
     for event in report.deadlocks[:5]:
         print("\n" + event.describe())
     for event in report.violations[:5]:
@@ -296,13 +297,15 @@ def cmd_search(args) -> int:
     finally:
         if ticker is not None:
             ticker.finish()
-    _print_report(report)
+    language = description_language(description)
+    _print_report(report, system=system, program=description.get("program"))
     if args.profile and report.profile is not None:
         print("\n" + report.profile.render_table(args.profile_top, system=system))
     if args.stats and report.stats is not None:
         print("\n" + report.stats.describe(), file=sys.stderr)
     if args.stats_json is not None and report.stats is not None:
         payload = report.stats.json_dict()
+        payload["language"] = language
         if report.profile is not None:
             payload["profile"] = report.profile.as_dict()
         args.stats_json.write_text(json.dumps(payload, indent=2) + "\n")
@@ -320,6 +323,7 @@ def cmd_search(args) -> int:
                 "description": description,
                 "program_source": program_text,
             },
+            language=language,
         )
         artifacts.extend(written)
         print(f"wrote {len(written)} trace file(s) to {args.save_traces}")
@@ -336,6 +340,7 @@ def cmd_search(args) -> int:
             system=system,
             phases=tracer.phase_timings() if tracer is not None else None,
             artifacts=[str(path) for path in artifacts],
+            extra={"language": language},
         )
         if args.save_traces is not None:
             where = write_manifest(args.save_traces / "run.json", manifest)
@@ -639,7 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     close_parser = sub.add_parser("close", help="close an open program")
-    close_parser.add_argument("file", type=pathlib.Path, help="RC (.rc) or C (.c) source")
+    close_parser.add_argument(
+        "file", type=pathlib.Path, help="RC (.rc), C (.c) or Python (.py) source"
+    )
     _add_spec_arguments(close_parser)
     close_parser.add_argument("-o", "--output", type=pathlib.Path)
     close_parser.add_argument("--optimize", action="store_true", help="run clean-up passes")
@@ -665,7 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=_SYSTEM_SCHEMA,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    search_parser.add_argument("system", type=pathlib.Path, help="system JSON")
+    search_parser.add_argument(
+        "system",
+        type=pathlib.Path,
+        help="system description (.json) or verifiable Python program (.py)",
+    )
     search_parser.add_argument(
         "--strategy",
         choices=("dfs", "random", "parallel"),
@@ -794,7 +805,11 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=_SYSTEM_SCHEMA,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    profile_parser.add_argument("system", type=pathlib.Path, help="system JSON")
+    profile_parser.add_argument(
+        "system",
+        type=pathlib.Path,
+        help="system description (.json) or verifiable Python program (.py)",
+    )
     profile_parser.add_argument(
         "--strategy",
         choices=("dfs", "random", "parallel"),
@@ -937,7 +952,11 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=_SYSTEM_SCHEMA,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    submit_parser.add_argument("system", type=pathlib.Path, help="system JSON")
+    submit_parser.add_argument(
+        "system",
+        type=pathlib.Path,
+        help="system description (.json) or verifiable Python program (.py)",
+    )
     _add_jobs_dir_argument(submit_parser)
     submit_parser.add_argument("--name", default=None, help="job display name")
     submit_parser.add_argument("--max-depth", type=int, default=100)

@@ -44,6 +44,7 @@ from .triage import (
     event_kind,
     event_signature,
     group_events,
+    source_anchor,
 )
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "save_trace",
     "shrink",
     "shrink_choices",
+    "source_anchor",
     "trace_file_for_event",
     "verify_trace",
 ]

@@ -265,23 +265,29 @@ def trace_file_for_event(
     system=None,
     report: ExplorationReport | None = None,
     system_payload: dict | None = None,
+    language: str | None = None,
 ) -> TraceFile:
     """Build a :class:`TraceFile` for one violation event.
 
     ``system`` (a :class:`~repro.runtime.system.System`) supplies the
     fingerprint; ``report`` the search metadata; ``system_payload`` the
-    optional self-contained rebuild block.
+    optional self-contained rebuild block; ``language`` records the
+    front end (``rc``/``c``/``python``) the program came through, so
+    artifacts are self-describing.
     """
     if not event.trace.choices:
         raise ValueError(
             "event carries no trace (recorded past the max_events cap); "
             "re-run with a higher --max-events to persist it"
         )
+    search = search_metadata(report)
+    if language is not None:
+        search["language"] = language
     return TraceFile(
         violation=violation_to_json(event),
         trace=event.trace,
         fingerprint=system.fingerprint() if system is not None else None,
-        search=search_metadata(report),
+        search=search,
         system=system_payload,
     )
 
@@ -309,12 +315,14 @@ def save_report_traces(
     *,
     system=None,
     system_payload: dict | None = None,
+    language: str | None = None,
 ) -> list[pathlib.Path]:
     """Write one trace file per recorded violation of ``report``.
 
     Files are named ``<kind>-<NNN>.json`` in stable report order;
     trace-less placeholder events (past the ``max_events`` cap) are
-    skipped.  Returns the paths written.
+    skipped.  ``language`` stamps each trace's search metadata with the
+    originating front end.  Returns the paths written.
     """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -327,7 +335,11 @@ def save_report_traces(
         index = counters.get(kind, 0)
         counters[kind] = index + 1
         trace_file = trace_file_for_event(
-            event, system=system, report=report, system_payload=system_payload
+            event,
+            system=system,
+            report=report,
+            system_payload=system_payload,
+            language=language,
         )
         written.append(
             save_trace(directory / f"{kind}-{index:03d}.json", trace_file)

@@ -131,11 +131,18 @@ class ViolationGroup:
             return self.events[0]
         return min(traced, key=lambda e: len(e.trace.choices))
 
-    def describe(self) -> str:
-        """One-line rendering: kind, location, multiplicity."""
+    def describe(self, system=None, program: str | None = None) -> str:
+        """One-line rendering: kind, location, multiplicity.
+
+        With ``system`` (and optionally the ``program`` file name) the
+        assertion site is anchored back to its source line — for a
+        Python-frontend system that is the ``.py`` file and line of the
+        failing ``assert``."""
         loc = ", ".join(str(part) for part in signature_to_json(self.signature)[1:])
         times = "once" if self.count == 1 else f"{self.count} times"
-        return f"{self.kind} at [{loc}] seen {times}"
+        anchor = source_anchor(self.signature, system, program)
+        where = f" ({anchor})" if anchor else ""
+        return f"{self.kind} at [{loc}]{where} seen {times}"
 
 
 def group_events(events: Iterable[Any]) -> list[ViolationGroup]:
@@ -156,13 +163,38 @@ def group_events(events: Iterable[Any]) -> list[ViolationGroup]:
     return list(groups.values())
 
 
-def describe_groups(groups: list[ViolationGroup]) -> str:
+def source_anchor(signature: Signature, system, program: str | None = None) -> str | None:
+    """The ``file:line`` (or ``line N``) a signature points at, if known.
+
+    Assertion signatures carry their CFG node id; the node's
+    :class:`~repro.lang.errors.SourceLocation` survives the closing
+    transformation, so for front-end programs (``.py``, ``.c``) the
+    anchor lands on the original source line of the ``assert``."""
+    if system is None or not signature or signature[0] != "assertion":
+        return None
+    _, proc_name, node_id = signature[:3]
+    cfg = getattr(system, "cfgs", {}).get(proc_name)
+    if cfg is None:
+        return None
+    node = cfg.nodes.get(node_id)
+    if node is None or node.location is None or node.location.line <= 0:
+        return None
+    if program:
+        return f"{program}:{node.location.line}"
+    return f"line {node.location.line}"
+
+
+def describe_groups(
+    groups: list[ViolationGroup], system=None, program: str | None = None
+) -> str:
     """The triage report: ``"N violations in K distinct groups"`` plus
-    one line per group (the CLI's post-search rendering)."""
+    one line per group (the CLI's post-search rendering).  ``system``
+    and ``program`` enable source anchors — see
+    :meth:`ViolationGroup.describe`."""
     total = sum(group.count for group in groups)
     noun = "violation" if total == 1 else "violations"
     group_noun = "group" if len(groups) == 1 else "groups"
     lines = [f"{total} {noun} in {len(groups)} distinct {group_noun}"]
     for index, group in enumerate(groups):
-        lines.append(f"  [{index}] {group.describe()}")
+        lines.append(f"  [{index}] {group.describe(system, program)}")
     return "\n".join(lines)

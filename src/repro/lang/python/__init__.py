@@ -1,0 +1,29 @@
+"""The Python front end: close and verify real open Python programs.
+
+Lifts a documented, bounded Python subset — thread-style workers
+communicating over bounded queues, importing their vocabulary from
+:mod:`repro.pyruntime` — into the RC core form, so the define-use
+closing transformation and the whole search stack run unchanged on real
+open Python services.  See ``docs/python_frontend.md``.
+"""
+
+from .errors import PyFrontError, location_of
+from .lift import FunctionLifter, LiftContext, lift_function
+from .model import (
+    LiftedModule,
+    description_from_python,
+    lift_module,
+    python_to_program,
+)
+
+__all__ = [
+    "FunctionLifter",
+    "LiftContext",
+    "LiftedModule",
+    "PyFrontError",
+    "description_from_python",
+    "lift_function",
+    "lift_module",
+    "location_of",
+    "python_to_program",
+]

@@ -1,0 +1,739 @@
+"""The AST lifter: bounded Python functions → RC surface ASTs.
+
+This module translates *function bodies* — the sequential half of the
+subset.  The module-level half (imports, ``Queue``/``spawn``
+declarations, constants: the concurrency model) lives in
+:mod:`repro.lang.python.model`, which drives this lifter once per
+``def``.
+
+Supported statement/expression subset (see ``docs/python_frontend.md``
+for the user-facing table):
+
+* ``if``/``elif``/``else``, ``while``, ``for … in range(…)``,
+  ``break``/``continue``/``pass``/``return``;
+* assignments to plain names, augmented ``+= -= *= //= %=``;
+* ``assert e`` (→ RC ``VS_assert``; an optional string message is
+  allowed and dropped);
+* int/bool/string literals, names, unary ``-``/``not``, binary
+  ``+ - * // %``, comparisons ``== != < <= > >=``, ``and``/``or``;
+* calls: user-defined functions, ``q.put(v)``/``q.get()`` (→ RC
+  ``send``/``recv``), ``env.<name>(…)`` (→ calls to RC ``extern proc``
+  declarations — the open interface), ``log(v)`` (→ env-sink send),
+  ``toss(n)`` (→ ``VS_toss``).
+
+Everything else raises a source-anchored
+:class:`~repro.lang.python.errors.PyFrontError` — there is no silent
+miscompilation path.  Lifted nodes carry precise
+:class:`~repro.lang.errors.SourceLocation` values pointing back into
+the ``.py`` file, so closing keeps assertion sites attributable to
+Python source lines and triage signatures can cite them.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+
+from .. import ast as rc
+from .errors import PyFrontError, location_of
+
+__all__ = ["FunctionLifter", "LiftContext", "lift_function"]
+
+#: Python binary operators → RC operators.  ``//`` is RC's integer ``/``;
+#: true division is rejected (RC has no floats).
+BIN_OPS = {
+    pyast.Add: "+",
+    pyast.Sub: "-",
+    pyast.Mult: "*",
+    pyast.FloorDiv: "/",
+    pyast.Mod: "%",
+}
+
+#: Python comparison operators → RC operators.
+CMP_OPS = {
+    pyast.Eq: "==",
+    pyast.NotEq: "!=",
+    pyast.Lt: "<",
+    pyast.LtE: "<=",
+    pyast.Gt: ">",
+    pyast.GtE: ">=",
+}
+
+BOOL_OPS = {pyast.And: "&&", pyast.Or: "||"}
+
+#: Names importable from :mod:`repro.pyruntime`.
+RUNTIME_NAMES = frozenset({"Queue", "spawn", "env", "log", "toss", "join_all"})
+
+#: The implicit env-sink that ``log(...)`` sends to.
+LOG_SINK = "log"
+
+
+class LiftContext:
+    """Module-wide facts the function lifter consults and extends.
+
+    Built by :mod:`repro.lang.python.model` from the module prelude:
+    runtime import aliases, module constants, declared queue objects and
+    defined function names.  The lifter *extends* it with the extern
+    procedures discovered at ``env.<name>(...)`` call sites.
+    """
+
+    def __init__(
+        self,
+        filename: str,
+        runtime: dict[str, str],
+        constants: dict[str, int | bool | str],
+        objects: dict[str, dict],
+        functions: dict[str, tuple[str, ...]],
+    ):
+        self.filename = filename
+        #: local alias -> canonical pyruntime name (``env``, ``Queue``, ...).
+        self.runtime = runtime
+        self.constants = constants
+        self.objects = objects
+        self.functions = functions
+        #: extern name -> ExternDecl, in first-call order.
+        self.externs: dict[str, rc.ExternDecl] = {}
+        self.uses_log = False
+
+    def error(self, message: str, node) -> PyFrontError:
+        return PyFrontError(message, location_of(node), self.filename)
+
+    def runtime_name(self, node) -> str | None:
+        """The canonical pyruntime name ``node`` refers to, if any."""
+        if isinstance(node, pyast.Name):
+            return self.runtime.get(node.id)
+        return None
+
+    def register_extern(self, name: str, arity: int, node) -> None:
+        """Record (or re-check) the extern procedure ``env.<name>``."""
+        if name in self.functions:
+            raise self.error(
+                f"env.{name} collides with the function {name!r} defined in this "
+                "module; rename one of them",
+                node,
+            )
+        known = self.externs.get(name)
+        if known is None:
+            params = tuple(f"a{i}" for i in range(arity))
+            self.externs[name] = rc.ExternDecl(name, params, location_of(node))
+        elif len(known.params) != arity:
+            raise self.error(
+                f"env.{name} is called with {arity} argument(s) here but with "
+                f"{len(known.params)} at {known.location} — environment "
+                "procedures have a fixed arity",
+                node,
+            )
+
+
+def _describe_node(node) -> str:
+    """A user-facing name for an unsupported construct."""
+    names = {
+        "Try": "try/except",
+        "TryStar": "try/except*",
+        "With": "with blocks",
+        "AsyncWith": "async with blocks",
+        "Match": "match statements",
+        "Raise": "raise statements",
+        "Lambda": "lambda expressions",
+        "ListComp": "list comprehensions",
+        "SetComp": "set comprehensions",
+        "DictComp": "dict comprehensions",
+        "GeneratorExp": "generator expressions",
+        "JoinedStr": "f-strings",
+        "List": "list literals",
+        "Tuple": "tuple literals",
+        "Dict": "dict literals",
+        "Set": "set literals",
+        "Subscript": "subscripting",
+        "Starred": "starred expressions",
+        "Yield": "yield",
+        "YieldFrom": "yield from",
+        "Await": "await",
+        "Global": "global declarations",
+        "Nonlocal": "nonlocal declarations",
+        "Delete": "del statements",
+        "ClassDef": "class definitions",
+        "AsyncFunctionDef": "async functions",
+        "AsyncFor": "async for loops",
+        "IfExp": "conditional expressions (a if c else b)",
+        "NamedExpr": "walrus assignments (:=)",
+        "Slice": "slicing",
+    }
+    kind = type(node).__name__
+    return names.get(kind, f"{kind} nodes")
+
+
+class FunctionLifter:
+    """Lift one ``def`` into an :class:`repro.lang.ast.Proc`."""
+
+    def __init__(self, ctx: LiftContext, func: pyast.FunctionDef):
+        self.ctx = ctx
+        self.func = func
+        self.params: tuple[str, ...] = ()
+        self.locals: list[str] = []
+        self._loop_depth = 0
+
+    # -- entry point ------------------------------------------------------------
+
+    def lift(self) -> rc.Proc:
+        self.params = self._lift_params()
+        self._collect_locals(self.func.body)
+        body: list[rc.Stmt] = [
+            rc.VarDecl(name, None, None, location_of(self.func)) for name in self.locals
+        ]
+        body.extend(self._block(self.func.body, allow_docstring=True))
+        return rc.Proc(self.func.name, self.params, tuple(body), location_of(self.func))
+
+    # -- signature --------------------------------------------------------------
+
+    def _lift_params(self) -> tuple[str, ...]:
+        args = self.func.args
+        func = self.func
+        if func.decorator_list:
+            raise self.ctx.error(
+                "decorators are not supported", func.decorator_list[0]
+            )
+        if args.vararg or args.kwarg:
+            raise self.ctx.error(
+                "*args / **kwargs are not supported; declare explicit "
+                "positional parameters",
+                args.vararg or args.kwarg,
+            )
+        if args.kwonlyargs:
+            raise self.ctx.error(
+                "keyword-only parameters are not supported", args.kwonlyargs[0]
+            )
+        if args.defaults or args.kw_defaults:
+            raise self.ctx.error(
+                "parameter defaults are not supported; pass every argument "
+                "explicitly at the spawn site",
+                func,
+            )
+        if args.posonlyargs:
+            raise self.ctx.error(
+                "positional-only markers are not supported", args.posonlyargs[0]
+            )
+        names: list[str] = []
+        for arg in args.args:
+            self._check_binding_name(arg.arg, arg, role="parameter")
+            names.append(arg.arg)
+        return tuple(names)
+
+    # -- local variables ---------------------------------------------------------
+
+    def _collect_locals(self, stmts) -> None:
+        """All names assigned anywhere in the function, in textual order.
+
+        They are pre-declared ``var x;`` at function entry (value 0), so
+        the lifted body only ever assigns — the same shape the RC
+        normalizer produces for its own temporaries.  Reading a local
+        before its first assignment yields 0 (Python would raise; the
+        subset documents the difference and real programs assign first).
+        """
+        for stmt in stmts:
+            targets = []
+            if isinstance(stmt, pyast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (pyast.AugAssign, pyast.AnnAssign)):
+                targets = [stmt.target]
+            elif isinstance(stmt, pyast.For):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, pyast.Name):
+                    self._record_local(target.id, target)
+            if isinstance(stmt, (pyast.If, pyast.While, pyast.For)):
+                self._collect_locals(stmt.body)
+                self._collect_locals(stmt.orelse)
+
+    def _record_local(self, name: str, node) -> None:
+        if name in self.params or name in self.locals:
+            return
+        self._check_binding_name(name, node, role="local variable")
+        self.locals.append(name)
+
+    def _check_binding_name(self, name: str, node, role: str) -> None:
+        if name in self.ctx.runtime:
+            raise self.ctx.error(
+                f"{role} {name!r} shadows the repro.pyruntime import of the "
+                "same name",
+                node,
+            )
+        if name in self.ctx.objects:
+            raise self.ctx.error(
+                f"{role} {name!r} shadows the module-level queue {name!r}", node
+            )
+        if name in self.ctx.functions:
+            raise self.ctx.error(
+                f"{role} {name!r} shadows the function {name!r}", node
+            )
+
+    def _is_local(self, name: str) -> bool:
+        return name in self.params or name in self.locals
+
+    # -- statements ---------------------------------------------------------------
+
+    def _block(self, stmts, allow_docstring: bool = False) -> list[rc.Stmt]:
+        out: list[rc.Stmt] = []
+        for index, stmt in enumerate(stmts):
+            if (
+                isinstance(stmt, pyast.Expr)
+                and isinstance(stmt.value, pyast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                # Docstrings and bare string "comments" carry no behaviour.
+                continue
+            out.extend(self._stmt(stmt))
+        return out
+
+    def _stmt(self, node) -> list[rc.Stmt]:
+        loc = location_of(node)
+        if isinstance(node, pyast.Expr):
+            return [self._call_stmt(node.value, result=None)]
+        if isinstance(node, pyast.Assign):
+            return [self._assign(node)]
+        if isinstance(node, pyast.AnnAssign):
+            if node.value is None:
+                raise self.ctx.error(
+                    "annotation-only declarations are not supported; assign an "
+                    "initial value",
+                    node,
+                )
+            return [self._assign_to(node.target, node.value, node)]
+        if isinstance(node, pyast.AugAssign):
+            return [self._aug_assign(node)]
+        if isinstance(node, pyast.If):
+            return [
+                rc.If(
+                    self._expr(node.test),
+                    tuple(self._block(node.body)),
+                    tuple(self._block(node.orelse)),
+                    loc,
+                )
+            ]
+        if isinstance(node, pyast.While):
+            if node.orelse:
+                raise self.ctx.error(
+                    "while/else is not supported", node.orelse[0]
+                )
+            cond = self._expr(node.test)
+            self._loop_depth += 1
+            try:
+                body = tuple(self._block(node.body))
+            finally:
+                self._loop_depth -= 1
+            return [rc.While(cond, body, loc)]
+        if isinstance(node, pyast.For):
+            return [self._for_range(node)]
+        if isinstance(node, pyast.Return):
+            value = self._expr(node.value) if node.value is not None else None
+            return [rc.Return(value, loc)]
+        if isinstance(node, pyast.Break):
+            if self._loop_depth == 0:
+                raise self.ctx.error("'break' outside a loop", node)
+            return [rc.Break(loc)]
+        if isinstance(node, pyast.Continue):
+            if self._loop_depth == 0:
+                raise self.ctx.error("'continue' outside a loop", node)
+            return [rc.Continue(loc)]
+        if isinstance(node, pyast.Pass):
+            return [rc.Skip(loc)]
+        if isinstance(node, pyast.Assert):
+            return [self._assert(node)]
+        if isinstance(node, (pyast.Import, pyast.ImportFrom)):
+            raise self.ctx.error(
+                "imports inside functions are not supported; import "
+                "repro.pyruntime names at module level",
+                node,
+            )
+        if isinstance(node, pyast.FunctionDef):
+            raise self.ctx.error(
+                "nested function definitions are not supported", node
+            )
+        raise self.ctx.error(
+            f"{_describe_node(node)} are not part of the verifiable subset",
+            node,
+        )
+
+    def _assign(self, node: pyast.Assign) -> rc.Stmt:
+        if len(node.targets) != 1:
+            raise self.ctx.error(
+                "chained assignment (a = b = ...) is not supported", node
+            )
+        return self._assign_to(node.targets[0], node.value, node)
+
+    def _assign_to(self, target, value, node) -> rc.Stmt:
+        if not isinstance(target, pyast.Name):
+            raise self.ctx.error(
+                f"assignment targets must be plain names, not "
+                f"{_describe_node(target)}",
+                target,
+            )
+        loc = location_of(node)
+        name = rc.Name(target.id, location_of(target))
+        call = self._try_call(value, result=name)
+        if call is not None:
+            return call
+        return rc.Assign(name, self._expr(value), loc)
+
+    def _aug_assign(self, node: pyast.AugAssign) -> rc.Stmt:
+        if not isinstance(node.target, pyast.Name):
+            raise self.ctx.error(
+                "augmented assignment targets must be plain names", node.target
+            )
+        op = BIN_OPS.get(type(node.op))
+        if op is None:
+            raise self.ctx.error(
+                f"unsupported augmented assignment operator "
+                f"{type(node.op).__name__}; the subset has += -= *= //= %=",
+                node,
+            )
+        loc = location_of(node)
+        name = rc.Name(node.target.id, location_of(node.target))
+        return rc.Assign(name, rc.Binary(op, name, self._expr(node.value), loc), loc)
+
+    def _assert(self, node: pyast.Assert) -> rc.Stmt:
+        if node.msg is not None and not (
+            isinstance(node.msg, pyast.Constant) and isinstance(node.msg.value, str)
+        ):
+            raise self.ctx.error(
+                "assert messages must be string literals (they are dropped "
+                "by the front end)",
+                node.msg,
+            )
+        return rc.CallStmt(
+            "VS_assert", (self._expr(node.test),), None, location_of(node)
+        )
+
+    def _for_range(self, node: pyast.For) -> rc.Stmt:
+        """``for i in range(...)`` → RC ``for`` (init/cond/step)."""
+        if node.orelse:
+            raise self.ctx.error("for/else is not supported", node.orelse[0])
+        if not isinstance(node.target, pyast.Name):
+            raise self.ctx.error(
+                "for-loop targets must be plain names", node.target
+            )
+        call = node.iter
+        if not (
+            isinstance(call, pyast.Call)
+            and isinstance(call.func, pyast.Name)
+            and call.func.id == "range"
+        ):
+            raise self.ctx.error(
+                "for-loops may only iterate over range(...); iterate queues "
+                "with an explicit while + q.get()",
+                node.iter,
+            )
+        if call.keywords:
+            raise self.ctx.error("range() takes no keyword arguments", call)
+        bounds = [self._expr(arg) for arg in call.args]
+        loc = location_of(node)
+        var = rc.Name(node.target.id, location_of(node.target))
+        if len(bounds) == 1:
+            start, stop = rc.IntLit(0, loc), bounds[0]
+            step, ascending = 1, True
+        elif len(bounds) in (2, 3):
+            start, stop = bounds[0], bounds[1]
+            step, ascending = 1, True
+            if len(bounds) == 3:
+                step_lit = bounds[2]
+                negative = (
+                    isinstance(step_lit, rc.Unary)
+                    and step_lit.op == "-"
+                    and isinstance(step_lit.operand, rc.IntLit)
+                )
+                if negative:
+                    step_lit = step_lit.operand
+                if not isinstance(step_lit, rc.IntLit) or step_lit.value == 0:
+                    raise self.ctx.error(
+                        "range() steps must be non-zero integer literals",
+                        call.args[2],
+                    )
+                step, ascending = step_lit.value, not negative
+        else:
+            raise self.ctx.error(
+                f"range() takes 1-3 arguments, got {len(bounds)}", call
+            )
+        self._loop_depth += 1
+        try:
+            body = tuple(self._block(node.body))
+        finally:
+            self._loop_depth -= 1
+        init = rc.Assign(var, start, loc)
+        cond = rc.Binary("<" if ascending else ">", var, stop, loc)
+        delta = rc.Binary("+" if ascending else "-", var, rc.IntLit(step, loc), loc)
+        return rc.For(init, cond, rc.Assign(var, delta, loc), body, loc)
+
+    # -- calls --------------------------------------------------------------------
+
+    def _call_args(self, call: pyast.Call, allow_objects: bool = True) -> tuple:
+        if call.keywords:
+            raise self.ctx.error(
+                "keyword arguments are not supported; pass arguments "
+                "positionally",
+                call.keywords[0].value if call.keywords[0].value else call,
+            )
+        return tuple(
+            self._expr(arg, allow_object=allow_objects) for arg in call.args
+        )
+
+    def _object_base(self, node) -> rc.Expr:
+        """The queue a ``.put``/``.get`` is performed on.
+
+        A parameter holding a queue lifts to a variable reference; a
+        direct reference to a module-level queue lifts to its name atom
+        (the runtime resolves bare names to communication objects).
+        """
+        if isinstance(node, pyast.Name):
+            if self._is_local(node.id):
+                return rc.Name(node.id, location_of(node))
+            if node.id in self.ctx.objects:
+                return rc.StrLit(node.id, location_of(node))
+        raise self.ctx.error(
+            "queue operations need a queue-valued parameter or a "
+            "module-level Queue name",
+            node,
+        )
+
+    def _try_call(self, node, result: rc.Expr | None) -> rc.Stmt | None:
+        """Lift ``node`` as a call statement if it is a call, else None."""
+        if isinstance(node, pyast.Call):
+            return self._call_stmt(node, result)
+        return None
+
+    def _call_stmt(self, node, result: rc.Expr | None) -> rc.Stmt:
+        if not isinstance(node, pyast.Call):
+            raise self.ctx.error(
+                "expression statements must be calls (everything else has "
+                "no effect)",
+                node,
+            )
+        loc = location_of(node)
+        # A call whose result is captured is a value use: put()/log()
+        # (value-less) must be rejected there, exactly as in expressions.
+        callee, args = self._call_parts(node, statement=result is None)
+        return rc.CallStmt(callee, args, result, loc)
+
+    def _call_parts(
+        self, call: pyast.Call, statement: bool
+    ) -> tuple[str, tuple[rc.Expr, ...]]:
+        """Resolve a call against the runtime vocabulary.
+
+        Returns the RC callee name and lifted arguments; raises for
+        calls outside the vocabulary.  ``statement`` distinguishes
+        value-less operations (``put``/``log``) that may not appear in
+        expressions.
+        """
+        func = call.func
+        # Method calls: q.put / q.get / env.<name>.
+        if isinstance(func, pyast.Attribute):
+            base, attr = func.value, func.attr
+            if self.ctx.runtime_name(base) == "env":
+                args = self._call_args(call, allow_objects=False)
+                self.ctx.register_extern(attr, len(args), call)
+                return attr, args
+            if attr == "put":
+                obj = self._object_base(base)
+                if not statement:
+                    raise self.ctx.error(
+                        "put() returns nothing and cannot be used in an "
+                        "expression",
+                        call,
+                    )
+                args = self._call_args(call, allow_objects=False)
+                if len(args) != 1:
+                    raise self.ctx.error(
+                        f"put() takes exactly one value, got {len(args)}", call
+                    )
+                return "send", (obj, args[0])
+            if attr == "get":
+                obj = self._object_base(base)
+                args = self._call_args(call)
+                if args:
+                    raise self.ctx.error(
+                        f"get() takes no arguments, got {len(args)}", call
+                    )
+                return "recv", (obj,)
+            raise self.ctx.error(
+                f"unknown queue method .{attr}(); the verifiable vocabulary "
+                "is put(value), get(), and env.<name>(...)",
+                call,
+            )
+        if not isinstance(func, pyast.Name):
+            raise self.ctx.error(
+                "only named functions can be called (no indirect calls)", call
+            )
+        runtime = self.ctx.runtime.get(func.id)
+        if runtime == "log":
+            if not statement:
+                raise self.ctx.error(
+                    "log() returns nothing and cannot be used in an expression",
+                    call,
+                )
+            args = self._call_args(call, allow_objects=False)
+            if len(args) != 1:
+                raise self.ctx.error(
+                    f"log() takes exactly one value, got {len(args)}", call
+                )
+            self.ctx.uses_log = True
+            return "send", (rc.StrLit(LOG_SINK, location_of(call)), args[0])
+        if runtime == "toss":
+            args = self._call_args(call, allow_objects=False)
+            if len(args) != 1:
+                raise self.ctx.error(
+                    f"toss() takes exactly one bound, got {len(args)}", call
+                )
+            return "VS_toss", args
+        if runtime == "spawn":
+            raise self.ctx.error(
+                "spawn(...) is only allowed at module level — processes are "
+                "fixed at launch (the paper's systems have a static set)",
+                call,
+            )
+        if runtime == "Queue":
+            raise self.ctx.error(
+                "Queue(...) construction is only allowed at module level — "
+                "communication objects are fixed at launch",
+                call,
+            )
+        if runtime is not None:
+            raise self.ctx.error(
+                f"{runtime} is not callable here", call
+            )
+        if func.id in self.ctx.functions:
+            return func.id, self._call_args(call)
+        if func.id == "range":
+            raise self.ctx.error(
+                "range(...) is only meaningful as a for-loop iterable", call
+            )
+        raise self.ctx.error(
+            f"call to unknown function {func.id!r}; functions must be "
+            "defined in this module, and environment procedures are "
+            "called as env.<name>(...)",
+            call,
+        )
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expr(self, node, allow_object: bool = False) -> rc.Expr:
+        loc = location_of(node)
+        if isinstance(node, pyast.Constant):
+            value = node.value
+            if isinstance(value, bool):
+                return rc.BoolLit(value, loc)
+            if isinstance(value, int):
+                return rc.IntLit(value, loc)
+            if isinstance(value, str):
+                return rc.StrLit(value, loc)
+            if value is None:
+                raise self.ctx.error(
+                    "None is not part of the subset (RC values are ints, "
+                    "bools and string atoms)",
+                    node,
+                )
+            raise self.ctx.error(
+                f"unsupported literal {value!r}; RC values are ints, bools "
+                "and string atoms",
+                node,
+            )
+        if isinstance(node, pyast.Name):
+            return self._name(node, allow_object=allow_object)
+        if isinstance(node, pyast.UnaryOp):
+            if isinstance(node.op, pyast.USub):
+                return rc.Unary("-", self._expr(node.operand), loc)
+            if isinstance(node.op, pyast.UAdd):
+                return self._expr(node.operand)
+            if isinstance(node.op, pyast.Not):
+                return rc.Unary("!", self._expr(node.operand), loc)
+            raise self.ctx.error(
+                f"unsupported unary operator {type(node.op).__name__}", node
+            )
+        if isinstance(node, pyast.BinOp):
+            if isinstance(node.op, pyast.Div):
+                raise self.ctx.error(
+                    "true division (/) is not supported — RC is integer-"
+                    "valued; use // for integer division",
+                    node,
+                )
+            op = BIN_OPS.get(type(node.op))
+            if op is None:
+                raise self.ctx.error(
+                    f"unsupported binary operator {type(node.op).__name__}; "
+                    "the subset has + - * // %",
+                    node,
+                )
+            return rc.Binary(op, self._expr(node.left), self._expr(node.right), loc)
+        if isinstance(node, pyast.BoolOp):
+            op = BOOL_OPS[type(node.op)]
+            values = [self._expr(value) for value in node.values]
+            folded = values[0]
+            for value in values[1:]:
+                folded = rc.Binary(op, folded, value, loc)
+            return folded
+        if isinstance(node, pyast.Compare):
+            if len(node.ops) != 1:
+                raise self.ctx.error(
+                    "chained comparisons (a < b < c) are not supported; "
+                    "split them with 'and'",
+                    node,
+                )
+            op = CMP_OPS.get(type(node.ops[0]))
+            if op is None:
+                raise self.ctx.error(
+                    f"unsupported comparison {type(node.ops[0]).__name__}; "
+                    "the subset has == != < <= > >=",
+                    node,
+                )
+            return rc.Binary(
+                op, self._expr(node.left), self._expr(node.comparators[0]), loc
+            )
+        if isinstance(node, pyast.Call):
+            callee, args = self._call_parts(node, statement=False)
+            return rc.CallExpr(callee, args, loc)
+        raise self.ctx.error(
+            f"{_describe_node(node)} are not part of the verifiable subset",
+            node,
+        )
+
+    def _name(self, node: pyast.Name, allow_object: bool) -> rc.Expr:
+        loc = location_of(node)
+        name = node.id
+        if self._is_local(name):
+            return rc.Name(name, loc)
+        constant = self.ctx.constants.get(name)
+        if constant is not None or name in self.ctx.constants:
+            if isinstance(constant, bool):
+                return rc.BoolLit(constant, loc)
+            if isinstance(constant, int):
+                return rc.IntLit(constant, loc)
+            return rc.StrLit(constant, loc)
+        if name in self.ctx.objects:
+            if allow_object:
+                # Object reference in argument position: pass the name
+                # atom; the runtime resolves it to the live object.
+                return rc.StrLit(name, loc)
+            raise self.ctx.error(
+                f"queue {name!r} can only be used in put/get operations or "
+                "passed to a function/spawn",
+                node,
+            )
+        if name in self.ctx.runtime:
+            raise self.ctx.error(
+                f"{self.ctx.runtime[name]} is part of the runtime vocabulary "
+                "and has no value of its own",
+                node,
+            )
+        if name in self.ctx.functions:
+            raise self.ctx.error(
+                f"function {name!r} used as a value; only direct calls are "
+                "supported",
+                node,
+            )
+        raise self.ctx.error(
+            f"undefined name {name!r} (not a parameter, local, module "
+            "constant or queue)",
+            node,
+        )
+
+
+def lift_function(ctx: LiftContext, func: pyast.FunctionDef) -> rc.Proc:
+    """Lift one Python ``def`` into an RC procedure."""
+    return FunctionLifter(ctx, func).lift()

@@ -1,0 +1,443 @@
+"""The concurrency model: Python modules → programs + system descriptions.
+
+A verifiable Python program is one file that plays both roles a
+``.rc``/``.json`` pair plays for the mini-language:
+
+* its ``def``\\ s are the procedures (lifted by
+  :mod:`repro.lang.python.lift`);
+* its module prelude *is* the launch configuration — ``Queue(...)``
+  assignments declare the communication objects, ``spawn(fn, ...)``
+  calls declare the processes, and the ``env.<name>`` call sites inside
+  functions declare the open interface (``extern proc``\\ s, which the
+  closing transformation replaces with ``VS_toss`` choices).
+
+:func:`python_to_program` yields the lifted
+:class:`repro.lang.ast.Program`; :func:`description_from_python`
+additionally derives the system-description dict (the same shape
+``repro.sysdesc`` reads from ``.json`` files), including
+``close.object_bindings`` entries telling the may-alias analysis which
+queue each spawned parameter holds.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from dataclasses import dataclass, field
+
+from .. import ast as rc
+from .errors import PyFrontError, location_of
+from .lift import LOG_SINK, RUNTIME_NAMES, LiftContext, lift_function
+
+__all__ = [
+    "LiftedModule",
+    "description_from_python",
+    "lift_module",
+    "python_to_program",
+]
+
+RUNTIME_MODULE = "repro.pyruntime"
+
+
+@dataclass
+class _Spawn:
+    """One module-level ``spawn(fn, ...)`` call."""
+
+    func: str
+    args: list  # int | bool | str values, or ("object", name) pairs
+    location: object  # SourceLocation of the call
+
+
+@dataclass
+class LiftedModule:
+    """Everything the front end extracted from one Python file."""
+
+    program: rc.Program
+    #: queue name -> capacity, in declaration order.
+    queues: dict[str, int] = field(default_factory=dict)
+    #: processes: (process name, proc name, args) in spawn order.
+    processes: list[tuple[str, str, list]] = field(default_factory=list)
+    #: "proc.param" -> sorted queue names (for close.object_bindings).
+    object_bindings: dict[str, list[str]] = field(default_factory=dict)
+    uses_log: bool = False
+
+
+class _ModuleLifter:
+    """Scan a module's top level and drive the function lifter."""
+
+    def __init__(self, text: str, filename: str):
+        self.text = text
+        self.filename = filename
+        self.runtime: dict[str, str] = {}
+        self.constants: dict[str, int | bool | str] = {}
+        self.queues: dict[str, int] = {}
+        self.functions: dict[str, pyast.FunctionDef] = {}
+        self.spawns: list[_Spawn] = []
+
+    def error(self, message: str, node) -> PyFrontError:
+        return PyFrontError(message, location_of(node), self.filename)
+
+    # -- entry point ------------------------------------------------------------
+
+    def lift(self) -> LiftedModule:
+        try:
+            module = pyast.parse(self.text, filename=self.filename or "<python>")
+        except SyntaxError as err:
+            raise PyFrontError(
+                f"not valid Python: {err.msg}",
+                None if err.lineno is None else location_of(err),
+                self.filename,
+            ) from err
+        self._scan_module(module.body, top=True)
+        ctx = LiftContext(
+            self.filename,
+            self.runtime,
+            self.constants,
+            {name: {"capacity": cap} for name, cap in self.queues.items()},
+            {name: tuple(a.arg for a in fn.args.args) for name, fn in self.functions.items()},
+        )
+        procs = {
+            name: lift_function(ctx, fn) for name, fn in self.functions.items()
+        }
+        program = rc.Program(procs, dict(ctx.externs))
+        lifted = LiftedModule(program, dict(self.queues), uses_log=ctx.uses_log)
+        self._resolve_spawns(lifted)
+        return lifted
+
+    # -- module scan ------------------------------------------------------------
+
+    def _scan_module(self, body, top: bool) -> None:
+        for index, stmt in enumerate(body):
+            if (
+                top
+                and index == 0
+                and isinstance(stmt, pyast.Expr)
+                and isinstance(stmt.value, pyast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                continue  # module docstring
+            self._scan_stmt(stmt, top=top)
+
+    def _scan_stmt(self, stmt, top: bool) -> None:
+        if isinstance(stmt, pyast.ImportFrom):
+            self._scan_import_from(stmt)
+            return
+        if isinstance(stmt, pyast.Import):
+            raise self.error(
+                f"use 'from {RUNTIME_MODULE} import ...' — plain imports are "
+                "not part of the subset",
+                stmt,
+            )
+        if isinstance(stmt, pyast.FunctionDef):
+            if not top:
+                raise self.error(
+                    "function definitions must be at module top level", stmt
+                )
+            if stmt.name in self.functions:
+                raise self.error(
+                    f"function {stmt.name!r} is defined twice", stmt
+                )
+            self._check_module_name(stmt.name, stmt, role="function")
+            self.functions[stmt.name] = stmt
+            return
+        if isinstance(stmt, pyast.Assign):
+            self._scan_assign(stmt)
+            return
+        if isinstance(stmt, pyast.Expr):
+            self._scan_module_call(stmt.value)
+            return
+        if isinstance(stmt, pyast.If) and top and self._is_main_guard(stmt.test):
+            if stmt.orelse:
+                raise self.error(
+                    "the __main__ guard cannot have an else branch",
+                    stmt.orelse[0],
+                )
+            self._scan_module(stmt.body, top=False)
+            return
+        kind = type(stmt).__name__
+        raise self.error(
+            f"{kind} statements are not allowed at module level; the module "
+            "prelude holds imports, constants, Queue(...) declarations, "
+            "def's and spawn(...) calls",
+            stmt,
+        )
+
+    def _is_main_guard(self, test) -> bool:
+        return (
+            isinstance(test, pyast.Compare)
+            and isinstance(test.left, pyast.Name)
+            and test.left.id == "__name__"
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], pyast.Eq)
+            and isinstance(test.comparators[0], pyast.Constant)
+            and test.comparators[0].value == "__main__"
+        )
+
+    def _scan_import_from(self, stmt: pyast.ImportFrom) -> None:
+        if stmt.module != RUNTIME_MODULE or stmt.level:
+            raise self.error(
+                f"only 'from {RUNTIME_MODULE} import ...' is allowed "
+                f"(got {stmt.module or '.' * stmt.level!r}); verifiable "
+                "programs use the pyruntime vocabulary exclusively",
+                stmt,
+            )
+        for alias in stmt.names:
+            if alias.name == "*":
+                raise self.error(
+                    f"import the names you use explicitly — "
+                    f"'from {RUNTIME_MODULE} import *' is not supported",
+                    stmt,
+                )
+            if alias.name not in RUNTIME_NAMES:
+                raise self.error(
+                    f"{RUNTIME_MODULE} has no verifiable name {alias.name!r}; "
+                    f"available: {', '.join(sorted(RUNTIME_NAMES))}",
+                    stmt,
+                )
+            self.runtime[alias.asname or alias.name] = alias.name
+
+    def _check_module_name(self, name: str, node, role: str) -> None:
+        owners = {
+            "a pyruntime import": self.runtime,
+            "a module constant": self.constants,
+            "a queue": self.queues,
+            "a function": self.functions,
+        }
+        for what, table in owners.items():
+            if name in table:
+                raise self.error(
+                    f"{role} {name!r} collides with {what} of the same name",
+                    node,
+                )
+
+    def _scan_assign(self, stmt: pyast.Assign) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], pyast.Name):
+            raise self.error(
+                "module-level assignments must bind a single plain name",
+                stmt,
+            )
+        name = stmt.targets[0].id
+        self._check_module_name(name, stmt, role="binding")
+        value = stmt.value
+        # name = Queue(capacity)
+        if (
+            isinstance(value, pyast.Call)
+            and isinstance(value.func, pyast.Name)
+            and self.runtime.get(value.func.id) == "Queue"
+        ):
+            self.queues[name] = self._queue_capacity(value)
+            return
+        constant = self._constant_value(value)
+        if constant is None:
+            raise self.error(
+                f"module-level value for {name!r} must be an int/bool/string "
+                "literal, a previously defined constant, or Queue(...)",
+                value,
+            )
+        self.constants[name] = constant[0]
+
+    def _queue_capacity(self, call: pyast.Call) -> int:
+        args = list(call.args)
+        for kw in call.keywords:
+            if kw.arg != "capacity":
+                raise self.error(
+                    f"Queue() got unexpected keyword {kw.arg!r}", call
+                )
+            args.append(kw.value)
+        if not args:
+            return 1
+        if len(args) > 1:
+            raise self.error(
+                "Queue() takes a single capacity argument", call
+            )
+        value = self._constant_value(args[0])
+        if value is None or not isinstance(value[0], int) or isinstance(value[0], bool):
+            raise self.error(
+                "Queue capacity must be an int literal or an int module "
+                "constant",
+                args[0],
+            )
+        if value[0] < 1:
+            raise self.error(
+                f"Queue capacity must be >= 1, got {value[0]}", args[0]
+            )
+        return value[0]
+
+    def _constant_value(self, node) -> tuple[int | bool | str] | None:
+        """The literal value of ``node``, or None.
+
+        Wrapped in a 1-tuple so a literal ``0``/``False`` is
+        distinguishable from "not a constant".
+        """
+        if isinstance(node, pyast.Constant) and isinstance(
+            node.value, (int, bool, str)
+        ):
+            return (node.value,)
+        if (
+            isinstance(node, pyast.UnaryOp)
+            and isinstance(node.op, pyast.USub)
+            and isinstance(node.operand, pyast.Constant)
+            and isinstance(node.operand.value, int)
+            and not isinstance(node.operand.value, bool)
+        ):
+            return (-node.operand.value,)
+        if isinstance(node, pyast.Name) and node.id in self.constants:
+            return (self.constants[node.id],)
+        # Fold int arithmetic over constants (e.g. 2 * WORKERS) so the
+        # prelude can derive one bound from another.
+        if isinstance(node, pyast.BinOp):
+            left = self._constant_value(node.left)
+            right = self._constant_value(node.right)
+            ints = (
+                left is not None
+                and right is not None
+                and all(
+                    isinstance(v[0], int) and not isinstance(v[0], bool)
+                    for v in (left, right)
+                )
+            )
+            if ints:
+                a, b = left[0], right[0]
+                if isinstance(node.op, pyast.Add):
+                    return (a + b,)
+                if isinstance(node.op, pyast.Sub):
+                    return (a - b,)
+                if isinstance(node.op, pyast.Mult):
+                    return (a * b,)
+                if isinstance(node.op, pyast.FloorDiv) and b != 0:
+                    return (a // b,)
+                if isinstance(node.op, pyast.Mod) and b != 0:
+                    return (a % b,)
+        return None
+
+    # -- module-level calls: spawn / join_all ------------------------------------
+
+    def _scan_module_call(self, value) -> None:
+        if not (isinstance(value, pyast.Call) and isinstance(value.func, pyast.Name)):
+            raise self.error(
+                "module-level expression statements must be spawn(...) or "
+                "join_all() calls",
+                value,
+            )
+        runtime = self.runtime.get(value.func.id)
+        if runtime == "join_all":
+            return  # stub-execution detail; no verified behaviour
+        if runtime != "spawn":
+            raise self.error(
+                "module-level expression statements must be spawn(...) or "
+                "join_all() calls",
+                value,
+            )
+        call = value
+        if call.keywords:
+            raise self.error("spawn() takes no keyword arguments", call)
+        if not call.args:
+            raise self.error(
+                "spawn() needs a function to run: spawn(worker, ...)", call
+            )
+        target = call.args[0]
+        if not isinstance(target, pyast.Name) or (
+            target.id not in self.functions
+        ):
+            raise self.error(
+                "spawn()'s first argument must be a function defined in this "
+                "module",
+                target,
+            )
+        args: list = []
+        for arg in call.args[1:]:
+            if isinstance(arg, pyast.Name) and arg.id in self.queues:
+                args.append(("object", arg.id))
+                continue
+            constant = self._constant_value(arg)
+            if constant is None:
+                raise self.error(
+                    "spawn() arguments must be literals, module constants or "
+                    "queue names",
+                    arg,
+                )
+            args.append(constant[0])
+        self.spawns.append(_Spawn(target.id, args, location_of(value)))
+
+    def _resolve_spawns(self, lifted: LiftedModule) -> None:
+        if not self.spawns:
+            raise PyFrontError(
+                "no processes: add at least one module-level spawn(fn, ...) "
+                "call",
+                None,
+                self.filename,
+            )
+        counts: dict[str, int] = {}
+        for spawn in self.spawns:
+            counts[spawn.func] = counts.get(spawn.func, 0) + 1
+        seen: dict[str, int] = {}
+        bindings: dict[str, set[str]] = {}
+        for spawn in self.spawns:
+            params = lifted.program.procs[spawn.func].params
+            if len(spawn.args) != len(params):
+                raise PyFrontError(
+                    f"spawn({spawn.func}, ...) passes {len(spawn.args)} "
+                    f"argument(s) but {spawn.func} takes {len(params)}",
+                    spawn.location,
+                    self.filename,
+                )
+            if counts[spawn.func] == 1:
+                name = spawn.func
+            else:
+                seen[spawn.func] = seen.get(spawn.func, 0) + 1
+                name = f"{spawn.func}-{seen[spawn.func]}"
+            lifted.processes.append((name, spawn.func, list(spawn.args)))
+            for param, arg in zip(params, spawn.args):
+                if isinstance(arg, tuple):
+                    bindings.setdefault(f"{spawn.func}.{param}", set()).add(arg[1])
+        lifted.object_bindings = {
+            key: sorted(values) for key, values in sorted(bindings.items())
+        }
+
+
+def lift_module(text: str, filename: str = "") -> LiftedModule:
+    """Lift a full Python module: program + launch configuration."""
+    return _ModuleLifter(text, filename).lift()
+
+
+def python_to_program(text: str, filename: str = "") -> rc.Program:
+    """Lift just the program (procedures + externs) from Python source."""
+    return lift_module(text, filename).program
+
+
+def description_from_python(
+    text: str, program_path: str, filename: str = ""
+) -> dict:
+    """Derive the system-description dict for a Python program.
+
+    ``program_path`` is the value recorded under ``"program"`` (the
+    path a later loader resolves, e.g. the ``.py`` file's name);
+    ``filename`` anchors diagnostics.
+    """
+    lifted = lift_module(text, filename or program_path)
+    objects: list[dict] = [
+        {"kind": "channel", "name": name, "capacity": capacity}
+        for name, capacity in lifted.queues.items()
+    ]
+    if lifted.uses_log:
+        objects.append({"kind": "sink", "name": LOG_SINK})
+    processes = [
+        {
+            "name": name,
+            "proc": proc,
+            "args": [
+                {"object": arg[1]} if isinstance(arg, tuple) else arg
+                for arg in args
+            ],
+        }
+        for name, proc, args in lifted.processes
+    ]
+    description: dict = {
+        "program": program_path,
+        "language": "python",
+        "close": {"optimize": True},
+        "objects": objects,
+        "processes": processes,
+    }
+    if lifted.object_bindings:
+        description["close"]["object_bindings"] = lifted.object_bindings
+    return description

@@ -1,0 +1,140 @@
+"""The runtime vocabulary of verifiable Python programs — executable stub.
+
+Programs consumed by the Python front end (:mod:`repro.lang.python`)
+are real Python: thread-style workers communicating over bounded
+queues, importing their primitives from this module.  The front end
+never *imports* a checked program — it lifts the source text — so this
+module's job is to make the same file honestly **runnable** as plain
+Python (``python examples/py_worker_pool.py``), with the documented
+stub semantics:
+
+* :class:`Queue` — a bounded FIFO channel.  ``put`` blocks when full,
+  ``get`` blocks when empty.  The front end maps ``put``/``get`` to the
+  RC channel operations ``send``/``recv``.
+* :func:`spawn` — launch a worker thread running ``fn(*args)``.  Each
+  ``spawn(...)`` at module level becomes one process of the verified
+  system.
+* :data:`env` — the **open interface**.  ``env.anything(...)`` is an
+  environment procedure: a value the program's surroundings provide.
+  The front end lifts each distinct ``env.<name>`` to an RC
+  ``extern proc`` declaration, exactly the surface the closing
+  transformation replaces with nondeterministic ``VS_toss`` choices.
+  The stub returns ``0`` (bind a callable with :meth:`_Env.bind` to
+  experiment with specific environments by hand).
+* :func:`log` — emit a value to the environment (an always-enabled
+  env-sink ``send``); the stub prints it.
+* :func:`toss` — explicit nondeterminism, lifted to ``VS_toss(n)``;
+  the stub deterministically returns ``0``.
+* :func:`join_all` — wait for every spawned worker and re-raise the
+  first failure (handy for tests; not part of the lifted vocabulary).
+
+A program whose assertions hold under the stub environment can still be
+wrong under an adversarial one — finding that environment is the whole
+point of ``repro close`` / ``repro search``.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading as _threading
+
+__all__ = ["Queue", "env", "join_all", "log", "spawn", "toss"]
+
+
+class Queue:
+    """A bounded FIFO channel (the RC ``channel`` object).
+
+    ``capacity`` is the channel bound (default 1, like RC channels).
+    """
+
+    def __init__(self, capacity: int = 1):
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ValueError(f"Queue capacity must be a positive int, got {capacity!r}")
+        self.capacity = capacity
+        self._queue: _queue.Queue = _queue.Queue(maxsize=capacity)
+
+    def put(self, value) -> None:
+        """Append ``value``; blocks while the queue is full (RC ``send``)."""
+        self._queue.put(value)
+
+    def get(self):
+        """Pop the oldest value; blocks while empty (RC ``recv``)."""
+        return self._queue.get()
+
+
+class _Env:
+    """``env.<name>(...)`` — calls into the environment.
+
+    Every attribute is an environment procedure.  The stub returns 0
+    unless a callable was bound for the name with :meth:`bind`.
+    """
+
+    def __init__(self):
+        self._bindings: dict[str, object] = {}
+
+    def bind(self, name: str, fn) -> None:
+        """Make ``env.<name>(...)`` call ``fn`` instead of returning 0."""
+        self._bindings[name] = fn
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        bound = self._bindings.get(name)
+        if bound is not None:
+            return bound
+        return lambda *args: 0
+
+
+#: The process's environment: the open interface of the program.
+env = _Env()
+
+_threads: list[_threading.Thread] = []
+_failures: list[BaseException] = []
+
+
+def spawn(fn, *args) -> _threading.Thread:
+    """Start a worker thread running ``fn(*args)`` (one system process).
+
+    Threads are non-daemon, so a directly-executed program waits for
+    its workers before exiting.  Failures are recorded and re-raised by
+    :func:`join_all`.
+    """
+
+    def run():
+        try:
+            fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - recorded for join_all
+            _failures.append(exc)
+            raise
+
+    thread = _threading.Thread(target=run, name=f"pyruntime-{fn.__name__}")
+    _threads.append(thread)
+    thread.start()
+    return thread
+
+
+def log(value) -> None:
+    """Emit ``value`` to the environment (an env-sink ``send``)."""
+    print(f"[log] {value}")
+
+
+def toss(bound: int) -> int:
+    """Nondeterministic choice in ``0..bound`` (RC ``VS_toss``).
+
+    The verifier explores every value; the stub deterministically
+    returns 0.
+    """
+    if not isinstance(bound, int) or isinstance(bound, bool) or bound < 0:
+        raise ValueError(f"toss bound must be a non-negative int, got {bound!r}")
+    return 0
+
+
+def join_all(timeout: float | None = None) -> None:
+    """Join every spawned worker; re-raise the first recorded failure."""
+    for thread in list(_threads):
+        thread.join(timeout)
+    _threads.clear()
+    if _failures:
+        failure = _failures[0]
+        _failures.clear()
+        raise failure

@@ -38,7 +38,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..sysdesc import system_from_description
+from ..sysdesc import description_language, system_from_description
 from .frontier import SearchCheckpoint, load_frontier, save_frontier
 from .scheduler import work_stealing_search
 
@@ -393,11 +393,13 @@ def run_job(
     from ..counterex import save_report_traces
     from ..obs import build_manifest, write_manifest
 
+    language = description_language(job.system.get("description", {}))
     artifacts = save_report_traces(
         job.traces_dir,
         report,
         system=system,
         system_payload=job.system,
+        language=language,
     )
     _write_json(
         job.result_path,
@@ -419,7 +421,7 @@ def run_job(
         report=report,
         system=system,
         artifacts=[str(path) for path in artifacts],
-        extra={"job": {"id": job.id, "name": job.name}},
+        extra={"job": {"id": job.id, "name": job.name}, "language": language},
     )
     write_manifest(job.manifest_path, manifest)
     if job.frontier_path.exists():

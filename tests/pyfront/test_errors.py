@@ -1,0 +1,212 @@
+"""Out-of-subset rejection: one program per diagnostic.
+
+The front end's contract is *no silent miscompilation*: every construct
+outside the documented subset raises a :class:`PyFrontError` whose
+message is anchored to the offending ``file:line:column``.  Each case
+below is (name, source, message fragment); the suite asserts both the
+rejection and the source anchor.
+"""
+
+import pytest
+
+from repro.lang.python import PyFrontError, lift_module
+
+HEADER = "from repro.pyruntime import Queue, spawn, env, log, toss, join_all\n"
+
+
+def lift(body: str):
+    return lift_module(HEADER + body, "bad.py")
+
+
+#: (case id, module body, expected message fragment).  Bodies that need
+#: no function context declare one; every body keeps at least one spawn
+#: unless the error fires before spawn resolution.
+FUNCTION_CASES = [
+    ("decorator", "@staticmethod\ndef f():\n    pass\nspawn(f)\n", "decorators"),
+    ("varargs", "def f(*a):\n    pass\nspawn(f)\n", "*args / **kwargs"),
+    ("kwargs", "def f(**k):\n    pass\nspawn(f)\n", "**kwargs"),
+    ("kwonly", "def f(*, a):\n    pass\nspawn(f, 1)\n", "keyword-only"),
+    ("defaults", "def f(a=1):\n    pass\nspawn(f, 1)\n", "defaults"),
+    ("posonly", "def f(a, /):\n    pass\nspawn(f, 1)\n", "positional-only"),
+    (
+        "param-shadows-runtime",
+        "def f(log):\n    pass\nspawn(f, 1)\n",
+        "shadows the repro.pyruntime import",
+    ),
+    (
+        "local-shadows-queue",
+        "q = Queue()\ndef f():\n    q = 1\nspawn(f)\n",
+        "shadows the module-level queue",
+    ),
+    (
+        "local-shadows-function",
+        "def g():\n    pass\ndef f():\n    g = 1\nspawn(f)\n",
+        "shadows the function",
+    ),
+    ("while-else", "def f():\n    while True:\n        break\n    else:\n        pass\nspawn(f)\n", "while/else"),
+    ("for-else", "def f():\n    for i in range(2):\n        pass\n    else:\n        pass\nspawn(f)\n", "for/else"),
+    (
+        "for-non-range",
+        "q = Queue()\ndef f():\n    for v in q:\n        pass\nspawn(f)\n",
+        "only iterate over range",
+    ),
+    ("range-kwargs", "def f():\n    for i in range(stop=3):\n        pass\nspawn(f)\n", "no keyword arguments"),
+    ("range-zero-step", "def f():\n    for i in range(0, 9, 0):\n        pass\nspawn(f)\n", "non-zero integer literal"),
+    ("range-var-step", "def f(s):\n    for i in range(0, 9, s):\n        pass\nspawn(f, 2)\n", "non-zero integer literal"),
+    ("range-arity", "def f():\n    for i in range(1, 2, 3, 4):\n        pass\nspawn(f)\n", "range() takes 1-3"),
+    ("chained-assign", "def f():\n    a = b = 1\nspawn(f)\n", "chained assignment"),
+    ("tuple-target", "def f():\n    a, b = 1, 2\nspawn(f)\n", "plain names"),
+    ("aug-unsupported", "def f():\n    a = 1\n    a **= 2\nspawn(f)\n", "augmented assignment operator"),
+    ("aug-attr-target", "def f(x):\n    x.a += 1\nspawn(f, 1)\n", "plain names"),
+    ("assert-expr-msg", "def f(x):\n    assert x, str(x)\nspawn(f, 1)\n", "string literals"),
+    ("break-outside", "def f():\n    break\nspawn(f)\n", "outside a loop"),
+    ("continue-outside", "def f():\n    continue\nspawn(f)\n", "outside a loop"),
+    ("import-in-function", "def f():\n    import os\nspawn(f)\n", "imports inside functions"),
+    ("nested-def", "def f():\n    def g():\n        pass\nspawn(f)\n", "nested function"),
+    ("try-stmt", "def f():\n    try:\n        pass\n    except ValueError:\n        pass\nspawn(f)\n", "try/except"),
+    ("with-stmt", "def f(x):\n    with x:\n        pass\nspawn(f, 1)\n", "with blocks"),
+    ("raise-stmt", "def f():\n    raise ValueError\nspawn(f)\n", "raise statements"),
+    ("match-stmt", "def f(x):\n    match x:\n        case 1:\n            pass\nspawn(f, 1)\n", "match statements"),
+    ("global-stmt", "def f():\n    global q\nspawn(f)\n", "global declarations"),
+    ("del-stmt", "def f():\n    x = 1\n    del x\nspawn(f)\n", "del statements"),
+    ("bare-expr", "def f(x):\n    x + 1\nspawn(f, 1)\n", "must be calls"),
+    ("ann-only", "def f():\n    x: int\nspawn(f)\n", "annotation-only"),
+    ("put-in-expr", "q = Queue()\ndef f():\n    x = q.put(1) + 1\nspawn(f)\n", "cannot be used in an"),
+    ("put-result-captured", "q = Queue()\ndef f():\n    x = q.put(1)\nspawn(f)\n", "returns nothing"),
+    ("log-result-captured", "def f(x):\n    y = log(x)\nspawn(f, 1)\n", "returns nothing"),
+    ("put-arity", "q = Queue()\ndef f():\n    q.put(1, 2)\nspawn(f)\n", "exactly one value"),
+    ("get-args", "q = Queue()\ndef f():\n    x = q.get(1)\nspawn(f)\n", "takes no arguments"),
+    ("unknown-method", "q = Queue()\ndef f():\n    q.push(1)\nspawn(f)\n", "unknown queue method"),
+    ("bad-queue-base", "def f(x):\n    y = (x + 1).get()\nspawn(f, 1)\n", "queue operations need"),
+    ("indirect-call", "def f(x):\n    (x + 1)()\nspawn(f, 1)\n", "named functions"),
+    ("call-a-parameter", "def f(g):\n    g()\nspawn(f, 1)\n", "unknown function"),
+    ("log-in-expr", "def f(x):\n    y = log(x)\nspawn(f, 1)\n", "cannot be used in an expression"),
+    ("log-arity", "def f(x):\n    log(x, x)\nspawn(f, 1)\n", "exactly one value"),
+    ("toss-arity", "def f():\n    x = toss(1, 2)\nspawn(f)\n", "exactly one bound"),
+    ("spawn-in-function", "def f():\n    spawn(f)\nspawn(f)\n", "only allowed at module level"),
+    ("queue-in-function", "def f():\n    q = Queue()\nspawn(f)\n", "only allowed at module level"),
+    ("join-in-function", "def f():\n    join_all()\nspawn(f)\n", "not callable here"),
+    ("unknown-call", "def f():\n    helper()\nspawn(f)\n", "unknown function"),
+    ("range-as-call", "def f():\n    x = range(3)\nspawn(f)\n", "for-loop iterable"),
+    ("none-literal", "def f():\n    x = None\nspawn(f)\n", "None is not part"),
+    ("float-literal", "def f():\n    x = 1.5\nspawn(f)\n", "unsupported literal"),
+    ("keyword-call-arg", "def g(a):\n    pass\ndef f():\n    g(a=1)\nspawn(f)\n", "positionally"),
+    ("chained-compare", "def f(x):\n    y = 0 < x < 9\nspawn(f, 1)\n", "chained comparisons"),
+    ("in-compare", "def f(x):\n    y = x in x\nspawn(f, 1)\n", "unsupported comparison"),
+    ("true-division", "def f(x):\n    y = x / 2\nspawn(f, 1)\n", "integer division"),
+    ("power-op", "def f(x):\n    y = x ** 2\nspawn(f, 1)\n", "unsupported binary operator"),
+    ("invert-op", "def f(x):\n    y = ~x\nspawn(f, 1)\n", "unsupported unary operator"),
+    ("queue-as-value", "q = Queue()\ndef f():\n    x = q\nspawn(f)\n", "put/get operations"),
+    ("runtime-as-value", "def f():\n    x = env\nspawn(f)\n", "no value of its own"),
+    ("function-as-value", "def g():\n    pass\ndef f():\n    x = g\nspawn(f)\n", "used as a value"),
+    ("undefined-name", "def f():\n    x = mystery\nspawn(f)\n", "undefined name"),
+    ("list-literal", "def f():\n    x = [1]\nspawn(f)\n", "list literals"),
+    ("dict-literal", "def f():\n    x = {}\nspawn(f)\n", "dict literals"),
+    ("fstring", "def f(x):\n    y = f's{x}'\nspawn(f, 1)\n", "f-strings"),
+    ("lambda", "def f():\n    g = lambda: 1\nspawn(f)\n", "lambda expressions"),
+    ("ifexp", "def f(x):\n    y = 1 if x else 2\nspawn(f, 1)\n", "conditional expressions"),
+    ("subscript", "def f(x):\n    y = x[0]\nspawn(f, 1)\n", "subscripting"),
+    ("await", "async def f():\n    await g()\nspawn(f)\n", "module level"),
+]
+
+MODULE_CASES = [
+    ("syntax-error", "def f(:\n", "not valid Python"),
+    ("plain-import", "import os\n", "plain imports"),
+    ("other-module-import", "from queue import Queue as Q\n", "repro.pyruntime import"),
+    ("star-import", "from repro.pyruntime import *\n", "explicitly"),
+    ("unknown-runtime-name", "from repro.pyruntime import magic\n", "no verifiable name"),
+    (
+        "duplicate-function",
+        "def f():\n    pass\ndef f():\n    pass\nspawn(f)\n",
+        "defined twice",
+    ),
+    (
+        "function-name-collision",
+        "q = Queue()\ndef q():\n    pass\nspawn(q)\n",
+        "collides with a queue",
+    ),
+    ("multi-target-assign", "a = b = 1\n", "single plain name"),
+    ("non-constant-module-value", "x = 1 + unknown\n", "int/bool/string"),
+    ("queue-bad-kw", "q = Queue(maxsize=2)\n", "unexpected keyword"),
+    ("queue-bad-capacity", "q = Queue('big')\n", "capacity must be an int"),
+    ("queue-zero-capacity", "q = Queue(0)\n", "must be >= 1"),
+    ("queue-two-args", "q = Queue(1, 2)\n", "single capacity"),
+    ("module-for", "for i in range(3):\n    pass\n", "module level"),
+    ("module-class", "class C:\n    pass\n", "module level"),
+    (
+        "main-guard-else",
+        "def f():\n    pass\nspawn(f)\nif __name__ == '__main__':\n    join_all()\nelse:\n    join_all()\n",
+        "else branch",
+    ),
+    ("module-bare-expr", "1 + 1\n", "spawn(...) or"),
+    ("module-other-call", "print('hi')\n", "spawn(...) or"),
+    ("spawn-kwargs", "def f():\n    pass\nspawn(fn=f)\n", "no keyword arguments"),
+    ("spawn-empty", "spawn()\n", "needs a function"),
+    ("spawn-not-function", "spawn(3)\n", "must be a function"),
+    (
+        "spawn-undefined-function",
+        "def f():\n    pass\nspawn(g)\n",
+        "must be a function",
+    ),
+    (
+        "spawn-bad-arg",
+        "def f(x):\n    pass\nq = Queue()\nspawn(f, q.get())\n",
+        "literals, module constants",
+    ),
+    ("no-spawns", "def f():\n    pass\n", "no processes"),
+    (
+        "spawn-arity",
+        "def f(a, b):\n    pass\nspawn(f, 1)\n",
+        "takes 2",
+    ),
+    (
+        "def-inside-main-guard",
+        "if __name__ == '__main__':\n    def f():\n        pass\n",
+        "module top level",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "body,fragment", [case[1:] for case in FUNCTION_CASES], ids=[c[0] for c in FUNCTION_CASES]
+)
+def test_function_constructs_rejected(body, fragment):
+    with pytest.raises(PyFrontError) as err:
+        lift(body)
+    assert fragment in str(err.value)
+
+
+@pytest.mark.parametrize(
+    "body,fragment", [case[1:] for case in MODULE_CASES], ids=[c[0] for c in MODULE_CASES]
+)
+def test_module_constructs_rejected(body, fragment):
+    with pytest.raises(PyFrontError) as err:
+        lift(body)
+    assert fragment in str(err.value)
+
+
+class TestAnchors:
+    def test_message_carries_file_line_column(self):
+        with pytest.raises(PyFrontError) as err:
+            lift("def f():\n    x = [1, 2]\nspawn(f)\n")
+        # HEADER is one line, so the offending list literal sits on
+        # line 3 of the assembled module, column 9.
+        assert "bad.py:3:9:" in str(err.value)
+
+    def test_location_object_exposed(self):
+        with pytest.raises(PyFrontError) as err:
+            lift("def f():\n    x = [1]\nspawn(f)\n")
+        assert err.value.location.line == 3
+        assert err.value.filename == "bad.py"
+
+    def test_module_level_anchor(self):
+        with pytest.raises(PyFrontError) as err:
+            lift_module("import os\n", "mod.py")
+        assert "mod.py:1:1:" in str(err.value)
+
+    def test_no_processes_is_file_anchored(self):
+        with pytest.raises(PyFrontError) as err:
+            lift_module("def f():\n    pass\n", "empty.py")
+        message = str(err.value)
+        assert message.startswith("empty.py")
+        assert "spawn" in message

@@ -1,0 +1,119 @@
+"""The concurrency model: module preludes → launch configurations."""
+
+from repro.lang.python import description_from_python, lift_module
+
+WORKERS = '''
+"""Two workers, one producer, shared queue."""
+from repro.pyruntime import Queue, env, join_all, log, spawn
+
+QUOTA = 2
+jobs = Queue(capacity=3)
+results = Queue()
+
+def producer(out, n):
+    for i in range(n):
+        out.put(env.next())
+
+def worker(inbox, outbox, quota):
+    for i in range(quota):
+        v = inbox.get()
+        log(v)
+        outbox.put(v)
+
+spawn(producer, jobs, 2 * QUOTA)
+spawn(worker, jobs, results, QUOTA)
+spawn(worker, jobs, results, QUOTA)
+
+if __name__ == "__main__":
+    join_all()
+'''
+
+
+class TestLiftModule:
+    def test_queues_with_capacities(self):
+        lifted = lift_module(WORKERS, "w.py")
+        assert lifted.queues == {"jobs": 3, "results": 1}
+
+    def test_process_naming_unique_vs_repeated(self):
+        lifted = lift_module(WORKERS, "w.py")
+        names = [(name, proc) for name, proc, _ in lifted.processes]
+        assert names == [
+            ("producer", "producer"),
+            ("worker-1", "worker"),
+            ("worker-2", "worker"),
+        ]
+
+    def test_constant_arithmetic_folds_in_spawn_args(self):
+        lifted = lift_module(WORKERS, "w.py")
+        assert lifted.processes[0][2] == [("object", "jobs"), 4]
+
+    def test_object_bindings_merge_across_spawns(self):
+        lifted = lift_module(WORKERS, "w.py")
+        assert lifted.object_bindings == {
+            "producer.out": ["jobs"],
+            "worker.inbox": ["jobs"],
+            "worker.outbox": ["results"],
+        }
+
+    def test_uses_log_detected(self):
+        assert lift_module(WORKERS, "w.py").uses_log is True
+
+    def test_import_aliases(self):
+        source = (
+            "from repro.pyruntime import Queue as Chan, spawn as launch, "
+            "env as world\n"
+            "q = Chan(2)\n"
+            "def f(c):\n"
+            "    c.put(world.ask())\n"
+            "launch(f, q)\n"
+        )
+        lifted = lift_module(source, "alias.py")
+        assert lifted.queues == {"q": 2}
+        assert list(lifted.program.externs) == ["ask"]
+
+    def test_externs_have_first_call_arity(self):
+        source = (
+            "from repro.pyruntime import spawn, env\n"
+            "def f(a, b):\n"
+            "    x = env.pair(a, b)\n"
+            "    y = env.pair(b, a)\n"
+            "spawn(f, 1, 2)\n"
+        )
+        lifted = lift_module(source, "e.py")
+        assert len(lifted.program.externs["pair"].params) == 2
+
+
+class TestDescription:
+    def test_full_description_shape(self):
+        description = description_from_python(WORKERS, "w.py")
+        assert description["program"] == "w.py"
+        assert description["language"] == "python"
+        assert description["close"]["optimize"] is True
+        assert description["close"]["object_bindings"] == {
+            "producer.out": ["jobs"],
+            "worker.inbox": ["jobs"],
+            "worker.outbox": ["results"],
+        }
+        assert {"kind": "channel", "name": "jobs", "capacity": 3} in description["objects"]
+        assert {"kind": "sink", "name": "log"} in description["objects"]
+        assert description["processes"][1] == {
+            "name": "worker-1",
+            "proc": "worker",
+            "args": [{"object": "jobs"}, {"object": "results"}, 2],
+        }
+
+    def test_no_log_no_sink(self):
+        source = (
+            "from repro.pyruntime import spawn\n"
+            "def f():\n"
+            "    x = 1\n"
+            "spawn(f)\n"
+        )
+        description = description_from_python(source, "f.py")
+        assert description["objects"] == []
+
+    def test_description_is_json_round_trippable(self):
+        import json
+
+        description = description_from_python(WORKERS, "w.py")
+        assert json.loads(json.dumps(description)) == description

@@ -1,0 +1,104 @@
+"""The repro.pyruntime stub: verifiable programs stay runnable Python."""
+
+import pytest
+
+from repro import pyruntime
+
+
+class TestQueue:
+    def test_fifo(self):
+        q = pyruntime.Queue(3)
+        q.put(1)
+        q.put(2)
+        assert q.get() == 1
+        assert q.get() == 2
+
+    def test_default_capacity_is_one(self):
+        assert pyruntime.Queue().capacity == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, "2", 1.5, True])
+    def test_capacity_validated(self, bad):
+        with pytest.raises(ValueError):
+            pyruntime.Queue(bad)
+
+
+class TestEnv:
+    def test_unbound_names_return_zero(self):
+        assert pyruntime.env.anything_at_all() == 0
+        assert pyruntime.env.with_args(1, "x") == 0
+
+    def test_bind_overrides(self):
+        pyruntime.env.bind("probe", lambda: 7)
+        try:
+            assert pyruntime.env.probe() == 7
+        finally:
+            pyruntime.env._bindings.clear()
+
+    def test_private_attributes_raise(self):
+        with pytest.raises(AttributeError):
+            pyruntime.env._secret
+
+
+class TestToss:
+    def test_stub_returns_zero(self):
+        assert pyruntime.toss(5) == 0
+        assert pyruntime.toss(0) == 0
+
+    @pytest.mark.parametrize("bad", [-1, "3", 2.5, True])
+    def test_bound_validated(self, bad):
+        with pytest.raises(ValueError):
+            pyruntime.toss(bad)
+
+
+class TestSpawnJoin:
+    def test_threads_run_and_join(self):
+        box = []
+        pyruntime.spawn(lambda v: box.append(v), 42)
+        pyruntime.join_all()
+        assert box == [42]
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_join_all_reraises_worker_failure(self):
+        def boom():
+            raise RuntimeError("worker died")
+
+        pyruntime.spawn(boom)
+        with pytest.raises(RuntimeError, match="worker died"):
+            pyruntime.join_all()
+        # The failure list is drained: a later join is clean.
+        pyruntime.join_all()
+
+    def test_queue_handoff_between_workers(self):
+        q = pyruntime.Queue(1)
+        got = []
+        pyruntime.spawn(lambda: q.put("ping"))
+        pyruntime.spawn(lambda: got.append(q.get()))
+        pyruntime.join_all()
+        assert got == ["ping"]
+
+
+def test_log_prints(capsys):
+    pyruntime.log(3)
+    assert capsys.readouterr().out == "[log] 3\n"
+
+
+def test_examples_execute_cleanly():
+    """The shipped examples run under the stub environment (their
+    seeded violations need an *adversarial* environment, which is the
+    search's job)."""
+    import pathlib
+    import subprocess
+    import sys
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    for name in ("py_worker_pool.py", "py_pinger.py"):
+        proc = subprocess.run(
+            [sys.executable, str(root / "examples" / name)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={"PYTHONPATH": str(root / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr

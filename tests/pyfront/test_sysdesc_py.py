@@ -1,0 +1,142 @@
+"""sysdesc loading of .py programs and the stricter loader errors."""
+
+import json
+
+import pytest
+
+from repro.sysdesc import (
+    DescriptionError,
+    description_language,
+    load_description,
+    load_program,
+    program_from_source,
+    program_language,
+)
+
+PROGRAM = """\
+from repro.pyruntime import Queue, env, spawn
+
+q = Queue(1)
+
+def f(c, n):
+    for i in range(n):
+        c.put(env.val())
+
+def g(c, n):
+    for i in range(n):
+        x = c.get()
+
+spawn(f, q, 2)
+spawn(g, q, 2)
+"""
+
+
+class TestProgramLoading:
+    def test_py_program_routes_through_python_frontend(self, tmp_path):
+        path = tmp_path / "prog.py"
+        path.write_text(PROGRAM)
+        program = load_program(path)
+        assert set(program.procs) == {"f", "g"}
+        assert "val" in program.externs
+
+    def test_unknown_extension_names_it(self, tmp_path):
+        path = tmp_path / "prog.txt"
+        path.write_text("proc main() { skip; }")
+        with pytest.raises(DescriptionError) as err:
+            load_program(path)
+        message = str(err.value)
+        assert "prog.txt" in message
+        assert "'.txt'" in message
+        assert ".rc" in message and ".py" in message
+
+    def test_no_extension_named_too(self, tmp_path):
+        path = tmp_path / "prog"
+        path.write_text("proc main() { skip; }")
+        with pytest.raises(DescriptionError, match="(none)"):
+            load_program(path)
+
+    def test_program_from_source_py(self):
+        program = program_from_source("prog.py", PROGRAM)
+        assert set(program.procs) == {"f", "g"}
+
+    def test_program_from_source_default_rc(self):
+        # Old embedded trace payloads have no suffix; RC stays the default.
+        program = program_from_source("", "proc main() { skip; }")
+        assert "main" in program.procs
+
+
+class TestDescriptionLoading:
+    def test_py_file_is_its_own_description(self, tmp_path):
+        path = tmp_path / "svc.py"
+        path.write_text(PROGRAM)
+        description = load_description(path)
+        assert description["program"] == "svc.py"
+        assert description["language"] == "python"
+        assert description["close"]["object_bindings"] == {
+            "f.c": ["q"],
+            "g.c": ["q"],
+        }
+
+    def test_py_frontend_errors_become_description_errors(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("import os\n")
+        with pytest.raises(DescriptionError) as err:
+            load_description(path)
+        assert "bad.py:1:1" in str(err.value)
+
+    def test_unknown_description_extension_named(self, tmp_path):
+        path = tmp_path / "desc.yaml"
+        path.write_text("program: x.rc")
+        with pytest.raises(DescriptionError) as err:
+            load_description(path)
+        assert "'.yaml'" in str(err.value)
+        assert ".json" in str(err.value)
+
+    def test_bad_json_names_the_file(self, tmp_path):
+        path = tmp_path / "desc.json"
+        path.write_text("{nope")
+        with pytest.raises(DescriptionError, match="desc.json"):
+            load_description(path)
+
+    def test_json_description_gains_language(self, tmp_path):
+        path = tmp_path / "desc.json"
+        path.write_text(json.dumps({"program": "x.c", "processes": []}))
+        assert load_description(path)["language"] == "c"
+        path.write_text(json.dumps({"program": "x.rc", "processes": []}))
+        assert load_description(path)["language"] == "rc"
+
+
+class TestLanguageHelpers:
+    @pytest.mark.parametrize(
+        "name,language",
+        [
+            ("a.rc", "rc"),
+            ("a.c", "c"),
+            ("a.py", "python"),
+            ("", "rc"),
+            ("dir/prog.py", "python"),
+            ("weird.txt", "rc"),
+        ],
+    )
+    def test_program_language(self, name, language):
+        assert program_language(name) == language
+
+    def test_description_language_prefers_recorded(self):
+        assert description_language({"language": "c", "program": "x.py"}) == "c"
+        assert description_language({"program": "x.py"}) == "python"
+        assert description_language({}) == "rc"
+
+
+class TestObjectBindings:
+    def test_bad_binding_key_rejected(self, tmp_path):
+        from repro.sysdesc import system_from_description
+
+        program = tmp_path / "p.rc"
+        program.write_text("proc main() { skip; }")
+        description = {
+            "program": "p.rc",
+            "close": {"object_bindings": {"noseparator": ["q"]}},
+            "processes": [{"name": "P", "proc": "main", "args": []}],
+        }
+        with pytest.raises(DescriptionError, match="proc.param"):
+            system_from_description(description, tmp_path)
