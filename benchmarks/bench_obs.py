@@ -6,11 +6,12 @@ when enabled": every instrumentation site in the explorer is one
 *path* (not per transition), and the profiler does a handful of
 ``Counter`` increments per fresh transition.  This experiment prices
 that claim on the bounded 5ESS search: the same exhaustive DFS runs
-bare, with the profiler, with the tracer, and with both, best-of-3
-each, and the overhead ratios land in the repo-root ``BENCH_obs.json``
-(with a copy under ``benchmarks/results/`` next to the other
-artefacts; target: both-on < 5 %... with a slack assertion bound of
-15 % so a loaded CI box does not flake).
+bare, with the profiler, with the tracer, with the coverage collector,
+and with profiler+tracer together, best-of-3 each, and the overhead
+ratios land in the repo-root ``BENCH_obs.json`` (with a copy under
+``benchmarks/results/`` next to the other artefacts; targets:
+profiler+tracer < 5 %, coverage < 10 %... each with CI slack in the
+assertion bound so a loaded box does not flake).
 """
 
 from __future__ import annotations
@@ -34,7 +35,7 @@ BENCH_JSON_COPY = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
 BOUNDS = dict(max_depth=20, max_events=50_000)
 REPEATS = 3
 
-MODES = ("off", "profile", "trace", "both")
+MODES = ("off", "profile", "trace", "coverage", "both")
 
 
 def _fiveess_system():
@@ -46,7 +47,10 @@ def _run_once(mode):
     system = _fiveess_system()
     tracer = Tracer() if mode in ("trace", "both") else None
     options = SearchOptions(
-        profile=mode in ("profile", "both"), tracer=tracer, **BOUNDS
+        profile=mode in ("profile", "both"),
+        tracer=tracer,
+        coverage=mode == "coverage",
+        **BOUNDS,
     )
     started = time.perf_counter()
     report = run_search(system, options)
@@ -74,6 +78,8 @@ def test_bench_obs_overhead(record_table):
     profile = checks["both"][0].profile
     assert profile.total_transitions == baseline_report.transitions_executed
     assert checks["both"][1].events  # the tracer actually recorded spans
+    coverage = checks["coverage"][0].coverage
+    assert coverage.nodes_covered  # the collector actually saw the run
 
     base = timings["off"]
     overhead = {
@@ -88,7 +94,7 @@ def test_bench_obs_overhead(record_table):
         "paths": baseline_report.paths_explored,
         "wall_time_s": {m: round(t, 4) for m, t in timings.items()},
         "overhead": {m: round(v, 4) for m, v in overhead.items()},
-        "target": "both < 0.05",
+        "target": "both < 0.05, coverage < 0.10",
     }
     text = json.dumps(payload, indent=2) + "\n"
     BENCH_JSON.write_text(text)
@@ -108,6 +114,9 @@ def test_bench_obs_overhead(record_table):
         )
     record_table("BENCH_obs", lines)
 
-    # Wide bound so shared CI machines do not flake; the recorded JSON
-    # holds the honest number against the 5% design target.
+    # Wide bounds so shared CI machines do not flake; the recorded JSON
+    # holds the honest numbers against the design targets (both < 5%,
+    # coverage < 10% — coverage pays for a node trace per transition,
+    # which the others do not record).
     assert overhead["both"] < 0.15, overhead
+    assert overhead["coverage"] < 0.20, overhead

@@ -256,6 +256,8 @@ def _options_from_args(args) -> SearchOptions:
         scheduler=getattr(args, "scheduler", "static"),
         prefix_depth=args.prefix_depth,
         profile=args.profile,
+        coverage=getattr(args, "coverage", False)
+        or getattr(args, "coverage_json", None) is not None,
         stall_timeout=args.stall_timeout or None,
     )
 
@@ -301,6 +303,16 @@ def cmd_search(args) -> int:
     _print_report(report, system=system, program=description.get("program"))
     if args.profile and report.profile is not None:
         print("\n" + report.profile.render_table(args.profile_top, system=system))
+    if report.coverage is not None and getattr(args, "coverage", False):
+        print("\n" + report.coverage.render_summary(program=description.get("program")))
+    if getattr(args, "coverage_json", None) is not None:
+        if report.coverage is None:
+            print("no coverage collected", file=sys.stderr)
+        else:
+            args.coverage_json.write_text(
+                json.dumps(report.coverage.as_dict(), indent=2) + "\n"
+            )
+            print(f"wrote coverage to {args.coverage_json}", file=sys.stderr)
     if args.stats and report.stats is not None:
         print("\n" + report.stats.describe(), file=sys.stderr)
     if args.stats_json is not None and report.stats is not None:
@@ -330,9 +342,23 @@ def cmd_search(args) -> int:
     if tracer is not None:
         artifacts.append(tracer.write(args.trace_out))
         print(f"wrote trace to {args.trace_out}", file=sys.stderr)
-    if args.save_traces is not None or tracer is not None:
+    if (
+        args.save_traces is not None
+        or tracer is not None
+        or getattr(args, "manifest_out", None) is not None
+    ):
         from .obs import build_manifest, write_manifest
 
+        source = None
+        program_name = description.get("program")
+        if program_name:
+            try:
+                source = {
+                    "path": str(program_name),
+                    "text": (args.system.parent / program_name).read_text(),
+                }
+            except OSError:
+                source = None
         manifest = build_manifest(
             argv=sys.argv,
             options=options,
@@ -340,16 +366,21 @@ def cmd_search(args) -> int:
             system=system,
             phases=tracer.phase_timings() if tracer is not None else None,
             artifacts=[str(path) for path in artifacts],
-            extra={"language": language},
+            language=language,
+            source=source,
         )
+        destinations: list[pathlib.Path] = []
+        if getattr(args, "manifest_out", None) is not None:
+            destinations.append(args.manifest_out)
         if args.save_traces is not None:
-            where = write_manifest(args.save_traces / "run.json", manifest)
-        else:
-            where = write_manifest(
-                args.trace_out.with_name(args.trace_out.stem + ".run.json"),
-                manifest,
+            destinations.append(args.save_traces / "run.json")
+        elif tracer is not None:
+            destinations.append(
+                args.trace_out.with_name(args.trace_out.stem + ".run.json")
             )
-        print(f"wrote manifest to {where}", file=sys.stderr)
+        for destination in destinations:
+            where = write_manifest(destination, manifest)
+            print(f"wrote manifest to {where}", file=sys.stderr)
     return 0 if report.ok else EXIT_VIOLATIONS
 
 
@@ -451,6 +482,36 @@ def cmd_shrink(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """The ``report`` subcommand: render a run manifest as a
+    self-contained HTML report."""
+    from .obs import load_manifest, render_html, write_report
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read manifest: {err}", file=sys.stderr)
+        return 2
+    if args.source is not None:
+        # Override (or supply) the annotated source listing.
+        manifest.setdefault("program", {})
+        manifest["program"]["path"] = str(args.source)
+        manifest["program"]["text"] = args.source.read_text()
+    if args.coverage_json is not None:
+        coverage = (manifest.get("report") or {}).get("coverage")
+        if coverage is None:
+            print("manifest has no coverage data", file=sys.stderr)
+        else:
+            args.coverage_json.write_text(json.dumps(coverage, indent=2) + "\n")
+            print(f"wrote coverage to {args.coverage_json}", file=sys.stderr)
+    if args.output is not None:
+        where = write_report(manifest, args.output)
+        print(f"wrote {where}")
+    else:
+        print(render_html(manifest))
+    return 0
+
+
 def cmd_profile(args) -> int:
     """The ``profile`` subcommand: a search run whose deliverable is the
     hot-spot table (``repro search --profile`` with profiling-first
@@ -504,6 +565,7 @@ def cmd_serve(args) -> int:
         poll_interval=args.poll,
         log=log,
         max_jobs=args.max_jobs,
+        metrics_out=args.metrics_out,
     )
     print(f"ran {ran} job(s)", file=sys.stderr)
     return 0
@@ -591,6 +653,28 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="collect per-CFG-node / per-toss-point hot-spot counters "
         "and print the top-N tables after the run",
+    )
+    parser.add_argument(
+        "--coverage",
+        action="store_true",
+        help="collect CFG node/edge and environment-input (VS_toss) "
+        "coverage and print the summary after the run",
+    )
+    parser.add_argument(
+        "--coverage-json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="dump the coverage data as machine-readable JSON "
+        "(implies --coverage)",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the run manifest (run.json) here; feed it to "
+        "'repro report' for a self-contained HTML run report",
     )
     parser.add_argument(
         "--profile-top",
@@ -874,6 +958,38 @@ def build_parser() -> argparse.ArgumentParser:
         stall_timeout=10.0,
     )
 
+    report_parser = sub.add_parser(
+        "report",
+        help="render a run manifest (run.json) as a self-contained HTML report",
+    )
+    report_parser.add_argument(
+        "manifest", type=pathlib.Path, help="run manifest (run.json)"
+    )
+    report_parser.add_argument(
+        "-o",
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the HTML here (default: print to stdout)",
+    )
+    report_parser.add_argument(
+        "--source",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="annotate coverage onto this source file (overrides the "
+        "program text embedded in the manifest)",
+    )
+    report_parser.add_argument(
+        "--coverage-json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="also extract the manifest's coverage block as JSON",
+    )
+    report_parser.set_defaults(func=cmd_report)
+
     replay_parser = sub.add_parser(
         "replay",
         help="re-execute a saved counterexample trace and verify it reproduces",
@@ -992,6 +1108,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per job (0 = all cores)",
     )
+    submit_parser.add_argument(
+        "--coverage",
+        action="store_true",
+        help="collect node/edge/toss coverage; the gauges stream into "
+        "the job's stats.json heartbeats and the final manifest",
+    )
     submit_parser.set_defaults(
         func=cmd_submit,
         strategy="parallel",
@@ -1025,6 +1147,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="exit after running N jobs",
+    )
+    serve_parser.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="keep FILE updated in Prometheus text format (node_exporter "
+        "textfile collector): per-job search counters, coverage gauges "
+        "and frontier depth",
     )
     serve_parser.set_defaults(func=cmd_serve)
 

@@ -18,7 +18,16 @@ closing transform → search/replay/shrink):
   warnings when a worker stops making progress;
 * :mod:`repro.obs.manifest` — structured ``run.json`` manifests
   (options, system fingerprint, git version, host, phase timings,
-  final stats) written next to saved artifacts.
+  final stats) written next to saved artifacts;
+* :mod:`repro.obs.coverage` — CFG node/edge, source-line and
+  environment-input (``VS_toss``) coverage riding the engines' node
+  traces, counter-exact across engines, job counts and work-stealing
+  shards (``repro search --coverage``);
+* :mod:`repro.obs.report` — self-contained, zero-asset HTML run
+  reports rendered from manifests (``repro report run.json -o
+  report.html``);
+* :mod:`repro.obs.metrics` — Prometheus textfile exporter for the job
+  service (``repro serve --metrics-out FILE``).
 
 Every hook is **zero-cost when disabled**: instrumentation sites are
 guarded by a single ``if tracer is not None`` / ``if on_step is not
@@ -26,6 +35,7 @@ None`` and nothing is constructed unless requested (overhead measured
 by ``benchmarks/bench_obs.py``).
 """
 
+from .coverage import CoverageCollector
 from .heartbeat import Heartbeat, HeartbeatMonitor, WorkerHealth
 from .manifest import (
     MANIFEST_NAME,
@@ -35,10 +45,13 @@ from .manifest import (
     host_info,
     write_manifest,
 )
+from .metrics import render_prometheus, write_metrics
 from .profile import HotSpotProfiler
+from .report import load_manifest, render_html, write_report
 from .tracer import Tracer, validate_chrome_trace
 
 __all__ = [
+    "CoverageCollector",
     "Heartbeat",
     "HeartbeatMonitor",
     "HotSpotProfiler",
@@ -49,6 +62,11 @@ __all__ = [
     "build_manifest",
     "git_info",
     "host_info",
+    "load_manifest",
+    "render_html",
+    "render_prometheus",
     "validate_chrome_trace",
     "write_manifest",
+    "write_metrics",
+    "write_report",
 ]

@@ -80,6 +80,9 @@ def build_manifest(
     system: Any = None,
     phases: dict[str, float] | None = None,
     artifacts: list[str] | None = None,
+    language: str | None = None,
+    engine: str | None = None,
+    source: dict[str, str] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the ``run.json`` dictionary.
@@ -91,25 +94,52 @@ def build_manifest(
       (serialized via its ``as_dict``);
     * ``report`` — the final
       :class:`~repro.verisoft.results.ExplorationReport` (summary line,
-      stats, triage group count, profile when collected);
+      stats, triage groups, profile and coverage when collected);
     * ``system`` — the explored :class:`~repro.runtime.System` (its
       structural fingerprint is recorded);
     * ``phases`` — phase-name → seconds (see
       :meth:`repro.obs.tracer.Tracer.phase_timings`);
     * ``artifacts`` — paths of files the run wrote (trace JSONs, saved
       counterexample traces);
+    * ``language`` / ``engine`` — source language of the verified
+      program and the resolved execution engine; recorded (with the
+      tool name and version) under the single ``meta`` key that every
+      manifest-writing path shares.  ``engine`` defaults to the
+      report's ``stats.engine`` when available;
+    * ``source`` — ``{"path": ..., "text": ...}`` of the verified
+      program, embedded so ``repro report`` can annotate coverage onto
+      source lines without re-reading the original file;
     * ``extra`` — any additional JSON-serializable block.
     """
     from .. import __version__
 
+    if engine is None and report is not None and report.stats is not None:
+        engine = report.stats.engine
     manifest: dict[str, Any] = {
         "manifest_version": MANIFEST_VERSION,
         "tool": {"name": "repro", "version": __version__},
+        # The one provenance block shared by every manifest writer
+        # (search / replay / shrink / service): what tool, what engine,
+        # what source language.  The legacy top-level "tool" and
+        # "language" keys stay for older consumers.
+        "meta": {
+            "tool": "repro",
+            "version": __version__,
+            "engine": engine,
+            "language": language,
+        },
         "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "argv": list(argv) if argv is not None else list(sys.argv),
         "host": host_info(),
         "git": git_info(),
     }
+    if language is not None:
+        manifest["language"] = language
+    if source is not None:
+        manifest["program"] = {
+            "path": source.get("path"),
+            "text": source.get("text"),
+        }
     if options is not None:
         manifest["options"] = options.as_dict()
     if system is not None:
@@ -134,9 +164,22 @@ def build_manifest(
             block["replay_fraction"] = report.stats.replay_fraction
             block["states_per_second"] = report.stats.states_per_second
             block["stats"] = report.stats.json_dict()
+        if not report.ok:
+            groups = report.triage()
+            block["triage"] = [
+                {
+                    "kind": group.kind,
+                    "count": group.count,
+                    "label": group.describe(system=system),
+                }
+                for group in groups
+            ]
         profile = getattr(report, "profile", None)
         if profile is not None:
             block["profile"] = profile.as_dict()
+        coverage = getattr(report, "coverage", None)
+        if coverage is not None:
+            block["coverage"] = coverage.as_dict()
         workers = getattr(report, "worker_summary", None)
         if workers is not None:
             # Work-stealing runs: per-worker lease counts and liveness.

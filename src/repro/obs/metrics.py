@@ -1,0 +1,150 @@
+"""Prometheus textfile exporter for the job service.
+
+``repro serve --metrics-out FILE`` keeps ``FILE`` updated with the
+current state of the job store in the `Prometheus text exposition
+format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_,
+ready for the node_exporter *textfile collector* (point
+``--collector.textfile.directory`` at the parent directory).  No HTTP
+server, no client library — just a file the scrape loop reads — which is
+the right shape for a batch verification service: the exporter costs
+nothing when nobody scrapes, and a crashed server leaves behind its
+last-known state instead of a connection error.
+
+The gauges mirror the live ``stats.json`` heartbeats each running job
+already streams (:mod:`repro.service.jobs`): search counters, coverage
+gauges and the pending-lease frontier depth, labelled by job id and
+name.  Files are written atomically (write-to-temp + rename) so a
+concurrent scrape never sees a half-written file.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Any, Iterable
+
+__all__ = ["render_prometheus", "write_metrics"]
+
+#: Job-state gauge values: every known state gets a series so dashboards
+#: can sum over states without gaps appearing when a state empties.
+_STATES = ("queued", "running", "stopped", "done", "failed")
+
+#: stats.json heartbeat keys exported per job, with metric name and help.
+_STAT_GAUGES: tuple[tuple[str, str, str], ...] = (
+    ("states_visited", "states_visited", "Global states encountered by the search"),
+    ("transitions_executed", "transitions_total", "Visible transitions executed"),
+    ("paths_explored", "paths_total", "Exploration paths completed"),
+    ("toss_points", "toss_points_total", "VS_toss decision points answered"),
+    ("wall_time", "wall_time_seconds", "Search wall-clock time in seconds"),
+    ("states_per_second", "states_per_second", "Search throughput, states per second"),
+    ("coverage_nodes", "coverage_nodes", "Distinct CFG nodes covered so far"),
+    ("coverage_nodes_total", "coverage_nodes_limit", "CFG nodes in the static universe"),
+    ("frontier_pending", "frontier_pending_leases", "Pending subtree leases in the work-stealing frontier"),
+    ("leases", "leases_total", "Subtree leases issued"),
+    ("steals", "steals_total", "Leases stolen from busy workers"),
+)
+
+
+def _label_value(value: Any) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(**labels: Any) -> str:
+    inner = ",".join(
+        f'{key}="{_label_value(value)}"' for key, value in labels.items() if value is not None
+    )
+    return f"{{{inner}}}" if inner else ""
+
+
+def render_prometheus(
+    jobs: Iterable[dict[str, Any]],
+    *,
+    prefix: str = "repro",
+) -> str:
+    """Render job snapshots as Prometheus text format.
+
+    Each snapshot is a dict with ``id``, ``name``, ``state`` and an
+    optional ``stats`` block (a ``SearchStats.json_dict()`` payload, the
+    same shape the service's ``stats.json`` heartbeats carry).  The
+    per-state job counts and one labelled series per stat gauge are
+    emitted; jobs without a heartbeat yet contribute only to the counts.
+    """
+    snapshots = list(jobs)
+    lines: list[str] = []
+
+    name = f"{prefix}_jobs"
+    lines.append(f"# HELP {name} Jobs in the store, by state.")
+    lines.append(f"# TYPE {name} gauge")
+    counts = {state: 0 for state in _STATES}
+    for snap in snapshots:
+        counts[snap.get("state", "queued")] = counts.get(snap.get("state", "queued"), 0) + 1
+    for state, count in counts.items():
+        lines.append(f"{name}{_labels(state=state)} {count}")
+
+    name = f"{prefix}_job_info"
+    lines.append(f"# HELP {name} Per-job identity and current state (value is always 1).")
+    lines.append(f"# TYPE {name} gauge")
+    for snap in snapshots:
+        lines.append(
+            f"{name}{_labels(job=snap.get('id'), name=snap.get('name'), state=snap.get('state'))} 1"
+        )
+
+    coverage_percent_done = False
+    for stat_key, metric, help_text in _STAT_GAUGES:
+        series = []
+        for snap in snapshots:
+            stats = snap.get("stats") or {}
+            value = stats.get(stat_key)
+            if value is None:
+                continue
+            series.append((snap, value))
+        if not series:
+            continue
+        name = f"{prefix}_{metric}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for snap, value in series:
+            rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name}{_labels(job=snap.get('id'), name=snap.get('name'))} {rendered}")
+        if stat_key == "coverage_nodes_total":
+            coverage_percent_done = True
+
+    if coverage_percent_done:
+        name = f"{prefix}_coverage_percent"
+        lines.append(f"# HELP {name} CFG node coverage percentage.")
+        lines.append(f"# TYPE {name} gauge")
+        for snap in snapshots:
+            stats = snap.get("stats") or {}
+            total = stats.get("coverage_nodes_total")
+            if total:
+                pct = 100.0 * stats.get("coverage_nodes", 0) / total
+                lines.append(
+                    f"{name}{_labels(job=snap.get('id'), name=snap.get('name'))} {pct:.4f}"
+                )
+
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(
+    jobs: Iterable[dict[str, Any]],
+    path: str | pathlib.Path,
+    *,
+    prefix: str = "repro",
+) -> pathlib.Path:
+    """Atomically write the rendered metrics to ``path``.
+
+    The textfile collector convention: write next to the target and
+    rename into place, so a scrape never reads a torn file.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(render_prometheus(jobs, prefix=prefix))
+    os.replace(tmp, target)
+    return target

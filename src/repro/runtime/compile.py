@@ -892,13 +892,41 @@ def _compile_block(cfg: ControlFlowGraph, head: CfgNode, proc: CompiledProc, act
         return op_assign
 
     count = len(chain)
+    entries = tuple((cfg.proc_name, node_id) for node_id in chain)
 
     def op_block(
-        engine, act, _actions=block_actions, _ids=ids_after, _next=next_id, _k=count
+        engine,
+        act,
+        _actions=block_actions,
+        _ids=ids_after,
+        _next=next_id,
+        _k=count,
+        _entries=entries,
     ):
         steps = engine._invisible_steps
         budget = engine._budget
         frame = act.frame
+        trace = engine._trace
+        if trace is not None:
+            # Coverage tracing: per-node path so the interior chain
+            # nodes land in the buffer in execution order (the head was
+            # already recorded by ``_advance``), each logged before its
+            # action runs — a faulting or diverging node is recorded,
+            # later nodes of the block are not, exactly like the
+            # walking engine.
+            index = 0
+            for action, node_after in zip(_actions, _ids):
+                if index:
+                    trace.append(_entries[index])
+                index += 1
+                action(frame)
+                act.node_id = node_after
+                steps += 1
+                if steps > budget:
+                    engine._invisible_steps = steps
+                    raise DivergenceError(engine.process_name, budget)
+            engine._invisible_steps = steps
+            return None
         if steps + _k <= budget:
             for action in _actions:
                 action(frame)
@@ -1398,6 +1426,12 @@ class CompiledEngine:
         #: operands are compile-time literals — keyed by node id, filled
         #: lazily because object resolution is per-run.
         self._request_cache: dict[Any, Any] = {}
+        #: Node-trace buffer for coverage collection (``None`` = off).
+        #: ``_advance`` records every dispatched node; fused ASSIGN
+        #: blocks additionally log their interior nodes (see
+        #: ``op_block``), so the sequence is instruction-identical to
+        #: the walking engine's.
+        self._trace: list | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -1444,8 +1478,19 @@ class CompiledEngine:
         """Threaded dispatch: look up and invoke node callables until a
         request (returned) or termination (``None``)."""
         stack = self._stack
+        trace = self._trace
+        if trace is None:
+            while True:
+                act = stack[-1]
+                result = act.proc.ops[act.node_id](self, act)
+                if result is not None:
+                    return None if result is _DONE else result
+        # Coverage tracing: record each node before invoking its op (a
+        # faulting node is logged as visited, its out-edge is not) —
+        # duplicated loop so the hot untraced path pays nothing.
         while True:
             act = stack[-1]
+            trace.append((act.proc.name, act.node_id))
             result = act.proc.ops[act.node_id](self, act)
             if result is not None:
                 return None if result is _DONE else result
@@ -1477,3 +1522,28 @@ class CompiledEngine:
             (act.proc.name, act.node_id, act.frame.state_fingerprint())
             for act in self._stack
         )
+
+    # -- coverage tracing ---------------------------------------------------------
+
+    def enable_trace(self) -> None:
+        """Start recording every dispatched node into the trace buffer."""
+        if self._trace is None:
+            self._trace = []
+
+    def take_trace(self) -> list | tuple:
+        """Drain and return the recorded ``(proc_name, node_id)`` entries.
+
+        The buffer is handed over and replaced with a fresh list (no
+        copy); ``_advance`` and ``op_block`` re-read ``self._trace`` on
+        every entry, and the engine is suspended whenever this is called.
+        """
+        trace = self._trace
+        if not trace:
+            return ()
+        self._trace = []
+        return trace
+
+    def control_nodes(self) -> list:
+        """The activation stack as ``(proc_name, node_id)``, outermost
+        first (see :meth:`repro.runtime.interp.Interpreter.control_nodes`)."""
+        return [(act.proc.name, act.node_id) for act in self._stack]

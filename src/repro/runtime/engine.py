@@ -37,6 +37,14 @@ The contract (structural; engines need not inherit anything):
     executions — state caching and counter parity depend on it.
 ``process_name`` / ``journal``
     For error reporting and the journal hooks.
+``enable_trace()`` / ``take_trace()`` / ``control_nodes()``
+    Coverage tracing: once enabled, every dispatched node is appended to
+    a buffer as ``(proc_name, node_id)`` (recorded *before* execution,
+    so a faulting node is included and its out-edge is not);
+    ``take_trace`` drains the buffer, ``control_nodes`` reports the
+    activation stack so :class:`repro.obs.coverage.CoverageCollector`
+    can re-anchor after a checkpoint restore.  Traces are
+    instruction-identical across engines.
 
 Both engines are *exactly equivalent*: the same request sequence, the
 same counters (invisible steps, journal entries), the same faults with
@@ -72,6 +80,12 @@ class ExecutionEngine(Protocol):
     def restore(self, snap: tuple) -> None: ...
 
     def state_fingerprint(self) -> Any: ...
+
+    def enable_trace(self) -> None: ...
+
+    def take_trace(self) -> "list | tuple": ...
+
+    def control_nodes(self) -> "list | tuple": ...
 
 
 def validate_engine(name: str) -> None:

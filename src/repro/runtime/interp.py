@@ -161,6 +161,10 @@ class Interpreter:
         #: ``tag`` one of the ``_RESUME_*`` constants, or ``None`` while
         #: running / after termination.  Plain data, so it snapshots.
         self._pending: tuple | None = None
+        #: Node-trace buffer for coverage collection (``None`` = off).
+        #: ``_advance`` appends ``(proc_name, node_id)`` for every node it
+        #: dispatches; drained by :meth:`take_trace`.
+        self._trace: list | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -206,9 +210,14 @@ class Interpreter:
         procedure defers the check by one node via ``continue``).
         """
         stack = self._stack
+        trace = self._trace
         while True:
             activation = stack[-1]
             node = activation.cfg.nodes[activation.node_id]
+            if trace is not None:
+                # Record before executing: a faulting/diverging node is
+                # still logged as visited, its out-edge is not.
+                trace.append((activation.cfg.proc_name, activation.node_id))
 
             if node.kind is NodeKind.START:
                 activation.node_id = self._follow_always(activation, node)
@@ -313,6 +322,33 @@ class Interpreter:
             (act.cfg.proc_name, act.node_id, act.frame.state_fingerprint())
             for act in self._stack
         )
+
+    # -- coverage tracing ---------------------------------------------------------
+
+    def enable_trace(self) -> None:
+        """Start recording every dispatched node into the trace buffer."""
+        if self._trace is None:
+            self._trace = []
+
+    def take_trace(self) -> list | tuple:
+        """Drain and return the recorded ``(proc_name, node_id)`` entries.
+
+        The buffer is handed over and replaced with a fresh list (no
+        copy).  Safe because ``_advance`` re-reads ``self._trace`` on
+        every entry and the engine is suspended whenever this is called.
+        """
+        trace = self._trace
+        if not trace:
+            return ()
+        self._trace = []
+        return trace
+
+    def control_nodes(self) -> list:
+        """The activation stack as ``(proc_name, node_id)``, outermost
+        first — the coverage collector re-anchors its parser from this
+        after a checkpoint restore.  Called once per process per restore,
+        so it stays a single list comprehension."""
+        return [(act.cfg.proc_name, act.node_id) for act in self._stack]
 
     # -- control flow -----------------------------------------------------------
 

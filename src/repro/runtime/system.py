@@ -241,7 +241,7 @@ class System:
                 self._compiled = False
         return self._compiled or None
 
-    def start(self, journal: bool = False, engine: str = "walk") -> "Run":
+    def start(self, journal: bool = False, engine: str = "walk", trace: bool = False) -> "Run":
         """Create a fresh run (fresh objects, fresh process steppers).
 
         With ``journal=True`` the run records an undo entry for every
@@ -254,6 +254,9 @@ class System:
         Python closures).  When the program cannot be compiled the run
         falls back to the walking engine; :attr:`Run.engine` records
         which engine the run actually uses.
+
+        ``trace=True`` turns on per-process node tracing
+        (``enable_trace()`` on every stepper) for coverage collection.
         """
         validate_engine(engine)
         if not self._process_specs:
@@ -292,6 +295,8 @@ class System:
                     max_call_depth=self.config.max_call_depth,
                     journal=journal_obj,
                 )
+            if trace:
+                stepper.enable_trace()
             processes.append(Process(spec.name, stepper))
         return Run(objects, processes, journal=journal_obj, engine=engine)
 

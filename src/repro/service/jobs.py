@@ -290,6 +290,35 @@ class JobStore:
         return job
 
 
+def store_snapshots(store: JobStore) -> list[dict]:
+    """Job snapshots for the metrics exporter: id, name, state and the
+    latest streamed stats heartbeat (``None`` before the first)."""
+    snapshots = []
+    for job in store.jobs():
+        beat = job.latest_stats()
+        snapshots.append(
+            {
+                "id": job.id,
+                "name": job.name,
+                "state": job.state,
+                "stats": (beat or {}).get("stats"),
+            }
+        )
+    return snapshots
+
+
+def export_metrics(store: JobStore, metrics_out) -> None:
+    """Refresh the Prometheus textfile; never sinks the run."""
+    if metrics_out is None:
+        return
+    from ..obs import write_metrics
+
+    try:
+        write_metrics(store_snapshots(store), metrics_out)
+    except OSError:
+        pass
+
+
 def run_job(
     store: JobStore,
     job: Job,
@@ -298,6 +327,7 @@ def run_job(
     stop_poll_interval: float = 0.2,
     kill_worker_after_paths: int | None = None,
     log: Callable[[str], None] | None = None,
+    metrics_out=None,
 ) -> Job:
     """Execute one claimed job to completion or suspension.
 
@@ -348,6 +378,7 @@ def run_job(
             job.stats_path,
             {"state": "running", "updated": _now(), "stats": stats.json_dict()},
         )
+        export_metrics(store, metrics_out)
 
     def on_checkpoint(checkpoint: SearchCheckpoint) -> None:
         save_frontier(job.frontier_path, checkpoint)
@@ -401,6 +432,13 @@ def run_job(
         system_payload=job.system,
         language=language,
     )
+    source = None
+    source_text = job.system.get("program_source")
+    if source_text:
+        source = {
+            "path": job.system.get("description", {}).get("program"),
+            "text": source_text,
+        }
     _write_json(
         job.result_path,
         {
@@ -421,7 +459,9 @@ def run_job(
         report=report,
         system=system,
         artifacts=[str(path) for path in artifacts],
-        extra={"job": {"id": job.id, "name": job.name}, "language": language},
+        language=language,
+        source=source,
+        extra={"job": {"id": job.id, "name": job.name}},
     )
     write_manifest(job.manifest_path, manifest)
     if job.frontier_path.exists():
@@ -438,21 +478,28 @@ def serve(
     poll_interval: float = 1.0,
     log: Callable[[str], None] | None = None,
     max_jobs: int | None = None,
+    metrics_out=None,
 ) -> int:
     """The server loop: claim queued jobs and run them.
 
     ``once`` drains the queue and returns instead of polling forever;
     ``max_jobs`` caps the number of jobs executed (testing hook).
-    Returns the number of jobs run."""
+    ``metrics_out`` keeps a Prometheus textfile updated: rewritten on
+    every heartbeat of the running job and at every state change (see
+    :mod:`repro.obs.metrics`).  Returns the number of jobs run."""
     ran = 0
+    export_metrics(store, metrics_out)
     while True:
         job = store.claim_next()
         if job is None:
+            export_metrics(store, metrics_out)
             if once:
                 return ran
             time.sleep(poll_interval)
             continue
-        run_job(store, job, log=log)
+        export_metrics(store, metrics_out)
+        run_job(store, job, log=log, metrics_out=metrics_out)
+        export_metrics(store, metrics_out)
         ran += 1
         if max_jobs is not None and ran >= max_jobs:
             return ran

@@ -108,6 +108,7 @@ def explore_lease(
     state_cache: str = "off",
     cache_bits: int = 24,
     profile: bool = False,
+    coverage: bool = False,
     heartbeat_interval: float = 0.5,
 ) -> tuple[ExplorationReport, list[ChoicePrefix], frozenset | None]:
     """Explore the subtree leased by ``prefix`` (``None`` = whole tree).
@@ -131,6 +132,11 @@ def explore_lease(
         from ..obs import HotSpotProfiler
 
         profiler = HotSpotProfiler()
+    collector = None
+    if coverage:
+        from ..obs import CoverageCollector
+
+        collector = CoverageCollector(system)
 
     progress = None
     send = None
@@ -178,6 +184,7 @@ def explore_lease(
         progress=progress,
         progress_interval=heartbeat_interval,
         on_step=profiler,
+        coverage=collector,
     )
     report = explorer.run()
     residuals: list[ChoicePrefix] = []
@@ -187,6 +194,7 @@ def explore_lease(
         replayed = report.stats.replayed_transitions if report.stats else 0
         send("done", report.states_visited, report.transitions_executed + replayed)
     report.profile = profiler
+    report.coverage = collector
     canonical = (
         None
         if fingerprints is None
@@ -334,9 +342,18 @@ def _merge_lease_blocks(
 
         merged.profile = HotSpotProfiler.merged(profiles)
 
+    coverages = [r.coverage for _, r in ordered if r.coverage is not None]
+    if coverages:
+        from ..obs import CoverageCollector
+
+        merged.coverage = CoverageCollector.merged(coverages)
+
     merged.stats = SearchStats.merged(
         [r.stats for _, r in ordered if r.stats is not None], strategy="parallel"
     )
+    if merged.coverage is not None:
+        merged.stats.coverage_nodes = merged.coverage.nodes_covered
+        merged.stats.coverage_nodes_total = merged.coverage.nodes_total
     return merged
 
 
@@ -460,8 +477,19 @@ def work_stealing_search(
         state_cache=options.state_cache,
         cache_bits=options.cache_bits,
         profile=options.profile,
+        coverage=options.coverage,
         heartbeat_interval=options.progress_interval,
     )
+
+    # Live coverage gauge: incrementally merged at block commit so
+    # heartbeats don't re-merge every shard on each tick.  The *final*
+    # report's coverage is still rebuilt from scratch by
+    # ``_merge_lease_blocks`` (the counter-exact path).
+    live_coverage = None
+    if options.coverage:
+        from ..obs import CoverageCollector
+
+        live_coverage = CoverageCollector(system)
 
     suspended = False
     stop_early = False
@@ -477,6 +505,8 @@ def work_stealing_search(
     ) -> None:
         nonlocal lease_seq, leases, steals
         blocks.append((key, report))
+        if live_coverage is not None and report.coverage is not None:
+            live_coverage.add(report.coverage)
         if fingerprints is not None and lease_fps:
             fingerprints.update(lease_fps)
         for residual in residuals:
@@ -514,6 +544,14 @@ def work_stealing_search(
             leases_requeued=requeued,
         )
         live.wall_time = time.monotonic() - started
+        # Gauges for the heartbeat stream: coverage so far and frontier
+        # depth.  ``frontier_pending`` is a live-only gauge — the final
+        # merged stats keep it at 0 (the frontier is drained), so
+        # cross-driver parity checks are unaffected.
+        if live_coverage is not None:
+            live.coverage_nodes = live_coverage.nodes_covered
+            live.coverage_nodes_total = live_coverage.nodes_total
+        live.frontier_pending = len(pending)
         return live
 
     next_checkpoint = (

@@ -212,6 +212,14 @@ class Explorer:
             explorer records one span per DFS path (category ``"dfs"``)
             and an instant event per recorded deadlock/violation.
             ``None`` (default) costs one branch per path.
+        coverage: a :class:`repro.obs.coverage.CoverageCollector`; when
+            given, every run is started with engine node tracing on and
+            the explorer drains each trace segment right after the step
+            that produced it, tagged with the same ``fresh`` /
+            ``fresh_edge`` anchoring as the counters — so coverage from
+            parallel shards merges counter-exactly and the walk and
+            compiled engines produce bit-identical coverage.  ``None``
+            (default) costs one branch per step.
     """
 
     def __init__(
@@ -242,6 +250,7 @@ class Explorer:
         progress_interval: float = 0.5,
         on_step: Callable[..., None] | None = None,
         tracer: Any | None = None,
+        coverage: Any | None = None,
     ):
         if backtrack not in ("replay", "restore"):
             raise ValueError(f"unknown backtrack mode {backtrack!r}")
@@ -288,6 +297,7 @@ class Explorer:
         self._progress_interval = progress_interval
         self._on_step = on_step
         self._tracer = tracer
+        self._coverage = coverage
         self._deadline: float | None = None
         self._persistent: PersistentSetComputer | None = None
         if por:
@@ -454,6 +464,9 @@ class Explorer:
             stats.checkpoint_memory_bytes = (
                 journal.peak_memory_bytes() + self._peak_checkpoint_bytes
             )
+        if self._coverage is not None:
+            stats.coverage_nodes = self._coverage.nodes_covered
+            stats.coverage_nodes_total = self._coverage.nodes_total
 
     # -- one (re-)execution -------------------------------------------------------
 
@@ -467,8 +480,15 @@ class Explorer:
         resume_point: _ChoicePoint | None = None,
     ) -> None:
         pending_schedule: _ChoicePoint | None = None
+        coverage = self._coverage
         if resume_point is None:
-            run = self._system.start(journal=self._restore, engine=self._engine)
+            run = self._system.start(
+                journal=self._restore,
+                engine=self._engine,
+                trace=coverage is not None,
+            )
+            if coverage is not None:
+                coverage.begin_run()
             run.start_processes()
             replay_len = len(stack)
             state = _ExecState(
@@ -478,6 +498,16 @@ class Explorer:
                 edge_replay_len=replay_len + 1 if frozen_replay else replay_len,
                 report=report,
             )
+            if coverage is not None:
+                # The initial invisible segments are fresh ground exactly
+                # when nothing precedes them: the sequential first path,
+                # the coordinator's (empty-prefix) enumeration, the root
+                # steal lease.  Prefixed/replayed runs re-execute them.
+                counted = replay_len == 0
+                for process in run.processes:
+                    entries = process.engine.take_trace()
+                    if entries:
+                        coverage.segment(process.name, entries, counted)
             if self._restore:
                 self._live = state
             self._note_broken_processes(state)
@@ -501,6 +531,15 @@ class Explorer:
             state.ptr = len(stack)
             depth = info.depth
             current_sleep = info.sleep
+            if coverage is not None:
+                # Re-anchor the per-process parsers on the restored
+                # control stacks.  Trace buffers are empty here (every
+                # drain immediately follows the resume that filled it),
+                # but drain defensively so a stale tail can never be
+                # attributed to post-restore ground.
+                for process in run.processes:
+                    process.engine.take_trace()
+                    coverage.sync(process.name, process.engine.control_nodes())
             if resume_point.kind == "toss":
                 # Answer the bumped toss and fall into the normal loop —
                 # mirroring a replay's pass over the bumped point (no
@@ -508,8 +547,18 @@ class Explorer:
                 # creation only).
                 tossing = run.toss_pending()
                 value = resume_point.chosen
+                request = tossing.toss_request if coverage is not None else None
                 state.choices.append(TossChoice(tossing.name, value))
                 run.answer_toss(tossing, value)
+                if coverage is not None:
+                    # A bumped point sits above the frozen prefix, so
+                    # ``fresh_edge`` holds — same anchoring as a replay
+                    # pass consuming the bumped decision.
+                    if state.fresh_edge:
+                        coverage.toss_value(request.proc_name, request.node_id, value)
+                    entries = tossing.engine.take_trace()
+                    if entries:
+                        coverage.segment(tossing.name, entries, state.fresh_edge)
                 self._note_broken_processes(state)
             else:
                 pending_schedule = resume_point
@@ -539,6 +588,17 @@ class Explorer:
                     value = point.chosen
                     state.choices.append(TossChoice(tossing.name, value))
                     run.answer_toss(tossing, value)
+                    if coverage is not None:
+                        # Toss *values* anchor on the answering edge (not
+                        # point creation): each fresh traversal of a toss
+                        # arc counts once system-wide.
+                        if state.fresh_edge:
+                            coverage.toss_value(
+                                request.proc_name, request.node_id, value
+                            )
+                        entries = tossing.engine.take_trace()
+                        if entries:
+                            coverage.segment(tossing.name, entries, state.fresh_edge)
                     self._note_broken_processes(state)
 
                 # Frontier cut: hand the subtree below this state to the
@@ -642,6 +702,10 @@ class Explorer:
             detail = ""
             obj_name = request.obj.name if request.obj is not None else None
             outcome = run.execute_visible(chosen)
+            if coverage is not None:
+                entries = chosen.engine.take_trace()
+                if entries:
+                    coverage.segment(chosen_name, entries, state.fresh_edge)
             if state.fresh_edge:
                 report.transitions_executed += 1
                 if self._on_step is not None:

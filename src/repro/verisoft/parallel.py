@@ -230,6 +230,7 @@ def enumerate_prefixes(
     cache_bits: int = 24,
     fingerprint_set: set[Any] | None = None,
     profile: bool = False,
+    coverage: bool = False,
     tracer: Any | None = None,
 ) -> tuple[list[ChoicePrefix], ExplorationReport]:
     """Enumerate the frontier of the choice tree at ``prefix_depth``.
@@ -249,6 +250,11 @@ def enumerate_prefixes(
         from ..obs import HotSpotProfiler
 
         profiler = HotSpotProfiler()
+    collector = None
+    if coverage:
+        from ..obs import CoverageCollector
+
+        collector = CoverageCollector(system)
     explorer = Explorer(
         system,
         max_depth=max_depth,
@@ -264,9 +270,11 @@ def enumerate_prefixes(
         fingerprint_set=fingerprint_set,
         on_step=profiler,
         tracer=tracer,
+        coverage=collector,
     )
     report = explorer.run()
     report.profile = profiler
+    report.coverage = collector
     return prefixes, report
 
 
@@ -324,6 +332,7 @@ def explore_subtree(
     state_cache: str = "off",
     cache_bits: int = 24,
     profile: bool = False,
+    coverage: bool = False,
     trace: bool = False,
     tracer: Any | None = None,
     heartbeat_interval: float = 0.5,
@@ -353,6 +362,11 @@ def explore_subtree(
         from ..obs import HotSpotProfiler
 
         profiler = HotSpotProfiler()
+    collector = None
+    if coverage:
+        from ..obs import CoverageCollector
+
+        collector = CoverageCollector(system)
     export_trace = False
     if tracer is None and trace:
         from ..obs import Tracer
@@ -407,6 +421,7 @@ def explore_subtree(
         progress_interval=heartbeat_interval,
         on_step=profiler,
         tracer=tracer,
+        coverage=collector,
     )
     if tracer is None:
         report = explorer.run()
@@ -421,6 +436,7 @@ def explore_subtree(
             report.transitions_executed + replayed,
         )
     report.profile = profiler
+    report.coverage = collector
     if export_trace:
         report.trace_payload = tracer.export(label=f"worker-{os.getpid()}")
     return report, None if fingerprints is None else frozenset(fingerprints)
@@ -538,10 +554,24 @@ def merge_reports(
         # worker its own subtree, and the partitions are disjoint.
         merged.profile = HotSpotProfiler.merged(profiles)
 
+    coverages = [
+        r.coverage for r in [coordinator, *workers] if r.coverage is not None
+    ]
+    if coverages:
+        from ..obs import CoverageCollector
+
+        # Same disjoint-partition argument as the profile: every fresh
+        # edge/node/toss was counted by exactly one shard, so the merged
+        # counters are bit-identical to a sequential run's.
+        merged.coverage = CoverageCollector.merged(coverages)
+
     parts = [r.stats for r in [coordinator, *workers] if r.stats is not None]
     merged.stats = SearchStats.merged(parts, strategy="parallel")
     merged.stats.paths_explored = merged.paths_explored
     merged.stats.prefixes = num_prefixes
+    if merged.coverage is not None:
+        merged.stats.coverage_nodes = merged.coverage.nodes_covered
+        merged.stats.coverage_nodes_total = merged.coverage.nodes_total
     return merged
 
 
@@ -591,6 +621,7 @@ def _auto_prefix_depth(
     state_cache: str,
     cache_bits: int,
     profile: bool = False,
+    coverage: bool = False,
 ) -> tuple[int, list[ChoicePrefix], ExplorationReport]:
     """Deepen the frontier until it yields enough prefixes to keep the
     pool busy (≥4 per worker), or the tree runs out.  Only the kept
@@ -613,6 +644,7 @@ def _auto_prefix_depth(
             state_cache=state_cache,
             cache_bits=cache_bits,
             profile=profile,
+            coverage=coverage,
         )
         best = (depth, prefixes, report)
         if len(prefixes) >= target or depth >= depth_cap or not prefixes:
@@ -689,6 +721,7 @@ def parallel_search(
                 cache_bits=options.cache_bits,
                 fingerprint_set=fingerprints,
                 profile=options.profile,
+                coverage=options.coverage,
                 tracer=tracer,
             )
         else:
@@ -704,6 +737,7 @@ def parallel_search(
                 state_cache=options.state_cache,
                 cache_bits=options.cache_bits,
                 profile=options.profile,
+                coverage=options.coverage,
             )
             if options.count_states:
                 # Re-enumerate once at the chosen depth to collect the
@@ -722,6 +756,7 @@ def parallel_search(
                     cache_bits=options.cache_bits,
                     fingerprint_set=fingerprints,
                     profile=options.profile,
+                    coverage=options.coverage,
                     tracer=tracer,
                 )
 
@@ -740,6 +775,7 @@ def parallel_search(
         state_cache=options.state_cache,
         cache_bits=options.cache_bits,
         profile=options.profile,
+        coverage=options.coverage,
         trace=tracer is not None,
         heartbeat_interval=options.progress_interval,
     )

@@ -48,6 +48,7 @@ def random_walks(
     on_step: Callable[..., None] | None = None,
     tracer: Any | None = None,
     engine: str = "walk",
+    coverage: Any | None = None,
 ) -> ExplorationReport:
     """Run ``walks`` independent random executions of ``system``.
 
@@ -68,6 +69,10 @@ def random_walks(
     :data:`~repro.runtime.engine.ENGINES`); ``"compiled"`` falls back
     to ``"walk"`` when the program is not compilable, and the resolved
     engine is recorded in ``report.stats.engine``.
+
+    ``coverage`` (a :class:`~repro.obs.coverage.CoverageCollector`)
+    accumulates node/edge/toss coverage over the walks; every walk is
+    fresh ground, so all segments count.
     """
     validate_engine(engine)
     if engine == "compiled" and system.compiled_program() is None:
@@ -89,14 +94,27 @@ def random_walks(
         stats.max_depth_reached = report.max_depth_reached
         stats.wall_time = time.monotonic() - started
         stats.cpu_time = time.process_time() - cpu_started
+        if coverage is not None:
+            stats.coverage_nodes = coverage.nodes_covered
+            stats.coverage_nodes_total = coverage.nodes_total
+
+    def drain(process) -> None:
+        entries = process.engine.take_trace()
+        if entries:
+            coverage.segment(process.name, entries, True)
 
     for _ in range(walks):
         if deadline is not None and time.monotonic() > deadline:
             report.incomplete = True
             report.truncated = True
             break
-        run = system.start(engine=engine)
+        run = system.start(engine=engine, trace=coverage is not None)
+        if coverage is not None:
+            coverage.begin_run()
         run.start_processes()
+        if coverage is not None:
+            for process in run.processes:
+                drain(process)
         choices: list = []
         steps: list[TraceStep] = []
         noted: set[str] = set()
@@ -145,6 +163,9 @@ def random_walks(
                     value = rng.randint(0, request.bound)
                     choices.append(TossChoice(tossing.name, value))
                     run.answer_toss(tossing, value)
+                    if coverage is not None:
+                        coverage.toss_value(request.proc_name, request.node_id, value)
+                        drain(tossing)
                     note_broken()
                     continue
 
@@ -169,6 +190,8 @@ def random_walks(
                 choices.append(ScheduleChoice(chosen.name))
                 obj_name = request.obj.name if request.obj is not None else None
                 outcome = run.execute_visible(chosen)
+                if coverage is not None:
+                    drain(chosen)
                 steps.append(TraceStep(chosen.name, request.op, obj_name))
                 report.transitions_executed += 1
                 if on_step is not None:

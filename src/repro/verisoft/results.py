@@ -166,6 +166,11 @@ class ExplorationReport:
     #: search ran with ``profile=True``; parallel runs merge the
     #: per-worker profiles here.
     profile: Any = field(default=None, repr=False, compare=False)
+    #: Coverage collector of the search
+    #: (:class:`~repro.obs.coverage.CoverageCollector`), attached when
+    #: the search ran with ``coverage=True``; parallel runs merge the
+    #: per-worker shards here.
+    coverage: Any = field(default=None, repr=False, compare=False)
     #: Portable trace-event payload (``Tracer.export()`` dict) carried
     #: back from a worker process so the coordinator can merge it into
     #: its own timeline; ``None`` everywhere else.

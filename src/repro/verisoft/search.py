@@ -157,6 +157,12 @@ class SearchOptions:
     #: runs merge per-worker profiles; the merged counts equal a
     #: sequential run's.
     profile: bool = False
+    #: Collect CFG/source/environment-input coverage
+    #: (:class:`~repro.obs.coverage.CoverageCollector`) and attach it as
+    #: ``report.coverage``.  Exact-counter anchored like the profiler:
+    #: parallel/steal runs merge per-worker shards into counters
+    #: bit-identical to a sequential run's, on either engine.
+    coverage: bool = False
     #: A :class:`~repro.obs.tracer.Tracer` receiving span/instant events
     #: (pipeline phases, per-path DFS spans, worker timelines).  Not
     #: serialized; the parallel driver builds a fresh tracer inside each
@@ -319,6 +325,11 @@ def _dispatch(
         from ..obs import HotSpotProfiler
 
         profiler = HotSpotProfiler()
+    collector = None
+    if options.coverage:
+        from ..obs import CoverageCollector
+
+        collector = CoverageCollector(system)
 
     if options.strategy == "dfs":
         from .explorer import Explorer
@@ -343,8 +354,10 @@ def _dispatch(
             progress_interval=options.progress_interval,
             on_step=profiler,
             tracer=options.tracer,
+            coverage=collector,
         ).run()
         report.profile = profiler
+        report.coverage = collector
         return report
 
     if options.strategy == "random":
@@ -363,8 +376,10 @@ def _dispatch(
             progress_interval=options.progress_interval,
             on_step=profiler,
             tracer=options.tracer,
+            coverage=collector,
         )
         report.profile = profiler
+        report.coverage = collector
         return report
 
     if options.scheduler == "steal":

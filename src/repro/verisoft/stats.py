@@ -104,6 +104,17 @@ class SearchStats:
     cache_misses: int = 0
     cache_stored: int = 0
     cache_memory_bytes: int = 0
+    #: Coverage gauges (searches run with ``coverage=True``; 0/0
+    #: otherwise): *distinct* CFG nodes reached so far vs the static
+    #: universe.  Gauges, not counters — distinct-set sizes do not sum
+    #: across shards, so :meth:`add` keeps the receiver's values and the
+    #: drivers set the merged search's gauges from the merged
+    #: :class:`~repro.obs.coverage.CoverageCollector` explicitly.
+    coverage_nodes: int = 0
+    coverage_nodes_total: int = 0
+    #: Live work-stealing gauge: subtree leases currently queued or
+    #: running (0 once the search drains).  Same gauge semantics.
+    frontier_pending: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -196,6 +207,11 @@ class SearchStats:
         * ``state_cache`` is adopted from ``other`` only when the
           receiver has none (``"off"``) — mixed-store merges keep the
           first kind seen;
+        * the coverage/frontier gauges (``coverage_nodes``,
+          ``coverage_nodes_total``, ``frontier_pending``) are kept from
+          the receiver like the identity fields: distinct-set sizes and
+          queue depths do not sum, the drivers set them on the merged
+          stats from the merged coverage collector / live queue;
         * caveat: ``cache_stored``/``cache_memory_bytes`` are summed
           over *private* per-worker stores, so a state whose digest is
           held by several workers (reached in several subtrees) is
@@ -227,6 +243,12 @@ class SearchStats:
             f"depth<={self.max_depth_reached}",
             f"{self.states_per_second:,.0f} states/s",
         ]
+        if self.coverage_nodes_total:
+            bits.append(
+                f"cov={100.0 * self.coverage_nodes / self.coverage_nodes_total:.0f}%"
+            )
+        if self.frontier_pending:
+            bits.append(f"pending={self.frontier_pending}")
         ratio = self.reduction_ratio
         if ratio is not None:
             bits.append(f"por={ratio:.2f}")
@@ -315,6 +337,11 @@ class SearchStats:
         out["states_per_second"] = self.states_per_second
         out["cache_hit_ratio"] = self.cache_hit_ratio
         out["cache_bytes_per_state"] = self.cache_bytes_per_state
+        out["coverage_percent"] = (
+            100.0 * self.coverage_nodes / self.coverage_nodes_total
+            if self.coverage_nodes_total
+            else None
+        )
         return out
 
 

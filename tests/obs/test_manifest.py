@@ -65,6 +65,37 @@ class TestBlocks:
         assert manifest["system_fingerprint"] is None
 
 
+class TestMetaBlock:
+    """Every manifest writer (search / replay / shrink / the job
+    service) goes through :func:`build_manifest`, so the one ``meta``
+    provenance block is schema-stable: tool, version, engine, language."""
+
+    def test_meta_keys_always_present(self):
+        meta = build_manifest()["meta"]
+        assert sorted(meta) == ["engine", "language", "tool", "version"]
+        assert meta["tool"] == "repro"
+        assert meta["version"]
+        assert meta["engine"] is None and meta["language"] is None
+
+    def test_engine_defaults_from_report_stats(self, fig2):
+        report = run_search(fig2, SearchOptions(engine="compiled"))
+        manifest = build_manifest(report=report, language="rc")
+        assert manifest["meta"]["engine"] == "compiled"
+        assert manifest["meta"]["language"] == "rc"
+        # Legacy top-level keys stay for older consumers.
+        assert manifest["language"] == "rc"
+        assert manifest["tool"]["name"] == "repro"
+
+    def test_explicit_engine_wins(self, fig2):
+        report = run_search(fig2, SearchOptions())
+        manifest = build_manifest(report=report, engine="walk")
+        assert manifest["meta"]["engine"] == "walk"
+
+    def test_source_block_embeds_program(self):
+        manifest = build_manifest(source={"path": "a.py", "text": "x = 1\n"})
+        assert manifest["program"] == {"path": "a.py", "text": "x = 1\n"}
+
+
 class TestWriting:
     def test_directory_gets_default_name(self, tmp_path):
         path = write_manifest(tmp_path, {"manifest_version": 1})

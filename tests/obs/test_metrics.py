@@ -1,0 +1,78 @@
+"""The Prometheus textfile exporter: exposition format, per-state job
+counts, stat gauges, derived coverage percentage, atomic writes."""
+
+from repro.obs import render_prometheus, write_metrics
+
+
+def snapshots():
+    return [
+        {
+            "id": "j-1",
+            "name": "fig2",
+            "state": "running",
+            "stats": {
+                "states_visited": 120,
+                "paths_explored": 7,
+                "wall_time": 1.25,
+                "coverage_nodes": 9,
+                "coverage_nodes_total": 12,
+                "frontier_pending": 3,
+            },
+        },
+        {"id": "j-2", "name": "pinger", "state": "queued", "stats": None},
+    ]
+
+
+class TestRender:
+    def test_every_state_gets_a_series(self):
+        text = render_prometheus(snapshots())
+        assert 'repro_jobs{state="running"} 1' in text
+        assert 'repro_jobs{state="queued"} 1' in text
+        # Empty states still emit a zero so dashboards can sum safely.
+        for state in ("stopped", "done", "failed"):
+            assert f'repro_jobs{{state="{state}"}} 0' in text
+
+    def test_job_info_and_gauges(self):
+        text = render_prometheus(snapshots())
+        assert 'repro_job_info{job="j-1",name="fig2",state="running"} 1' in text
+        assert 'repro_states_visited{job="j-1",name="fig2"} 120' in text
+        assert 'repro_wall_time_seconds{job="j-1",name="fig2"} 1.25' in text
+        assert 'repro_frontier_pending_leases{job="j-1",name="fig2"} 3' in text
+        # The heartbeat-less job contributes to counts only.
+        assert 'repro_states_visited{job="j-2"' not in text
+
+    def test_coverage_percent_derived(self):
+        text = render_prometheus(snapshots())
+        assert 'repro_coverage_percent{job="j-1",name="fig2"} 75.0000' in text
+
+    def test_help_and_type_comments(self):
+        text = render_prometheus(snapshots())
+        assert "# HELP repro_jobs " in text
+        assert "# TYPE repro_jobs gauge" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        text = render_prometheus(
+            [{"id": "j", "name": 'a"b\\c\nd', "state": "done", "stats": None}]
+        )
+        assert 'name="a\\"b\\\\c\\nd"' in text
+
+    def test_custom_prefix(self):
+        text = render_prometheus(snapshots(), prefix="verif")
+        assert "verif_jobs{" in text
+        assert "repro_" not in text
+
+
+class TestWrite:
+    def test_writes_atomically(self, tmp_path):
+        target = tmp_path / "metrics" / "repro.prom"
+        written = write_metrics(snapshots(), target)
+        assert written == target
+        assert target.read_text() == render_prometheus(snapshots())
+        assert not target.with_name(target.name + ".tmp").exists()
+
+    def test_overwrite_in_place(self, tmp_path):
+        target = tmp_path / "repro.prom"
+        write_metrics(snapshots(), target)
+        write_metrics([], target)
+        assert 'repro_jobs{state="running"} 0' in target.read_text()

@@ -1,0 +1,157 @@
+"""The HTML run report: self-contained rendering, per-line source
+annotation, the ``repro report`` subcommand, and the end-to-end
+search → manifest → report pipeline on a real Python program."""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro import SearchOptions, run_search
+from repro.cli import main
+from repro.obs import build_manifest, load_manifest, render_html, write_report
+
+from .conftest import FIG2_SRC, fig2_system
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def fig2_manifest():
+    options = SearchOptions(coverage=True, profile=True)
+    system = fig2_system()
+    report = run_search(system, options)
+    return build_manifest(
+        argv=["repro", "search", "fig2.json", "--coverage"],
+        options=options,
+        report=report,
+        system=system,
+        language="rc",
+        source={"path": "fig2.rc", "text": FIG2_SRC},
+        phases={"search": 0.5},
+    )
+
+
+class TestRenderHtml:
+    def test_self_contained_document(self):
+        html = render_html(fig2_manifest())
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        # Self-contained: no external scripts, stylesheets, images or
+        # fonts — the file must render from a mail attachment, offline.
+        assert "<script src" not in html
+        assert "<link" not in html
+        assert not re.search(r"""(?:src|href)=["']https?://""", html)
+        assert "<style>" in html  # inline CSS rides along
+
+    def test_summary_and_provenance(self):
+        html = render_html(fig2_manifest())
+        assert "repro run report" in html
+        assert "engine" in html and "language" in html  # meta table
+        assert "rc" in html
+
+    def test_coverage_tables_and_toss_points(self):
+        html = render_html(fig2_manifest())
+        assert "Coverage" in html
+        assert "100.0%" in html  # fig2 reaches everything
+        assert "Environment inputs" in html or "toss" in html.lower()
+
+    def test_source_listing_annotates_lines(self):
+        html = render_html(fig2_manifest())
+        # Every executable source line renders as a hit span with its
+        # visit count; fig2 covers all of them.
+        hits = re.findall(r'class="ln hit"', html)
+        assert hits
+        assert 'class="ln miss"' not in html
+
+    def test_triage_section_lists_violations(self):
+        html = render_html(fig2_manifest())
+        assert "assert" in html.lower()  # the seeded violation group
+
+    def test_escapes_untrusted_text(self):
+        manifest = fig2_manifest()
+        manifest["program"]["text"] = "<script>alert(1)</script>\n"
+        html = render_html(manifest)
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        manifest = fig2_manifest()
+        path = write_report(manifest, tmp_path / "report.html")
+        assert path.read_text() == render_html(manifest)
+        json_path = tmp_path / "run.json"
+        json_path.write_text(json.dumps(manifest, default=str))
+        assert load_manifest(json_path)["meta"]["tool"] == "repro"
+
+
+@pytest.mark.slow
+class TestPythonEndToEnd:
+    """The acceptance pipeline: search a real ``.py`` program with
+    coverage, write the manifest, render the report, and see the known
+    unreachable-at-one-path lines called out."""
+
+    def _pinger_manifest(self, tmp_path):
+        run_json = tmp_path / "run.json"
+        rc = main(
+            [
+                "search",
+                str(EXAMPLES / "py_pinger.py"),
+                "--coverage",
+                "--max-paths",
+                "1",
+                "--manifest-out",
+                str(run_json),
+            ]
+        )
+        assert rc == 0
+        return run_json
+
+    def test_manifest_embeds_source_and_coverage(self, tmp_path):
+        manifest = load_manifest(self._pinger_manifest(tmp_path))
+        assert manifest["meta"]["language"] == "python"
+        assert manifest["program"]["path"].endswith("py_pinger.py")
+        assert "def " in manifest["program"]["text"]
+        coverage = manifest["report"]["coverage"]
+        assert coverage["summary"]["nodes_covered"] > 0
+        # One path cannot drive both monitor branches: lines 34 and 44
+        # of py_pinger.py stay dark (the CI smoke job asserts the same).
+        assert 34 in coverage["summary"]["lines_missing"]
+        assert 44 in coverage["summary"]["lines_missing"]
+
+    def test_report_subcommand_renders_miss_lines(self, tmp_path, capsys):
+        run_json = self._pinger_manifest(tmp_path)
+        out_html = tmp_path / "report.html"
+        cov_json = tmp_path / "cov.json"
+        rc = main(
+            ["report", str(run_json), "-o", str(out_html),
+             "--coverage-json", str(cov_json)]
+        )
+        assert rc == 0
+        html = out_html.read_text()
+        assert 'class="ln miss"' in html
+        assert 'class="ln hit"' in html
+        assert not re.search(r"""(?:src|href)=["']https?://""", html)
+        extracted = json.loads(cov_json.read_text())
+        assert extracted["summary"]["lines_missing"] == [34, 44]
+
+    @pytest.mark.parametrize(
+        "program,depth",
+        [("py_pinger.py", "14"), ("py_worker_pool.py", "10"),
+         ("fig3.json", "40")],
+        ids=["pinger", "worker-pool", "fig3"],
+    )
+    def test_jobs4_coverage_identical_to_jobs1(self, tmp_path, program, depth):
+        # Cross-driver parity through the real CLI on both .py examples
+        # and Figure 3: the coverage blocks must be byte-identical dicts.
+        def run(jobs, name):
+            out = tmp_path / name
+            args = [
+                "search", str(EXAMPLES / program),
+                "--coverage", "--max-depth", depth,
+                "--manifest-out", str(out),
+            ]
+            if jobs:
+                args += ["--strategy", "parallel", "--jobs", str(jobs)]
+            main(args)
+            return load_manifest(out)["report"]["coverage"]
+
+        assert run(None, "a.json") == run(4, "b.json")

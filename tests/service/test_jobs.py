@@ -255,3 +255,46 @@ class TestCrashRecoveryJob:
         for field in ("paths_explored", "states_visited", "transitions_executed"):
             assert result["stats"][field] == getattr(base.stats, field), field
         assert result["distinct_states"] == base.distinct_states
+
+
+class TestObservabilitySurface:
+    """Coverage gauges in heartbeats, the shared manifest ``meta``
+    block, and the ``--metrics-out`` Prometheus textfile exporter."""
+
+    def test_coverage_flows_into_manifest_and_heartbeat(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(
+            FIG3_DESCRIPTION,
+            _options(coverage=True),
+            program_source=FIG3_SRC,
+            name="fig3-cov",
+        )
+        serve(store, once=True)
+        job = store.get(job.id)
+        manifest = json.loads(job.manifest_path.read_text())
+        meta = manifest["meta"]
+        assert meta["tool"] == "repro" and meta["version"]
+        assert meta["language"] == "rc"
+        assert meta["engine"] in ("walk", "compiled")
+        coverage = manifest["report"]["coverage"]
+        assert coverage["summary"]["nodes_covered"] > 0
+        # The embedded program text lets `repro report` annotate lines.
+        assert manifest["program"]["text"] == FIG3_SRC
+        beat = job.latest_stats()
+        assert beat["stats"]["coverage_nodes"] == (
+            coverage["summary"]["nodes_covered"]
+        )
+        assert beat["stats"]["coverage_nodes_total"] == (
+            coverage["summary"]["nodes_total"]
+        )
+
+    def test_serve_exports_prometheus_textfile(self, tmp_path):
+        store = JobStore(tmp_path / "jobs")
+        _submit_fig3(store)
+        metrics = tmp_path / "metrics" / "repro.prom"
+        serve(store, once=True, metrics_out=metrics)
+        text = metrics.read_text()
+        assert 'repro_jobs{state="done"} 1' in text
+        assert "repro_states_visited{" in text
+        assert "# TYPE repro_jobs gauge" in text
+        assert not metrics.with_name(metrics.name + ".tmp").exists()

@@ -205,6 +205,39 @@ class TestAggregation:
         assert "por=0.50" in stats.ticker_line()
         assert "50 states/s" in stats.ticker_line()
 
+    def test_ticker_shows_coverage_and_frontier_gauges(self):
+        stats = SearchStats(
+            states_visited=10,
+            wall_time=1.0,
+            coverage_nodes=9,
+            coverage_nodes_total=12,
+            frontier_pending=4,
+        )
+        line = stats.ticker_line()
+        assert "cov=75%" in line
+        assert "pending=4" in line
+        # Gauges are absent when unset — the ticker stays compact.
+        quiet = SearchStats(states_visited=10, wall_time=1.0).ticker_line()
+        assert "cov=" not in quiet and "pending=" not in quiet
+
+    def test_coverage_gauges_not_summed_on_merge(self):
+        parts = [
+            SearchStats(coverage_nodes=5, coverage_nodes_total=12, frontier_pending=2),
+            SearchStats(coverage_nodes=7, coverage_nodes_total=12, frontier_pending=3),
+        ]
+        merged = SearchStats.merged(parts, strategy="parallel", jobs=2)
+        # Worker shards can overlap; the merged gauges are re-derived
+        # from the merged collector, never summed across shards.
+        assert merged.coverage_nodes == 0
+        assert merged.coverage_nodes_total == 0
+        assert merged.frontier_pending == 0
+
+    def test_json_dict_derives_coverage_percent(self):
+        stats = SearchStats(coverage_nodes=6, coverage_nodes_total=12)
+        payload = stats.json_dict()
+        assert payload["coverage_percent"] == 50.0
+        assert SearchStats().json_dict()["coverage_percent"] is None
+
     def test_as_dict_roundtrip(self):
         stats = SearchStats(states_visited=3)
         assert stats.as_dict()["states_visited"] == 3
