@@ -9,7 +9,13 @@ the identical bounded DFS over Figure 2, Figure 3 and the Section 6
 call-processing application in both modes and records wall time,
 replay fraction and total executed transitions (fresh + replayed).
 
-Asserted here (the modes must differ *only* in how they backtrack):
+On the 5ESS case each mode additionally runs under the compiled
+execution engine — the end-to-end configuration the incremental
+fingerprint + hot-loop work targets ("as fast as the compiled
+engine") — with full counter parity asserted across all four variants.
+
+Asserted here (the variants must differ *only* in how they backtrack
+and how fast they step):
 
 * states / transitions / paths / violation groups identical;
 * restore performs zero replays (``replayed_transitions == 0``,
@@ -20,29 +26,30 @@ Asserted here (the modes must differ *only* in how they backtrack):
 Numbers land in the repo-root ``BENCH_backtrack.json`` (CI uploads the
 ``BENCH_*.json`` artifacts) with a copy under ``benchmarks/results/``.
 Each parametrized case merges its rows into the JSON, so a filtered run
-(``-k "fig2 or fig3"``) refreshes only its own entries.
+(``-k "fig2 or fig3"``) refreshes only its own entries; ``--baseline``
+prints states/sec deltas against a previous run's files.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 import pytest
 
 from repro import SearchOptions, run_search
 from repro.fiveess import build_app
+from benchmarks.bench_lib import baseline_delta_lines, merge_bench_json
 from tests.statespace.conftest import FIG2_SRC, FIG3_SRC, figure_system
 
 pytestmark = pytest.mark.slow
 
-BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_backtrack.json"
-BENCH_JSON_COPY = pathlib.Path(__file__).parent / "results" / "BENCH_backtrack.json"
-
-MODES = ("replay", "restore")
-
 PARITY_KEYS = ("states", "transitions", "paths", "toss_points", "violation_groups")
+
+#: Wall time is best-of-N (counters are asserted identical across
+#: repeats, so only the timing is picked): shared CI hosts and the
+#: container VM show 20-30% run-to-run noise, which best-of-2 largely
+#: absorbs without tripling the benchmark's runtime.
+REPEATS = 2
 
 
 def _fiveess_system():
@@ -50,23 +57,56 @@ def _fiveess_system():
     return app.make_system(app.close(), with_maintenance=False)
 
 
+#: label -> (system factory, bounds, (variant -> (backtrack, engine))).
+#: The figure searches are small enough that the engine dimension adds
+#: nothing; the bounded 5ESS case carries the headline end-to-end
+#: throughput, so it runs both modes under both engines.
 CASES = {
-    "fig2": (lambda: figure_system(FIG2_SRC, "p"), dict(max_depth=60)),
-    "fig3": (lambda: figure_system(FIG3_SRC, "q"), dict(max_depth=60)),
-    "5ess": (lambda: _fiveess_system(), dict(max_depth=20, max_events=50_000)),
+    "fig2": (
+        lambda: figure_system(FIG2_SRC, "p"),
+        dict(max_depth=60),
+        {"replay": ("replay", "walk"), "restore": ("restore", "walk")},
+    ),
+    "fig3": (
+        lambda: figure_system(FIG3_SRC, "q"),
+        dict(max_depth=60),
+        {"replay": ("replay", "walk"), "restore": ("restore", "walk")},
+    ),
+    "5ess": (
+        lambda: _fiveess_system(),
+        dict(max_depth=20, max_events=50_000),
+        {
+            "replay": ("replay", "walk"),
+            "restore": ("restore", "walk"),
+            "replay_compiled": ("replay", "compiled"),
+            "restore_compiled": ("restore", "compiled"),
+        },
+    ),
 }
 
 
-def _run_one(build, bounds, mode):
-    system = build()
-    options = SearchOptions(backtrack=mode, **bounds)
-    started = time.perf_counter()
-    report = run_search(system, options)
-    elapsed = time.perf_counter() - started
+def _run_one(build, bounds, mode, engine):
+    best = None
+    for _ in range(REPEATS):
+        system = build()
+        if engine == "compiled":
+            system.compiled_program()  # compile outside the timed region
+        options = SearchOptions(backtrack=mode, engine=engine, **bounds)
+        started = time.perf_counter()
+        report = run_search(system, options)
+        elapsed = time.perf_counter() - started
+        stats = report.stats
+        assert stats.engine == engine, f"fell back to {stats.engine}"
+        if best is not None:
+            assert stats.states_visited == best[1].stats.states_visited
+        if best is None or elapsed < best[0]:
+            best = (elapsed, report)
+    elapsed, report = best
     stats = report.stats
     total = stats.transitions_executed + stats.replayed_transitions
     return {
         "backtrack": stats.backtrack,
+        "engine": stats.engine,
         "states": stats.states_visited,
         "transitions": stats.transitions_executed,
         "toss_points": stats.toss_points,
@@ -84,38 +124,30 @@ def _run_one(build, bounds, mode):
     }
 
 
-def _merge_json(label, rows):
-    """Merge this case's rows into the shared JSON (root + results copy),
-    preserving entries a filtered run did not regenerate."""
-    results = {}
-    if BENCH_JSON.exists():
-        try:
-            results = json.loads(BENCH_JSON.read_text())
-        except (ValueError, OSError):
-            results = {}
-    results[label] = rows
-    text = json.dumps(results, indent=2) + "\n"
-    BENCH_JSON.write_text(text)
-    BENCH_JSON_COPY.parent.mkdir(exist_ok=True)
-    BENCH_JSON_COPY.write_text(text)
-
-
 @pytest.mark.parametrize("label", list(CASES))
-def test_bench_backtrack(label, record_table):
-    build, bounds = CASES[label]
-    rows = {mode: _run_one(build, bounds, mode) for mode in MODES}
+def test_bench_backtrack(label, record_table, baseline_results):
+    build, bounds, variants = CASES[label]
+    rows = {
+        variant: _run_one(build, bounds, mode, engine)
+        for variant, (mode, engine) in variants.items()
+    }
     replay_row, restore_row = rows["replay"], rows["restore"]
 
-    # Identical search, different backtracking cost — nothing else.
-    for key in PARITY_KEYS:
-        assert replay_row[key] == restore_row[key], (
-            f"{label}: {key} differs between modes: "
-            f"{replay_row[key]} vs {restore_row[key]}"
-        )
-    assert restore_row["replays"] == 0
-    assert restore_row["replayed_transitions"] == 0
-    assert restore_row["replay_fraction"] == 0.0
-    assert restore_row["restores"] > 0
+    # Identical search, different backtracking/stepping cost — nothing
+    # else: every variant must agree with walk-engine replay.
+    for variant, row in rows.items():
+        for key in PARITY_KEYS:
+            assert row[key] == replay_row[key], (
+                f"{label}: {key} differs between replay and {variant}: "
+                f"{replay_row[key]} vs {row[key]}"
+            )
+    for variant, row in rows.items():
+        if row["backtrack"] != "restore":
+            continue
+        assert row["replays"] == 0, variant
+        assert row["replayed_transitions"] == 0, variant
+        assert row["replay_fraction"] == 0.0, variant
+        assert row["restores"] > 0, variant
 
     if label == "5ess":
         ratio = replay_row["total_transitions"] / restore_row["total_transitions"]
@@ -124,19 +156,23 @@ def test_bench_backtrack(label, record_table):
             f"5ess: replay executed only {ratio:.2f}x the transitions of "
             "restore (expected >= 2x)"
         )
+        speedup = (
+            rows["restore_compiled"]["states_per_second"]
+            / max(replay_row["states_per_second"], 1)
+        )
+        rows["restore_compiled"]["speedup_vs_walk_replay"] = round(speedup, 2)
 
-    _merge_json(label, rows)
+    merge_bench_json("backtrack", label, rows)
 
     lines = [
         f"Backtracking modes on {label} (bounds {bounds})",
         "",
-        f"  {'mode':<8} {'states':>7} {'total-trans':>12} {'replayed':>9} "
+        f"  {'variant':<17} {'states':>7} {'total-trans':>12} {'replayed':>9} "
         f"{'replay%':>8} {'time':>8} {'states/s':>10}",
     ]
-    for mode in MODES:
-        row = rows[mode]
+    for variant, row in rows.items():
         lines.append(
-            f"  {mode:<8} {row['states']:>7} {row['total_transitions']:>12} "
+            f"  {variant:<17} {row['states']:>7} {row['total_transitions']:>12} "
             f"{row['replayed_transitions']:>9} {row['replay_fraction']:>8.1%} "
             f"{row['wall_time_s']:>7.2f}s {row['states_per_second']:>10,}"
         )
@@ -146,5 +182,6 @@ def test_bench_backtrack(label, record_table):
             f"{restore_row['transition_ratio_vs_replay']}x fewer total "
             "transitions than replay"
         )
-    lines.append(f"wrote {BENCH_JSON.name}")
+    lines.extend(baseline_delta_lines(baseline_results.get("backtrack"), label, rows))
+    lines.append("wrote BENCH_backtrack.json")
     record_table(f"BENCH_backtrack_{label}", lines)

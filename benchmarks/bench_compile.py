@@ -32,8 +32,6 @@ JSON writer in seconds.
 
 from __future__ import annotations
 
-import json
-import pathlib
 import random
 import time
 
@@ -42,12 +40,10 @@ import pytest
 from repro import SearchOptions, System, run_search
 from repro.fiveess import build_app
 from repro.runtime.errors import DivergenceError, RuntimeFault
+from benchmarks.bench_lib import baseline_delta_lines, merge_bench_json
 from tests.statespace.conftest import FIG2_SRC, FIG3_SRC, figure_system
 
 pytestmark = pytest.mark.slow
-
-BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_compile.json"
-BENCH_JSON_COPY = pathlib.Path(__file__).parent / "results" / "BENCH_compile.json"
 
 ENGINES = ("walk", "compiled")
 
@@ -93,22 +89,6 @@ def _kernel_system():
     return system
 
 
-def _merge_json(label, rows):
-    """Merge this case's rows into the shared JSON (root + results copy),
-    preserving entries a filtered run did not regenerate."""
-    results = {}
-    if BENCH_JSON.exists():
-        try:
-            results = json.loads(BENCH_JSON.read_text())
-        except (ValueError, OSError):
-            results = {}
-    results[label] = rows
-    text = json.dumps(results, indent=2) + "\n"
-    BENCH_JSON.write_text(text)
-    BENCH_JSON_COPY.parent.mkdir(exist_ok=True)
-    BENCH_JSON_COPY.write_text(text)
-
-
 # ---------------------------------------------------------------------------
 # End-to-end searches
 # ---------------------------------------------------------------------------
@@ -147,7 +127,7 @@ def _search_row(build, bounds, engine):
 
 
 @pytest.mark.parametrize("label", list(CASES))
-def test_bench_compile_search(label, record_table):
+def test_bench_compile_search(label, record_table, baseline_results):
     build, bounds = CASES[label]
     rows = {engine: _search_row(build, bounds, engine) for engine in ENGINES}
     walk_row, compiled_row = rows["walk"], rows["compiled"]
@@ -162,7 +142,7 @@ def test_bench_compile_search(label, record_table):
 
     speedup = walk_row["wall_time_s"] / max(compiled_row["wall_time_s"], 1e-9)
     compiled_row["speedup_vs_walk"] = round(speedup, 2)
-    _merge_json(label, rows)
+    merge_bench_json("compile", label, rows)
 
     lines = [
         f"Execution engines on {label}, end-to-end search (bounds {bounds})",
@@ -177,8 +157,78 @@ def test_bench_compile_search(label, record_table):
         )
     lines.append(f"  end-to-end speedup: {speedup:.2f}x (engine cost amortized")
     lines.append("  against engine-independent scheduler/POR work)")
-    lines.append(f"wrote {BENCH_JSON.name}")
+    lines.extend(baseline_delta_lines(baseline_results.get("compile"), label, rows))
+    lines.append("wrote BENCH_compile.json")
     record_table(f"BENCH_compile_{label}", lines)
+
+
+# ---------------------------------------------------------------------------
+# Per-phase breakdown: where do the wall seconds of a search go?
+# ---------------------------------------------------------------------------
+
+
+def test_bench_compile_phases(record_table):
+    """Per-phase wall-time breakdown of the bounded 5ESS search.
+
+    Runs the profiled search (``profile=True`` wires the explorer's
+    ``phase_profile`` hook into :class:`repro.obs.HotSpotProfiler`)
+    under each engine, with state caching on so every phase — engine
+    stepping, canonical fingerprints, POR analysis, cache lookups — is
+    exercised, and records seconds and shares per phase.  The engine
+    phase is where compilation bites; everything else is
+    engine-independent, which is exactly the Amdahl ceiling the
+    end-to-end rows show.
+    """
+    bounds = dict(max_depth=20, max_events=50_000, state_cache="exact")
+    rows = {}
+    for engine in ENGINES:
+        system = _fiveess_system()
+        if engine == "compiled":
+            system.compiled_program()
+        options = SearchOptions(engine=engine, profile=True, **bounds)
+        started = time.perf_counter()
+        report = run_search(system, options)
+        elapsed = time.perf_counter() - started
+        phases = dict(report.profile.phases)
+        accounted = sum(phases.values())
+        rows[engine] = {
+            "engine": engine,
+            "states": report.stats.states_visited,
+            "wall_time_s": round(elapsed, 4),
+            "states_per_second": round(report.stats.states_per_second),
+            "phases_s": {k: round(v, 4) for k, v in sorted(phases.items())},
+            "phase_share": {
+                k: round(v / elapsed, 4) for k, v in sorted(phases.items())
+            },
+            "unattributed_s": round(elapsed - accounted, 4),
+        }
+    # Both engines spend their non-engine time in the same places; the
+    # profiled phases must account for a meaningful share of the wall.
+    for engine, row in rows.items():
+        assert row["phases_s"].get("engine", 0.0) > 0.0, engine
+        assert sum(row["phases_s"].values()) < row["wall_time_s"], engine
+    merge_bench_json("compile", "phases_5ess", rows)
+
+    phase_names = sorted(
+        {name for row in rows.values() for name in row["phases_s"]}
+    )
+    lines = [
+        f"Per-phase wall-time breakdown, bounded 5ESS search ({bounds})",
+        "",
+        f"  {'engine':<9} " + " ".join(f"{name:>12}" for name in phase_names)
+        + f" {'other':>12} {'total':>9}",
+    ]
+    for engine in ENGINES:
+        row = rows[engine]
+        cells = " ".join(
+            f"{row['phases_s'].get(name, 0.0):>11.3f}s" for name in phase_names
+        )
+        lines.append(
+            f"  {engine:<9} {cells} {row['unattributed_s']:>11.3f}s "
+            f"{row['wall_time_s']:>8.3f}s"
+        )
+    lines.append("wrote BENCH_compile.json")
+    record_table("BENCH_compile_phases", lines)
 
 
 # ---------------------------------------------------------------------------
@@ -298,7 +348,7 @@ def _engine_table(record_table, label, title, rows, speedup):
             f"{row['choices_per_second']:>11,}"
         )
     lines.append(f"  engine-level speedup: {speedup:.2f}x")
-    lines.append(f"wrote {BENCH_JSON.name}")
+    lines.append("wrote BENCH_compile.json")
     record_table(f"BENCH_compile_{label}", lines)
 
 
@@ -313,7 +363,7 @@ def test_bench_compile_engine_5ess(record_table):
     scripts = _record_scripts(make, seeds=range(8))
     rows, speedup = _engine_rows(make, scripts, reps=6)
     assert speedup >= 2.0, f"compiled engine only {speedup:.2f}x on 5ESS drive"
-    _merge_json("5ess_engine", rows)
+    merge_bench_json("compile", "5ess_engine", rows)
     _engine_table(
         record_table,
         "5ess_engine",
@@ -331,7 +381,7 @@ def test_bench_compile_kernel(record_table):
     scripts = _record_scripts(_kernel_system, seeds=range(2), max_steps=200)
     rows, speedup = _engine_rows(_kernel_system, scripts, reps=4)
     assert speedup >= 3.0, f"compiled engine only {speedup:.2f}x on the kernel"
-    _merge_json("kernel", rows)
+    merge_bench_json("compile", "kernel", rows)
     _engine_table(
         record_table,
         "kernel",

@@ -16,19 +16,16 @@ asserted on the 5ESS rows and recorded in the JSON.
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 import pytest
 
 from repro import SearchOptions, run_search
 from repro.fiveess import build_app
+from benchmarks.bench_lib import baseline_delta_lines, merge_bench_json
 from tests.statespace.conftest import FIG2_SRC, FIG3_SRC, figure_system
 
 pytestmark = pytest.mark.slow
-
-BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_search.json"
 
 #: (label, system factory, SearchOptions bounds).  The 5ESS slice is
 #: bounded to keep the four runs per system inside a couple of minutes.
@@ -72,7 +69,7 @@ def _run_one(build, bounds, cache):
     }
 
 
-def test_bench_search(record_table):
+def test_bench_search(record_table, baseline_results):
     results = {}
     lines = [
         "DFS with and without state caching (cache_bits=20 for bitstate)",
@@ -125,8 +122,10 @@ def test_bench_search(record_table):
         )
     )
 
-    text = json.dumps(results, indent=2) + "\n"
-    BENCH_JSON.write_text(text)
-    (pathlib.Path(__file__).parent / "results" / "BENCH_search.json").write_text(text)
-    lines.append(f"wrote {BENCH_JSON.name}")
+    for label, rows in results.items():
+        merge_bench_json("search", label, rows)
+        lines.extend(
+            baseline_delta_lines(baseline_results.get("search"), label, rows)
+        )
+    lines.append("wrote BENCH_search.json")
     record_table("bench_search", lines)

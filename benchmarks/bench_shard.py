@@ -33,20 +33,16 @@ Each parametrized case merges its rows into the JSON, so a filtered run
 
 from __future__ import annotations
 
-import json
 import os
-import pathlib
 import time
 
 import pytest
 
 from repro import SearchOptions, System, run_search
+from benchmarks.bench_lib import baseline_delta_lines, merge_bench_json
 from tests.statespace.conftest import FIG2_SRC, FIG3_SRC, figure_system
 
 pytestmark = pytest.mark.slow
-
-BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_shard.json"
-BENCH_JSON_COPY = pathlib.Path(__file__).parent / "results" / "BENCH_shard.json"
 
 JOBS = 4
 
@@ -113,24 +109,8 @@ def _run_one(build, bounds, *, strategy, scheduler="static", jobs=0):
     }
 
 
-def _merge_json(label, rows):
-    """Merge this case's rows into the shared JSON (root + results copy),
-    preserving entries a filtered run did not regenerate."""
-    results = {}
-    if BENCH_JSON.exists():
-        try:
-            results = json.loads(BENCH_JSON.read_text())
-        except (ValueError, OSError):
-            results = {}
-    results[label] = rows
-    text = json.dumps(results, indent=2) + "\n"
-    BENCH_JSON.write_text(text)
-    BENCH_JSON_COPY.parent.mkdir(exist_ok=True)
-    BENCH_JSON_COPY.write_text(text)
-
-
 @pytest.mark.parametrize("label", list(CASES))
-def test_bench_shard(label, record_table):
+def test_bench_shard(label, record_table, baseline_results):
     build, bounds = CASES[label]
     rows = {
         "dfs": _run_one(build, bounds, strategy="dfs"),
@@ -166,7 +146,7 @@ def test_bench_shard(label, record_table):
                 "(expected >= 1.2x with >= 4 real cores)"
             )
 
-    _merge_json(label, rows)
+    merge_bench_json("shard", label, rows)
 
     lines = [
         f"Schedulers on {label} (bounds {bounds}, jobs {JOBS})",
@@ -179,4 +159,5 @@ def test_bench_shard(label, record_table):
             f"  {variant:<8} {row['paths']:>6} {row['states']:>7} "
             f"{row['leases']:>7} {row['steals']:>7} {row['wall_time_s']:>8.3f}s"
         )
+    lines.extend(baseline_delta_lines(baseline_results.get("shard"), label, rows))
     record_table(f"bench_shard_{label}", lines)

@@ -1,0 +1,97 @@
+"""CI throughput gate: fail on states/sec regressions vs a baseline.
+
+Compares every row carrying a ``states_per_second`` field in the
+current ``BENCH_*.json`` files against the same row (matched by file
+and JSON path) in a baseline directory — normally the committed
+versions stashed before re-running the benchmark slices::
+
+    mkdir perf-baseline && cp BENCH_*.json perf-baseline/
+    python -m pytest benchmarks ... -m slow -k "fig2 or fig3 or 5ess"
+    python benchmarks/check_regression.py --baseline perf-baseline
+
+Exits non-zero when any matched row's throughput drops by more than
+``--tolerance`` (default 30%, generous enough that a loaded CI box does
+not flake while a real hot-loop regression still trips it).  Rows that
+exist on only one side are reported but never fail the gate — filtered
+runs regenerate only their own slices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from bench_lib import iter_rates
+
+
+def compare(
+    baseline_dir: pathlib.Path, current_dir: pathlib.Path, tolerance: float
+) -> int:
+    failures = 0
+    compared = 0
+    for base_file in sorted(baseline_dir.glob("BENCH_*.json")):
+        current_file = current_dir / base_file.name
+        if not current_file.exists():
+            print(f"{base_file.name}: no current file, skipped")
+            continue
+        try:
+            base = json.loads(base_file.read_text())
+            current = json.loads(current_file.read_text())
+        except ValueError as err:
+            print(f"{base_file.name}: unreadable JSON ({err}), skipped")
+            continue
+        base_rates = dict(iter_rates(base))
+        current_rates = dict(iter_rates(current))
+        for path, old_rate in sorted(base_rates.items()):
+            new_rate = current_rates.get(path)
+            where = f"{base_file.name}:{'/'.join(path)}"
+            if new_rate is None:
+                print(f"  {where}: not re-measured, skipped")
+                continue
+            compared += 1
+            delta = (new_rate - old_rate) / old_rate if old_rate else 0.0
+            verdict = "ok"
+            if old_rate and new_rate < old_rate * (1.0 - tolerance):
+                verdict = "REGRESSION"
+                failures += 1
+            print(
+                f"  {where}: {old_rate:,.0f} -> {new_rate:,.0f} states/s "
+                f"({delta:+.1%}) {verdict}"
+            )
+    print(f"\ncompared {compared} rows, {failures} regression(s) beyond "
+          f"{tolerance:.0%} tolerance")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        type=pathlib.Path,
+        help="directory holding the baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[1],
+        help="directory holding the freshly generated BENCH_*.json files "
+        "(default: the repository root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline.is_dir():
+        print(f"baseline directory {args.baseline} does not exist")
+        return 2
+    return compare(args.baseline, args.current, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

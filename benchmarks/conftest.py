@@ -9,11 +9,46 @@ EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--baseline",
+        action="store",
+        default=None,
+        help=(
+            "Directory of baseline BENCH_*.json files (or one such file); "
+            "each benchmark prints a states/sec delta summary against it "
+            "alongside its result table."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def baseline_results(request) -> dict[str, dict]:
+    """``name -> parsed baseline BENCH_<name>.json`` (empty without
+    ``--baseline``)."""
+    target = request.config.getoption("--baseline")
+    if not target:
+        return {}
+    path = pathlib.Path(target)
+    files = [path] if path.is_file() else sorted(path.glob("BENCH_*.json"))
+    out: dict[str, dict] = {}
+    for file in files:
+        name = file.stem
+        if name.startswith("BENCH_"):
+            name = name[len("BENCH_") :]
+        try:
+            out[name] = json.loads(file.read_text())
+        except (ValueError, OSError):
+            continue
+    return out
 
 
 @pytest.fixture(scope="session")

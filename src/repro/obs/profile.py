@@ -9,8 +9,15 @@ transitions — it attaches to the explorer's ``on_step`` observer (see
 * per-operation counts (``send`` on which object, ``sem_p``, ...),
 * per-process counts (which process is scheduled most),
 * per-toss-point counts (which inserted ``VS_toss`` choice points fan
-  the search out), and
-* depth and branching-degree histograms of the explored choice tree.
+  the search out),
+* depth and branching-degree histograms of the explored choice tree, and
+* a **per-phase wall-time breakdown** (:attr:`HotSpotProfiler.phases`):
+  seconds spent in the engine (stepping processes), computing canonical
+  state fingerprints, in POR analysis, in the state cache and in the
+  coverage collector.  The explorer fills it through its
+  ``phase_profile`` hook; phases not exercised by a configuration
+  (e.g. ``fingerprint`` with nothing consuming state keys) simply stay
+  absent.
 
 All counts are anchored exactly like the search counters — schedule
 steps on *fresh edges*, toss points at choice-point creation — so the
@@ -62,6 +69,11 @@ class HotSpotProfiler:
         self.depth_hist: Counter = Counter()
         #: branching degree -> choice points created with that fan-out.
         self.branching_hist: Counter = Counter()
+        #: explorer phase name -> wall seconds (``engine`` /
+        #: ``fingerprint`` / ``por`` / ``cache`` / ``coverage``), filled
+        #: through the explorer's ``phase_profile`` hook.  A ``Counter``
+        #: so absent phases read as 0.0 and merging is a plain sum.
+        self.phases: Counter = Counter()
 
     # -- the observer --------------------------------------------------------
 
@@ -100,6 +112,7 @@ class HotSpotProfiler:
         self.tosses.update(other.tosses)
         self.depth_hist.update(other.depth_hist)
         self.branching_hist.update(other.branching_hist)
+        self.phases.update(other.phases)
 
     @classmethod
     def merged(cls, parts) -> "HotSpotProfiler":
@@ -191,6 +204,15 @@ class HotSpotProfiler:
 
         lines.append(f"\n  depth histogram:     {self._histogram_line(self.depth_hist)}")
         lines.append(f"  branching histogram: {self._histogram_line(self.branching_hist)}")
+
+        if self.phases:
+            phase_total = sum(self.phases.values())
+            lines.append("\n  wall seconds per explorer phase:")
+            for phase, seconds in sorted(
+                self.phases.items(), key=lambda item: (-item[1], item[0])
+            ):
+                share = seconds / phase_total if phase_total else 0.0
+                lines.append(f"    {seconds:>12.4f}  {share:>6.1%}  {phase}")
         return "\n".join(lines)
 
     # -- serialization -------------------------------------------------------
@@ -219,4 +241,5 @@ class HotSpotProfiler:
             "branching_hist": {
                 str(k): v for k, v in sorted(self.branching_hist.items())
             },
+            "phases_s": {k: round(v, 6) for k, v in sorted(self.phases.items())},
         }

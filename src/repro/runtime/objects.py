@@ -39,6 +39,11 @@ class CommunicationObject:
         #: recorded into (``None`` = journaling off; set by
         #: :meth:`System.start`).
         self.journal = None
+        #: Dirty counter for incremental fingerprints: every ``perform``
+        #: branch that can change :meth:`state_fingerprint` must bump it.
+        #: The built-in objects do; it is reset on restore by
+        #: :class:`repro.runtime.fingerprint.RunFingerprinter`.
+        self.fp_version = 0
 
     def enabled(self, op: str) -> bool:
         """Whether ``op`` may currently be executed (history-only)."""
@@ -85,11 +90,13 @@ class FifoChannel(CommunicationObject):
 
     def perform(self, op: str, args: tuple[Any, ...]) -> Any:
         if op == "send":
+            self.fp_version += 1
             if self.journal is not None:
                 self.journal.record_append(self.queue)
             self.queue.append(copy_value(args[0]))
             return None
         if op == "recv":
+            self.fp_version += 1
             value = self.queue.popleft()
             if self.journal is not None:
                 self.journal.record_popleft(self.queue, value)
@@ -138,6 +145,8 @@ class EnvSink(CommunicationObject):
     def perform(self, op: str, args: tuple[Any, ...]) -> Any:
         if op == "send":
             if self.record_outputs:
+                if self.visible_in_state:
+                    self.fp_version += 1
                 if self.journal is not None:
                     self.journal.record_append(self.outputs)
                 self.outputs.append(copy_value(args[0]))
@@ -175,11 +184,13 @@ class Semaphore(CommunicationObject):
 
     def perform(self, op: str, args: tuple[Any, ...]) -> Any:
         if op == "sem_p":
+            self.fp_version += 1
             if self.journal is not None:
                 self.journal.record_attr(self, "count")
             self.count -= 1
             return None
         if op == "sem_v":
+            self.fp_version += 1
             if self.journal is not None:
                 self.journal.record_attr(self, "count")
             self.count += 1
@@ -209,6 +220,7 @@ class SharedVar(CommunicationObject):
         if op == "read":
             return copy_value(self.value)
         if op == "write":
+            self.fp_version += 1
             if self.journal is not None:
                 self.journal.record_attr(self, "value")
             self.value = copy_value(args[0])

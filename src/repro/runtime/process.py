@@ -48,6 +48,18 @@ class Process:
         self.status: ProcessStatus | None = None  # None until start()
         self.pending: Request | None = None
         self.crash: Exception | None = None
+        #: Dirty counter for incremental fingerprints: bumped whenever the
+        #: process steps or is restored, i.e. whenever anything covered by
+        #: :meth:`state_fingerprint` may have changed.  Consumed (and reset
+        #: on restore) by :class:`repro.runtime.fingerprint.RunFingerprinter`.
+        self.fp_version = 0
+        #: Memoised :meth:`snapshot` tuple — valid until the next step or
+        #: restore, making repeated checkpoints of a parked process O(1).
+        self._snap: tuple | None = None
+        #: Cached ``(request, TransitionSig, sig_id)`` for the pending
+        #: visible request, maintained by :mod:`repro.verisoft.por`.
+        #: Validated by request identity, so it needs no invalidation.
+        self._sig_entry: tuple | None = None
 
     @property
     def engine(self) -> "ExecutionEngine":
@@ -68,6 +80,8 @@ class Process:
         self._resume(lambda: self._interpreter.resume(value))
 
     def _resume(self, step) -> None:
+        self.fp_version += 1
+        self._snap = None
         try:
             request = step()
         except DivergenceError as err:
@@ -98,11 +112,21 @@ class Process:
         O(stack depth); pairs the scheduler-facing state (status, pending
         request, crash record) with the interpreter's own snapshot.  Value
         state is rewound separately by the undo journal.
+
+        Memoised: a process that has not stepped since the last snapshot
+        returns the same tuple (snapshots are immutable by contract), so
+        checkpointing a mostly-parked system is O(moved processes).
         """
-        return (self.status, self.pending, self.crash, self._interpreter.snapshot())
+        snap = self._snap
+        if snap is None:
+            snap = (self.status, self.pending, self.crash, self._interpreter.snapshot())
+            self._snap = snap
+        return snap
 
     def restore(self, snap: tuple) -> None:
         """Rewind to a :meth:`snapshot` (repeatable; safe after crashes)."""
+        self.fp_version += 1
+        self._snap = snap  # the state now *is* this snapshot — reseed the memo
         self.status, self.pending, self.crash, interp_snap = snap
         self._interpreter.restore(interp_snap)
 

@@ -30,6 +30,7 @@ from .compile import (
 )
 from .engine import validate_engine
 from .errors import ObjectError
+from .fingerprint import RunFingerprinter, encode_canonical
 from .interp import Interpreter
 from .journal import RunCheckpoint, UndoJournal
 from .objects import CommunicationObject, EnvSink, FifoChannel, Semaphore, SharedVar
@@ -107,6 +108,8 @@ class System:
         # compilation unsupported (fall back to the walking engine).
         # Per-instance and excluded from pickling — workers recompile.
         self._compiled: CompiledProgram | bool | None = None
+        # uses_pointers() cache — per-instance, excluded from pickling.
+        self._uses_pointers: bool | None = None
 
     # -- pickling (parallel worker fan-out) ---------------------------------------
 
@@ -124,6 +127,7 @@ class System:
         self._object_specs = state["object_specs"]
         self._process_specs = state["process_specs"]
         self._compiled = None
+        self._uses_pointers = None
 
     # -- declaration API ---------------------------------------------------------
 
@@ -227,6 +231,27 @@ class System:
             spec.instantiate().journalable for spec in self._object_specs.values()
         )
 
+    def uses_pointers(self) -> bool:
+        """Whether any procedure takes an address (``&``) or dereferences
+        (``*``) — the precondition check for incremental fingerprints.
+
+        ``copy_value`` transmits pointers by reference, so a pointer
+        program can mutate one process's fingerprint from another
+        process without touching its dirty counter; such programs fall
+        back to full fingerprint recomputation (see
+        :mod:`repro.runtime.fingerprint`).
+        """
+        if self._uses_pointers is None:
+            self._uses_pointers = any(
+                isinstance(expr, ast.Unary) and expr.op in ("&", "*")
+                for cfg in self.cfgs.values()
+                for node in cfg.nodes.values()
+                for root in (node.target, node.value, node.expr, node.result, *node.args)
+                if root is not None
+                for expr in ast.walk_expr(root)
+            )
+        return self._uses_pointers
+
     def compiled_program(self) -> CompiledProgram | None:
         """The program compiled for the ``"compiled"`` engine, or
         ``None`` when compilation is unsupported (pointer programs fall
@@ -298,7 +323,16 @@ class System:
             if trace:
                 stepper.enable_trace()
             processes.append(Process(spec.name, stepper))
-        return Run(objects, processes, journal=journal_obj, engine=engine)
+        fingerprinter = None
+        if not self.uses_pointers():
+            fingerprinter = RunFingerprinter(processes, list(objects.values()))
+        return Run(
+            objects,
+            processes,
+            journal=journal_obj,
+            engine=engine,
+            fingerprinter=fingerprinter,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -320,14 +354,21 @@ class Run:
         processes: list[Process],
         journal: UndoJournal | None = None,
         engine: str = "walk",
+        fingerprinter: RunFingerprinter | None = None,
     ):
         self.objects = objects
         self.processes = processes
+        #: Name → process, for O(1) scheduler lookups in the search hot loop.
+        self.process_map = {process.name: process for process in processes}
         self.journal = journal
         #: The execution engine actually driving this run's processes —
         #: ``"walk"`` even when ``"compiled"`` was requested but the
         #: program could not be compiled (see :mod:`repro.runtime.engine`).
         self.engine = engine
+        #: Incremental state-key combiner, attached by :meth:`System.start`
+        #: for pointer-free programs; ``None`` makes :meth:`state_key`
+        #: recompute the full encoding (still once per call).
+        self.fingerprinter = fingerprinter
         self._started = False
 
     def __reduce__(self):
@@ -351,16 +392,21 @@ class Run:
                 "run was not started with journaling; pass journal=True "
                 "to System.start() to enable checkpoints"
             )
-        snapshots = tuple(process.snapshot() for process in self.processes)
         # Accounting-model footprint: a checkpoint tuple plus, per
         # process, its snapshot tuple and one slot per stack entry.
-        approx_bytes = 96 + sum(
-            112 + 56 * len(snap[3][0]) for snap in snapshots
-        )
+        snapshots = []
+        approx_bytes = 96
+        for process in self.processes:
+            snap = process.snapshot()
+            snapshots.append(snap)
+            approx_bytes += 112 + 56 * len(snap[3][0])
+        snapshots = tuple(snapshots)
+        fingerprinter = self.fingerprinter
         return RunCheckpoint(
             mark=self.journal.mark(),
             processes=snapshots,
             approx_bytes=approx_bytes,
+            fingerprints=None if fingerprinter is None else fingerprinter.snapshot(),
         )
 
     def restore(self, checkpoint: RunCheckpoint) -> None:
@@ -376,6 +422,13 @@ class Run:
         self.journal.rewind(checkpoint.mark)
         for process, snap in zip(self.processes, checkpoint.processes):
             process.restore(snap)
+        if self.fingerprinter is not None:
+            if checkpoint.fingerprints is not None:
+                self.fingerprinter.restore(checkpoint.fingerprints)
+            else:
+                # A checkpoint without a memo (hand-built) still rewound
+                # value state under the cache — drop every cached byte.
+                self.fingerprinter.invalidate()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -486,6 +539,21 @@ class Run:
             tuple(process.state_fingerprint() for process in self.processes),
             tuple(obj.state_fingerprint() for obj in self.objects.values()),
         )
+
+    def state_key(self) -> bytes:
+        """The canonical byte key of the current global state.
+
+        Bit-identical to ``encode_canonical(self.state_fingerprint())``
+        always; computed incrementally (O(components changed since the
+        last call)) when :meth:`System.start` attached a fingerprinter,
+        i.e. for every pointer-free program.  This is the *single* key
+        shared by seen-state dedup, the statespace stores and the
+        frontier codec — compute it once per state.
+        """
+        fingerprinter = self.fingerprinter
+        if fingerprinter is None:
+            return encode_canonical(self.state_fingerprint())
+        return fingerprinter.key()
 
     def env_outputs(self, sink_name: str) -> list[Any]:
         """The recorded output trace of an :class:`EnvSink`."""

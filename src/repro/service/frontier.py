@@ -50,6 +50,7 @@ from ..counterex.traceio import (
     violation_from_json,
     violation_to_json,
 )
+from ..runtime.fingerprint import decode_canonical
 from ..verisoft.parallel import ChoicePrefix, PrefixPoint, prefix_key
 from ..verisoft.por import TransitionSig
 from ..verisoft.results import ExplorationReport, Trace
@@ -215,7 +216,15 @@ def canonical_fingerprint(value: Any) -> str:
     on them, so unioning canonical strings counts distinct states
     exactly as unioning the raw values would; the scheduler
     canonicalizes every fingerprint at lease-commit time so suspend/
-    resume cycles never mix representations."""
+    resume cycles never mix representations.
+
+    The explorer now collects fingerprints as canonical *bytes*
+    (:meth:`~repro.runtime.system.Run.state_key`); those decode back to
+    the structural tuple first, so the wire form — and therefore every
+    frontier checkpoint written before the incremental-fingerprint
+    change — stays bit-identical (``FRONTIER_VERSION`` unchanged)."""
+    if isinstance(value, bytes):
+        value = decode_canonical(value)
     return repr(value)
 
 

@@ -185,6 +185,7 @@ def explore_lease(
         progress_interval=heartbeat_interval,
         on_step=profiler,
         coverage=collector,
+        phase_profile=profiler.phases if profiler is not None else None,
     )
     report = explorer.run()
     residuals: list[ChoicePrefix] = []

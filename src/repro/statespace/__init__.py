@@ -23,7 +23,7 @@ and prunes the subtree when the state was already expanded; see
 sleep sets, hash collisions).
 """
 
-from .snapshot import digest64, encode_canonical, snapshot
+from .snapshot import decode_canonical, digest64, encode_canonical, snapshot
 from .stores import (
     STORE_KINDS,
     BitstateStore,
@@ -39,6 +39,7 @@ __all__ = [
     "HashCompactStore",
     "STORE_KINDS",
     "StateStore",
+    "decode_canonical",
     "digest64",
     "encode_canonical",
     "make_store",

@@ -23,65 +23,13 @@ the unit of storage of the compacting stores.
 from __future__ import annotations
 
 import hashlib
-import struct
-from typing import Any
 
+from ..runtime.fingerprint import (  # noqa: F401  (re-exported API)
+    _encode_into,
+    decode_canonical,
+    encode_canonical,
+)
 from ..runtime.system import Run
-
-#: Type tags of the canonical encoding.  One byte each; every composite
-#: is length-prefixed, so the encoding is prefix-free and unambiguous.
-_TAG_NONE = b"N"
-_TAG_TRUE = b"T"
-_TAG_FALSE = b"F"
-_TAG_INT = b"i"
-_TAG_STR = b"s"
-_TAG_TUPLE = b"("
-
-_LEN = struct.Struct(">I")
-
-
-def _encode_into(value: Any, out: list[bytes]) -> None:
-    # bool must be tested before int (bool is an int subclass) so that
-    # True and 1 — distinct runtime values — stay distinct states.
-    if value is None:
-        out.append(_TAG_NONE)
-    elif value is True:
-        out.append(_TAG_TRUE)
-    elif value is False:
-        out.append(_TAG_FALSE)
-    elif isinstance(value, int):
-        payload = b"%d" % value
-        out.append(_TAG_INT)
-        out.append(_LEN.pack(len(payload)))
-        out.append(payload)
-    elif isinstance(value, str):
-        payload = value.encode("utf-8")
-        out.append(_TAG_STR)
-        out.append(_LEN.pack(len(payload)))
-        out.append(payload)
-    elif isinstance(value, tuple):
-        out.append(_TAG_TUPLE)
-        out.append(_LEN.pack(len(value)))
-        for item in value:
-            _encode_into(item, out)
-    else:
-        raise TypeError(
-            f"cannot canonically encode value of type {type(value).__name__}; "
-            "state fingerprints are built from None/bool/int/str/tuple only"
-        )
-
-
-def encode_canonical(value: Any) -> bytes:
-    """Serialize a state-fingerprint structure to canonical bytes.
-
-    Injective over the fingerprint value domain (``None``, ``bool``,
-    ``int``, ``str`` and nested tuples thereof): distinct structures
-    always yield distinct byte strings, equal structures always yield
-    equal byte strings.
-    """
-    out: list[bytes] = []
-    _encode_into(value, out)
-    return b"".join(out)
 
 
 def snapshot(run: Run) -> bytes:
@@ -92,6 +40,10 @@ def snapshot(run: Run) -> bytes:
     ``(procedure, node, frame)``) and every communication object's
     state (queue contents, semaphore counts, shared values; environment
     sinks only when ``visible_in_state``).
+
+    Always a full recomputation — the differential oracle against
+    :meth:`Run.state_key`, which returns the same bytes through the
+    incremental per-component cache.
     """
     return encode_canonical(run.state_fingerprint())
 

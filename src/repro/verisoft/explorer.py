@@ -45,17 +45,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Iterable
 
 from ..runtime.engine import validate_engine
 from ..runtime.process import Process, ProcessStatus
 from ..runtime.system import Run, System
-from ..statespace.snapshot import snapshot
 from ..statespace.stores import StateStore
 from .por import (
     PersistentSetComputer,
     TransitionSig,
     augment_sleep,
+    intern_signature,
     process_footprint,
     signature_of,
 )
@@ -117,6 +118,11 @@ class _ResumeInfo:
 
 class _Leaf(Exception):
     """Internal: the current execution reached a leaf of the DFS tree."""
+
+
+#: Shared empty sleep set — the overwhelmingly common value in the hot
+#: loop; sharing it avoids one frozenset() allocation per transition.
+_EMPTY_SLEEP: frozenset = frozenset()
 
 
 class Explorer:
@@ -220,6 +226,21 @@ class Explorer:
             parallel shards merges counter-exactly and the walk and
             compiled engines produce bit-identical coverage.  ``None``
             (default) costs one branch per step.
+        phase_profile: a mutable mapping accumulating wall seconds per
+            explorer phase (``"engine"``, ``"fingerprint"``, ``"por"``,
+            ``"cache"``, ``"coverage"``) — the per-phase breakdown the
+            hot-spot profiler reports.  ``None`` (default) skips all
+            timing.
+
+    The hot loop shares **one** canonical state key per global state
+    (:meth:`Run.state_key`, incremental for pointer-free programs)
+    between seen-state dedup, the state store and the POR memo — and
+    with ``por`` on, memoizes the per-state analysis (deadlock /
+    termination flags, enabled count, persistent candidates and their
+    signatures) keyed by those bytes.  Sound because the canonical key
+    is injective over the complete runtime state and each memoized
+    value is a pure function of the state; the path-dependent sleep-set
+    filtering stays per-visit.
     """
 
     def __init__(
@@ -251,6 +272,7 @@ class Explorer:
         on_step: Callable[..., None] | None = None,
         tracer: Any | None = None,
         coverage: Any | None = None,
+        phase_profile: dict[str, float] | None = None,
     ):
         if backtrack not in ("replay", "restore"):
             raise ValueError(f"unknown backtrack mode {backtrack!r}")
@@ -298,11 +320,30 @@ class Explorer:
         self._on_step = on_step
         self._tracer = tracer
         self._coverage = coverage
+        self._phases = phase_profile
         self._deadline: float | None = None
         self._persistent: PersistentSetComputer | None = None
         if por:
             footprints = self._compute_footprints(system)
             self._persistent = PersistentSetComputer(footprints)
+        #: Persistent-set memo keyed by the *control projection* of a
+        #: state — ``(tuple of interned per-process signature ids,
+        #: enabled bitmask)`` — holding ``(candidate names,
+        #: signatures)``.  The persistent closure reads only transition
+        #: signatures, enabledness and static footprints, so states
+        #: sharing a projection share the result; the projection both
+        #: hashes faster than a full state key and hits far more often.
+        #: Only kept with POR on — without it the analysis is one scan.
+        self._state_memo: dict[tuple, tuple] | None = {} if por else None
+        # Whether any consumer needs the canonical key at each state.
+        self._need_key = state_store is not None or count_states
+        #: Interned trace records: ScheduleChoice / TossChoice /
+        #: TraceStep are frozen value objects drawn from a tiny
+        #: per-system domain, so each distinct record is allocated once
+        #: and shared across every append of a long search.
+        self._sched_cache: dict[str, ScheduleChoice] = {}
+        self._toss_cache: dict[tuple[str, int], TossChoice] = {}
+        self._step_cache: dict[tuple, TraceStep] = {}
 
     @staticmethod
     def _compute_footprints(system: System) -> dict[str, set[str]]:
@@ -489,7 +530,12 @@ class Explorer:
             )
             if coverage is not None:
                 coverage.begin_run()
-            run.start_processes()
+            if self._phases is None:
+                run.start_processes()
+            else:
+                t0 = perf_counter()
+                run.start_processes()
+                self._phases["engine"] += perf_counter() - t0
             replay_len = len(stack)
             state = _ExecState(
                 run=run,
@@ -513,6 +559,7 @@ class Explorer:
             self._note_broken_processes(state)
             current_sleep: frozenset[TransitionSig] = frozenset()
             depth = 0
+            may_toss = True
         else:
             # Restore-mode re-entry: rewind the live run to the bumped
             # choice point's checkpoint and resume the DFS there.  The
@@ -548,7 +595,7 @@ class Explorer:
                 tossing = run.toss_pending()
                 value = resume_point.chosen
                 request = tossing.toss_request if coverage is not None else None
-                state.choices.append(TossChoice(tossing.name, value))
+                state.choices.append(self._toss_choice(tossing.name, value))
                 run.answer_toss(tossing, value)
                 if coverage is not None:
                     # A bumped point sits above the frozen prefix, so
@@ -559,14 +606,21 @@ class Explorer:
                     entries = tossing.engine.take_trace()
                     if entries:
                         coverage.segment(tossing.name, entries, state.fresh_edge)
-                self._note_broken_processes(state)
+                self._note_broken_one(state, tossing)
+                may_toss = True
             else:
                 pending_schedule = resume_point
+                may_toss = False
 
+        phases = self._phases
         while True:
             if pending_schedule is None:
                 # Resolve pending toss choices (invisible, intra-transition).
-                while True:
+                # Only the process(es) resumed since the last global state
+                # can be awaiting a toss, so the scan is skipped entirely
+                # on the common transition where the stepped process came
+                # back AT_VISIBLE (``may_toss`` tracks that).
+                while may_toss:
                     tossing = run.toss_pending()
                     if tossing is None:
                         break
@@ -575,9 +629,9 @@ class Explorer:
                     point = self._choice(
                         state,
                         "toss",
-                        list(range(request.bound + 1)),
+                        range(request.bound + 1),
                         frozenset(),
-                        [],
+                        (),
                         depth,
                         current_sleep,
                     )
@@ -586,12 +640,18 @@ class Explorer:
                             "toss", tossing.name, request, depth, request.bound + 1, True
                         )
                     value = point.chosen
-                    state.choices.append(TossChoice(tossing.name, value))
-                    run.answer_toss(tossing, value)
+                    state.choices.append(self._toss_choice(tossing.name, value))
+                    if phases is None:
+                        run.answer_toss(tossing, value)
+                    else:
+                        t0 = perf_counter()
+                        run.answer_toss(tossing, value)
+                        phases["engine"] += perf_counter() - t0
                     if coverage is not None:
                         # Toss *values* anchor on the answering edge (not
                         # point creation): each fresh traversal of a toss
                         # arc counts once system-wide.
+                        t0 = perf_counter() if phases is not None else 0.0
                         if state.fresh_edge:
                             coverage.toss_value(
                                 request.proc_name, request.node_id, value
@@ -599,7 +659,9 @@ class Explorer:
                         entries = tossing.engine.take_trace()
                         if entries:
                             coverage.segment(tossing.name, entries, state.fresh_edge)
-                    self._note_broken_processes(state)
+                        if phases is not None:
+                            phases["coverage"] += perf_counter() - t0
+                    self._note_broken_one(state, tossing)
 
                 # Frontier cut: hand the subtree below this state to the
                 # parallel driver instead of descending into it.
@@ -608,80 +670,182 @@ class Explorer:
                         self._on_frontier(state.stack)
                     raise _Leaf()
 
-                # A global state.
-                if state.fresh:
+                # A global state.  Key computation, dedup, store consult,
+                # POR analysis and the leaf checks are all pure functions
+                # of the state; a *replayed* state (inside the stacked
+                # prefix) was fully processed when first reached and —
+                # having a choice point below it — is by construction not
+                # a leaf, so replay passes skip straight to the recorded
+                # decision.  ``ptr < replay_len`` is exactly ``not fresh``.
+                if state.ptr < state.replay_len:
+                    point = self._choice(
+                        state, "schedule", (), frozenset(), (), depth, current_sleep
+                    )
+                    created = False
+                    fanout = len(point.alternatives)
+                else:
                     report.states_visited += 1
-                    report.max_depth_reached = max(report.max_depth_reached, depth)
-                if seen_states is not None:
-                    seen_states.add(run.state_fingerprint())
+                    if depth > report.max_depth_reached:
+                        report.max_depth_reached = depth
 
-                if self._deadline is not None and time.monotonic() > self._deadline:
-                    report.incomplete = True
-                    raise _Leaf()
+                    # One canonical key per state (satellite of the
+                    # incremental fingerprint work): shared by seen-state
+                    # dedup and the state store — never computed twice,
+                    # and skipped entirely when nothing consumes it (the
+                    # POR memo below keys on the control projection
+                    # instead).
+                    if self._need_key:
+                        if phases is None:
+                            key = run.state_key()
+                        else:
+                            t0 = perf_counter()
+                            key = run.state_key()
+                            phases["fingerprint"] += perf_counter() - t0
+                        if seen_states is not None:
+                            seen_states.add(key)
+                    else:
+                        key = None
 
-                # State-space caching: prune the subtree below a state that
-                # the store has already expanded.  Only *fresh* states are
-                # consulted — states inside the replayed prefix were entered
-                # into the store when first reached, and pruning them would
-                # cut the very path the replay is reconstructing.
-                if self._state_store is not None and state.fresh:
-                    remaining = self._max_depth - depth
-                    if not self._state_store.visit(snapshot(run), remaining):
+                    if self._deadline is not None and time.monotonic() > self._deadline:
+                        report.incomplete = True
+                        raise _Leaf()
+
+                    # State-space caching: prune the subtree below a state
+                    # that the store has already expanded.
+                    if self._state_store is not None:
+                        remaining = self._max_depth - depth
+                        if phases is None:
+                            live = self._state_store.visit(key, remaining)
+                        else:
+                            t0 = perf_counter()
+                            live = self._state_store.visit(key, remaining)
+                            phases["cache"] += perf_counter() - t0
+                        if not live:
+                            self._leaf(state)
+
+                    # Fused per-state analysis: ONE pass over the
+                    # processes computes the deadlock/termination flags,
+                    # the enabled set and the control projection — per
+                    # process the interned id of its pending transition
+                    # signature (or a status marker), plus the enabled
+                    # bitmask — replacing the three full scans of
+                    # is_deadlock / all_terminated / enabled_processes.
+                    t0 = perf_counter() if phases is not None else 0.0
+                    enabled = []
+                    control_ids = []
+                    enabled_mask = 0
+                    any_visible = False
+                    all_parked = True  # AT_VISIBLE or blocked forever
+                    all_terminated = True
+                    for index, process in enumerate(run.processes):
+                        status = process.status
+                        if status is ProcessStatus.AT_VISIBLE:
+                            any_visible = True
+                            all_terminated = False
+                            request = process.pending
+                            entry = process._sig_entry
+                            if entry is None or entry[0] is not request:
+                                entry = intern_signature(process, request)
+                            control_ids.append(entry[2])
+                            if request.obj is None or request.obj.enabled(request.op):
+                                enabled.append(process)
+                                enabled_mask |= 1 << index
+                        elif status is ProcessStatus.TERMINATED:
+                            control_ids.append(-1)
+                        else:
+                            all_terminated = False
+                            if status is ProcessStatus.CRASHED:
+                                control_ids.append(-2)
+                            elif status is ProcessStatus.DIVERGED:
+                                control_ids.append(-3)
+                            else:
+                                control_ids.append(-4)
+                                all_parked = False
+                    enabled_count = len(enabled)
+                    is_deadlock = all_parked and any_visible and not enabled_count
+
+                    # The persistent candidate set is a pure function of
+                    # the control projection (the closure reads only
+                    # transition signatures, enabledness and the static
+                    # footprints), so it is memoized on an int-tuple key —
+                    # far cheaper to build and hash than a full state key.
+                    memo = self._state_memo
+                    if (
+                        memo is not None
+                        and self._persistent is not None
+                        and enabled_count > 1
+                    ):
+                        pkey = (tuple(control_ids), enabled_mask)
+                        entry = memo.get(pkey)
+                        if entry is None:
+                            candidates = self._persistent.persistent_choices(run, enabled)
+                            cand_names = tuple(p.name for p in candidates)
+                            sigs = tuple(signature_of(p) for p in candidates)
+                            memo[pkey] = (cand_names, sigs)
+                        else:
+                            cand_names, sigs = entry
+                    else:
+                        if self._persistent is not None and enabled_count > 1:
+                            candidates = self._persistent.persistent_choices(run, enabled)
+                        else:
+                            candidates = enabled
+                        cand_names = tuple(p.name for p in candidates)
+                        sigs = tuple(signature_of(p) for p in candidates)
+                    if phases is not None:
+                        phases["por"] += perf_counter() - t0
+
+                    if is_deadlock:
+                        if len(report.deadlocks) < self._max_events:
+                            report.deadlocks.append(
+                                DeadlockEvent(state.trace(), *_blocked_info(run))
+                            )
+                            if self._tracer is not None:
+                                self._tracer.instant("deadlock", cat="event", depth=depth)
+                        self._leaf(state)
+                    if all_terminated:
+                        self._leaf(state)
+                    if depth >= self._max_depth:
+                        report.truncated = True
                         self._leaf(state)
 
-                if run.is_deadlock():
-                    if state.fresh and len(report.deadlocks) < self._max_events:
-                        report.deadlocks.append(
-                            DeadlockEvent(state.trace(), *_blocked_info(run))
-                        )
-                        if self._tracer is not None:
-                            self._tracer.instant("deadlock", cat="event", depth=depth)
-                    self._leaf(state)
-                if run.all_terminated():
-                    self._leaf(state)
-                if depth >= self._max_depth:
-                    report.truncated = True
-                    self._leaf(state)
+                    if not enabled_count:
+                        # Every live process is blocked but some processes
+                        # crashed/diverged/terminated: nothing can move.
+                        self._leaf(state)
 
-                enabled = run.enabled_processes()
-                if not enabled:
-                    # Every live process is blocked but some processes crashed/
-                    # diverged/terminated: nothing can move.
-                    self._leaf(state)
+                    stats.enabled_transitions += enabled_count
+                    stats.persistent_transitions += len(cand_names)
 
-                if self._persistent is not None:
-                    candidates = self._persistent.persistent_choices(run)
-                else:
-                    candidates = enabled
-                if state.fresh:
-                    stats.enabled_transitions += len(enabled)
-                    stats.persistent_transitions += len(candidates)
-                sigs = [signature_of(p) for p in candidates]
-                filtered: list[Process] = []
-                filtered_sigs: list[TransitionSig | None] = []
-                for process, sig in zip(candidates, sigs):
-                    if sig is not None and sig in current_sleep:
-                        if state.fresh:
-                            stats.sleep_prunes += 1
-                        continue
-                    filtered.append(process)
-                    filtered_sigs.append(sig)
-                if not filtered:
-                    # All moves are asleep: this subtree is covered elsewhere.
-                    self._leaf(state)
+                    if current_sleep:
+                        filtered_names: Any = []
+                        filtered_sigs: Any = []
+                        for name, sig in zip(cand_names, sigs):
+                            if sig is not None and sig in current_sleep:
+                                stats.sleep_prunes += 1
+                                continue
+                            filtered_names.append(name)
+                            filtered_sigs.append(sig)
+                        if not filtered_names:
+                            # All moves are asleep: covered elsewhere.
+                            self._leaf(state)
+                    else:
+                        # Empty sleep set (the common case): the memoized
+                        # tuples are the filtered lists — no copies.
+                        filtered_names = cand_names
+                        filtered_sigs = sigs
 
-                before = len(state.stack)
-                point = self._choice(
-                    state,
-                    "schedule",
-                    [p.name for p in filtered],
-                    current_sleep,
-                    filtered_sigs,
-                    depth,
-                    current_sleep,
-                )
-                created = len(state.stack) > before
-                fanout = len(filtered)
+                    before = len(state.stack)
+                    point = self._choice(
+                        state,
+                        "schedule",
+                        filtered_names,
+                        current_sleep,
+                        filtered_sigs,
+                        depth,
+                        current_sleep,
+                    )
+                    created = len(state.stack) > before
+                    fanout = len(filtered_names)
             else:
                 # Resuming at a bumped schedule point: the global state was
                 # processed when the point was created (a replay would not
@@ -694,18 +858,33 @@ class Explorer:
                 fanout = len(point.alternatives)
 
             chosen_name = point.chosen
-            chosen = next(p for p in run.processes if p.name == chosen_name)
+            chosen = run.process_map[chosen_name]
             chosen_sig = point.sigs[point.index] if point.sigs else signature_of(chosen)
-            state.choices.append(ScheduleChoice(chosen_name))
+            sched = self._sched_cache.get(chosen_name)
+            if sched is None:
+                sched = self._sched_cache[chosen_name] = ScheduleChoice(chosen_name)
+            state.choices.append(sched)
 
             request = chosen.visible_request
             detail = ""
             obj_name = request.obj.name if request.obj is not None else None
-            outcome = run.execute_visible(chosen)
+            if phases is None:
+                outcome = run.execute_visible(chosen)
+            else:
+                t0 = perf_counter()
+                outcome = run.execute_visible(chosen)
+                phases["engine"] += perf_counter() - t0
             if coverage is not None:
-                entries = chosen.engine.take_trace()
-                if entries:
-                    coverage.segment(chosen_name, entries, state.fresh_edge)
+                if phases is None:
+                    entries = chosen.engine.take_trace()
+                    if entries:
+                        coverage.segment(chosen_name, entries, state.fresh_edge)
+                else:
+                    t0 = perf_counter()
+                    entries = chosen.engine.take_trace()
+                    if entries:
+                        coverage.segment(chosen_name, entries, state.fresh_edge)
+                    phases["coverage"] += perf_counter() - t0
             if state.fresh_edge:
                 report.transitions_executed += 1
                 if self._on_step is not None:
@@ -714,9 +893,13 @@ class Explorer:
                     )
             else:
                 stats.replayed_transitions += 1
-            state.steps.append(
-                TraceStep(chosen_name, request.op, obj_name, detail)
-            )
+            step_key = (chosen_name, request.op, obj_name, detail)
+            step = self._step_cache.get(step_key)
+            if step is None:
+                step = self._step_cache[step_key] = TraceStep(
+                    chosen_name, request.op, obj_name, detail
+                )
+            state.steps.append(step)
             depth += 1
             if outcome is not None and outcome.violated and state.fresh_edge:
                 if self._tracer is not None:
@@ -741,22 +924,28 @@ class Explorer:
                             Trace((), ()), outcome.process, outcome.proc_name, outcome.node_id
                         )
                     )
-            self._note_broken_processes(state)
+            self._note_broken_one(state, chosen)
+            may_toss = chosen.status is ProcessStatus.NEEDS_TOSS
             if self._stop_on_first and not report.ok:
                 self._leaf(state)
 
             # Sleep set carried into the successor state.
             if not self._sleep_sets:
-                current_sleep = frozenset()
+                current_sleep = _EMPTY_SLEEP
             elif chosen_sig is not None:
-                explored = [
-                    sig
-                    for sig in point.sigs[: point.index]
-                    if sig is not None
-                ]
-                current_sleep = augment_sleep(point.sleep, explored, chosen_sig)
+                if point.index == 0 and not point.sleep:
+                    # First alternative under an empty inherited set:
+                    # nothing to merge, nothing to filter.
+                    current_sleep = _EMPTY_SLEEP
+                else:
+                    explored = [
+                        sig
+                        for sig in point.sigs[: point.index]
+                        if sig is not None
+                    ]
+                    current_sleep = augment_sleep(point.sleep, explored, chosen_sig)
             else:
-                current_sleep = frozenset()
+                current_sleep = _EMPTY_SLEEP
 
     # -- choice handling ---------------------------------------------------------------
 
@@ -779,7 +968,12 @@ class Explorer:
                     f"{point.kind} choice, got {kind} — the runtime is not deterministic"
                 )
             return point
-        point = _ChoicePoint(kind=kind, alternatives=alternatives, sleep=sleep, sigs=sigs)
+        # Alternatives/sigs may arrive as lazy ranges or memoized tuples —
+        # materialized as lists only here, on point *creation* (replayed
+        # visits never touch them, so the hot path allocates nothing).
+        point = _ChoicePoint(
+            kind=kind, alternatives=list(alternatives), sleep=sleep, sigs=list(sigs)
+        )
         if kind == "toss":
             # Counted at creation so replays do not double-count.
             state.report.toss_points += 1
@@ -805,30 +999,48 @@ class Explorer:
         state.ptr += 1
         return point
 
+    def _toss_choice(self, name: str, value: int) -> TossChoice:
+        key = (name, value)
+        choice = self._toss_cache.get(key)
+        if choice is None:
+            choice = self._toss_cache[key] = TossChoice(name, value)
+        return choice
+
     def _leaf(self, state: "_ExecState") -> None:
         if self._on_leaf is not None and state.fresh:
             self._on_leaf(state.run, state.trace())
         raise _Leaf()
 
     def _note_broken_processes(self, state: "_ExecState") -> None:
-        report = state.report
         for process in state.run.processes:
-            if process.name in state.noted_broken:
-                continue
-            if process.status is ProcessStatus.CRASHED:
-                state.noted_broken.add(process.name)
-                if state.fresh_edge and len(report.crashes) < self._max_events:
-                    report.crashes.append(
-                        CrashEvent(state.trace(), process.name, str(process.crash))
-                    )
-                elif state.fresh_edge:
-                    report.crashes.append(CrashEvent(Trace((), ()), process.name, ""))
-            elif process.status is ProcessStatus.DIVERGED:
-                state.noted_broken.add(process.name)
-                if state.fresh_edge and len(report.divergences) < self._max_events:
-                    report.divergences.append(DivergenceEvent(state.trace(), process.name))
-                elif state.fresh_edge:
-                    report.divergences.append(DivergenceEvent(Trace((), ()), process.name))
+            self._note_broken_one(state, process)
+
+    def _note_broken_one(self, state: "_ExecState", process: Process) -> None:
+        """Record ``process`` if it just crashed or diverged.
+
+        Only the process that was last resumed can have changed status,
+        so the per-transition path checks that single process instead of
+        rescanning the whole system.
+        """
+        status = process.status
+        if status is not ProcessStatus.CRASHED and status is not ProcessStatus.DIVERGED:
+            return
+        if process.name in state.noted_broken:
+            return
+        report = state.report
+        state.noted_broken.add(process.name)
+        if status is ProcessStatus.CRASHED:
+            if state.fresh_edge and len(report.crashes) < self._max_events:
+                report.crashes.append(
+                    CrashEvent(state.trace(), process.name, str(process.crash))
+                )
+            elif state.fresh_edge:
+                report.crashes.append(CrashEvent(Trace((), ()), process.name, ""))
+        else:
+            if state.fresh_edge and len(report.divergences) < self._max_events:
+                report.divergences.append(DivergenceEvent(state.trace(), process.name))
+            elif state.fresh_edge:
+                report.divergences.append(DivergenceEvent(Trace((), ()), process.name))
 
 
 def _blocked_info(run: Run) -> tuple[tuple[str, ...], tuple[tuple[str, str, str | None], ...]]:

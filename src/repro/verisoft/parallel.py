@@ -271,6 +271,7 @@ def enumerate_prefixes(
         on_step=profiler,
         tracer=tracer,
         coverage=collector,
+        phase_profile=profiler.phases if profiler is not None else None,
     )
     report = explorer.run()
     report.profile = profiler
@@ -422,6 +423,7 @@ def explore_subtree(
         on_step=profiler,
         tracer=tracer,
         coverage=collector,
+        phase_profile=profiler.phases if profiler is not None else None,
     )
     if tracer is None:
         report = explorer.run()

@@ -141,17 +141,45 @@ class TransitionSig:
     local: bool  # VS_assert / env-sink op: conflicts with nothing
 
 
+#: Interned signatures: plain-tuple field key → ``(sig, dense id)``.
+#: The search hot loop keys its persistent-set memo on tuples of the
+#: dense ids — an int-tuple hash instead of re-hashing dataclasses
+#: every state — and the tuple key keeps the lookup itself at C speed
+#: (no dataclass construction or ``__hash__`` on the hit path).
+_SIG_IDS: dict[tuple, tuple] = {}
+
+
+def intern_signature(process: Process, request) -> tuple:
+    """Build, intern and cache the signature entry for a pending request.
+
+    Returns ``(request, sig, sig_id)`` and stores it on the process;
+    requests are immutable and compared by identity, so the cache stays
+    valid until the process actually moves (including across restores,
+    which reinstall the *same* request object).
+    """
+    if request.obj is None:
+        fields = (process.name, request.node_id, request.op, None, True)
+    else:
+        local = isinstance(request.obj, EnvSink) and not request.obj.visible_in_state
+        fields = (process.name, request.node_id, request.op, request.obj.name, local)
+    interned = _SIG_IDS.get(fields)
+    if interned is None:
+        interned = (TransitionSig(*fields), len(_SIG_IDS))
+        _SIG_IDS[fields] = interned
+    entry = (request, interned[0], interned[1])
+    process._sig_entry = entry
+    return entry
+
+
 def signature_of(process: Process) -> TransitionSig | None:
     """The pending transition's signature, or None if none is pending."""
     request = process.visible_request
     if request is None:
         return None
-    if request.obj is None:
-        return TransitionSig(process.name, request.node_id, request.op, None, local=True)
-    local = isinstance(request.obj, EnvSink) and not request.obj.visible_in_state
-    return TransitionSig(
-        process.name, request.node_id, request.op, request.obj.name, local=local
-    )
+    entry = process._sig_entry
+    if entry is not None and entry[0] is request:
+        return entry[1]
+    return intern_signature(process, request)[1]
 
 
 def independent(a: TransitionSig, b: TransitionSig) -> bool:
@@ -176,29 +204,38 @@ class PersistentSetComputer:
         #: process name -> static object footprint (from launch point).
         self._footprints = footprints
 
-    def persistent_choices(self, run: Run) -> list[Process]:
+    def persistent_choices(
+        self, run: Run, enabled: list[Process] | None = None
+    ) -> list[Process]:
         """A persistent subset of ``run``'s enabled processes.
 
-        Returns the full enabled set when no reduction applies.
+        Returns the full enabled set when no reduction applies.  The
+        caller may pass the enabled set (already computed by the search
+        hot loop) to avoid re-scanning the processes.
         """
-        enabled = run.enabled_processes()
+        if enabled is None:
+            enabled = run.enabled_processes()
         if len(enabled) <= 1:
             return enabled
 
-        # Best case: a purely local transition is persistent on its own.
-        for process in enabled:
-            sig = signature_of(process)
-            if sig is not None and sig.local:
-                return [process]
-
+        # One signature per live process, computed once and shared by
+        # every closure below (the closures revisit the same processes).
         live = [
             process
             for process in run.processes
             if process.status is ProcessStatus.AT_VISIBLE
         ]
+        sigs = {process.name: signature_of(process) for process in live}
+
+        # Best case: a purely local transition is persistent on its own.
+        for process in enabled:
+            sig = sigs[process.name]
+            if sig is not None and sig.local:
+                return [process]
+
         best = enabled
         for seed in enabled:
-            candidate = self._closure(seed, live)
+            candidate = self._closure(seed, live, sigs)
             candidate_enabled = [p for p in candidate if p in enabled]
             if len(candidate_enabled) < len(best):
                 best = candidate_enabled
@@ -206,11 +243,16 @@ class PersistentSetComputer:
                     break
         return best
 
-    def _closure(self, seed: Process, live: list[Process]) -> list[Process]:
+    def _closure(
+        self,
+        seed: Process,
+        live: list[Process],
+        sigs: dict[str, TransitionSig | None],
+    ) -> list[Process]:
         members: dict[str, Process] = {seed.name: seed}
         # Objects touched by the next operations of current members.
         conflict_objects: set[str] = set()
-        sig = signature_of(seed)
+        sig = sigs[seed.name]
         if sig is not None and sig.obj is not None and not sig.local:
             conflict_objects.add(sig.obj)
         changed = True
@@ -226,7 +268,7 @@ class PersistentSetComputer:
                 )
                 if overlaps:
                     members[process.name] = process
-                    other = signature_of(process)
+                    other = sigs[process.name]
                     if other is not None and other.obj is not None and not other.local:
                         conflict_objects.add(other.obj)
                     changed = True

@@ -355,6 +355,7 @@ def _dispatch(
             on_step=profiler,
             tracer=options.tracer,
             coverage=collector,
+            phase_profile=profiler.phases if profiler is not None else None,
         ).run()
         report.profile = profiler
         report.coverage = collector

@@ -98,6 +98,12 @@ class TestProfileDeterminism:
         dfs = self._profile(fig2_files, tmp_path, None, "dfs.json")
         one = self._profile(fig2_files, tmp_path, 1, "one.json")
         four = self._profile(fig2_files, tmp_path, 4, "four.json")
+        # phases_s holds wall seconds — the one legitimately
+        # nondeterministic field.  Its *keys* (which phases ran) must
+        # still agree; every counter must be bit-identical.
+        timings = [profile.pop("phases_s") for profile in (dfs, one, four)]
+        assert len({tuple(sorted(t)) for t in timings}) == 1
+        assert all(v > 0 for t in timings for v in t.values())
         assert dfs == one == four
         assert dfs["total_transitions"] > 0
 
